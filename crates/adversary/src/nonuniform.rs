@@ -1,0 +1,185 @@
+//! Non-uniform randomized adversaries.
+//!
+//! The paper's concluding remarks ask whether "randomized adversaries that
+//! use a non-uniform probabilistic distribution alter significantly the
+//! bounds". [`WeightedRandomAdversary`] provides the natural candidate: each
+//! node has a popularity weight and the interacting pair is drawn
+//! proportionally to the product of the two weights. The ablation
+//! benchmark `e_nonuniform` compares the algorithms under uniform and
+//! skewed weights.
+
+use doda_core::sequence::{AdversaryView, InteractionSource};
+use doda_core::{Interaction, InteractionSequence, Time};
+use doda_graph::NodeId;
+use doda_stats::rng::{seeded_rng, DodaRng};
+use rand::Rng;
+
+/// A randomized adversary drawing pairs with probability proportional to
+/// the product of per-node weights.
+#[derive(Debug, Clone)]
+pub struct WeightedRandomAdversary {
+    weights: Vec<f64>,
+    cumulative: Vec<f64>,
+    rng: DodaRng,
+}
+
+impl WeightedRandomAdversary {
+    /// Creates the adversary from positive per-node weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two nodes are given or any weight is not
+    /// strictly positive and finite.
+    pub fn new(weights: Vec<f64>, seed: u64) -> Self {
+        assert!(weights.len() >= 2, "need at least 2 nodes");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in &weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        WeightedRandomAdversary {
+            weights,
+            cumulative,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Uniform weights — coincides in distribution with
+    /// [`crate::RandomizedAdversary`].
+    pub fn uniform(n: usize, seed: u64) -> Self {
+        WeightedRandomAdversary::new(vec![1.0; n], seed)
+    }
+
+    /// Zipf-like weights: node `i` has weight `1 / (i + 1)^exponent`, so low
+    /// ids (including the sink, id 0) are "popular" hubs.
+    pub fn zipf(n: usize, exponent: f64, seed: u64) -> Self {
+        let weights = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        WeightedRandomAdversary::new(weights, seed)
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Returns `true` if there are no nodes (never the case after
+    /// construction; included for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    fn sample_node(&mut self) -> NodeId {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let x: f64 = self.rng.gen_range(0.0..total);
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        NodeId(idx.min(self.weights.len() - 1))
+    }
+
+    /// Draws one interaction: two distinct nodes, each weighted by its
+    /// popularity (the second node is redrawn until distinct).
+    pub fn draw(&mut self) -> Interaction {
+        let a = self.sample_node();
+        loop {
+            let b = self.sample_node();
+            if b != a {
+                return Interaction::new(a, b);
+            }
+        }
+    }
+
+    /// Materialises a finite sequence of `len` interactions.
+    pub fn generate_sequence(&mut self, len: usize) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.weights.len());
+        for _ in 0..len {
+            let i = self.draw();
+            seq.push(i);
+        }
+        seq
+    }
+}
+
+impl InteractionSource for WeightedRandomAdversary {
+    fn node_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        Some(self.draw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn draws_are_valid() {
+        let mut adv = WeightedRandomAdversary::zipf(6, 1.0, 3);
+        assert_eq!(adv.len(), 6);
+        assert!(!adv.is_empty());
+        for _ in 0..500 {
+            let i = adv.draw();
+            assert!(i.max().index() < 6);
+        }
+    }
+
+    #[test]
+    fn skewed_weights_bias_towards_low_ids() {
+        let mut adv = WeightedRandomAdversary::zipf(8, 1.5, 11);
+        let seq = adv.generate_sequence(20_000);
+        let mut involving_node0 = 0usize;
+        let mut involving_node7 = 0usize;
+        for ti in seq.iter() {
+            if ti.interaction.involves(NodeId(0)) {
+                involving_node0 += 1;
+            }
+            if ti.interaction.involves(NodeId(7)) {
+                involving_node7 += 1;
+            }
+        }
+        assert!(
+            involving_node0 > 3 * involving_node7,
+            "node 0 ({involving_node0}) should interact far more than node 7 ({involving_node7})"
+        );
+    }
+
+    #[test]
+    fn uniform_variant_is_roughly_balanced() {
+        let mut adv = WeightedRandomAdversary::uniform(5, 7);
+        let seq = adv.generate_sequence(20_000);
+        let mut counts = vec![0usize; 5];
+        for ti in seq.iter() {
+            counts[ti.interaction.min().index()] += 1;
+            counts[ti.interaction.max().index()] += 1;
+        }
+        let expected = 2.0 * 20_000.0 / 5.0;
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.1, "node {i} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = WeightedRandomAdversary::zipf(5, 1.0, 42).generate_sequence(100);
+        let b = WeightedRandomAdversary::zipf(5, 1.0, 42).generate_sequence(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn rejects_non_positive_weights() {
+        let _ = WeightedRandomAdversary::new(vec![1.0, 0.0], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_single_node() {
+        let _ = WeightedRandomAdversary::new(vec![1.0], 1);
+    }
+}

@@ -1,0 +1,160 @@
+//! The oblivious adversary.
+//!
+//! The oblivious adversary "knows the algorithm's code, and must construct
+//! the sequence of interactions before the execution starts" (Section 2.2).
+//! It is modelled by replaying a pre-committed [`InteractionSequence`],
+//! optionally followed by cycling a committed suffix forever (the shape of
+//! every construction in the paper: a finite prefix followed by a pattern
+//! repeated "infinitely often").
+
+use doda_core::sequence::{AdversaryView, InteractionSource};
+use doda_core::{Interaction, InteractionSequence, Time};
+
+/// An oblivious adversary: a fixed prefix, then (optionally) a suffix
+/// pattern repeated forever.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObliviousAdversary {
+    prefix: InteractionSequence,
+    cycle: Option<InteractionSequence>,
+}
+
+impl ObliviousAdversary {
+    /// An adversary that plays `sequence` once and then stops.
+    pub fn replay(sequence: InteractionSequence) -> Self {
+        ObliviousAdversary {
+            prefix: sequence,
+            cycle: None,
+        }
+    }
+
+    /// An adversary that plays `prefix` once and then repeats `cycle` forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ or if `cycle` is empty.
+    pub fn with_cycle(prefix: InteractionSequence, cycle: InteractionSequence) -> Self {
+        assert_eq!(
+            prefix.node_count(),
+            cycle.node_count(),
+            "prefix and cycle must cover the same node set"
+        );
+        assert!(!cycle.is_empty(), "the repeated pattern must be non-empty");
+        ObliviousAdversary {
+            prefix,
+            cycle: Some(cycle),
+        }
+    }
+
+    /// Materialises the first `len` interactions of this adversary's
+    /// (possibly infinite) sequence.
+    pub fn materialize(&self, len: usize) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.prefix.node_count());
+        for t in 0..len {
+            match self.interaction_at(t as Time) {
+                Some(i) => seq.push(i),
+                None => break,
+            }
+        }
+        seq
+    }
+
+    fn interaction_at(&self, t: Time) -> Option<Interaction> {
+        let prefix_len = self.prefix.len() as Time;
+        if t < prefix_len {
+            return self.prefix.get(t);
+        }
+        match &self.cycle {
+            None => None,
+            Some(cycle) => {
+                let idx = (t - prefix_len) % cycle.len() as Time;
+                cycle.get(idx)
+            }
+        }
+    }
+}
+
+impl InteractionSource for ObliviousAdversary {
+    fn node_count(&self) -> usize {
+        self.prefix.node_count()
+    }
+
+    fn next_interaction(&mut self, t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        self.interaction_at(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_graph::NodeId;
+
+    fn view_all(owns: &[bool]) -> AdversaryView<'_> {
+        AdversaryView {
+            owns_data: owns,
+            sink: NodeId(0),
+        }
+    }
+
+    #[test]
+    fn replay_is_finite() {
+        let seq = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let mut adv = ObliviousAdversary::replay(seq.clone());
+        let owns = vec![true; 3];
+        assert_eq!(adv.node_count(), 3);
+        assert_eq!(adv.next_interaction(0, &view_all(&owns)), seq.get(0));
+        assert_eq!(adv.next_interaction(1, &view_all(&owns)), seq.get(1));
+        assert_eq!(adv.next_interaction(2, &view_all(&owns)), None);
+    }
+
+    #[test]
+    fn cycle_repeats_forever() {
+        let prefix = InteractionSequence::from_pairs(3, vec![(0, 1)]);
+        let cycle = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 2)]);
+        let mut adv = ObliviousAdversary::with_cycle(prefix, cycle);
+        let owns = vec![true; 3];
+        assert_eq!(
+            adv.next_interaction(0, &view_all(&owns)),
+            Some(Interaction::new(NodeId(0), NodeId(1)))
+        );
+        assert_eq!(
+            adv.next_interaction(1, &view_all(&owns)),
+            Some(Interaction::new(NodeId(1), NodeId(2)))
+        );
+        assert_eq!(
+            adv.next_interaction(2, &view_all(&owns)),
+            Some(Interaction::new(NodeId(0), NodeId(2)))
+        );
+        assert_eq!(
+            adv.next_interaction(1001, &view_all(&owns)),
+            Some(Interaction::new(NodeId(1), NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn materialize_prefix_plus_cycle() {
+        let prefix = InteractionSequence::from_pairs(3, vec![(0, 1)]);
+        let cycle = InteractionSequence::from_pairs(3, vec![(1, 2)]);
+        let adv = ObliviousAdversary::with_cycle(prefix, cycle);
+        let seq = adv.materialize(4);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq.get(3), Some(Interaction::new(NodeId(1), NodeId(2))));
+
+        let finite = ObliviousAdversary::replay(InteractionSequence::from_pairs(3, vec![(0, 1)]));
+        assert_eq!(finite.materialize(10).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_cycle_rejected() {
+        let prefix = InteractionSequence::from_pairs(3, vec![(0, 1)]);
+        let _ = ObliviousAdversary::with_cycle(prefix, InteractionSequence::new(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "same node set")]
+    fn mismatched_node_counts_rejected() {
+        let prefix = InteractionSequence::from_pairs(3, vec![(0, 1)]);
+        let cycle = InteractionSequence::from_pairs(4, vec![(2, 3)]);
+        let _ = ObliviousAdversary::with_cycle(prefix, cycle);
+    }
+}

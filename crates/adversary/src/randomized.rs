@@ -1,0 +1,152 @@
+//! The randomized adversary.
+//!
+//! "The randomized adversary constructs the sequence of interactions by
+//! picking a couple of nodes among all possible couples, uniformly at
+//! random" (Section 4). Every interaction therefore occurs with probability
+//! `2 / (n(n−1))`, independently of the past — the setting of Theorems
+//! 7–11.
+
+use doda_core::sequence::{AdversaryView, InteractionSource};
+use doda_core::{Interaction, InteractionSequence, Time};
+use doda_graph::NodeId;
+use doda_stats::rng::{seeded_rng, DodaRng};
+use rand::Rng;
+
+/// The uniform randomized adversary over `n ≥ 2` nodes.
+///
+/// The adversary is an infinite [`InteractionSource`]; it can also
+/// materialise a finite prefix of its sequence with
+/// [`RandomizedAdversary::generate_sequence`], which is what the
+/// knowledge-based algorithms (Waiting Greedy, offline optimal) need in
+/// order to build their oracles.
+#[derive(Debug, Clone)]
+pub struct RandomizedAdversary {
+    n: usize,
+    rng: DodaRng,
+}
+
+impl RandomizedAdversary {
+    /// Creates the adversary for `n` nodes with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no pair of distinct nodes exists).
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 2, "the randomized adversary needs at least 2 nodes, got {n}");
+        RandomizedAdversary {
+            n,
+            rng: seeded_rng(seed),
+        }
+    }
+
+    /// Draws one uniformly random pair of distinct nodes.
+    pub fn draw(&mut self) -> Interaction {
+        let a = self.rng.gen_range(0..self.n);
+        let mut b = self.rng.gen_range(0..self.n - 1);
+        if b >= a {
+            b += 1;
+        }
+        Interaction::new(NodeId(a), NodeId(b))
+    }
+
+    /// Materialises a finite sequence of `len` uniformly random interactions.
+    pub fn generate_sequence(&mut self, len: usize) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.n);
+        for _ in 0..len {
+            let i = self.draw();
+            seq.push(i);
+        }
+        seq
+    }
+
+    /// A generous default horizon for materialised sequences: `8·n²`
+    /// interactions, comfortably above the `O(n² log n)`-with-small-constant
+    /// needs of every algorithm studied for moderate `n` (the engine reports
+    /// non-termination if it ever falls short, so experiments can detect and
+    /// enlarge it).
+    pub fn default_horizon(n: usize) -> usize {
+        8 * n * n
+    }
+}
+
+impl InteractionSource for RandomizedAdversary {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        Some(self.draw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_tiny_graphs() {
+        let _ = RandomizedAdversary::new(1, 0);
+    }
+
+    #[test]
+    fn draws_are_valid_pairs() {
+        let mut adv = RandomizedAdversary::new(5, 7);
+        for _ in 0..1000 {
+            let i = adv.draw();
+            assert!(i.min().index() < 5 && i.max().index() < 5);
+            assert_ne!(i.min(), i.max());
+        }
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = RandomizedAdversary::new(6, 99);
+        let mut b = RandomizedAdversary::new(6, 99);
+        assert_eq!(a.generate_sequence(50), b.generate_sequence(50));
+        let mut c = RandomizedAdversary::new(6, 100);
+        assert_ne!(a.generate_sequence(50), c.generate_sequence(50));
+    }
+
+    #[test]
+    fn pairs_are_roughly_uniform() {
+        // chi-square-ish sanity check: all 10 pairs of 5 nodes appear with
+        // frequency within 20% of the expected 1/10 over 50k draws.
+        let mut adv = RandomizedAdversary::new(5, 2024);
+        let mut counts: HashMap<Interaction, u64> = HashMap::new();
+        let draws = 50_000;
+        for _ in 0..draws {
+            *counts.entry(adv.draw()).or_insert(0) += 1;
+        }
+        assert_eq!(counts.len(), 10);
+        let expected = draws as f64 / 10.0;
+        for (pair, count) in counts {
+            let dev = (count as f64 - expected).abs() / expected;
+            assert!(dev < 0.2, "pair {pair} frequency off by {dev:.3}");
+        }
+    }
+
+    #[test]
+    fn source_is_infinite() {
+        let mut adv = RandomizedAdversary::new(4, 1);
+        let owns = vec![true; 4];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        for t in 0..100 {
+            assert!(adv.next_interaction(t, &view).is_some());
+        }
+        assert_eq!(adv.node_count(), 4);
+    }
+
+    #[test]
+    fn generated_sequence_has_requested_length() {
+        let mut adv = RandomizedAdversary::new(4, 3);
+        let seq = adv.generate_sequence(123);
+        assert_eq!(seq.len(), 123);
+        assert_eq!(seq.node_count(), 4);
+        assert_eq!(RandomizedAdversary::default_horizon(10), 800);
+    }
+}

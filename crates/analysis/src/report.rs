@@ -1,0 +1,109 @@
+//! Rendering of experiment reports.
+
+use doda_sim::table::Table;
+
+use crate::experiments::ExperimentReport;
+use crate::scaling::ScalingResult;
+
+/// Renders the experiment reports as the Markdown table used in
+/// EXPERIMENTS.md.
+pub fn reports_to_markdown(reports: &[ExperimentReport]) -> String {
+    let mut table = Table::new(["id", "result", "paper claim", "measured", "status"]);
+    for r in reports {
+        table.push_row([
+            r.id.clone(),
+            r.title.clone(),
+            r.paper_claim.clone(),
+            r.measured.clone(),
+            if r.passed { "consistent".to_string() } else { "MISMATCH".to_string() },
+        ]);
+    }
+    table.to_markdown()
+}
+
+/// Renders a set of scaling results (one line per algorithm and `n`) as a
+/// Markdown table — the "headline figure" of the reproduction.
+pub fn scaling_to_markdown(results: &[ScalingResult]) -> String {
+    let mut table = Table::new(["algorithm", "n", "mean interactions", "median", "completion rate"]);
+    for r in results {
+        for p in &r.points {
+            table.push_row([
+                r.algorithm.clone(),
+                p.n.to_string(),
+                format!("{:.1}", p.mean_interactions),
+                format!("{:.1}", p.median_interactions),
+                format!("{:.2}", p.completion_rate),
+            ]);
+        }
+    }
+    table.to_markdown()
+}
+
+/// Renders the fitted exponents of a set of scaling results.
+pub fn exponents_to_markdown(results: &[ScalingResult]) -> String {
+    let mut table = Table::new(["algorithm", "fitted exponent", "R²"]);
+    for r in results {
+        if let Some(fit) = r.fit {
+            table.push_row([
+                r.algorithm.clone(),
+                format!("{:.3}", fit.exponent),
+                format!("{:.4}", fit.r_squared),
+            ]);
+        }
+    }
+    table.to_markdown()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scaling::ScalingPoint;
+    use doda_stats::regression::PowerLawFit;
+
+    #[test]
+    fn reports_render_with_status() {
+        let reports = vec![
+            ExperimentReport {
+                id: "E1".into(),
+                title: "t".into(),
+                paper_claim: "c".into(),
+                measured: "m".into(),
+                passed: true,
+            },
+            ExperimentReport {
+                id: "E2".into(),
+                title: "t2".into(),
+                paper_claim: "c2".into(),
+                measured: "m2".into(),
+                passed: false,
+            },
+        ];
+        let md = reports_to_markdown(&reports);
+        assert!(md.contains("consistent"));
+        assert!(md.contains("MISMATCH"));
+        assert!(md.contains("E1"));
+    }
+
+    #[test]
+    fn scaling_and_exponent_rendering() {
+        let results = vec![ScalingResult {
+            algorithm: "Gathering".into(),
+            points: vec![ScalingPoint {
+                n: 8,
+                mean_interactions: 49.0,
+                median_interactions: 48.0,
+                completion_rate: 1.0,
+            }],
+            fit: Some(PowerLawFit {
+                constant: 1.0,
+                exponent: 2.0,
+                r_squared: 0.999,
+            }),
+        }];
+        let scaling = scaling_to_markdown(&results);
+        assert!(scaling.contains("Gathering"));
+        assert!(scaling.contains("49.0"));
+        let exponents = exponents_to_markdown(&results);
+        assert!(exponents.contains("2.000"));
+    }
+}

@@ -1,0 +1,40 @@
+//! E7 — Theorem 7: the Ω(n²) lower bound without knowledge, matched by
+//! Gathering ((n−1)² expected interactions).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doda_bench::{mean_interactions, report_line, REPORT_NS, REPORT_TRIALS, TIMED_N};
+use doda_sim::AlgorithmSpec;
+use doda_stats::harmonic;
+
+fn print_reproduction() {
+    report_line("E7", "paper", "E[Gathering] = (n-1)^2, optimal without knowledge (Thm 7)");
+    for &n in REPORT_NS {
+        let measured = mean_interactions(AlgorithmSpec::Gathering, n, REPORT_TRIALS, 0xE7);
+        let expected = harmonic::expected_gathering_interactions(n);
+        report_line(
+            "E7",
+            &format!("n={n}"),
+            &format!(
+                "measured mean {measured:.0} | (n-1)^2 = {expected:.0} | ratio {:.2}",
+                measured / expected
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e07_lower_bound");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("gathering_batch", TIMED_N), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mean_interactions(AlgorithmSpec::Gathering, TIMED_N, 3, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! E8 — Theorem 8 / Corollary 1: with full knowledge the optimal algorithm
+//! terminates in Θ(n log n) interactions (expectation (n−1)·H(n−1)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doda_bench::{mean_interactions, report_line, REPORT_NS, REPORT_TRIALS, TIMED_N};
+use doda_sim::AlgorithmSpec;
+use doda_stats::harmonic;
+
+fn print_reproduction() {
+    report_line(
+        "E8",
+        "paper",
+        "E[offline optimal] = (n-1)·H(n-1) = Θ(n log n) (Thm 8, Cor 1)",
+    );
+    for &n in REPORT_NS {
+        let measured = mean_interactions(AlgorithmSpec::OfflineOptimal, n, REPORT_TRIALS, 0xE8);
+        let expected = harmonic::expected_full_knowledge_interactions(n);
+        report_line(
+            "E8",
+            &format!("n={n}"),
+            &format!(
+                "measured mean {measured:.0} | (n-1)H(n-1) = {expected:.0} | ratio {:.2}",
+                measured / expected
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e08_full_knowledge");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("offline_optimal_batch", TIMED_N), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mean_interactions(AlgorithmSpec::OfflineOptimal, TIMED_N, 3, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E9 — Theorem 9: Waiting needs n(n−1)/2·H(n−1) = O(n² log n) expected
+//! interactions, Gathering needs (n−1)² = O(n²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doda_bench::{mean_interactions, report_line, REPORT_NS, REPORT_TRIALS, TIMED_N};
+use doda_sim::AlgorithmSpec;
+use doda_stats::harmonic;
+
+fn print_reproduction() {
+    report_line(
+        "E9",
+        "paper",
+        "E[Waiting] = n(n-1)/2·H(n-1), E[Gathering] = (n-1)^2 (Thm 9)",
+    );
+    for &n in REPORT_NS {
+        let waiting = mean_interactions(AlgorithmSpec::Waiting, n, REPORT_TRIALS, 0xE9);
+        let gathering = mean_interactions(AlgorithmSpec::Gathering, n, REPORT_TRIALS, 0x9E);
+        let expected_w = harmonic::expected_waiting_interactions(n);
+        let expected_g = harmonic::expected_gathering_interactions(n);
+        report_line(
+            "E9",
+            &format!("n={n}"),
+            &format!(
+                "Waiting {waiting:.0} (formula {expected_w:.0}, ratio {:.2}) | Gathering {gathering:.0} (formula {expected_g:.0}, ratio {:.2}) | gap {:.2} vs predicted {:.2}",
+                waiting / expected_w,
+                gathering / expected_g,
+                waiting / gathering,
+                expected_w / expected_g,
+            ),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e09_waiting_gathering");
+    group.sample_size(10);
+    for spec in [AlgorithmSpec::Waiting, AlgorithmSpec::Gathering] {
+        group.bench_function(BenchmarkId::new(spec.label(), TIMED_N), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                mean_interactions(spec, TIMED_N, 3, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E10 — Theorem 10 / Corollary 3: Waiting Greedy with
+//! τ = n^{3/2}·√(log n) terminates within τ interactions w.h.p.; a τ-sweep
+//! shows the max(n·f, n²·log n / f) trade-off around the optimum.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doda_analysis::whp::check_within_bound;
+use doda_bench::{mean_interactions, report_line, REPORT_TRIALS, TIMED_N};
+use doda_sim::AlgorithmSpec;
+use doda_stats::harmonic;
+
+fn print_reproduction() {
+    report_line(
+        "E10",
+        "paper",
+        "WG with τ = n^{3/2}√log n terminates within τ w.h.p. (Thm 10, Cor 3)",
+    );
+    // W.h.p. check across n.
+    let ns = [32usize, 64, 128];
+    let points = check_within_bound(
+        AlgorithmSpec::WaitingGreedy { tau: None },
+        &ns,
+        REPORT_TRIALS,
+        0xE10,
+        |n| harmonic::waiting_greedy_tau(n) as f64,
+    );
+    for p in &points {
+        report_line(
+            "E10",
+            &format!("n={}", p.n),
+            &format!(
+                "{:.0}% of trials terminate within τ = {:.0} (allowed failure 1/log n = {:.2})",
+                p.fraction_within * 100.0,
+                p.bound,
+                p.allowed_failure
+            ),
+        );
+    }
+    // τ-sweep at a fixed n: the mean completion time is minimised near the
+    // recommended τ; far smaller or larger values degrade it.
+    let n = 64;
+    let recommended = harmonic::waiting_greedy_tau(n);
+    for factor in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let tau = ((recommended as f64) * factor) as u64;
+        let mean = mean_interactions(
+            AlgorithmSpec::WaitingGreedy { tau: Some(tau) },
+            n,
+            REPORT_TRIALS,
+            0xA10,
+        );
+        report_line(
+            "E10",
+            &format!("n={n}, τ = {factor:.2}×recommended"),
+            &format!("mean completion {mean:.0} interactions (τ = {tau})"),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e10_waiting_greedy");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("waiting_greedy_batch", TIMED_N), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mean_interactions(AlgorithmSpec::WaitingGreedy { tau: None }, TIMED_N, 3, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E11 — Theorem 11: with meetTime knowledge Waiting Greedy is optimal; the
+//! measured ordering offline < WaitingGreedy < Gathering < Waiting holds at
+//! every n, and the fitted exponents match n log n, n^{3/2}√log n, n², n² log n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doda_analysis::report::{exponents_to_markdown, scaling_to_markdown};
+use doda_analysis::ScalingStudy;
+use doda_bench::{mean_interactions, report_line, TIMED_N};
+use doda_sim::AlgorithmSpec;
+
+fn print_reproduction() {
+    report_line(
+        "E11",
+        "paper",
+        "ordering offline < WG < Gathering < Waiting; WG is Θ(n^{3/2}√log n) (Thm 11)",
+    );
+    let study = ScalingStudy {
+        ns: vec![16, 32, 64, 128],
+        trials: 20,
+        seed: 0xE11,
+        parallel: true,
+    };
+    let results = study.run_all(&AlgorithmSpec::randomized_comparison());
+    eprintln!("{}", scaling_to_markdown(&results));
+    eprintln!("{}", exponents_to_markdown(&results));
+    let ordered = doda_analysis::crossover::ordering_holds_everywhere(&results);
+    report_line("E11", "ordering holds at every n", &ordered.to_string());
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e11_meettime_optimality");
+    group.sample_size(10);
+    for spec in AlgorithmSpec::randomized_comparison() {
+        group.bench_function(BenchmarkId::new(spec.label(), TIMED_N), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                mean_interactions(spec, TIMED_N, 2, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! E1–E3 — the adversarial impossibility constructions of Theorems 1–3:
+//! no algorithm terminates under them while convergecasts remain possible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doda_adversary::{AdaptiveTrap, CycleTrap, ObliviousTrap};
+use doda_analysis::experiments::{e1_adaptive_adversary, e2_oblivious_trap, e3_cycle_trap, Effort};
+use doda_bench::report_line;
+use doda_core::prelude::*;
+
+fn print_reproduction() {
+    for report in [
+        e1_adaptive_adversary(Effort::Full),
+        e2_oblivious_trap(Effort::Full),
+        e3_cycle_trap(Effort::Full),
+    ] {
+        report_line(&report.id, "claim", &report.paper_claim);
+        report_line(&report.id, "measured", &report.measured);
+        report_line(
+            &report.id,
+            "status",
+            if report.passed { "consistent" } else { "MISMATCH" },
+        );
+    }
+}
+
+fn run_gathering_under_adaptive_trap(horizon: u64) -> bool {
+    let mut trap = AdaptiveTrap::new();
+    let mut algo = Gathering::new();
+    engine::run_with_id_sets(
+        &mut algo,
+        &mut trap,
+        AdaptiveTrap::SINK,
+        EngineConfig::with_max_interactions(horizon),
+    )
+    .expect("valid decisions")
+    .terminated()
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e_adversarial");
+    group.sample_size(10);
+    group.bench_function("adaptive_trap_10k_interactions", |b| {
+        b.iter(|| run_gathering_under_adaptive_trap(10_000));
+    });
+    group.bench_function("oblivious_trap_materialize_and_cost", |b| {
+        b.iter(|| {
+            let trap = ObliviousTrap::for_greedy_algorithms(16);
+            let seq = trap.materialize(5_000);
+            convergecast::successive_convergecast_times(&seq, ObliviousTrap::SINK, 16).len()
+        });
+    });
+    group.bench_function("cycle_trap_vs_spanning_tree_10k", |b| {
+        b.iter(|| {
+            let underlying = CycleTrap::underlying_graph();
+            let mut algo =
+                SpanningTreeAggregation::from_underlying_graph(&underlying, CycleTrap::SINK)
+                    .expect("connected");
+            let mut trap = CycleTrap::new();
+            engine::run_with_id_sets(
+                &mut algo,
+                &mut trap,
+                CycleTrap::SINK,
+                EngineConfig::with_max_interactions(10_000),
+            )
+            .expect("valid decisions")
+            .terminated()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E4–E6 and E12 — the knowledge/cost results (Theorems 4, 5, 6) and the
+//! cost-function machinery of Section 2.3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doda_analysis::experiments::{
+    e12_cost_function, e4_recurring_edges, e5_tree_underlying, e6_future_knowledge, Effort,
+};
+use doda_bench::report_line;
+use doda_core::convergecast::optimal_convergecast;
+use doda_core::cost::cost_of_duration;
+use doda_graph::NodeId;
+use doda_workloads::{UniformWorkload, Workload};
+
+fn print_reproduction() {
+    for report in [
+        e4_recurring_edges(Effort::Full),
+        e5_tree_underlying(Effort::Full),
+        e6_future_knowledge(Effort::Full),
+        e12_cost_function(Effort::Full),
+    ] {
+        report_line(&report.id, "claim", &report.paper_claim);
+        report_line(&report.id, "measured", &report.measured);
+        report_line(
+            &report.id,
+            "status",
+            if report.passed { "consistent" } else { "MISMATCH" },
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e_cost_function");
+    group.sample_size(10);
+    let n = 32;
+    let seq = UniformWorkload::new(n).generate(8 * n * n, 0xC057);
+    group.bench_function("optimal_convergecast_n32", |b| {
+        b.iter(|| optimal_convergecast(&seq, NodeId(0), 0).map(|s| s.completion));
+    });
+    group.bench_function("cost_of_duration_n32", |b| {
+        b.iter(|| cost_of_duration(&seq, NodeId(0), Some(seq.len() as u64 / 2), 64));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Ablation — the paper's concluding question 3: does a *non-uniform*
+//! randomized adversary change the picture? We compare the algorithms under
+//! the uniform adversary and under a Zipf-weighted adversary in which the
+//! sink is the most popular node (hub) or the least popular one (remote).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doda_adversary::WeightedRandomAdversary;
+use doda_bench::{report_line, REPORT_TRIALS, TIMED_N};
+use doda_core::prelude::*;
+use doda_graph::NodeId;
+use doda_sim::{run_trial_on_sequence, AlgorithmSpec, TrialConfig};
+use doda_stats::Summary;
+
+/// Mean interactions to completion for `spec` under a weighted adversary.
+fn mean_under_weights(spec: AlgorithmSpec, weights: &[f64], trials: usize, seed: u64) -> f64 {
+    let n = weights.len();
+    let mut completions = Vec::new();
+    for trial in 0..trials {
+        let mut adversary = WeightedRandomAdversary::new(weights.to_vec(), seed + trial as u64);
+        let seq = adversary.generate_sequence(16 * n * n);
+        let result = run_trial_on_sequence(spec, &seq, &TrialConfig::default());
+        if let Some(x) = result.interactions_to_completion() {
+            completions.push(x);
+        }
+    }
+    Summary::from_values(&completions).map(|s| s.mean).unwrap_or(f64::NAN)
+}
+
+fn print_reproduction() {
+    report_line(
+        "E-nonuniform",
+        "question",
+        "concluding remark 3: do non-uniform randomized adversaries alter the bounds?",
+    );
+    let n = 32;
+    let uniform = vec![1.0; n];
+    // Popular sink: the sink (node 0) is contacted far more often.
+    let popular_sink: Vec<f64> = (0..n).map(|i| if i == 0 { 8.0 } else { 1.0 }).collect();
+    // Remote sink: the sink is contacted far less often.
+    let remote_sink: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0 / 8.0 } else { 1.0 }).collect();
+    for spec in [
+        AlgorithmSpec::Gathering,
+        AlgorithmSpec::Waiting,
+        AlgorithmSpec::WaitingGreedy { tau: None },
+    ] {
+        let u = mean_under_weights(spec, &uniform, REPORT_TRIALS, 0xAB1);
+        let p = mean_under_weights(spec, &popular_sink, REPORT_TRIALS, 0xAB2);
+        let r = mean_under_weights(spec, &remote_sink, REPORT_TRIALS, 0xAB3);
+        report_line(
+            "E-nonuniform",
+            spec.label(),
+            &format!("uniform {u:.0} | popular sink {p:.0} | remote sink {r:.0} interactions (n={n})"),
+        );
+    }
+    let _ = Interaction::new(NodeId(0), NodeId(1));
+}
+
+fn bench(c: &mut Criterion) {
+    print_reproduction();
+    let mut group = c.benchmark_group("e_nonuniform");
+    group.sample_size(10);
+    group.bench_function("gathering_under_zipf", |b| {
+        let weights: Vec<f64> = (0..TIMED_N).map(|i| 1.0 / (i + 1) as f64).collect();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            mean_under_weights(AlgorithmSpec::Gathering, &weights, 2, seed)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

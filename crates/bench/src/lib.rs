@@ -1,0 +1,59 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Each bench target reproduces one experiment of the paper (see
+//! DESIGN.md §5): before Criterion starts timing, the target prints the
+//! reproduced table (mean interaction counts, fitted exponents, w.h.p.
+//! fractions, …) to stderr so that `cargo bench` output doubles as the raw
+//! material of EXPERIMENTS.md; the timed portion then measures the cost of
+//! regenerating a representative slice of that table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
+
+/// The node counts used by the printed reproduction tables.
+pub const REPORT_NS: &[usize] = &[16, 32, 64, 128];
+
+/// The (smaller) node count used inside the timed Criterion loops, so that
+/// `cargo bench` stays fast while still exercising the full code path.
+pub const TIMED_N: usize = 32;
+
+/// Number of trials behind each printed mean.
+pub const REPORT_TRIALS: usize = 20;
+
+/// Runs one batch against the uniform randomized adversary and returns the
+/// mean number of interactions to completion.
+pub fn mean_interactions(spec: AlgorithmSpec, n: usize, trials: usize, seed: u64) -> f64 {
+    let config = BatchConfig {
+        n,
+        trials,
+        horizon: None,
+        seed,
+        parallel: true,
+    };
+    run_batch(spec, &config).interactions.mean
+}
+
+/// Prints a `label: value` line of the reproduction table to stderr.
+pub fn report_line(experiment: &str, label: &str, value: &str) {
+    eprintln!("[{experiment}] {label}: {value}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_interactions_is_positive() {
+        let mean = mean_interactions(AlgorithmSpec::Gathering, 8, 3, 1);
+        assert!(mean >= 7.0);
+    }
+
+    #[test]
+    fn constants_are_sane() {
+        assert!(REPORT_NS.windows(2).all(|w| w[0] < w[1]));
+        assert!(TIMED_N >= 16);
+        assert!(REPORT_TRIALS >= 10);
+    }
+}

@@ -1,0 +1,109 @@
+//! The Gathering algorithm.
+//!
+//! "A node transmits its data when it is connected to the sink `s` or to a
+//! node having data" (Section 4). Gathering terminates in `O(n²)` expected
+//! interactions against the randomized adversary (Theorem 9), matching the
+//! `Ω(n²)` lower bound for knowledge-free algorithms (Theorem 7): it is
+//! optimal in `DODA` without knowledge (Corollary 2).
+
+use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
+
+/// The Gathering algorithm: always aggregate when possible.
+///
+/// When the sink is involved the other node transmits to it; otherwise the
+/// paper's tie-break applies — the interacting nodes are presented ordered
+/// by identifier and the first one (`u1`, the smaller id) is the receiver.
+///
+/// Oblivious and knowledge-free (`GA ∈ D∅ODA`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gathering;
+
+impl Gathering {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Gathering
+    }
+}
+
+impl DodaAlgorithm for Gathering {
+    fn name(&self) -> &str {
+        "Gathering"
+    }
+
+    fn decide(&mut self, ctx: &InteractionContext) -> Decision {
+        if !ctx.both_own_data() {
+            return Decision::Idle;
+        }
+        if ctx.involves_sink() {
+            Decision::transmit_to(ctx.sink, ctx.interaction)
+        } else {
+            // Receiver u1 = smaller id, sender u2 = larger id.
+            Decision::Transmit {
+                sender: ctx.interaction.max(),
+                receiver: ctx.interaction.min(),
+            }
+        }
+    }
+
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::Interaction;
+    use doda_graph::NodeId;
+
+    fn ctx(pair: (usize, usize), owns: (bool, bool), sink: usize) -> InteractionContext {
+        InteractionContext {
+            time: 0,
+            interaction: Interaction::new(NodeId(pair.0), NodeId(pair.1)),
+            min_owns_data: owns.0,
+            max_owns_data: owns.1,
+            sink: NodeId(sink),
+        }
+    }
+
+    #[test]
+    fn sink_always_receives() {
+        let mut g = Gathering::new();
+        let d = g.decide(&ctx((2, 0), (true, true), 0));
+        assert_eq!(
+            d,
+            Decision::Transmit {
+                sender: NodeId(2),
+                receiver: NodeId(0)
+            }
+        );
+    }
+
+    #[test]
+    fn non_sink_pairs_aggregate_toward_smaller_id() {
+        let mut g = Gathering::new();
+        let d = g.decide(&ctx((5, 3), (true, true), 0));
+        assert_eq!(
+            d,
+            Decision::Transmit {
+                sender: NodeId(5),
+                receiver: NodeId(3)
+            }
+        );
+    }
+
+    #[test]
+    fn idle_without_mutual_data() {
+        let mut g = Gathering::new();
+        assert_eq!(g.decide(&ctx((1, 2), (false, true), 0)), Decision::Idle);
+        assert_eq!(g.decide(&ctx((1, 2), (true, false), 0)), Decision::Idle);
+        assert_eq!(g.decide(&ctx((0, 2), (true, false), 0)), Decision::Idle);
+    }
+
+    #[test]
+    fn metadata() {
+        let g = Gathering::new();
+        assert!(g.is_oblivious());
+        assert_eq!(g.name(), "Gathering");
+    }
+}

@@ -1,0 +1,24 @@
+//! The DODA algorithms studied by the paper.
+//!
+//! | algorithm | knowledge | reference |
+//! |-----------|-----------|-----------|
+//! | [`Waiting`] | none | Section 4, Theorem 9 |
+//! | [`Gathering`] | none | Section 4, Theorems 7 & 9 (optimal without knowledge) |
+//! | [`WaitingGreedy`] | `meetTime` | Section 4.3, Theorems 10 & 11 (optimal with `meetTime`) |
+//! | [`SpanningTreeAggregation`] | underlying graph `G̅` | Theorems 4 & 5 |
+//! | [`FutureBroadcast`] | own future | Theorem 6 |
+//! | [`OfflineOptimal`] | full knowledge | Theorem 8, Corollary 1 |
+
+mod future_broadcast;
+mod gathering;
+mod offline;
+mod spanning_tree;
+mod waiting;
+mod waiting_greedy;
+
+pub use future_broadcast::FutureBroadcast;
+pub use gathering::Gathering;
+pub use offline::OfflineOptimal;
+pub use spanning_tree::SpanningTreeAggregation;
+pub use waiting::Waiting;
+pub use waiting_greedy::WaitingGreedy;

@@ -1,0 +1,107 @@
+//! The Waiting algorithm.
+//!
+//! "A node transmits only when it is connected to the sink `s`"
+//! (Section 4). Against the randomized adversary it terminates in
+//! `O(n² log n)` expected interactions (Theorem 9) — a coupon-collector
+//! process where only meetings between the sink and a *data-owning* node
+//! make progress.
+
+use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
+
+/// The Waiting algorithm: transmit to the sink, and only to the sink.
+///
+/// Oblivious and knowledge-free (`W ∈ D∅ODA`).
+///
+/// # Example
+///
+/// ```
+/// use doda_core::{algorithms::Waiting, engine, EngineConfig, InteractionSequence};
+/// use doda_graph::NodeId;
+///
+/// let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1), (0, 2)]);
+/// let mut algo = Waiting::new();
+/// let outcome = engine::run_with_id_sets(
+///     &mut algo,
+///     &mut seq.source(false),
+///     NodeId(0),
+///     EngineConfig::default(),
+/// ).unwrap();
+/// assert!(outcome.terminated());
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Waiting;
+
+impl Waiting {
+    /// Creates the algorithm.
+    pub fn new() -> Self {
+        Waiting
+    }
+}
+
+impl DodaAlgorithm for Waiting {
+    fn name(&self) -> &str {
+        "Waiting"
+    }
+
+    fn decide(&mut self, ctx: &InteractionContext) -> Decision {
+        if !ctx.both_own_data() {
+            return Decision::Idle;
+        }
+        if ctx.involves_sink() {
+            Decision::transmit_to(ctx.sink, ctx.interaction)
+        } else {
+            Decision::Idle
+        }
+    }
+
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interaction::Interaction;
+    use doda_graph::NodeId;
+
+    fn ctx(pair: (usize, usize), owns: (bool, bool), sink: usize) -> InteractionContext {
+        InteractionContext {
+            time: 0,
+            interaction: Interaction::new(NodeId(pair.0), NodeId(pair.1)),
+            min_owns_data: owns.0,
+            max_owns_data: owns.1,
+            sink: NodeId(sink),
+        }
+    }
+
+    #[test]
+    fn transmits_only_to_sink() {
+        let mut w = Waiting::new();
+        // Sink involved: the other node transmits to it.
+        let d = w.decide(&ctx((0, 3), (true, true), 0));
+        assert_eq!(
+            d,
+            Decision::Transmit {
+                sender: NodeId(3),
+                receiver: NodeId(0)
+            }
+        );
+        // Sink not involved: idle.
+        assert_eq!(w.decide(&ctx((1, 2), (true, true), 0)), Decision::Idle);
+    }
+
+    #[test]
+    fn idle_when_data_is_missing() {
+        let mut w = Waiting::new();
+        assert_eq!(w.decide(&ctx((0, 3), (true, false), 0)), Decision::Idle);
+        assert_eq!(w.decide(&ctx((0, 3), (false, true), 0)), Decision::Idle);
+    }
+
+    #[test]
+    fn is_oblivious_and_named() {
+        let w = Waiting::new();
+        assert!(w.is_oblivious());
+        assert_eq!(w.name(), "Waiting");
+    }
+}

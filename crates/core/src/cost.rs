@@ -1,0 +1,172 @@
+//! The paper's cost function (Section 2.3).
+//!
+//! The cost of an algorithm `A` on a sequence `I` is
+//! `cost_A(I) = min { i | duration(A, I) ≤ T(i) }`, where `T(i)` is the
+//! ending time of `i` back-to-back optimal convergecasts on `I`. It is an
+//! upper bound on the number of successive convergecasts an offline
+//! optimal algorithm could have performed during `A`'s execution; an
+//! algorithm is optimal on `I` iff its cost is 1.
+//!
+//! When `duration(A, I) = ∞` (the algorithm never terminates), the cost is
+//! still finite whenever `T` itself becomes infinite at some index
+//! `i_max = min { i | T(i) = ∞ }`; only when convergecasts remain possible
+//! forever is the cost infinite — this is exactly how the impossibility
+//! results (Theorems 1–3) are stated.
+
+use doda_graph::NodeId;
+
+use crate::convergecast::opt;
+use crate::interaction::Time;
+use crate::sequence::InteractionSequence;
+
+/// The cost of an algorithm on a sequence, per the paper's definition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Cost {
+    /// `cost_A(I) = i`: the execution fits within `i` successive optimal
+    /// convergecasts (or the `i`-th convergecast is already impossible).
+    Finite(u64),
+    /// Convergecasts remain possible beyond the evaluation horizon while
+    /// the algorithm still has not terminated.
+    ///
+    /// On a *finite* sequence a true `∞` can only be approximated: the
+    /// variant also reports the number of convergecasts checked, so callers
+    /// can state "cost exceeds `checked`".
+    ExceedsHorizon {
+        /// Number of successive convergecasts that completed before the
+        /// evaluation stopped.
+        checked: u64,
+    },
+}
+
+impl Cost {
+    /// Returns the finite value, if any.
+    pub fn as_finite(&self) -> Option<u64> {
+        match self {
+            Cost::Finite(i) => Some(*i),
+            Cost::ExceedsHorizon { .. } => None,
+        }
+    }
+
+    /// Returns `true` if the cost is exactly 1, i.e. the algorithm is
+    /// optimal on this sequence.
+    pub fn is_optimal(&self) -> bool {
+        matches!(self, Cost::Finite(1))
+    }
+}
+
+impl std::fmt::Display for Cost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cost::Finite(i) => write!(f, "{i}"),
+            Cost::ExceedsHorizon { checked } => write!(f, "> {checked}"),
+        }
+    }
+}
+
+/// Computes `cost_A(I)` given the algorithm's termination time (`None`
+/// means the algorithm did not terminate on `I`).
+///
+/// `max_convergecasts` bounds the number of successive convergecasts that
+/// are computed; if the bound is hit before the cost is determined, the
+/// result is [`Cost::ExceedsHorizon`].
+pub fn cost_of_duration(
+    seq: &InteractionSequence,
+    sink: NodeId,
+    duration: Option<Time>,
+    max_convergecasts: u64,
+) -> Cost {
+    let mut start: Time = 0;
+    let mut i: u64 = 0;
+    while i < max_convergecasts {
+        i += 1;
+        match opt(seq, sink, start) {
+            None => {
+                // T(i) = ∞: any duration (finite or not) is ≤ ∞.
+                return Cost::Finite(i);
+            }
+            Some(end) => {
+                if let Some(d) = duration {
+                    if d <= end {
+                        return Cost::Finite(i);
+                    }
+                }
+                start = end + 1;
+            }
+        }
+    }
+    Cost::ExceedsHorizon {
+        checked: max_convergecasts,
+    }
+}
+
+/// Convenience wrapper: computes the cost of an execution outcome.
+pub fn cost_of_outcome<A>(
+    seq: &InteractionSequence,
+    outcome: &crate::outcome::ExecutionOutcome<A>,
+    max_convergecasts: u64,
+) -> Cost {
+    cost_of_duration(seq, outcome.sink, outcome.duration(), max_convergecasts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three back-to-back convergecasts of the 4-node chain (s = 0).
+    fn chain3() -> InteractionSequence {
+        InteractionSequence::from_pairs(4, vec![(2, 3), (1, 2), (0, 1)]).repeat(3)
+    }
+
+    #[test]
+    fn optimal_duration_has_cost_one() {
+        let seq = chain3();
+        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(2), 10), Cost::Finite(1));
+        assert!(cost_of_duration(&seq, NodeId(0), Some(0), 10).is_optimal());
+    }
+
+    #[test]
+    fn slower_durations_cost_more() {
+        let seq = chain3();
+        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(3), 10), Cost::Finite(2));
+        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(5), 10), Cost::Finite(2));
+        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(8), 10), Cost::Finite(3));
+    }
+
+    #[test]
+    fn non_termination_on_finite_sequence_costs_first_infinite_index() {
+        let seq = chain3();
+        // T(1..3) are finite, T(4) = ∞, so a non-terminating algorithm costs 4.
+        assert_eq!(cost_of_duration(&seq, NodeId(0), None, 10), Cost::Finite(4));
+    }
+
+    #[test]
+    fn horizon_is_respected() {
+        let seq = chain3();
+        let c = cost_of_duration(&seq, NodeId(0), None, 2);
+        assert_eq!(c, Cost::ExceedsHorizon { checked: 2 });
+        assert_eq!(c.as_finite(), None);
+        assert_eq!(c.to_string(), "> 2");
+        assert!(!c.is_optimal());
+    }
+
+    #[test]
+    fn duration_beyond_all_finite_convergecasts() {
+        let seq = chain3();
+        // Terminating at time 100 (after the sequence): the first i with
+        // duration <= T(i) is the first infinite T, i.e. 4.
+        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(100), 10), Cost::Finite(4));
+    }
+
+    #[test]
+    fn sequence_with_no_convergecast_costs_one_even_without_termination() {
+        // The sink never interacts: opt(0) = ∞, so T(1) = ∞ and the cost of
+        // any algorithm is 1 (the paper's definition degenerates gracefully).
+        let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (1, 2)]);
+        assert_eq!(cost_of_duration(&seq, NodeId(0), None, 10), Cost::Finite(1));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Cost::Finite(3).to_string(), "3");
+    }
+}

@@ -1,0 +1,168 @@
+//! Data and aggregation functions.
+//!
+//! Each node initially owns a datum; when a node transmits, the receiver
+//! applies an *aggregation function* that combines two data into one whose
+//! size is that of a single input ("such functions include min, max,
+//! etc."). The [`Aggregate`] trait captures that operation; the provided
+//! implementations cover the functions mentioned by the paper plus two
+//! that make testing invariants easy:
+//!
+//! * [`Count`] — number of original data aggregated so far;
+//! * [`SumData`] / [`MinData`] / [`MaxData`] — numeric folds;
+//! * [`IdSet`] — the set of origin nodes (constant size is waived for the
+//!   benefit of exact data-conservation checks in tests).
+
+use std::collections::BTreeSet;
+
+use doda_graph::NodeId;
+
+/// An aggregation function together with the aggregated value it carries.
+///
+/// `merge` must be commutative and associative so that the final value at
+/// the sink does not depend on the aggregation order — all provided
+/// implementations satisfy this, and the property-based tests check it.
+pub trait Aggregate: Clone + std::fmt::Debug {
+    /// Merges another aggregated value into this one.
+    fn merge(&mut self, other: Self);
+}
+
+/// Counts how many original data have been aggregated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Count(pub u64);
+
+impl Count {
+    /// The initial datum of a single node.
+    pub fn unit() -> Self {
+        Count(1)
+    }
+}
+
+impl Aggregate for Count {
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+/// Sum of numeric readings.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SumData(pub f64);
+
+impl Aggregate for SumData {
+    fn merge(&mut self, other: Self) {
+        self.0 += other.0;
+    }
+}
+
+/// Minimum of numeric readings.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MinData(pub f64);
+
+impl Aggregate for MinData {
+    fn merge(&mut self, other: Self) {
+        self.0 = self.0.min(other.0);
+    }
+}
+
+/// Maximum of numeric readings.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MaxData(pub f64);
+
+impl Aggregate for MaxData {
+    fn merge(&mut self, other: Self) {
+        self.0 = self.0.max(other.0);
+    }
+}
+
+/// The set of origin nodes whose data has been aggregated into this value.
+///
+/// Unlike the other aggregates this one grows with the number of inputs;
+/// it exists so tests can verify *exact* data conservation: at termination
+/// the sink's `IdSet` must equal `{0, …, n−1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct IdSet(pub BTreeSet<NodeId>);
+
+impl IdSet {
+    /// The initial datum of node `v`: the singleton `{v}`.
+    pub fn singleton(v: NodeId) -> Self {
+        let mut s = BTreeSet::new();
+        s.insert(v);
+        IdSet(s)
+    }
+
+    /// Number of origins aggregated.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if no origins are present (never the case for node data).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Returns `true` if this set is exactly `{0, …, n−1}`.
+    pub fn covers_all(&self, n: usize) -> bool {
+        self.0.len() == n && self.0.iter().enumerate().all(|(i, v)| v.index() == i)
+    }
+}
+
+impl Aggregate for IdSet {
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_merges_additively() {
+        let mut a = Count::unit();
+        a.merge(Count(3));
+        assert_eq!(a, Count(4));
+    }
+
+    #[test]
+    fn numeric_aggregates() {
+        let mut s = SumData(1.5);
+        s.merge(SumData(2.5));
+        assert_eq!(s.0, 4.0);
+
+        let mut m = MinData(3.0);
+        m.merge(MinData(1.0));
+        m.merge(MinData(5.0));
+        assert_eq!(m.0, 1.0);
+
+        let mut x = MaxData(3.0);
+        x.merge(MaxData(7.0));
+        x.merge(MaxData(2.0));
+        assert_eq!(x.0, 7.0);
+    }
+
+    #[test]
+    fn idset_union_and_coverage() {
+        let mut a = IdSet::singleton(NodeId(0));
+        a.merge(IdSet::singleton(NodeId(2)));
+        a.merge(IdSet::singleton(NodeId(1)));
+        assert_eq!(a.len(), 3);
+        assert!(a.covers_all(3));
+        assert!(!a.covers_all(4));
+        assert!(!IdSet::default().covers_all(0) || IdSet::default().is_empty());
+    }
+
+    #[test]
+    fn idset_merge_is_idempotent() {
+        let mut a = IdSet::singleton(NodeId(1));
+        a.merge(IdSet::singleton(NodeId(1)));
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn merge_commutativity_spot_check() {
+        let mut ab = IdSet::singleton(NodeId(0));
+        ab.merge(IdSet::singleton(NodeId(5)));
+        let mut ba = IdSet::singleton(NodeId(5));
+        ba.merge(IdSet::singleton(NodeId(0)));
+        assert_eq!(ab, ba);
+    }
+}

@@ -1,0 +1,334 @@
+//! The execution engine.
+//!
+//! The engine plays the role of the "system" in the paper's model: at each
+//! time step it obtains the interaction from the adversary (an
+//! [`InteractionSource`]), presents it to the algorithm together with the
+//! control information both nodes would exchange, applies the algorithm's
+//! decision under the model's rules, and stops when the sink is the only
+//! node owning data (or when a step budget / the source is exhausted).
+
+use doda_graph::NodeId;
+
+use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
+use crate::data::Aggregate;
+use crate::error::EngineError;
+use crate::outcome::{ExecutionOutcome, Transmission};
+use crate::sequence::{AdversaryView, InteractionSource};
+use crate::state::NetworkState;
+
+/// Configuration of a single execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// Maximum number of interactions to process before giving up.
+    ///
+    /// Adversarial constructions (Theorems 1–3) never let some algorithms
+    /// terminate, so an execution horizon is required to make experiments
+    /// finite.
+    pub max_interactions: u64,
+    /// Whether to record every transmission in the outcome (cheap, but can
+    /// be disabled for very large parameter sweeps).
+    pub record_transmissions: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_interactions: 10_000_000,
+            record_transmissions: true,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with an explicit interaction budget.
+    pub fn with_max_interactions(max_interactions: u64) -> Self {
+        EngineConfig {
+            max_interactions,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Runs `algorithm` over the interactions produced by `source`, starting
+/// from the initial data assignment `initial_data`.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the algorithm produces a structurally
+/// invalid decision (a sender/receiver outside the current interaction).
+/// Decisions whose endpoints do not both own data are *ignored* (counted
+/// in [`ExecutionOutcome::ignored_decisions`]), per the paper's convention.
+///
+/// # Panics
+///
+/// Panics if `sink` is out of range for `source.node_count()` or the node
+/// count is zero (propagated from [`NetworkState::new`]).
+pub fn run<A, F, S, D>(
+    algorithm: &mut D,
+    source: &mut S,
+    sink: NodeId,
+    initial_data: F,
+    config: EngineConfig,
+) -> Result<ExecutionOutcome<A>, EngineError>
+where
+    A: Aggregate,
+    F: FnMut(NodeId) -> A,
+    S: InteractionSource + ?Sized,
+    D: DodaAlgorithm + ?Sized,
+{
+    let n = source.node_count();
+    let mut state: NetworkState<A> = NetworkState::new(n, sink, initial_data);
+    let mut transmissions = Vec::new();
+    let mut ignored = 0u64;
+    let mut processed = 0u64;
+    let mut termination_time = if state.is_complete() { Some(0) } else { None };
+
+    while termination_time.is_none() && processed < config.max_interactions {
+        let t = processed;
+        let ownership = state.ownership_bitmap();
+        let view = AdversaryView {
+            owns_data: &ownership,
+            sink,
+        };
+        let Some(interaction) = source.next_interaction(t, &view) else {
+            break;
+        };
+        processed += 1;
+
+        let ctx = InteractionContext {
+            time: t,
+            interaction,
+            min_owns_data: state.owns_data(interaction.min()),
+            max_owns_data: state.owns_data(interaction.max()),
+            sink,
+        };
+        match algorithm.decide(&ctx) {
+            Decision::Idle => {}
+            Decision::Transmit { sender, receiver } => {
+                if !interaction.involves(sender)
+                    || !interaction.involves(receiver)
+                    || sender == receiver
+                {
+                    return Err(EngineError::DecisionOutsideInteraction {
+                        time: t,
+                        interaction,
+                        sender,
+                        receiver,
+                    });
+                }
+                if !ctx.both_own_data() || sender == sink {
+                    // "The output is ignored if the interacting nodes do not
+                    // both have data." A decision asking the sink to transmit
+                    // is likewise ignored rather than fatal: it can only come
+                    // from an algorithm treating the sink as a regular node,
+                    // and the model simply forbids the transfer.
+                    ignored += 1;
+                } else {
+                    state
+                        .transmit(sender, receiver)
+                        .map_err(|cause| EngineError::InvalidTransmission { time: t, cause })?;
+                    if config.record_transmissions {
+                        transmissions.push(Transmission {
+                            time: t,
+                            sender,
+                            receiver,
+                        });
+                    }
+                    algorithm.on_transmission(t, sender, receiver);
+                    if state.is_complete() {
+                        termination_time = Some(t);
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(ExecutionOutcome {
+        node_count: n,
+        sink,
+        termination_time,
+        interactions_processed: processed,
+        transmissions,
+        ignored_decisions: ignored,
+        sink_data: state.data_of(sink).cloned(),
+        final_ownership: state.ownership_bitmap(),
+    })
+}
+
+/// Convenience wrapper: runs with [`crate::data::IdSet`] data (each node
+/// starts with the singleton of its own id), which makes the
+/// data-conservation invariant directly checkable on the outcome.
+pub fn run_with_id_sets<S, D>(
+    algorithm: &mut D,
+    source: &mut S,
+    sink: NodeId,
+    config: EngineConfig,
+) -> Result<ExecutionOutcome<crate::data::IdSet>, EngineError>
+where
+    S: InteractionSource + ?Sized,
+    D: DodaAlgorithm + ?Sized,
+{
+    run(algorithm, source, sink, crate::data::IdSet::singleton, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Gathering, Waiting};
+    use crate::interaction::Interaction;
+    use crate::sequence::InteractionSequence;
+
+    fn star_sequence(n: usize, rounds: usize) -> InteractionSequence {
+        // Each round: every non-sink node meets the sink once.
+        let mut seq = InteractionSequence::new(n);
+        for _ in 0..rounds {
+            for i in 1..n {
+                seq.push(Interaction::new(NodeId(0), NodeId(i)));
+            }
+        }
+        seq
+    }
+
+    #[test]
+    fn waiting_terminates_on_star_sequence() {
+        let seq = star_sequence(5, 1);
+        let mut algo = Waiting::new();
+        let outcome =
+            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
+                .unwrap();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.termination_time, Some(3));
+        assert_eq!(outcome.transmission_count(), 4);
+        assert!(outcome.sink_data.as_ref().unwrap().covers_all(5));
+        assert_eq!(outcome.remaining_owners(), 1);
+    }
+
+    #[test]
+    fn gathering_respects_one_transmission_rule() {
+        // Path-ish sequence where intermediate aggregation happens.
+        let seq = InteractionSequence::from_pairs(4, vec![(2, 3), (1, 2), (0, 1), (0, 2), (0, 3)]);
+        let mut algo = Gathering::new();
+        let outcome =
+            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
+                .unwrap();
+        // Each node transmits at most once.
+        let mut senders: Vec<_> = outcome.transmissions.iter().map(|t| t.sender).collect();
+        senders.sort();
+        senders.dedup();
+        assert_eq!(senders.len(), outcome.transmissions.len());
+        // Data conservation: whatever the sink holds is the union of the
+        // origins that reached it.
+        if outcome.terminated() {
+            assert!(outcome.sink_data.as_ref().unwrap().covers_all(4));
+        }
+    }
+
+    #[test]
+    fn engine_stops_when_source_is_exhausted() {
+        let seq = InteractionSequence::from_pairs(4, vec![(1, 2)]);
+        let mut algo = Waiting::new();
+        let outcome =
+            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
+                .unwrap();
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.interactions_processed, 1);
+        assert_eq!(outcome.remaining_owners(), 4);
+    }
+
+    #[test]
+    fn engine_respects_interaction_budget() {
+        let seq = InteractionSequence::from_pairs(3, vec![(1, 2)]);
+        let mut algo = Waiting::new();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(true), // cycles forever, never involves the sink
+            NodeId(0),
+            EngineConfig::with_max_interactions(500),
+        )
+        .unwrap();
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.interactions_processed, 500);
+    }
+
+    #[test]
+    fn single_node_graph_is_complete_immediately() {
+        let seq = InteractionSequence::new(1);
+        let mut algo = Gathering::new();
+        let outcome =
+            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
+                .unwrap();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.termination_time, Some(0));
+        assert_eq!(outcome.interactions_processed, 0);
+    }
+
+    #[test]
+    fn invalid_decisions_outside_interaction_are_rejected() {
+        struct Rogue;
+        impl DodaAlgorithm for Rogue {
+            fn name(&self) -> &str {
+                "rogue"
+            }
+            fn decide(&mut self, _ctx: &InteractionContext) -> Decision {
+                Decision::Transmit {
+                    sender: NodeId(7),
+                    receiver: NodeId(8),
+                }
+            }
+        }
+        let seq = InteractionSequence::from_pairs(3, vec![(1, 2)]);
+        let err = run_with_id_sets(
+            &mut Rogue,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::DecisionOutsideInteraction { .. }));
+    }
+
+    #[test]
+    fn decisions_without_data_are_ignored_not_fatal() {
+        // An algorithm that always orders min -> max regardless of ownership.
+        struct Pushy;
+        impl DodaAlgorithm for Pushy {
+            fn name(&self) -> &str {
+                "pushy"
+            }
+            fn decide(&mut self, ctx: &InteractionContext) -> Decision {
+                Decision::Transmit {
+                    sender: ctx.interaction.min(),
+                    receiver: ctx.interaction.max(),
+                }
+            }
+        }
+        // 1 transmits to 2; then the pair {1,2} interacts again: 1 has no
+        // data so the decision must be ignored. Also {0,1}: the sink-as-
+        // sender decision is ignored as well.
+        let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (1, 2), (0, 1)]);
+        let outcome = run_with_id_sets(
+            &mut Pushy,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.transmission_count(), 1);
+        assert_eq!(outcome.ignored_decisions, 2);
+        assert!(!outcome.terminated());
+    }
+
+    #[test]
+    fn recorded_transmissions_can_be_disabled() {
+        let seq = star_sequence(4, 1);
+        let mut algo = Waiting::new();
+        let config = EngineConfig {
+            record_transmissions: false,
+            ..EngineConfig::default()
+        };
+        let outcome =
+            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), config).unwrap();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.transmission_count(), 0);
+    }
+}

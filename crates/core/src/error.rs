@@ -1,0 +1,142 @@
+//! Error types.
+
+use doda_graph::NodeId;
+
+use crate::interaction::{Interaction, Time};
+
+/// A transmission requested by an algorithm (or test) that would violate
+/// the DODA model, rejected by [`crate::state::NetworkState::transmit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransmissionError {
+    /// Sender and receiver are the same node.
+    SelfTransmission {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The sink was asked to transmit; the sink only ever receives.
+    SinkMustNotTransmit,
+    /// A node id outside the graph was referenced.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The node does not currently own data (it either already transmitted
+    /// or the id refers to a node that never had data).
+    NoData {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// The node already used its single allowed transmission.
+    AlreadyTransmitted {
+        /// The offending node.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for TransmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransmissionError::SelfTransmission { node } => {
+                write!(f, "node {node} cannot transmit to itself")
+            }
+            TransmissionError::SinkMustNotTransmit => {
+                write!(f, "the sink must not transmit its data")
+            }
+            TransmissionError::UnknownNode { node } => {
+                write!(f, "node {node} is not part of the graph")
+            }
+            TransmissionError::NoData { node } => write!(f, "node {node} does not own data"),
+            TransmissionError::AlreadyTransmitted { node } => {
+                write!(f, "node {node} already transmitted its data")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransmissionError {}
+
+/// An error raised by the execution engine when an algorithm's decision is
+/// structurally invalid for the current interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// The algorithm named a sender or receiver that is not part of the
+    /// current interaction.
+    DecisionOutsideInteraction {
+        /// Time of the offending decision.
+        time: Time,
+        /// The interaction that was presented to the algorithm.
+        interaction: Interaction,
+        /// The sender the algorithm named.
+        sender: NodeId,
+        /// The receiver the algorithm named.
+        receiver: NodeId,
+    },
+    /// A transmission that passed the structural check was rejected by the
+    /// network state. Under the engine's "both own data" pre-check this
+    /// indicates an internal inconsistency and is surfaced rather than
+    /// silently ignored.
+    InvalidTransmission {
+        /// Time of the offending decision.
+        time: Time,
+        /// The underlying state-level error.
+        cause: TransmissionError,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DecisionOutsideInteraction {
+                time,
+                interaction,
+                sender,
+                receiver,
+            } => write!(
+                f,
+                "decision at t={time} orders {sender} -> {receiver}, which is not the interacting pair {interaction}"
+            ),
+            EngineError::InvalidTransmission { time, cause } => {
+                write!(f, "invalid transmission at t={time}: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::InvalidTransmission { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmission_error_messages() {
+        let e = TransmissionError::NoData { node: NodeId(3) };
+        assert!(e.to_string().contains("v3"));
+        let e = TransmissionError::SinkMustNotTransmit;
+        assert!(e.to_string().contains("sink"));
+    }
+
+    #[test]
+    fn engine_error_messages_and_source() {
+        let cause = TransmissionError::AlreadyTransmitted { node: NodeId(1) };
+        let e = EngineError::InvalidTransmission { time: 5, cause };
+        assert!(e.to_string().contains("t=5"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e = EngineError::DecisionOutsideInteraction {
+            time: 2,
+            interaction: Interaction::new(NodeId(0), NodeId(1)),
+            sender: NodeId(2),
+            receiver: NodeId(0),
+        };
+        assert!(e.to_string().contains("not the interacting pair"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Knowledge oracles.
+//!
+//! A DODA algorithm "may use additional functions associated with different
+//! knowledge" (Section 2.1). This module provides the knowledge functions
+//! the paper studies:
+//!
+//! * [`MeetTimeOracle`] — `u.meetTime(t)`: the time of `u`'s next
+//!   interaction with the sink after `t` (Waiting Greedy, Theorem 10/11);
+//! * [`OwnFuture`] — `u.future`: the sequence of `u`'s own future
+//!   interactions (Theorem 6);
+//! * [`FullKnowledge`] — the entire interaction sequence (Theorem 8);
+//! * the underlying graph `G̅` (Theorems 3–5) is simply
+//!   [`crate::InteractionSequence::underlying_graph`].
+//!
+//! All oracles are derived from a finite [`InteractionSequence`]: the
+//! adversary commits to (or has generated) the future, and the oracle
+//! exposes only the slice of it that the corresponding knowledge model
+//! grants to nodes.
+
+use doda_graph::NodeId;
+
+use crate::interaction::Time;
+use crate::sequence::InteractionSequence;
+
+/// The time of a node's next meeting with the sink; `Never` behaves as
+/// `+∞` in comparisons, matching the convention needed by Waiting Greedy
+/// (a node that will never meet the sink again should prefer to transmit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum MeetTime {
+    /// Next meeting with the sink occurs at this time.
+    At(Time),
+    /// The node never meets the sink after the queried time.
+    Never,
+}
+
+impl MeetTime {
+    /// Returns the meeting time as a number, mapping `Never` to `u64::MAX`.
+    pub fn as_u64(self) -> u64 {
+        match self {
+            MeetTime::At(t) => t,
+            MeetTime::Never => u64::MAX,
+        }
+    }
+
+    /// Returns `true` if this meet time is strictly greater than `bound`
+    /// (`Never` is greater than everything).
+    pub fn exceeds(self, bound: Time) -> bool {
+        self.as_u64() > bound
+    }
+}
+
+impl PartialOrd for MeetTime {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MeetTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_u64().cmp(&other.as_u64())
+    }
+}
+
+/// Oracle answering `u.meetTime(t)` queries: the smallest `t' > t` such
+/// that `I_{t'} = {u, s}`.
+///
+/// For the sink itself the paper defines `s.meetTime` as the identity
+/// `t ↦ t`.
+///
+/// # Example
+///
+/// ```
+/// use doda_core::{InteractionSequence, knowledge::{MeetTime, MeetTimeOracle}};
+/// use doda_graph::NodeId;
+///
+/// let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 2), (0, 1)]);
+/// let oracle = MeetTimeOracle::new(&seq, NodeId(0));
+/// assert_eq!(oracle.meet_time(NodeId(2), 0), MeetTime::At(1));
+/// assert_eq!(oracle.meet_time(NodeId(2), 1), MeetTime::Never);
+/// assert_eq!(oracle.meet_time(NodeId(0), 5), MeetTime::At(5));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MeetTimeOracle {
+    sink: NodeId,
+    /// For each node, the sorted times of its interactions with the sink.
+    meetings: Vec<Vec<Time>>,
+}
+
+impl MeetTimeOracle {
+    /// Builds the oracle for `sink` from the full interaction sequence.
+    pub fn new(seq: &InteractionSequence, sink: NodeId) -> Self {
+        let mut meetings = vec![Vec::new(); seq.node_count()];
+        for ti in seq.iter() {
+            if let Some(partner) = ti.interaction.partner_of(sink) {
+                meetings[partner.index()].push(ti.time);
+            }
+        }
+        MeetTimeOracle { sink, meetings }
+    }
+
+    /// The sink this oracle was built for.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// `u.meetTime(t)`: the smallest `t' > t` with `I_{t'} = {u, sink}`.
+    ///
+    /// For `u == sink`, returns `MeetTime::At(t)` (the identity, per the
+    /// paper). For out-of-range nodes, returns `Never`.
+    pub fn meet_time(&self, u: NodeId, t: Time) -> MeetTime {
+        if u == self.sink {
+            return MeetTime::At(t);
+        }
+        let Some(times) = self.meetings.get(u.index()) else {
+            return MeetTime::Never;
+        };
+        let idx = times.partition_point(|&x| x <= t);
+        match times.get(idx) {
+            Some(&t2) => MeetTime::At(t2),
+            None => MeetTime::Never,
+        }
+    }
+
+    /// All meeting times of `u` with the sink (sorted, full horizon).
+    pub fn all_meetings(&self, u: NodeId) -> &[Time] {
+        self.meetings
+            .get(u.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// A node's own future: its interactions (time and partner), in order.
+///
+/// This is the knowledge `u.future` of Theorem 6; the union of all nodes'
+/// futures is the entire sequence.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct OwnFuture {
+    /// The node this future belongs to.
+    pub node: NodeId,
+    /// `(time, partner)` pairs in increasing time order.
+    pub interactions: Vec<(Time, NodeId)>,
+}
+
+impl OwnFuture {
+    /// Extracts the future of `node` from the full sequence.
+    pub fn of(seq: &InteractionSequence, node: NodeId) -> Self {
+        OwnFuture {
+            node,
+            interactions: seq.future_of(node),
+        }
+    }
+
+    /// The partner of this node's interaction at exactly time `t`, if any.
+    pub fn partner_at(&self, t: Time) -> Option<NodeId> {
+        self.interactions
+            .binary_search_by_key(&t, |&(time, _)| time)
+            .ok()
+            .map(|idx| self.interactions[idx].1)
+    }
+}
+
+/// Full knowledge of the sequence of interactions (Theorem 8 / Corollary 1).
+///
+/// A thin wrapper that exists mostly for type-level clarity in algorithm
+/// constructors: an algorithm taking `FullKnowledge` advertises the
+/// strongest knowledge model of the paper.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FullKnowledge {
+    sequence: InteractionSequence,
+}
+
+impl FullKnowledge {
+    /// Wraps the full interaction sequence.
+    pub fn new(sequence: InteractionSequence) -> Self {
+        FullKnowledge { sequence }
+    }
+
+    /// The full interaction sequence.
+    pub fn sequence(&self) -> &InteractionSequence {
+        &self.sequence
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq() -> InteractionSequence {
+        // s = 0
+        InteractionSequence::from_pairs(4, vec![(1, 2), (0, 2), (1, 3), (0, 2), (0, 3)])
+    }
+
+    #[test]
+    fn meet_time_basic_queries() {
+        let oracle = MeetTimeOracle::new(&seq(), NodeId(0));
+        assert_eq!(oracle.sink(), NodeId(0));
+        // Node 2 meets the sink at times 1 and 3.
+        assert_eq!(oracle.meet_time(NodeId(2), 0), MeetTime::At(1));
+        assert_eq!(oracle.meet_time(NodeId(2), 1), MeetTime::At(3));
+        assert_eq!(oracle.meet_time(NodeId(2), 3), MeetTime::Never);
+        // Node 1 never meets the sink.
+        assert_eq!(oracle.meet_time(NodeId(1), 0), MeetTime::Never);
+        // Node 3 meets the sink at time 4.
+        assert_eq!(oracle.meet_time(NodeId(3), 0), MeetTime::At(4));
+        assert_eq!(oracle.all_meetings(NodeId(2)), &[1, 3]);
+        assert_eq!(oracle.all_meetings(NodeId(9)), &[] as &[Time]);
+    }
+
+    #[test]
+    fn meet_time_query_is_strictly_after_t() {
+        let oracle = MeetTimeOracle::new(&seq(), NodeId(0));
+        // Querying exactly at a meeting time returns the *next* one.
+        assert_eq!(oracle.meet_time(NodeId(2), 1), MeetTime::At(3));
+    }
+
+    #[test]
+    fn sink_meet_time_is_identity() {
+        let oracle = MeetTimeOracle::new(&seq(), NodeId(0));
+        assert_eq!(oracle.meet_time(NodeId(0), 7), MeetTime::At(7));
+    }
+
+    #[test]
+    fn meet_time_ordering_and_exceeds() {
+        assert!(MeetTime::Never > MeetTime::At(1_000_000));
+        assert!(MeetTime::At(3) < MeetTime::At(5));
+        assert!(MeetTime::Never.exceeds(u64::MAX - 1));
+        assert!(MeetTime::At(10).exceeds(9));
+        assert!(!MeetTime::At(10).exceeds(10));
+    }
+
+    #[test]
+    fn own_future_extraction() {
+        let f = OwnFuture::of(&seq(), NodeId(2));
+        assert_eq!(
+            f.interactions,
+            vec![(0, NodeId(1)), (1, NodeId(0)), (3, NodeId(0))]
+        );
+        assert_eq!(f.partner_at(1), Some(NodeId(0)));
+        assert_eq!(f.partner_at(2), None);
+    }
+
+    #[test]
+    fn full_knowledge_roundtrip() {
+        let s = seq();
+        let fk = FullKnowledge::new(s.clone());
+        assert_eq!(fk.sequence(), &s);
+    }
+}

@@ -1,0 +1,96 @@
+//! # Distributed Online Data Aggregation in Dynamic Graphs
+//!
+//! A from-scratch Rust implementation of the model, algorithms and analysis
+//! tools of *"Distributed Online Data Aggregation in Dynamic Graphs"*
+//! (Bramas, Masuzawa, Tixeuil — ICDCS 2016).
+//!
+//! ## The model in one paragraph
+//!
+//! A dynamic graph is a set of `n` nodes (one of which is the **sink**)
+//! plus a sequence of **pairwise interactions** `I = (I_t)`, one per time
+//! step, chosen by an adversary. Every node starts with a datum; during an
+//! interaction one of the two nodes may transmit its (aggregated) datum to
+//! the other — but **each node may transmit at most once**, and after
+//! transmitting it is out of the computation. A distributed online data
+//! aggregation (DODA) algorithm decides, per interaction, who transmits;
+//! the goal is that eventually the sink is the only node owning data.
+//!
+//! ## What this crate provides
+//!
+//! * the interaction model: [`Interaction`], [`InteractionSequence`],
+//!   streaming [`sequence::InteractionSource`]s and the adaptive-adversary
+//!   view;
+//! * data and aggregation functions ([`data`]);
+//! * the strict one-transmission state machine ([`state::NetworkState`]);
+//! * knowledge oracles ([`knowledge`]): `meetTime`, own future, full
+//!   knowledge;
+//! * the execution engine ([`engine`]);
+//! * the paper's algorithms ([`algorithms`]): `Waiting`, `Gathering`,
+//!   `WaitingGreedy(τ)`, spanning-tree aggregation, future-broadcast and
+//!   the offline optimal;
+//! * the offline optimal convergecast and the paper's cost function
+//!   ([`convergecast`], [`cost`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use doda_core::prelude::*;
+//! use doda_graph::NodeId;
+//!
+//! // Adversary: nodes 1 and 2 meet, then node 1 meets the sink 0.
+//! let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1)]);
+//!
+//! let mut algo = Gathering::new();
+//! let outcome = engine::run_with_id_sets(
+//!     &mut algo,
+//!     &mut seq.source(false),
+//!     NodeId(0),
+//!     EngineConfig::default(),
+//! )?;
+//! assert!(outcome.terminated());
+//!
+//! // Gathering aggregates 2 into 1 at t=0 and delivers at t=1: optimal here.
+//! let cost = cost::cost_of_outcome(&seq, &outcome, 16);
+//! assert!(cost.is_optimal());
+//! # Ok::<(), doda_core::error::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod algorithm;
+pub mod algorithms;
+pub mod convergecast;
+pub mod cost;
+pub mod data;
+pub mod engine;
+pub mod error;
+pub mod interaction;
+pub mod knowledge;
+pub mod outcome;
+pub mod sequence;
+pub mod state;
+
+pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
+pub use engine::EngineConfig;
+pub use interaction::{Interaction, Time, TimedInteraction};
+pub use outcome::{ExecutionOutcome, Transmission};
+pub use sequence::{InteractionSequence, InteractionSource};
+
+/// Commonly used items, for glob import in examples and benchmarks.
+pub mod prelude {
+    pub use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
+    pub use crate::algorithms::{
+        FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting,
+        WaitingGreedy,
+    };
+    pub use crate::convergecast::{self, optimal_convergecast};
+    pub use crate::cost::{self, Cost};
+    pub use crate::data::{Aggregate, Count, IdSet, MaxData, MinData, SumData};
+    pub use crate::engine::{self, EngineConfig};
+    pub use crate::interaction::{Interaction, Time, TimedInteraction};
+    pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
+    pub use crate::outcome::{ExecutionOutcome, Transmission};
+    pub use crate::sequence::{AdversaryView, InteractionSequence, InteractionSource};
+}

@@ -1,0 +1,120 @@
+//! Execution outcomes.
+
+use doda_graph::NodeId;
+
+use crate::interaction::Time;
+
+/// One applied transmission: at `time`, `sender` handed its (aggregated)
+/// data to `receiver`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct Transmission {
+    /// Time of the interaction during which the transmission happened.
+    pub time: Time,
+    /// The node that transmitted (and left the protocol).
+    pub sender: NodeId,
+    /// The node that received and aggregated.
+    pub receiver: NodeId,
+}
+
+/// The result of running a DODA algorithm over an interaction source.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecutionOutcome<A> {
+    /// Number of nodes in the dynamic graph.
+    pub node_count: usize,
+    /// The sink node.
+    pub sink: NodeId,
+    /// `Some(t)` if the aggregation completed: `t` is the time of the
+    /// interaction carrying the final transmission (`0` for the degenerate
+    /// single-node graph that is complete from the start). `None` if the
+    /// execution stopped (source exhausted or step budget reached) before
+    /// completion.
+    pub termination_time: Option<Time>,
+    /// Number of interactions presented to the algorithm (including the
+    /// terminating one).
+    pub interactions_processed: u64,
+    /// All applied transmissions, in time order.
+    pub transmissions: Vec<Transmission>,
+    /// Number of `Transmit` decisions that were ignored because the two
+    /// nodes did not both own data (the paper's "output is ignored" rule).
+    pub ignored_decisions: u64,
+    /// The data held by the sink at the end of the execution.
+    pub sink_data: Option<A>,
+    /// Final ownership bitmap (`true` = node still owns data).
+    pub final_ownership: Vec<bool>,
+}
+
+impl<A> ExecutionOutcome<A> {
+    /// Returns `true` if the aggregation completed (sink is the sole owner).
+    pub fn terminated(&self) -> bool {
+        self.termination_time.is_some()
+    }
+
+    /// Duration of the execution in the paper's sense: the termination
+    /// time, or `None` if the algorithm did not terminate on this source.
+    pub fn duration(&self) -> Option<Time> {
+        self.termination_time
+    }
+
+    /// Number of transmissions that occurred. For a terminating execution
+    /// over `n` nodes this is always `n - 1`.
+    pub fn transmission_count(&self) -> usize {
+        self.transmissions.len()
+    }
+
+    /// Number of nodes that still own data at the end.
+    pub fn remaining_owners(&self) -> usize {
+        self.final_ownership.iter().filter(|&&b| b).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Count;
+
+    #[test]
+    fn outcome_accessors() {
+        let outcome = ExecutionOutcome {
+            node_count: 3,
+            sink: NodeId(0),
+            termination_time: Some(7),
+            interactions_processed: 8,
+            transmissions: vec![
+                Transmission {
+                    time: 2,
+                    sender: NodeId(1),
+                    receiver: NodeId(0),
+                },
+                Transmission {
+                    time: 7,
+                    sender: NodeId(2),
+                    receiver: NodeId(0),
+                },
+            ],
+            ignored_decisions: 1,
+            sink_data: Some(Count(3)),
+            final_ownership: vec![true, false, false],
+        };
+        assert!(outcome.terminated());
+        assert_eq!(outcome.duration(), Some(7));
+        assert_eq!(outcome.transmission_count(), 2);
+        assert_eq!(outcome.remaining_owners(), 1);
+    }
+
+    #[test]
+    fn non_terminated_outcome() {
+        let outcome: ExecutionOutcome<Count> = ExecutionOutcome {
+            node_count: 3,
+            sink: NodeId(0),
+            termination_time: None,
+            interactions_processed: 100,
+            transmissions: Vec::new(),
+            ignored_decisions: 0,
+            sink_data: Some(Count(1)),
+            final_ownership: vec![true, true, true],
+        };
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.duration(), None);
+        assert_eq!(outcome.remaining_owners(), 3);
+    }
+}

@@ -1,0 +1,423 @@
+//! Interaction sequences and interaction sources.
+//!
+//! A finite [`InteractionSequence`] is the concrete object most experiments
+//! manipulate: the oblivious adversary fixes one before execution, the
+//! randomized adversary can be materialised into one, and all knowledge
+//! oracles (meetTime, futures, underlying graph) are derived from one.
+//!
+//! The [`InteractionSource`] trait is the streaming view used by the
+//! execution engine: it produces the interaction of each time step, and is
+//! allowed to observe which nodes still own data — this is exactly the
+//! power of the *online adaptive adversary* of the paper. Oblivious and
+//! randomized adversaries simply ignore that view.
+
+use doda_graph::{AdjacencyGraph, NodeId};
+
+use crate::interaction::{Interaction, Time, TimedInteraction};
+
+/// Read-only view of the execution state offered to an [`InteractionSource`].
+///
+/// The online adaptive adversary "can use the past execution of the
+/// algorithm to construct the next interaction"; concretely it can see
+/// which nodes still own data (the full observable effect of the
+/// algorithm's past decisions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdversaryView<'a> {
+    /// `owns_data[v]` is `true` iff node `v` still owns data.
+    pub owns_data: &'a [bool],
+    /// The sink node.
+    pub sink: NodeId,
+}
+
+impl AdversaryView<'_> {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.owns_data.len()
+    }
+
+    /// Number of nodes currently owning data.
+    pub fn owner_count(&self) -> usize {
+        self.owns_data.iter().filter(|&&b| b).count()
+    }
+
+    /// Returns `true` if node `v` still owns data.
+    pub fn owns(&self, v: NodeId) -> bool {
+        self.owns_data.get(v.index()).copied().unwrap_or(false)
+    }
+}
+
+/// A producer of interactions, one per time step.
+///
+/// Implementors include finite sequences (oblivious adversary), the
+/// uniform randomized adversary, and the adaptive adversarial
+/// constructions of Theorems 1 and 3.
+pub trait InteractionSource {
+    /// Number of nodes of the dynamic graph.
+    fn node_count(&self) -> usize;
+
+    /// Produces the interaction occurring at time `t`, or `None` if the
+    /// source is exhausted (finite sequences only).
+    ///
+    /// The engine calls this exactly once per time step, with strictly
+    /// increasing `t` starting from 0.
+    fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction>;
+}
+
+/// A finite sequence of interactions; the interaction at index `t` occurs
+/// at time `t`.
+///
+/// # Example
+///
+/// ```
+/// use doda_core::{Interaction, InteractionSequence};
+/// use doda_graph::NodeId;
+///
+/// let seq = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2), (0, 2)]);
+/// assert_eq!(seq.len(), 3);
+/// assert_eq!(seq.get(1), Some(Interaction::new(NodeId(1), NodeId(2))));
+/// assert!(seq.underlying_graph().is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InteractionSequence {
+    n: usize,
+    interactions: Vec<Interaction>,
+}
+
+impl InteractionSequence {
+    /// Creates an empty sequence over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        InteractionSequence {
+            n,
+            interactions: Vec::new(),
+        }
+    }
+
+    /// Builds a sequence over `n` nodes from raw index pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pair has equal elements or an element `>= n`.
+    pub fn from_pairs<I>(n: usize, pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut seq = InteractionSequence::new(n);
+        for (a, b) in pairs {
+            seq.push(Interaction::new(NodeId(a), NodeId(b)));
+        }
+        seq
+    }
+
+    /// Builds a sequence over `n` nodes from interactions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an interaction involves a node `>= n`.
+    pub fn from_interactions<I>(n: usize, interactions: I) -> Self
+    where
+        I: IntoIterator<Item = Interaction>,
+    {
+        let mut seq = InteractionSequence::new(n);
+        for i in interactions {
+            seq.push(i);
+        }
+        seq
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of interactions (time steps).
+    pub fn len(&self) -> usize {
+        self.interactions.len()
+    }
+
+    /// Returns `true` if the sequence has no interactions.
+    pub fn is_empty(&self) -> bool {
+        self.interactions.is_empty()
+    }
+
+    /// Appends an interaction at the end of the sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the interaction involves a node `>= node_count()`.
+    pub fn push(&mut self, interaction: Interaction) {
+        assert!(
+            interaction.max().index() < self.n,
+            "interaction {interaction} out of range for {} nodes",
+            self.n
+        );
+        self.interactions.push(interaction);
+    }
+
+    /// The interaction at time `t`, if within the sequence.
+    pub fn get(&self, t: Time) -> Option<Interaction> {
+        usize::try_from(t)
+            .ok()
+            .and_then(|idx| self.interactions.get(idx))
+            .copied()
+    }
+
+    /// Iterates over `(time, interaction)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = TimedInteraction> + '_ {
+        self.interactions
+            .iter()
+            .enumerate()
+            .map(|(t, &i)| TimedInteraction::new(t as Time, i))
+    }
+
+    /// The underlying graph `G̅`: one edge per pair that interacts at least once.
+    pub fn underlying_graph(&self) -> AdjacencyGraph {
+        doda_graph::underlying_graph(
+            self.n,
+            self.interactions.iter().map(|i| (i.pair().0, i.pair().1)),
+        )
+    }
+
+    /// All times at which node `u` interacts with node `v`, in increasing order.
+    pub fn meeting_times(&self, u: NodeId, v: NodeId) -> Vec<Time> {
+        if u == v {
+            return Vec::new();
+        }
+        let target = Interaction::new(u, v);
+        self.iter()
+            .filter(|ti| ti.interaction == target)
+            .map(|ti| ti.time)
+            .collect()
+    }
+
+    /// All times at which node `u` is involved in an interaction, with the
+    /// corresponding partner.
+    pub fn future_of(&self, u: NodeId) -> Vec<(Time, NodeId)> {
+        self.iter()
+            .filter_map(|ti| ti.interaction.partner_of(u).map(|p| (ti.time, p)))
+            .collect()
+    }
+
+    /// Returns the sub-sequence covering times `[from, to)` (clamped),
+    /// re-indexed to start at time 0.
+    pub fn slice(&self, from: Time, to: Time) -> InteractionSequence {
+        let from = usize::try_from(from).unwrap_or(usize::MAX).min(self.interactions.len());
+        let to = usize::try_from(to).unwrap_or(usize::MAX).min(self.interactions.len());
+        let items = if from < to {
+            self.interactions[from..to].to_vec()
+        } else {
+            Vec::new()
+        };
+        InteractionSequence {
+            n: self.n,
+            interactions: items,
+        }
+    }
+
+    /// Concatenates another sequence (over the same node count) after this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node counts differ.
+    pub fn concat(&self, other: &InteractionSequence) -> InteractionSequence {
+        assert_eq!(
+            self.n, other.n,
+            "cannot concatenate sequences over different node counts"
+        );
+        let mut interactions = self.interactions.clone();
+        interactions.extend_from_slice(&other.interactions);
+        InteractionSequence {
+            n: self.n,
+            interactions,
+        }
+    }
+
+    /// Repeats this sequence `times` times back to back.
+    pub fn repeat(&self, times: usize) -> InteractionSequence {
+        let mut interactions = Vec::with_capacity(self.interactions.len() * times);
+        for _ in 0..times {
+            interactions.extend_from_slice(&self.interactions);
+        }
+        InteractionSequence {
+            n: self.n,
+            interactions,
+        }
+    }
+
+    /// Reverses the order of the interactions (used by the convergecast /
+    /// broadcast duality of Theorem 8).
+    pub fn reversed(&self) -> InteractionSequence {
+        let mut interactions = self.interactions.clone();
+        interactions.reverse();
+        InteractionSequence {
+            n: self.n,
+            interactions,
+        }
+    }
+
+    /// A streaming source that replays this sequence and then, optionally,
+    /// keeps cycling through it forever (`cycle = true`).
+    pub fn source(&self, cycle: bool) -> SequenceSource {
+        SequenceSource {
+            seq: self.clone(),
+            cycle,
+        }
+    }
+}
+
+impl Extend<Interaction> for InteractionSequence {
+    fn extend<T: IntoIterator<Item = Interaction>>(&mut self, iter: T) {
+        for i in iter {
+            self.push(i);
+        }
+    }
+}
+
+/// Streaming source backed by a finite [`InteractionSequence`], optionally
+/// cycling forever (the "repeat infinitely often" constructions of
+/// Theorems 1–4 are cyclic suffixes).
+#[derive(Debug, Clone)]
+pub struct SequenceSource {
+    seq: InteractionSequence,
+    cycle: bool,
+}
+
+impl InteractionSource for SequenceSource {
+    fn node_count(&self) -> usize {
+        self.seq.node_count()
+    }
+
+    fn next_interaction(&mut self, t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        if self.seq.is_empty() {
+            return None;
+        }
+        if self.cycle {
+            let idx = (t as usize) % self.seq.len();
+            self.seq.get(idx as Time)
+        } else {
+            self.seq.get(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq123() -> InteractionSequence {
+        InteractionSequence::from_pairs(4, vec![(0, 1), (1, 2), (2, 3), (0, 1)])
+    }
+
+    #[test]
+    fn construction_and_indexing() {
+        let seq = seq123();
+        assert_eq!(seq.node_count(), 4);
+        assert_eq!(seq.len(), 4);
+        assert!(!seq.is_empty());
+        assert_eq!(seq.get(2), Some(Interaction::new(NodeId(2), NodeId(3))));
+        assert_eq!(seq.get(99), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_out_of_range() {
+        let mut seq = InteractionSequence::new(2);
+        seq.push(Interaction::new(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn underlying_graph_dedup() {
+        let g = seq123().underlying_graph();
+        assert_eq!(g.edge_count(), 3);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn meeting_times_and_futures() {
+        let seq = seq123();
+        assert_eq!(seq.meeting_times(NodeId(0), NodeId(1)), vec![0, 3]);
+        assert_eq!(seq.meeting_times(NodeId(1), NodeId(0)), vec![0, 3]);
+        assert_eq!(seq.meeting_times(NodeId(0), NodeId(3)), Vec::<Time>::new());
+        assert_eq!(seq.meeting_times(NodeId(0), NodeId(0)), Vec::<Time>::new());
+        assert_eq!(
+            seq.future_of(NodeId(1)),
+            vec![(0, NodeId(0)), (1, NodeId(2)), (3, NodeId(0))]
+        );
+    }
+
+    #[test]
+    fn slicing_and_concat() {
+        let seq = seq123();
+        let mid = seq.slice(1, 3);
+        assert_eq!(mid.len(), 2);
+        assert_eq!(mid.get(0), Some(Interaction::new(NodeId(1), NodeId(2))));
+        assert_eq!(seq.slice(3, 1).len(), 0);
+        assert_eq!(seq.slice(2, 100).len(), 2);
+
+        let joined = mid.concat(&seq.slice(0, 1));
+        assert_eq!(joined.len(), 3);
+        assert_eq!(joined.get(2), Some(Interaction::new(NodeId(0), NodeId(1))));
+    }
+
+    #[test]
+    fn repeat_and_reverse() {
+        let seq = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let rep = seq.repeat(3);
+        assert_eq!(rep.len(), 6);
+        assert_eq!(rep.get(4), Some(Interaction::new(NodeId(0), NodeId(1))));
+        let rev = seq.reversed();
+        assert_eq!(rev.get(0), Some(Interaction::new(NodeId(1), NodeId(2))));
+    }
+
+    #[test]
+    fn sequence_source_finite_and_cyclic() {
+        let seq = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let owns = vec![true, true, true];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        let mut finite = seq.source(false);
+        assert_eq!(finite.node_count(), 3);
+        assert!(finite.next_interaction(0, &view).is_some());
+        assert!(finite.next_interaction(1, &view).is_some());
+        assert!(finite.next_interaction(2, &view).is_none());
+
+        let mut cyclic = seq.source(true);
+        assert_eq!(
+            cyclic.next_interaction(5, &view),
+            Some(Interaction::new(NodeId(1), NodeId(2)))
+        );
+    }
+
+    #[test]
+    fn empty_cyclic_source_is_exhausted() {
+        let seq = InteractionSequence::new(3);
+        let owns = vec![true; 3];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        assert!(seq.source(true).next_interaction(0, &view).is_none());
+    }
+
+    #[test]
+    fn adversary_view_helpers() {
+        let owns = vec![true, false, true];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(2),
+        };
+        assert_eq!(view.node_count(), 3);
+        assert_eq!(view.owner_count(), 2);
+        assert!(view.owns(NodeId(0)));
+        assert!(!view.owns(NodeId(1)));
+        assert!(!view.owns(NodeId(9)));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut seq = InteractionSequence::new(3);
+        seq.extend([Interaction::new(NodeId(0), NodeId(1))]);
+        assert_eq!(seq.len(), 1);
+    }
+}

@@ -1,0 +1,258 @@
+//! Network state: per-node data ownership and the one-transmission rule.
+//!
+//! The central constraint of the model is that **a node may transmit its
+//! data at most once**, and that a node that has transmitted no longer owns
+//! data and can never receive again. [`NetworkState`] owns that bookkeeping
+//! and refuses invalid transfers, so no algorithm or adversary can violate
+//! the model even by accident.
+
+use doda_graph::NodeId;
+
+use crate::data::Aggregate;
+use crate::error::TransmissionError;
+
+/// The state of a single node during an execution.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NodeState<A> {
+    /// The data currently owned, if any.
+    pub data: Option<A>,
+    /// Whether this node has already used its single transmission.
+    pub has_transmitted: bool,
+}
+
+/// The global state of an execution: one [`NodeState`] per node, plus the
+/// identity of the sink.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct NetworkState<A> {
+    nodes: Vec<NodeState<A>>,
+    sink: NodeId,
+}
+
+impl<A: Aggregate> NetworkState<A> {
+    /// Creates the initial state: every node owns the datum produced by
+    /// `initial_data(v)` and nobody has transmitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink.index() >= n` or `n == 0`.
+    pub fn new<F>(n: usize, sink: NodeId, mut initial_data: F) -> Self
+    where
+        F: FnMut(NodeId) -> A,
+    {
+        assert!(n > 0, "a dynamic graph needs at least one node");
+        assert!(sink.index() < n, "sink {sink} out of range for {n} nodes");
+        let nodes = (0..n)
+            .map(|i| NodeState {
+                data: Some(initial_data(NodeId(i))),
+                has_transmitted: false,
+            })
+            .collect();
+        NetworkState { nodes, sink }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// Returns `true` if node `v` currently owns data.
+    pub fn owns_data(&self, v: NodeId) -> bool {
+        self.nodes
+            .get(v.index())
+            .is_some_and(|s| s.data.is_some())
+    }
+
+    /// Returns `true` if node `v` has already transmitted.
+    pub fn has_transmitted(&self, v: NodeId) -> bool {
+        self.nodes
+            .get(v.index())
+            .is_some_and(|s| s.has_transmitted)
+    }
+
+    /// A reference to the data currently owned by `v`, if any.
+    pub fn data_of(&self, v: NodeId) -> Option<&A> {
+        self.nodes.get(v.index()).and_then(|s| s.data.as_ref())
+    }
+
+    /// Number of nodes currently owning data.
+    pub fn owner_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.data.is_some()).count()
+    }
+
+    /// Ids of the nodes currently owning data, in increasing order.
+    pub fn owners(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.data.is_some())
+            .map(|(i, _)| NodeId(i))
+            .collect()
+    }
+
+    /// Ownership bitmap, indexed by node id (used to build the
+    /// [`crate::sequence::AdversaryView`]).
+    pub fn ownership_bitmap(&self) -> Vec<bool> {
+        self.nodes.iter().map(|s| s.data.is_some()).collect()
+    }
+
+    /// Returns `true` if the aggregation is complete: the sink is the only
+    /// node that owns data.
+    pub fn is_complete(&self) -> bool {
+        self.owner_count() == 1 && self.owns_data(self.sink)
+    }
+
+    /// Performs the transmission `sender → receiver`: the receiver
+    /// aggregates the sender's data with its own, the sender loses its data
+    /// and is marked as having transmitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (leaving the state untouched) if the transfer would
+    /// violate the model: sender and receiver are the same node, the sink
+    /// would transmit, either node is out of range, either node does not
+    /// own data, or the sender already transmitted.
+    pub fn transmit(&mut self, sender: NodeId, receiver: NodeId) -> Result<(), TransmissionError> {
+        if sender == receiver {
+            return Err(TransmissionError::SelfTransmission { node: sender });
+        }
+        if sender == self.sink {
+            return Err(TransmissionError::SinkMustNotTransmit);
+        }
+        let n = self.nodes.len();
+        if sender.index() >= n || receiver.index() >= n {
+            return Err(TransmissionError::UnknownNode {
+                node: if sender.index() >= n { sender } else { receiver },
+            });
+        }
+        if self.nodes[sender.index()].has_transmitted {
+            return Err(TransmissionError::AlreadyTransmitted { node: sender });
+        }
+        if self.nodes[sender.index()].data.is_none() {
+            return Err(TransmissionError::NoData { node: sender });
+        }
+        if self.nodes[receiver.index()].data.is_none() {
+            return Err(TransmissionError::NoData { node: receiver });
+        }
+        let sent = self.nodes[sender.index()]
+            .data
+            .take()
+            .expect("checked above");
+        self.nodes[sender.index()].has_transmitted = true;
+        self.nodes[receiver.index()]
+            .data
+            .as_mut()
+            .expect("checked above")
+            .merge(sent);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Count, IdSet};
+
+    fn fresh(n: usize) -> NetworkState<IdSet> {
+        NetworkState::new(n, NodeId(0), IdSet::singleton)
+    }
+
+    #[test]
+    fn initial_state_everyone_owns() {
+        let st = fresh(4);
+        assert_eq!(st.node_count(), 4);
+        assert_eq!(st.owner_count(), 4);
+        assert!(!st.is_complete());
+        assert!(st.owns_data(NodeId(3)));
+        assert!(!st.has_transmitted(NodeId(3)));
+        assert_eq!(st.owners(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn single_node_graph_is_immediately_complete() {
+        let st: NetworkState<Count> = NetworkState::new(1, NodeId(0), |_| Count::unit());
+        assert!(st.is_complete());
+    }
+
+    #[test]
+    fn valid_transmission_moves_and_aggregates_data() {
+        let mut st = fresh(3);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        assert!(!st.owns_data(NodeId(1)));
+        assert!(st.has_transmitted(NodeId(1)));
+        assert_eq!(st.data_of(NodeId(0)).unwrap().len(), 2);
+        assert_eq!(st.owner_count(), 2);
+        st.transmit(NodeId(2), NodeId(0)).unwrap();
+        assert!(st.is_complete());
+        assert!(st.data_of(NodeId(0)).unwrap().covers_all(3));
+    }
+
+    #[test]
+    fn sink_never_transmits() {
+        let mut st = fresh(3);
+        let err = st.transmit(NodeId(0), NodeId(1)).unwrap_err();
+        assert_eq!(err, TransmissionError::SinkMustNotTransmit);
+    }
+
+    #[test]
+    fn double_transmission_is_rejected() {
+        let mut st = fresh(3);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        let err = st.transmit(NodeId(1), NodeId(2)).unwrap_err();
+        // The node no longer owns data *and* has transmitted; the
+        // has-transmitted check fires first.
+        assert_eq!(err, TransmissionError::AlreadyTransmitted { node: NodeId(1) });
+    }
+
+    #[test]
+    fn receiver_without_data_is_rejected() {
+        let mut st = fresh(4);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        // Node 1 no longer owns data, so it cannot receive from node 2.
+        let err = st.transmit(NodeId(2), NodeId(1)).unwrap_err();
+        assert_eq!(err, TransmissionError::NoData { node: NodeId(1) });
+        // State unchanged: node 2 still owns data.
+        assert!(st.owns_data(NodeId(2)));
+        assert!(!st.has_transmitted(NodeId(2)));
+    }
+
+    #[test]
+    fn self_and_unknown_nodes_are_rejected() {
+        let mut st = fresh(3);
+        assert_eq!(
+            st.transmit(NodeId(2), NodeId(2)).unwrap_err(),
+            TransmissionError::SelfTransmission { node: NodeId(2) }
+        );
+        assert_eq!(
+            st.transmit(NodeId(5), NodeId(0)).unwrap_err(),
+            TransmissionError::UnknownNode { node: NodeId(5) }
+        );
+        assert_eq!(
+            st.transmit(NodeId(1), NodeId(7)).unwrap_err(),
+            TransmissionError::UnknownNode { node: NodeId(7) }
+        );
+    }
+
+    #[test]
+    fn ownership_bitmap_reflects_state() {
+        let mut st = fresh(3);
+        st.transmit(NodeId(2), NodeId(1)).unwrap();
+        assert_eq!(st.ownership_bitmap(), vec![true, true, false]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _: NetworkState<Count> = NetworkState::new(0, NodeId(0), |_| Count::unit());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn sink_out_of_range_rejected() {
+        let _: NetworkState<Count> = NetworkState::new(2, NodeId(5), |_| Count::unit());
+    }
+}

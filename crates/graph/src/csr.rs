@@ -1,0 +1,195 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! [`CsrGraph`] is an immutable, cache-friendly undirected graph used when
+//! the same graph is traversed many times (e.g. repeated convergecast
+//! computations over the underlying graph of a long interaction sequence).
+//! It is built once from an edge list or from an [`AdjacencyGraph`].
+
+use crate::{AdjacencyGraph, Edge, NodeId};
+
+/// An immutable undirected graph in compressed sparse row form.
+///
+/// Neighbour lists are sorted by id, and duplicate edges are collapsed at
+/// construction time.
+///
+/// # Example
+///
+/// ```
+/// use doda_graph::{CsrGraph, Edge, NodeId};
+///
+/// let g = CsrGraph::from_edges(4, vec![
+///     Edge::new(NodeId(0), NodeId(1)),
+///     Edge::new(NodeId(1), NodeId(2)),
+///     Edge::new(NodeId(2), NodeId(3)),
+/// ]);
+/// assert_eq!(g.degree(NodeId(1)), 2);
+/// assert_eq!(g.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    targets: Vec<NodeId>,
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph with `n` nodes from an iterator of edges.
+    ///
+    /// Duplicate edges are collapsed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges<I>(n: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = Edge>,
+    {
+        let adjacency = AdjacencyGraph::from_edges(n, edges);
+        Self::from(&adjacency)
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.offsets[u.index() + 1] - self.offsets[u.index()]
+    }
+
+    /// The sorted neighbour slice of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is out of range.
+    pub fn neighbors(&self, u: NodeId) -> &[NodeId] {
+        &self.targets[self.offsets[u.index()]..self.offsets[u.index() + 1]]
+    }
+
+    /// Returns `true` if the edge `{u, v}` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u.index() >= self.node_count() {
+            return false;
+        }
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + Clone {
+        crate::node::node_range(self.node_count())
+    }
+
+    /// Iterates over all edges in canonical order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |v| u < *v)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+}
+
+impl From<&AdjacencyGraph> for CsrGraph {
+    fn from(g: &AdjacencyGraph) -> Self {
+        let n = g.node_count();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(2 * g.edge_count());
+        offsets.push(0);
+        for u in g.nodes() {
+            targets.extend(g.neighbors(u));
+            offsets.push(targets.len());
+        }
+        CsrGraph {
+            offsets,
+            targets,
+            edge_count: g.edge_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle4() -> CsrGraph {
+        CsrGraph::from_edges(
+            4,
+            vec![
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2)),
+                Edge::new(NodeId(2), NodeId(3)),
+                Edge::new(NodeId(3), NodeId(0)),
+            ],
+        )
+    }
+
+    #[test]
+    fn counts_match_input() {
+        let g = cycle4();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = cycle4();
+        assert_eq!(g.neighbors(NodeId(0)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    fn has_edge_symmetric() {
+        let g = cycle4();
+        assert!(g.has_edge(NodeId(3), NodeId(0)));
+        assert!(g.has_edge(NodeId(0), NodeId(3)));
+        assert!(!g.has_edge(NodeId(0), NodeId(2)));
+        assert!(!g.has_edge(NodeId(9), NodeId(0)));
+    }
+
+    #[test]
+    fn duplicate_edges_collapsed() {
+        let g = CsrGraph::from_edges(
+            3,
+            vec![
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(0)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
+        );
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn conversion_from_adjacency_preserves_edges() {
+        let mut a = AdjacencyGraph::new(5);
+        a.add_edge(NodeId(0), NodeId(4));
+        a.add_edge(NodeId(2), NodeId(3));
+        let csr = CsrGraph::from(&a);
+        let mut expected: Vec<_> = a.edges().collect();
+        let mut got: Vec<_> = csr.edges().collect();
+        expected.sort();
+        got.sort();
+        assert_eq!(expected, got);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::from_edges(0, Vec::new());
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

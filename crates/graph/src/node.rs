@@ -1,0 +1,100 @@
+//! Node identifiers.
+//!
+//! Nodes in the DODA model carry unique identifiers (the paper gives every
+//! node `u` an attribute `u.ID`). We model identifiers as a newtype over
+//! `usize` so that node ids, times, and counters cannot be mixed up by
+//! accident (C-NEWTYPE).
+
+use std::fmt;
+
+/// Identifier of a node in a (dynamic) graph.
+///
+/// Identifiers are dense: a graph over `n` nodes uses ids `0..n`. The sink
+/// is *not* required to be any particular id; the DODA crates carry the sink
+/// id explicitly.
+///
+/// # Example
+///
+/// ```
+/// use doda_graph::NodeId;
+///
+/// let u = NodeId(3);
+/// assert_eq!(u.index(), 3);
+/// assert_eq!(format!("{u}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// Returns the raw index of this node.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+/// Returns an iterator over the node ids `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use doda_graph::node::node_range;
+///
+/// let ids: Vec<_> = node_range(3).collect();
+/// assert_eq!(ids.len(), 3);
+/// ```
+pub fn node_range(n: usize) -> impl Iterator<Item = NodeId> + Clone {
+    (0..n).map(NodeId)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(NodeId(42).to_string(), "v42");
+        assert_eq!(NodeId(42).index(), 42);
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let id: NodeId = 7usize.into();
+        let back: usize = id.into();
+        assert_eq!(back, 7);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(5).max(NodeId(3)), NodeId(5));
+    }
+
+    #[test]
+    fn node_range_yields_dense_ids() {
+        let ids: Vec<_> = node_range(4).collect();
+        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn node_range_empty() {
+        assert_eq!(node_range(0).count(), 0);
+    }
+}

@@ -1,0 +1,226 @@
+//! Graph traversals: BFS, DFS, distances and connected components.
+
+use std::collections::VecDeque;
+
+use crate::{AdjacencyGraph, NodeId};
+
+/// Result of a breadth-first search from a single source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BfsResult {
+    /// `distance[v] = Some(d)` iff `v` is reachable from the source at hop
+    /// distance `d`.
+    pub distance: Vec<Option<usize>>,
+    /// `parent[v] = Some(u)` iff `u` is the BFS predecessor of `v`;
+    /// `None` for the source and for unreachable nodes.
+    pub parent: Vec<Option<NodeId>>,
+    /// Nodes in the order they were visited (starting with the source).
+    pub order: Vec<NodeId>,
+}
+
+impl BfsResult {
+    /// Returns `true` if `v` was reached by the search.
+    pub fn is_reachable(&self, v: NodeId) -> bool {
+        self.distance
+            .get(v.index())
+            .is_some_and(|d| d.is_some())
+    }
+
+    /// Reconstructs the path from the BFS source to `v` (inclusive), or
+    /// `None` if `v` is unreachable.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.is_reachable(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+/// Runs a breadth-first search over `g` from `source`.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn bfs(g: &AdjacencyGraph, source: NodeId) -> BfsResult {
+    let n = g.node_count();
+    assert!(source.index() < n, "BFS source {source} out of range");
+    let mut distance = vec![None; n];
+    let mut parent = vec![None; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    distance[source.index()] = Some(0);
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        let du = distance[u.index()].expect("queued nodes have a distance");
+        for v in g.neighbors(u) {
+            if distance[v.index()].is_none() {
+                distance[v.index()] = Some(du + 1);
+                parent[v.index()] = Some(u);
+                queue.push_back(v);
+            }
+        }
+    }
+    BfsResult {
+        distance,
+        parent,
+        order,
+    }
+}
+
+/// Runs an iterative depth-first search from `source` and returns the nodes
+/// in preorder.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+pub fn dfs_preorder(g: &AdjacencyGraph, source: NodeId) -> Vec<NodeId> {
+    let n = g.node_count();
+    assert!(source.index() < n, "DFS source {source} out of range");
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(u) = stack.pop() {
+        if visited[u.index()] {
+            continue;
+        }
+        visited[u.index()] = true;
+        order.push(u);
+        // Push neighbours in reverse order so that smaller ids are visited first.
+        let nbrs: Vec<_> = g.neighbors(u).collect();
+        for v in nbrs.into_iter().rev() {
+            if !visited[v.index()] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Returns `true` if `g` is connected (vacuously true for 0 or 1 nodes).
+pub fn is_connected(g: &AdjacencyGraph) -> bool {
+    let n = g.node_count();
+    if n <= 1 {
+        return true;
+    }
+    bfs(g, NodeId(0)).order.len() == n
+}
+
+/// Returns the connected components of `g`, each sorted by node id, and the
+/// list of components sorted by their smallest node id.
+pub fn connected_components(g: &AdjacencyGraph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut component = vec![usize::MAX; n];
+    let mut components: Vec<Vec<NodeId>> = Vec::new();
+    for start in g.nodes() {
+        if component[start.index()] != usize::MAX {
+            continue;
+        }
+        let id = components.len();
+        let res = bfs(g, start);
+        let mut members = Vec::new();
+        for v in res.order {
+            component[v.index()] = id;
+            members.push(v);
+        }
+        members.sort();
+        components.push(members);
+    }
+    components
+}
+
+/// Computes the eccentricity of `source` (the greatest hop distance to any
+/// reachable node); returns `None` when the graph is disconnected from
+/// `source`'s point of view (some node is unreachable) and the graph has
+/// more than one node.
+pub fn eccentricity(g: &AdjacencyGraph, source: NodeId) -> Option<usize> {
+    let res = bfs(g, source);
+    if res.distance.iter().any(|d| d.is_none()) {
+        return None;
+    }
+    res.distance.iter().map(|d| d.unwrap_or(0)).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = generators::path_graph(5);
+        let res = bfs(&g, NodeId(0));
+        assert_eq!(res.distance[4], Some(4));
+        assert_eq!(res.parent[4], Some(NodeId(3)));
+        assert_eq!(res.order[0], NodeId(0));
+        assert_eq!(
+            res.path_to(NodeId(4)),
+            Some(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)])
+        );
+    }
+
+    #[test]
+    fn bfs_unreachable_nodes() {
+        let mut g = AdjacencyGraph::new(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        let res = bfs(&g, NodeId(0));
+        assert!(!res.is_reachable(NodeId(2)));
+        assert_eq!(res.path_to(NodeId(3)), None);
+        assert_eq!(res.distance[1], Some(1));
+    }
+
+    #[test]
+    fn dfs_preorder_visits_all_reachable() {
+        let g = generators::star_graph(5);
+        let order = dfs_preorder(&g, NodeId(0));
+        assert_eq!(order.len(), 5);
+        assert_eq!(order[0], NodeId(0));
+    }
+
+    #[test]
+    fn dfs_prefers_smaller_ids() {
+        let g = generators::star_graph(4);
+        let order = dfs_preorder(&g, NodeId(0));
+        assert_eq!(order, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    fn connectivity_checks() {
+        assert!(is_connected(&generators::cycle_graph(6)));
+        assert!(is_connected(&AdjacencyGraph::new(1)));
+        assert!(is_connected(&AdjacencyGraph::new(0)));
+        let mut g = AdjacencyGraph::new(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn components_partition_nodes() {
+        let mut g = AdjacencyGraph::new(6);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(3));
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 4);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1)]);
+        assert_eq!(comps[1], vec![NodeId(2), NodeId(3)]);
+        assert_eq!(comps[2], vec![NodeId(4)]);
+        let total: usize = comps.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 6);
+    }
+
+    #[test]
+    fn eccentricity_on_path_and_disconnected() {
+        let g = generators::path_graph(5);
+        assert_eq!(eccentricity(&g, NodeId(0)), Some(4));
+        assert_eq!(eccentricity(&g, NodeId(2)), Some(2));
+        let mut h = AdjacencyGraph::new(3);
+        h.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(eccentricity(&h, NodeId(0)), None);
+    }
+}

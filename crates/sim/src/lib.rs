@@ -1,0 +1,50 @@
+//! Simulation harness for the DODA reproduction.
+//!
+//! This crate turns the building blocks of `doda-core`, `doda-adversary`
+//! and `doda-workloads` into repeatable experiments:
+//!
+//! * [`spec::AlgorithmSpec`] names an algorithm plus the knowledge it needs,
+//!   and can instantiate it for any concrete interaction sequence;
+//! * [`trial`] runs one algorithm over one sequence and extracts metrics;
+//! * [`runner`] runs multi-trial batches (optionally in parallel across
+//!   threads) and summarises them;
+//! * [`table`] renders result rows as Markdown/CSV for EXPERIMENTS.md and
+//!   the examples.
+//!
+//! # Example
+//!
+//! ```
+//! use doda_sim::prelude::*;
+//!
+//! let batch = BatchConfig {
+//!     n: 16,
+//!     trials: 5,
+//!     horizon: None,
+//!     seed: 7,
+//!     parallel: false,
+//! };
+//! let result = run_batch(AlgorithmSpec::Gathering, &batch);
+//! assert_eq!(result.completed, 5);
+//! assert!(result.interactions.mean > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod runner;
+pub mod spec;
+pub mod table;
+pub mod trial;
+
+pub use runner::{run_batch, BatchConfig, BatchResult};
+pub use spec::AlgorithmSpec;
+pub use trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+
+/// Commonly used items for examples and benches.
+pub mod prelude {
+    pub use crate::runner::{run_batch, BatchConfig, BatchResult};
+    pub use crate::spec::AlgorithmSpec;
+    pub use crate::table::{markdown_table, Table};
+    pub use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+}

@@ -1,0 +1,223 @@
+//! Multi-trial batches.
+//!
+//! A batch fixes an algorithm, a node count and a trial count; each trial
+//! draws an independent sequence from the uniform randomized adversary
+//! (the paper's Section 4 setting), runs the algorithm, and the batch
+//! summarises the interaction counts. Batches can run their trials across
+//! threads with `crossbeam` scoped threads.
+
+use doda_stats::rng::SeedSequence;
+use doda_stats::Summary;
+use doda_workloads::{UniformWorkload, Workload};
+use parking_lot::Mutex;
+
+use crate::spec::AlgorithmSpec;
+use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+
+/// Configuration of a batch of independent randomized-adversary trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BatchConfig {
+    /// Number of nodes (the sink is node 0).
+    pub n: usize,
+    /// Number of independent trials.
+    pub trials: usize,
+    /// Length of the materialised random sequence per trial; `None` uses
+    /// the generous default `8·n²` (see
+    /// `doda_adversary::RandomizedAdversary::default_horizon`).
+    pub horizon: Option<usize>,
+    /// Root seed; trial `i` uses an independent sub-seed derived from it.
+    pub seed: u64,
+    /// Whether to spread trials across worker threads.
+    pub parallel: bool,
+}
+
+impl BatchConfig {
+    /// The sequence length used per trial.
+    pub fn horizon_len(&self) -> usize {
+        self.horizon
+            .unwrap_or_else(|| doda_adversary::RandomizedAdversary::default_horizon(self.n))
+    }
+}
+
+/// Summary of a batch of trials.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BatchResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of trials run.
+    pub trials: usize,
+    /// Number of trials that completed the aggregation within the horizon.
+    pub completed: usize,
+    /// Summary of the interaction counts to completion (over completed
+    /// trials only).
+    pub interactions: Summary,
+    /// Fraction of completed trials (`completed / trials`).
+    pub completion_rate: f64,
+}
+
+impl BatchResult {
+    /// Fraction of completed trials whose completion count is within
+    /// `bound` interactions — the empirical "with high probability within
+    /// the bound" measure used by the Theorem 10 experiment.
+    pub fn fraction_within(&self, bound: f64, raw: &[TrialResult]) -> f64 {
+        let within = raw
+            .iter()
+            .filter(|r| {
+                r.interactions_to_completion()
+                    .map(|x| x <= bound)
+                    .unwrap_or(false)
+            })
+            .count();
+        within as f64 / raw.len().max(1) as f64
+    }
+}
+
+/// Runs a batch against the uniform randomized adversary and returns its
+/// summary together with the raw per-trial results.
+///
+/// # Panics
+///
+/// Panics if every trial fails to terminate (no summary can be formed); in
+/// practice this means the horizon was far too small for the algorithm.
+pub fn run_batch_detailed(spec: AlgorithmSpec, config: &BatchConfig) -> (BatchResult, Vec<TrialResult>) {
+    let seeds = SeedSequence::new(config.seed);
+    let horizon = config.horizon_len();
+    let trial_config = TrialConfig::default();
+
+    let run_one = |trial_idx: usize| -> TrialResult {
+        let seed = seeds.seed(trial_idx as u64);
+        let seq = UniformWorkload::new(config.n).generate(horizon, seed);
+        run_trial_on_sequence(spec, &seq, &trial_config)
+    };
+
+    let results: Vec<TrialResult> = if config.parallel && config.trials > 1 {
+        let collected = Mutex::new(vec![None; config.trials]);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .min(config.trials);
+        crossbeam::scope(|scope| {
+            for worker in 0..threads {
+                let collected = &collected;
+                let run_one = &run_one;
+                scope.spawn(move |_| {
+                    let mut idx = worker;
+                    while idx < config.trials {
+                        let result = run_one(idx);
+                        collected.lock()[idx] = Some(result);
+                        idx += threads;
+                    }
+                });
+            }
+        })
+        .expect("simulation worker threads never panic");
+        collected
+            .into_inner()
+            .into_iter()
+            .map(|r| r.expect("every trial index is filled by exactly one worker"))
+            .collect()
+    } else {
+        (0..config.trials).map(run_one).collect()
+    };
+
+    let completions: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.interactions_to_completion())
+        .collect();
+    let completed = completions.len();
+    let interactions = Summary::from_values(&completions).unwrap_or_else(|| {
+        panic!(
+            "no trial of {} terminated within {} interactions (n = {}); increase the horizon",
+            spec, horizon, config.n
+        )
+    });
+    (
+        BatchResult {
+            algorithm: spec.label().to_string(),
+            n: config.n,
+            trials: config.trials,
+            completed,
+            interactions,
+            completion_rate: completed as f64 / config.trials.max(1) as f64,
+        },
+        results,
+    )
+}
+
+/// Runs a batch and returns only its summary.
+pub fn run_batch(spec: AlgorithmSpec, config: &BatchConfig) -> BatchResult {
+    run_batch_detailed(spec, config).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize, trials: usize, parallel: bool) -> BatchConfig {
+        BatchConfig {
+            n,
+            trials,
+            horizon: None,
+            seed: 42,
+            parallel,
+        }
+    }
+
+    #[test]
+    fn sequential_batch_summarises_trials() {
+        let (result, raw) = run_batch_detailed(AlgorithmSpec::Gathering, &config(12, 8, false));
+        assert_eq!(result.trials, 8);
+        assert_eq!(result.completed, 8);
+        assert_eq!(raw.len(), 8);
+        assert_eq!(result.completion_rate, 1.0);
+        assert!(result.interactions.mean >= (12 - 1) as f64);
+        assert!(result.fraction_within(f64::INFINITY, &raw) >= 0.99);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let sequential = run_batch(AlgorithmSpec::Gathering, &config(10, 6, false));
+        let parallel = run_batch(AlgorithmSpec::Gathering, &config(10, 6, true));
+        // Same seeds per trial index, so the summaries are identical.
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn ordering_offline_fastest_waiting_slowest() {
+        let cfg = config(16, 6, false);
+        let offline = run_batch(AlgorithmSpec::OfflineOptimal, &cfg);
+        let gathering = run_batch(AlgorithmSpec::Gathering, &cfg);
+        let waiting = run_batch(AlgorithmSpec::Waiting, &cfg);
+        assert!(offline.interactions.mean < gathering.interactions.mean);
+        assert!(gathering.interactions.mean < waiting.interactions.mean);
+    }
+
+    #[test]
+    fn custom_horizon_is_respected() {
+        let cfg = BatchConfig {
+            n: 8,
+            trials: 3,
+            horizon: Some(2_000),
+            seed: 1,
+            parallel: false,
+        };
+        assert_eq!(cfg.horizon_len(), 2_000);
+        let result = run_batch(AlgorithmSpec::Gathering, &cfg);
+        assert_eq!(result.completed, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "increase the horizon")]
+    fn hopelessly_short_horizon_panics_with_guidance() {
+        let cfg = BatchConfig {
+            n: 10,
+            trials: 2,
+            horizon: Some(3),
+            seed: 1,
+            parallel: false,
+        };
+        let _ = run_batch(AlgorithmSpec::Waiting, &cfg);
+    }
+}

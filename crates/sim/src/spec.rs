@@ -1,0 +1,170 @@
+//! Algorithm specifications.
+//!
+//! Algorithms differ in the knowledge they require (nothing, `meetTime`,
+//! the underlying graph, their own future, or the full sequence), so they
+//! cannot all be constructed before the adversary's sequence is known.
+//! [`AlgorithmSpec`] captures *which* algorithm to run; instantiation takes
+//! the concrete sequence and builds the required oracles.
+
+use doda_core::algorithms::{
+    FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting, WaitingGreedy,
+};
+use doda_core::knowledge::{FullKnowledge, MeetTimeOracle};
+use doda_core::{DodaAlgorithm, InteractionSequence, Time};
+use doda_graph::NodeId;
+
+/// A named DODA algorithm together with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum AlgorithmSpec {
+    /// [`Waiting`] — no knowledge.
+    Waiting,
+    /// [`Gathering`] — no knowledge.
+    Gathering,
+    /// [`WaitingGreedy`] with an explicit `τ`, or the paper's recommended
+    /// `τ = n^{3/2}√(log n)` when `None`.
+    WaitingGreedy {
+        /// Explicit horizon, or `None` for the recommended value.
+        tau: Option<Time>,
+    },
+    /// [`SpanningTreeAggregation`] over the sequence's underlying graph.
+    SpanningTree,
+    /// [`FutureBroadcast`] — own-future knowledge.
+    FutureBroadcast,
+    /// [`OfflineOptimal`] — full knowledge.
+    OfflineOptimal,
+}
+
+impl AlgorithmSpec {
+    /// All specs, in the order used by comparison tables.
+    pub fn all() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::OfflineOptimal,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::Waiting,
+            AlgorithmSpec::SpanningTree,
+            AlgorithmSpec::FutureBroadcast,
+        ]
+    }
+
+    /// The specs of the randomized-adversary comparison (Theorems 7–11).
+    pub fn randomized_comparison() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::OfflineOptimal,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::Waiting,
+        ]
+    }
+
+    /// A short label used in tables and benchmark ids.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Waiting => "Waiting",
+            AlgorithmSpec::Gathering => "Gathering",
+            AlgorithmSpec::WaitingGreedy { .. } => "WaitingGreedy",
+            AlgorithmSpec::SpanningTree => "SpanningTree",
+            AlgorithmSpec::FutureBroadcast => "FutureBroadcast",
+            AlgorithmSpec::OfflineOptimal => "OfflineOptimal",
+        }
+    }
+
+    /// The knowledge model the spec corresponds to (for reports).
+    pub fn knowledge(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::Waiting | AlgorithmSpec::Gathering => "none",
+            AlgorithmSpec::WaitingGreedy { .. } => "meetTime",
+            AlgorithmSpec::SpanningTree => "underlying graph",
+            AlgorithmSpec::FutureBroadcast => "own future",
+            AlgorithmSpec::OfflineOptimal => "full sequence",
+        }
+    }
+
+    /// Instantiates the algorithm for a concrete sequence and sink,
+    /// building whatever knowledge oracles it needs.
+    ///
+    /// Returns `None` only for [`AlgorithmSpec::SpanningTree`] when the
+    /// sequence's underlying graph is not connected (no spanning tree — and
+    /// indeed no aggregation — exists on such a dynamic graph).
+    pub fn instantiate(
+        &self,
+        seq: &InteractionSequence,
+        sink: NodeId,
+    ) -> Option<Box<dyn DodaAlgorithm>> {
+        match self {
+            AlgorithmSpec::Waiting => Some(Box::new(Waiting::new())),
+            AlgorithmSpec::Gathering => Some(Box::new(Gathering::new())),
+            AlgorithmSpec::WaitingGreedy { tau } => {
+                let algo = match tau {
+                    Some(tau) => WaitingGreedy::new(*tau, MeetTimeOracle::new(seq, sink)),
+                    None => WaitingGreedy::with_recommended_tau(seq, sink),
+                };
+                Some(Box::new(algo))
+            }
+            AlgorithmSpec::SpanningTree => {
+                let underlying = seq.underlying_graph();
+                SpanningTreeAggregation::from_underlying_graph(&underlying, sink)
+                    .map(|a| Box::new(a) as Box<dyn DodaAlgorithm>)
+            }
+            AlgorithmSpec::FutureBroadcast => Some(Box::new(FutureBroadcast::new(seq, sink))),
+            AlgorithmSpec::OfflineOptimal => Some(Box::new(OfflineOptimal::new(
+                &FullKnowledge::new(seq.clone()),
+                sink,
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgorithmSpec::WaitingGreedy { tau: Some(tau) } => write!(f, "WaitingGreedy(τ={tau})"),
+            other => write!(f, "{}", other.label()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_workloads::{UniformWorkload, Workload};
+
+    #[test]
+    fn every_spec_instantiates_on_a_rich_sequence() {
+        let seq = UniformWorkload::new(8).generate(600, 3);
+        for spec in AlgorithmSpec::all() {
+            let algo = spec.instantiate(&seq, NodeId(0));
+            assert!(algo.is_some(), "{spec} failed to instantiate");
+            assert_eq!(algo.unwrap().name(), spec.label());
+            assert!(!spec.knowledge().is_empty());
+        }
+    }
+
+    #[test]
+    fn spanning_tree_requires_connected_underlying_graph() {
+        let seq = InteractionSequence::from_pairs(4, vec![(1, 2), (1, 2)]);
+        assert!(AlgorithmSpec::SpanningTree.instantiate(&seq, NodeId(0)).is_none());
+        assert!(AlgorithmSpec::Gathering.instantiate(&seq, NodeId(0)).is_some());
+    }
+
+    #[test]
+    fn waiting_greedy_tau_override() {
+        let seq = UniformWorkload::new(6).generate(200, 1);
+        let spec = AlgorithmSpec::WaitingGreedy { tau: Some(42) };
+        assert_eq!(spec.to_string(), "WaitingGreedy(τ=42)");
+        assert!(spec.instantiate(&seq, NodeId(0)).is_some());
+        assert_eq!(
+            AlgorithmSpec::WaitingGreedy { tau: None }.to_string(),
+            "WaitingGreedy"
+        );
+    }
+
+    #[test]
+    fn comparison_sets_are_subsets_of_all() {
+        let all = AlgorithmSpec::all();
+        for spec in AlgorithmSpec::randomized_comparison() {
+            assert!(all.contains(&spec));
+        }
+        assert_eq!(all.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Single-trial execution and metrics.
+
+use doda_core::cost::{cost_of_duration, Cost};
+use doda_core::data::IdSet;
+use doda_core::engine::{run, EngineConfig};
+use doda_core::{InteractionSequence, Time};
+use doda_graph::NodeId;
+
+use crate::spec::AlgorithmSpec;
+
+/// Configuration of a single trial.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TrialConfig {
+    /// The sink node.
+    pub sink: NodeId,
+    /// Interaction budget of the engine (defaults to the sequence length
+    /// when `None` — an algorithm that cannot finish on the materialised
+    /// sequence is reported as non-terminated).
+    pub max_interactions: Option<u64>,
+    /// Whether to compute the paper's cost function for the outcome (adds
+    /// `O(len log len)` work per convergecast, so sweeps usually disable it).
+    pub compute_cost: bool,
+    /// Cap on the number of successive convergecasts examined by the cost
+    /// computation.
+    pub max_convergecasts: u64,
+}
+
+impl Default for TrialConfig {
+    fn default() -> Self {
+        TrialConfig {
+            sink: NodeId(0),
+            max_interactions: None,
+            compute_cost: false,
+            max_convergecasts: 64,
+        }
+    }
+}
+
+/// Metrics extracted from one execution.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TrialResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Number of nodes.
+    pub n: usize,
+    /// `Some(t)`: the aggregation completed at interaction index `t`.
+    pub termination_time: Option<Time>,
+    /// Number of interactions the engine processed.
+    pub interactions_processed: u64,
+    /// Number of transmissions performed.
+    pub transmissions: usize,
+    /// Number of `Transmit` decisions ignored by the engine.
+    pub ignored_decisions: u64,
+    /// `true` iff the sink's final data covers every origin (always checked;
+    /// an algorithm with `false` here and `termination_time = Some(..)`
+    /// would indicate a model violation).
+    pub data_conserved: bool,
+    /// The paper's cost, when requested.
+    pub cost: Option<Cost>,
+}
+
+impl TrialResult {
+    /// Returns `true` if the aggregation completed.
+    pub fn terminated(&self) -> bool {
+        self.termination_time.is_some()
+    }
+
+    /// The number of interactions until completion, as a float for
+    /// statistics (`None` when the trial did not terminate). The count is
+    /// `termination_time + 1` since times are 0-based indices.
+    pub fn interactions_to_completion(&self) -> Option<f64> {
+        self.termination_time.map(|t| (t + 1) as f64)
+    }
+}
+
+/// Runs `spec` over a concrete, pre-materialised sequence.
+///
+/// # Panics
+///
+/// Panics if the algorithm produces a structurally invalid decision (this
+/// would be a bug in the algorithm implementation, not a property of the
+/// input).
+pub fn run_trial_on_sequence(
+    spec: AlgorithmSpec,
+    seq: &InteractionSequence,
+    config: &TrialConfig,
+) -> TrialResult {
+    let n = seq.node_count();
+    let sink = config.sink;
+    let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
+    let engine_config = EngineConfig {
+        max_interactions,
+        record_transmissions: false,
+    };
+    let mut not_applicable = TrialResult {
+        algorithm: spec.label().to_string(),
+        n,
+        termination_time: None,
+        interactions_processed: 0,
+        transmissions: 0,
+        ignored_decisions: 0,
+        data_conserved: false,
+        cost: None,
+    };
+    let Some(mut algorithm) = spec.instantiate(seq, sink) else {
+        // Spanning tree over a disconnected underlying graph: no algorithm
+        // could aggregate on this sequence; report a non-terminated trial.
+        return not_applicable;
+    };
+    let outcome = run(
+        algorithm.as_mut(),
+        &mut seq.source(false),
+        sink,
+        IdSet::singleton,
+        engine_config,
+    )
+    .expect("the provided algorithms never emit structurally invalid decisions");
+    let data_conserved = match (&outcome.termination_time, &outcome.sink_data) {
+        (Some(_), Some(data)) => data.covers_all(n),
+        _ => false,
+    };
+    let cost = config
+        .compute_cost
+        .then(|| cost_of_duration(seq, sink, outcome.termination_time, config.max_convergecasts));
+    not_applicable = TrialResult {
+        algorithm: spec.label().to_string(),
+        n,
+        termination_time: outcome.termination_time,
+        interactions_processed: outcome.interactions_processed,
+        transmissions: (n - outcome.remaining_owners()).min(n.saturating_sub(1)),
+        ignored_decisions: outcome.ignored_decisions,
+        data_conserved,
+        cost,
+    };
+    not_applicable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_workloads::{UniformWorkload, Workload};
+
+    #[test]
+    fn gathering_trial_terminates_and_conserves_data() {
+        let seq = UniformWorkload::new(12).generate(2_000, 5);
+        let result = run_trial_on_sequence(
+            AlgorithmSpec::Gathering,
+            &seq,
+            &TrialConfig {
+                compute_cost: true,
+                ..TrialConfig::default()
+            },
+        );
+        assert!(result.terminated());
+        assert!(result.data_conserved);
+        assert_eq!(result.transmissions, 11);
+        assert!(result.interactions_to_completion().unwrap() >= 11.0);
+        assert!(result.cost.is_some());
+    }
+
+    #[test]
+    fn offline_beats_or_matches_every_online_algorithm_per_sequence() {
+        let seq = UniformWorkload::new(10).generate(3_000, 11);
+        let config = TrialConfig::default();
+        let offline = run_trial_on_sequence(AlgorithmSpec::OfflineOptimal, &seq, &config);
+        assert!(offline.terminated());
+        for spec in [
+            AlgorithmSpec::Waiting,
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+        ] {
+            let result = run_trial_on_sequence(spec, &seq, &config);
+            if let (Some(on), Some(off)) = (result.termination_time, offline.termination_time) {
+                assert!(
+                    off <= on,
+                    "{spec} finished at {on} before the offline optimum {off}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_short_sequence_reports_non_termination() {
+        let seq = UniformWorkload::new(10).generate(5, 3);
+        let result = run_trial_on_sequence(AlgorithmSpec::Waiting, &seq, &TrialConfig::default());
+        assert!(!result.terminated());
+        assert_eq!(result.interactions_to_completion(), None);
+        assert!(!result.data_conserved);
+    }
+
+    #[test]
+    fn disconnected_spanning_tree_trial_is_reported_not_panicking() {
+        let seq = doda_core::InteractionSequence::from_pairs(5, vec![(1, 2), (1, 2), (3, 4)]);
+        let result =
+            run_trial_on_sequence(AlgorithmSpec::SpanningTree, &seq, &TrialConfig::default());
+        assert!(!result.terminated());
+        assert_eq!(result.interactions_processed, 0);
+    }
+
+    #[test]
+    fn explicit_interaction_budget_is_respected() {
+        let seq = UniformWorkload::new(8).generate(5_000, 1);
+        let result = run_trial_on_sequence(
+            AlgorithmSpec::Waiting,
+            &seq,
+            &TrialConfig {
+                max_interactions: Some(10),
+                ..TrialConfig::default()
+            },
+        );
+        assert!(result.interactions_processed <= 10);
+    }
+}

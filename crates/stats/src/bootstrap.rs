@@ -1,0 +1,140 @@
+//! Bootstrap confidence intervals.
+//!
+//! Empirical ratios between algorithms (e.g. "Gathering needs ~`n/log n`
+//! times more interactions than the offline optimum") are reported with a
+//! percentile-bootstrap confidence interval, which makes the shape claims
+//! in EXPERIMENTS.md quantitative without distributional assumptions.
+
+use rand::Rng;
+
+use crate::rng::DodaRng;
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BootstrapCi {
+    /// Point estimate (the statistic on the full sample).
+    pub estimate: f64,
+    /// Lower bound of the interval.
+    pub lower: f64,
+    /// Upper bound of the interval.
+    pub upper: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Computes a percentile-bootstrap confidence interval for an arbitrary
+/// statistic of a sample.
+///
+/// Returns `None` if the sample is empty, `resamples == 0`, or `level` is
+/// outside `(0, 1)`.
+pub fn bootstrap_ci<F>(
+    sample: &[f64],
+    statistic: F,
+    resamples: usize,
+    level: f64,
+    rng: &mut DodaRng,
+) -> Option<BootstrapCi>
+where
+    F: Fn(&[f64]) -> f64,
+{
+    if sample.is_empty() || resamples == 0 || !(0.0 < level && level < 1.0) {
+        return None;
+    }
+    let estimate = statistic(sample);
+    let mut stats = Vec::with_capacity(resamples);
+    let mut buffer = vec![0.0; sample.len()];
+    for _ in 0..resamples {
+        for slot in buffer.iter_mut() {
+            *slot = sample[rng.gen_range(0..sample.len())];
+        }
+        stats.push(statistic(&buffer));
+    }
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("statistics are finite"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo_idx = ((stats.len() as f64 - 1.0) * alpha).round() as usize;
+    let hi_idx = ((stats.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
+    Some(BootstrapCi {
+        estimate,
+        lower: stats[lo_idx],
+        upper: stats[hi_idx.min(stats.len() - 1)],
+        level,
+    })
+}
+
+/// Convenience wrapper: bootstrap CI of the sample mean.
+pub fn bootstrap_mean_ci(
+    sample: &[f64],
+    resamples: usize,
+    level: f64,
+    rng: &mut DodaRng,
+) -> Option<BootstrapCi> {
+    bootstrap_ci(
+        sample,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        resamples,
+        level,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn rejects_degenerate_inputs() {
+        let mut rng = seeded_rng(1);
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.5, &mut rng).is_none());
+    }
+
+    #[test]
+    fn constant_sample_gives_degenerate_interval() {
+        let mut rng = seeded_rng(2);
+        let ci = bootstrap_mean_ci(&[5.0; 20], 200, 0.95, &mut rng).unwrap();
+        assert_eq!(ci.estimate, 5.0);
+        assert_eq!(ci.lower, 5.0);
+        assert_eq!(ci.upper, 5.0);
+    }
+
+    #[test]
+    fn interval_brackets_the_estimate() {
+        let mut rng = seeded_rng(3);
+        let sample: Vec<f64> = (0..200).map(|i| (i % 13) as f64).collect();
+        let ci = bootstrap_mean_ci(&sample, 500, 0.95, &mut rng).unwrap();
+        assert!(ci.lower <= ci.estimate && ci.estimate <= ci.upper);
+        assert!(ci.upper - ci.lower < 2.0, "CI should be tight for n=200");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_given_seed() {
+        let sample: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&sample, 300, 0.9, &mut seeded_rng(9)).unwrap();
+        let b = bootstrap_mean_ci(&sample, 300, 0.9, &mut seeded_rng(9)).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn custom_statistic_median_ratio() {
+        let mut rng = seeded_rng(4);
+        // Ratio of max to min as an arbitrary statistic.
+        let sample = [2.0, 4.0, 8.0, 16.0];
+        let ci = bootstrap_ci(
+            &sample,
+            |s| {
+                let max = s.iter().cloned().fold(f64::MIN, f64::max);
+                let min = s.iter().cloned().fold(f64::MAX, f64::min);
+                max / min
+            },
+            200,
+            0.9,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ci.estimate, 8.0);
+        assert!(ci.lower >= 1.0);
+        assert!(ci.upper <= 8.0 + 1e-9);
+    }
+}

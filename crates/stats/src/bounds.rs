@@ -1,0 +1,133 @@
+//! Concentration / tail bounds.
+//!
+//! The paper's high-probability statements are obtained through Chebyshev's
+//! inequality applied to the interaction-count random variables (Theorems
+//! 8, 9, 10 and Lemma 1). The helpers here compute those bounds so the
+//! experiment harness can (a) report the theoretical failure probability
+//! alongside the empirical one and (b) test the proof arithmetic itself.
+
+/// Markov bound: `P(X ≥ a) ≤ E[X] / a` for a non-negative variable.
+///
+/// Returns a probability clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `mean < 0`.
+pub fn markov_upper_bound(mean: f64, a: f64) -> f64 {
+    assert!(a > 0.0, "Markov threshold must be positive, got {a}");
+    assert!(mean >= 0.0, "Markov mean must be non-negative, got {mean}");
+    (mean / a).min(1.0)
+}
+
+/// Chebyshev bound: `P(|X − E[X]| ≥ t) ≤ Var(X) / t²`.
+///
+/// Returns a probability clamped to `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `t <= 0` or `variance < 0`.
+pub fn chebyshev_upper_bound(variance: f64, t: f64) -> f64 {
+    assert!(t > 0.0, "Chebyshev deviation must be positive, got {t}");
+    assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+    (variance / (t * t)).min(1.0)
+}
+
+/// Multiplicative Chernoff bound for a sum of independent 0/1 variables
+/// with mean `mu`: `P(X ≥ (1+δ)μ) ≤ exp(−δ²μ / (2+δ))` for `δ > 0`.
+///
+/// # Panics
+///
+/// Panics if `mu < 0` or `delta <= 0`.
+pub fn chernoff_upper_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mu must be non-negative, got {mu}");
+    assert!(delta > 0.0, "delta must be positive, got {delta}");
+    (-(delta * delta) * mu / (2.0 + delta)).exp().min(1.0)
+}
+
+/// Multiplicative Chernoff bound for the lower tail:
+/// `P(X ≤ (1−δ)μ) ≤ exp(−δ²μ / 2)` for `0 < δ < 1`.
+///
+/// # Panics
+///
+/// Panics if `mu < 0` or `delta` is outside `(0, 1)`.
+pub fn chernoff_lower_tail(mu: f64, delta: f64) -> f64 {
+    assert!(mu >= 0.0, "mu must be non-negative, got {mu}");
+    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta must be in (0, 1), got {delta}");
+    (-(delta * delta) * mu / 2.0).exp().min(1.0)
+}
+
+/// The paper's notion of "with high probability": an event `A_n` holds
+/// w.h.p. if `P(A_n) > 1 − o(1/log n)` as `n → ∞` (footnote 1 of the
+/// paper). This helper returns the failure-probability budget `1/log n`
+/// that empirical failure rates are compared against.
+///
+/// Returns 1.0 for `n ≤ 2` where the budget is vacuous.
+pub fn whp_failure_budget(n: usize) -> f64 {
+    if n <= 2 {
+        return 1.0;
+    }
+    1.0 / (n as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_basic() {
+        assert_eq!(markov_upper_bound(5.0, 10.0), 0.5);
+        assert_eq!(markov_upper_bound(5.0, 2.0), 1.0);
+        assert_eq!(markov_upper_bound(0.0, 2.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn markov_rejects_nonpositive_threshold() {
+        let _ = markov_upper_bound(1.0, 0.0);
+    }
+
+    #[test]
+    fn chebyshev_basic() {
+        assert_eq!(chebyshev_upper_bound(4.0, 4.0), 0.25);
+        assert_eq!(chebyshev_upper_bound(100.0, 5.0), 1.0);
+        assert_eq!(chebyshev_upper_bound(0.0, 1.0), 0.0);
+    }
+
+    #[test]
+    fn chebyshev_matches_theorem_9_waiting_argument() {
+        // Thm 9: Var(X_W) ~ n^4 π² / 24, deviation t = n² log n
+        // ⇒ failure probability O(1/log² n). Check the arithmetic at n = 1000.
+        let n = 1000f64;
+        let var = n.powi(4) * std::f64::consts::PI.powi(2) / 24.0;
+        let t = n * n * n.ln();
+        let bound = chebyshev_upper_bound(var, t);
+        let expected = std::f64::consts::PI.powi(2) / (24.0 * n.ln() * n.ln());
+        assert!((bound - expected).abs() < 1e-12);
+        assert!(bound < 0.01);
+    }
+
+    #[test]
+    fn chernoff_tails_shrink_with_mu() {
+        let small = chernoff_upper_tail(10.0, 0.5);
+        let large = chernoff_upper_tail(1000.0, 0.5);
+        assert!(large < small);
+        assert!(large < 1e-20);
+        let lower = chernoff_lower_tail(1000.0, 0.5);
+        assert!(lower < 1e-50);
+    }
+
+    #[test]
+    #[should_panic(expected = "in (0, 1)")]
+    fn chernoff_lower_rejects_large_delta() {
+        let _ = chernoff_lower_tail(10.0, 1.5);
+    }
+
+    #[test]
+    fn whp_budget_decreases() {
+        assert_eq!(whp_failure_budget(2), 1.0);
+        let b10 = whp_failure_budget(10);
+        let b1000 = whp_failure_budget(1000);
+        assert!(b1000 < b10);
+        assert!((b1000 - 1.0 / 1000f64.ln()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,155 @@
+//! Fixed-width histograms for trial outcome distributions.
+
+/// A histogram with uniform bin width over `[lo, hi)`, plus underflow and
+/// overflow counters.
+///
+/// # Example
+///
+/// ```
+/// use doda_stats::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.add(2.5);
+/// h.add(7.5);
+/// h.add(11.0);
+/// assert_eq!(h.counts(), &[0, 1, 0, 1, 0]);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` uniform bins covering `[lo, hi)`.
+    ///
+    /// Returns `None` if `bins == 0`, if the bounds are non-finite, or if
+    /// `lo >= hi`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Option<Self> {
+        if bins == 0 || !lo.is_finite() || !hi.is_finite() || lo >= hi {
+            return None;
+        }
+        Some(Histogram {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        if !x.is_finite() || x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        if x >= self.hi {
+            self.overflow += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        let idx = ((x - self.lo) / width) as usize;
+        let idx = idx.min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of observations below the range.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of observations at or above the upper bound.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Total number of observations added (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// The `[lo, hi)` range of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.counts.len(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Renders a compact text view ("lo..hi: count") used by examples.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            out.push_str(&format!("[{a:10.1}, {b:10.1}): {c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_none());
+        assert!(Histogram::new(1.0, 1.0, 4).is_none());
+        assert!(Histogram::new(2.0, 1.0, 4).is_none());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_none());
+        assert!(Histogram::new(0.0, 1.0, 4).is_some());
+    }
+
+    #[test]
+    fn binning_and_edges() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        h.add(0.0); // first bin
+        h.add(9.999); // last bin
+        h.add(10.0); // overflow (range is half-open)
+        h.add(-0.1); // underflow
+        h.add(f64::NAN); // counted as underflow bucket (non-finite)
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.underflow(), 2);
+        assert_eq!(h.total(), 5);
+    }
+
+    #[test]
+    fn bin_ranges_tile_the_interval() {
+        let h = Histogram::new(0.0, 100.0, 4).unwrap();
+        assert_eq!(h.bin_range(0), (0.0, 25.0));
+        assert_eq!(h.bin_range(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let mut h = Histogram::new(0.0, 4.0, 2).unwrap();
+        h.add(1.0);
+        h.add(3.0);
+        h.add(3.5);
+        let text = h.render();
+        assert!(text.contains(": 1"));
+        assert!(text.contains(": 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bin_range_out_of_bounds() {
+        let h = Histogram::new(0.0, 1.0, 2).unwrap();
+        let _ = h.bin_range(2);
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic random number generation.
+//!
+//! Every randomized experiment in the reproduction (the randomized
+//! adversary, the workload generators, bootstrap resampling) is driven by a
+//! ChaCha8 stream seeded explicitly, so that any figure or table can be
+//! regenerated bit-for-bit from its seed.
+
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The concrete RNG used across the workspace.
+pub type DodaRng = ChaCha8Rng;
+
+/// Creates a deterministic RNG from a 64-bit seed.
+///
+/// # Example
+///
+/// ```
+/// use doda_stats::rng::seeded_rng;
+/// use rand::Rng;
+///
+/// let mut a = seeded_rng(7);
+/// let mut b = seeded_rng(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// ```
+pub fn seeded_rng(seed: u64) -> DodaRng {
+    ChaCha8Rng::seed_from_u64(seed)
+}
+
+/// A deterministic generator of per-trial seeds.
+///
+/// Experiments typically run many independent trials; `SeedSequence` derives
+/// one sub-seed per trial from a single experiment seed so that trials are
+/// independent yet reproducible, and so that adding trials never perturbs
+/// the seeds of earlier ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedSequence {
+    base: u64,
+}
+
+impl SeedSequence {
+    /// Creates a sequence rooted at `base`.
+    pub fn new(base: u64) -> Self {
+        SeedSequence { base }
+    }
+
+    /// Returns the seed for trial `index`.
+    ///
+    /// Uses the SplitMix64 output function, which maps distinct inputs to
+    /// well-spread 64-bit outputs.
+    pub fn seed(&self, index: u64) -> u64 {
+        let mut z = self
+            .base
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(index.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns the RNG for trial `index`.
+    pub fn rng(&self, index: u64) -> DodaRng {
+        seeded_rng(self.seed(index))
+    }
+
+    /// Derives a child sequence (e.g. one per value of `n` in a sweep).
+    pub fn child(&self, label: u64) -> SeedSequence {
+        SeedSequence {
+            base: self.seed(label ^ 0xA5A5_A5A5_A5A5_A5A5),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn seeded_rng_is_deterministic() {
+        let mut a = seeded_rng(123);
+        let mut b = seeded_rng(123);
+        let va: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn seed_sequence_is_stable_and_spread() {
+        let seq = SeedSequence::new(42);
+        let s0 = seq.seed(0);
+        let s1 = seq.seed(1);
+        assert_ne!(s0, s1);
+        // Stability: same index, same seed.
+        assert_eq!(seq.seed(0), s0);
+        // 1000 trial seeds are all distinct.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(seq.seed(i)));
+        }
+    }
+
+    #[test]
+    fn child_sequences_are_independent() {
+        let seq = SeedSequence::new(7);
+        let a = seq.child(0);
+        let b = seq.child(1);
+        assert_ne!(a.seed(0), b.seed(0));
+        assert_ne!(a.seed(0), seq.seed(0));
+    }
+
+    #[test]
+    fn trial_rngs_reproduce() {
+        let seq = SeedSequence::new(9);
+        let x: u64 = seq.rng(5).gen();
+        let y: u64 = seq.rng(5).gen();
+        assert_eq!(x, y);
+    }
+}

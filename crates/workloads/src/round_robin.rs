@@ -1,0 +1,122 @@
+//! Recurring-edge (round-robin) sequences.
+//!
+//! Theorem 4 assumes that "the interactions occurring at least once, occur
+//! infinitely often". The round-robin workload realises that assumption on
+//! a finite horizon: a fixed list of pairs (by default all pairs of the
+//! complete graph) is replayed cyclically, so every edge of the underlying
+//! graph recurs every `|edges|` steps.
+
+use doda_core::{Interaction, InteractionSequence};
+use doda_graph::{AdjacencyGraph, NodeId};
+
+use crate::Workload;
+
+/// Deterministic cyclic replay of a fixed edge list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundRobinWorkload {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+}
+
+impl RoundRobinWorkload {
+    /// Round-robin over all pairs of `n ≥ 2` nodes (complete underlying graph).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn all_pairs(n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                edges.push((NodeId(a), NodeId(b)));
+            }
+        }
+        RoundRobinWorkload { n, edges }
+    }
+
+    /// Round-robin over the edges of an arbitrary graph, in canonical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no edges.
+    pub fn from_graph(graph: &AdjacencyGraph) -> Self {
+        let edges: Vec<(NodeId, NodeId)> = graph.edges().map(|e| (e.a, e.b)).collect();
+        assert!(!edges.is_empty(), "the graph must have at least one edge");
+        RoundRobinWorkload {
+            n: graph.node_count(),
+            edges,
+        }
+    }
+
+    /// The replayed edge list.
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+}
+
+impl Workload for RoundRobinWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn generate(&self, len: usize, _seed: u64) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.n);
+        for t in 0..len {
+            let (a, b) = self.edges[t % self.edges.len()];
+            seq.push(Interaction::new(a, b));
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_graph::generators;
+
+    #[test]
+    fn all_pairs_cycle_covers_complete_graph() {
+        let w = RoundRobinWorkload::all_pairs(5);
+        assert_eq!(w.edges().len(), 10);
+        let seq = w.generate(10, 0);
+        assert!(seq.underlying_graph().is_complete());
+    }
+
+    #[test]
+    fn every_edge_recurs() {
+        let w = RoundRobinWorkload::all_pairs(4);
+        let seq = w.generate(18, 0); // 3 full cycles of 6 edges
+        for e in seq.underlying_graph().edges() {
+            assert_eq!(seq.meeting_times(e.a, e.b).len(), 3);
+        }
+    }
+
+    #[test]
+    fn from_graph_respects_topology() {
+        let cycle = generators::cycle_graph(5);
+        let w = RoundRobinWorkload::from_graph(&cycle);
+        let seq = w.generate(50, 0);
+        let g = seq.underlying_graph();
+        assert_eq!(g.edge_count(), 5);
+        for e in g.edges() {
+            assert!(cycle.has_edge(e.a, e.b));
+        }
+    }
+
+    #[test]
+    fn seed_is_irrelevant() {
+        let w = RoundRobinWorkload::all_pairs(4);
+        assert_eq!(w.generate(20, 1), w.generate(20, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one edge")]
+    fn rejects_edgeless_graph() {
+        let _ = RoundRobinWorkload::from_graph(&AdjacencyGraph::new(3));
+    }
+}

@@ -1,0 +1,132 @@
+//! Tree-restricted sequences.
+//!
+//! Theorem 5 states that the spanning-tree algorithm is *optimal* when the
+//! underlying graph is a tree. This workload produces sequences whose
+//! interactions are confined to the edges of a tree (given or randomly
+//! generated from the seed), each edge recurring throughout the sequence in
+//! a random order.
+
+use doda_core::{Interaction, InteractionSequence};
+use doda_graph::{generators, AdjacencyGraph, NodeId};
+use doda_stats::rng::seeded_rng;
+use rand::Rng;
+
+use crate::Workload;
+
+/// Interactions restricted to the edges of a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreeRestrictedWorkload {
+    n: usize,
+    /// `None`: generate a fresh random tree from the seed at `generate`
+    /// time; `Some`: always use this fixed tree.
+    tree: Option<AdjacencyGraph>,
+}
+
+impl TreeRestrictedWorkload {
+    /// Sequences over a random tree derived from the generation seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn random_tree(n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        TreeRestrictedWorkload { n, tree: None }
+    }
+
+    /// Sequences over a fixed tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tree` is not a tree (connected with exactly `n − 1` edges).
+    pub fn from_tree(tree: AdjacencyGraph) -> Self {
+        let n = tree.node_count();
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        assert!(
+            tree.edge_count() == n - 1 && doda_graph::traversal::is_connected(&tree),
+            "the provided graph is not a tree"
+        );
+        TreeRestrictedWorkload { n, tree: Some(tree) }
+    }
+
+    /// The tree used for a given seed (the fixed one, or the seed-derived one).
+    pub fn tree_for_seed(&self, seed: u64) -> AdjacencyGraph {
+        match &self.tree {
+            Some(t) => t.clone(),
+            None => {
+                let mut rng = seeded_rng(seed ^ TREE_SEED_MARKER);
+                generators::random_tree_graph(self.n, &mut rng)
+            }
+        }
+    }
+}
+
+/// A fixed marker mixed into the seed so the tree shape and the interaction
+/// order are driven by independent random streams.
+const TREE_SEED_MARKER: u64 = 0x5EED_7AEE_0000_0001;
+
+impl Workload for TreeRestrictedWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "tree-restricted"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let tree = self.tree_for_seed(seed);
+        let edges: Vec<(NodeId, NodeId)> = tree.edges().map(|e| (e.a, e.b)).collect();
+        let mut rng = seeded_rng(seed);
+        let mut seq = InteractionSequence::new(self.n);
+        for _ in 0..len {
+            let (a, b) = edges[rng.gen_range(0..edges.len())];
+            seq.push(Interaction::new(a, b));
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interactions_stay_on_the_tree() {
+        let w = TreeRestrictedWorkload::random_tree(12);
+        let seed = 9;
+        let tree = w.tree_for_seed(seed);
+        let seq = w.generate(2_000, seed);
+        for ti in seq.iter() {
+            assert!(tree.has_edge(ti.interaction.min(), ti.interaction.max()));
+        }
+        // Underlying graph is (a subgraph of) the tree and, with 2000 draws
+        // over at most 11 edges, almost surely the whole tree.
+        assert_eq!(seq.underlying_graph().edge_count(), 11);
+    }
+
+    #[test]
+    fn fixed_tree_is_respected_regardless_of_seed() {
+        let path = generators::path_graph(6);
+        let w = TreeRestrictedWorkload::from_tree(path.clone());
+        for seed in [1u64, 2, 3] {
+            let seq = w.generate(500, seed);
+            for ti in seq.iter() {
+                assert!(path.has_edge(ti.interaction.min(), ti.interaction.max()));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a tree")]
+    fn rejects_non_trees() {
+        let _ = TreeRestrictedWorkload::from_tree(generators::cycle_graph(4));
+    }
+
+    #[test]
+    fn different_seeds_give_different_trees() {
+        let w = TreeRestrictedWorkload::random_tree(10);
+        let t1 = w.tree_for_seed(1);
+        let t2 = w.tree_for_seed(2);
+        assert_ne!(t1, t2);
+    }
+}

@@ -1,0 +1,82 @@
+//! Uniform random contacts — the paper's randomized adversary as a workload.
+
+use doda_core::InteractionSequence;
+use doda_core::{Interaction, Time};
+use doda_graph::NodeId;
+use doda_stats::rng::seeded_rng;
+use rand::Rng;
+
+use crate::Workload;
+
+/// Uniformly random pairwise contacts over `n` nodes: every pair occurs
+/// with probability `2 / (n(n−1))` at every time step, exactly the
+/// randomized adversary of Section 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UniformWorkload {
+    n: usize,
+}
+
+impl UniformWorkload {
+    /// Creates the workload over `n ≥ 2` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        UniformWorkload { n }
+    }
+}
+
+impl Workload for UniformWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut rng = seeded_rng(seed);
+        let mut seq = InteractionSequence::new(self.n);
+        for _ in 0..len {
+            let a = rng.gen_range(0..self.n);
+            let mut b = rng.gen_range(0..self.n - 1);
+            if b >= a {
+                b += 1;
+            }
+            seq.push(Interaction::new(NodeId(a), NodeId(b)));
+        }
+        let _: Time = 0;
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_length_and_valid_pairs() {
+        let w = UniformWorkload::new(6);
+        let seq = w.generate(1000, 3);
+        assert_eq!(seq.len(), 1000);
+        for ti in seq.iter() {
+            assert!(ti.interaction.max().index() < 6);
+        }
+    }
+
+    #[test]
+    fn underlying_graph_becomes_complete_quickly() {
+        let w = UniformWorkload::new(6);
+        let seq = w.generate(500, 9);
+        assert!(seq.underlying_graph().is_complete());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_single_node() {
+        let _ = UniformWorkload::new(1);
+    }
+}

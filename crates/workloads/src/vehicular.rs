@@ -1,0 +1,157 @@
+//! Vehicular ad-hoc contacts.
+//!
+//! The paper's introduction also motivates the problem with "cars evolving
+//! in a city that communicate with each other in an ad hoc manner". This
+//! workload is the synthetic stand-in: vehicles perform independent random
+//! walks over a grid of road cells and two vehicles can interact only when
+//! they occupy the same cell — producing the bursty, spatially correlated
+//! contact pattern characteristic of vehicular traces (repeated contacts
+//! while driving alongside, long silences otherwise).
+
+use doda_core::{Interaction, InteractionSequence};
+use doda_graph::NodeId;
+use doda_stats::rng::{seeded_rng, DodaRng};
+use rand::Rng;
+
+use crate::Workload;
+
+/// Random-waypoint-style contacts on a `grid_side × grid_side` cell grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VehicularWorkload {
+    n: usize,
+    grid_side: usize,
+}
+
+impl VehicularWorkload {
+    /// Creates the workload: `n ≥ 2` vehicles on a `grid_side ≥ 1` grid.
+    ///
+    /// Small grids produce dense contact graphs (many co-located vehicles);
+    /// large grids produce sparse, bursty contacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `grid_side == 0`.
+    pub fn new(n: usize, grid_side: usize) -> Self {
+        assert!(n >= 2, "need at least 2 vehicles, got {n}");
+        assert!(grid_side >= 1, "the grid needs at least one cell");
+        VehicularWorkload { n, grid_side }
+    }
+
+    fn step_position(&self, pos: (usize, usize), rng: &mut DodaRng) -> (usize, usize) {
+        let (mut x, mut y) = pos;
+        match rng.gen_range(0..4) {
+            0 => x = (x + 1).min(self.grid_side - 1),
+            1 => x = x.saturating_sub(1),
+            2 => y = (y + 1).min(self.grid_side - 1),
+            _ => y = y.saturating_sub(1),
+        }
+        (x, y)
+    }
+}
+
+impl Workload for VehicularWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "vehicular"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut rng = seeded_rng(seed);
+        let mut positions: Vec<(usize, usize)> = (0..self.n)
+            .map(|_| (rng.gen_range(0..self.grid_side), rng.gen_range(0..self.grid_side)))
+            .collect();
+        let mut seq = InteractionSequence::new(self.n);
+        while seq.len() < len {
+            // Move every vehicle one step.
+            for pos in positions.iter_mut() {
+                *pos = self.step_position(*pos, &mut rng);
+            }
+            // Collect co-located pairs and emit them one per time step, in a
+            // random order, until the budget is reached.
+            let mut pairs: Vec<(usize, usize)> = Vec::new();
+            for a in 0..self.n {
+                for b in (a + 1)..self.n {
+                    if positions[a] == positions[b] {
+                        pairs.push((a, b));
+                    }
+                }
+            }
+            // Fisher-Yates shuffle for an unbiased emission order.
+            for i in (1..pairs.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                pairs.swap(i, j);
+            }
+            if pairs.is_empty() {
+                // Nobody is co-located this round: emit one random "roadside
+                // unit" style long-range contact so the sequence keeps the
+                // one-interaction-per-step structure of the model.
+                let a = rng.gen_range(0..self.n);
+                let mut b = rng.gen_range(0..self.n - 1);
+                if b >= a {
+                    b += 1;
+                }
+                seq.push(Interaction::new(NodeId(a), NodeId(b)));
+                continue;
+            }
+            for (a, b) in pairs {
+                if seq.len() >= len {
+                    break;
+                }
+                seq.push(Interaction::new(NodeId(a), NodeId(b)));
+            }
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_exactly_len_interactions() {
+        let w = VehicularWorkload::new(10, 4);
+        let seq = w.generate(777, 5);
+        assert_eq!(seq.len(), 777);
+        for ti in seq.iter() {
+            assert!(ti.interaction.max().index() < 10);
+        }
+    }
+
+    #[test]
+    fn dense_grid_gives_bursty_repeated_contacts() {
+        // On a 2x2 grid with 12 vehicles, co-location is frequent, so the
+        // same pair should appear many times (contact bursts).
+        let w = VehicularWorkload::new(12, 2);
+        let seq = w.generate(3_000, 1);
+        let mut max_repeats = 0usize;
+        let g = seq.underlying_graph();
+        for e in g.edges() {
+            let repeats = seq.meeting_times(e.a, e.b).len();
+            max_repeats = max_repeats.max(repeats);
+        }
+        assert!(max_repeats > 10, "expected bursty contacts, max repeats = {max_repeats}");
+    }
+
+    #[test]
+    fn sparse_grid_still_produces_valid_sequences() {
+        let w = VehicularWorkload::new(4, 16);
+        let seq = w.generate(300, 9);
+        assert_eq!(seq.len(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 vehicles")]
+    fn rejects_single_vehicle() {
+        let _ = VehicularWorkload::new(1, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cell")]
+    fn rejects_empty_grid() {
+        let _ = VehicularWorkload::new(4, 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Zipf-popularity contacts.
+
+use doda_core::{Interaction, InteractionSequence};
+use doda_graph::NodeId;
+use doda_stats::rng::seeded_rng;
+use rand::Rng;
+
+use crate::Workload;
+
+/// Contacts where node popularity follows a Zipf law: node `i` participates
+/// with weight `1 / (i+1)^s`. Models hub-and-spoke contact patterns (a few
+/// very social nodes) and is the natural "non-uniform randomized adversary"
+/// asked about in the paper's conclusion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZipfWorkload {
+    n: usize,
+    exponent: f64,
+}
+
+impl ZipfWorkload {
+    /// Creates the workload over `n ≥ 2` nodes with Zipf exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the exponent is negative / non-finite.
+    pub fn new(n: usize, exponent: f64) -> Self {
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        assert!(
+            exponent.is_finite() && exponent >= 0.0,
+            "Zipf exponent must be finite and non-negative, got {exponent}"
+        );
+        ZipfWorkload { n, exponent }
+    }
+
+    fn cumulative_weights(&self) -> Vec<f64> {
+        let mut acc = 0.0;
+        (0..self.n)
+            .map(|i| {
+                acc += 1.0 / ((i + 1) as f64).powf(self.exponent);
+                acc
+            })
+            .collect()
+    }
+}
+
+impl Workload for ZipfWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "zipf"
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut rng = seeded_rng(seed);
+        let cumulative = self.cumulative_weights();
+        let total = *cumulative.last().expect("n >= 2");
+        let draw_node = |rng: &mut doda_stats::rng::DodaRng| {
+            let x: f64 = rng.gen_range(0.0..total);
+            NodeId(cumulative.partition_point(|&c| c <= x).min(self.n - 1))
+        };
+        let mut seq = InteractionSequence::new(self.n);
+        for _ in 0..len {
+            let a = draw_node(&mut rng);
+            let b = loop {
+                let candidate = draw_node(&mut rng);
+                if candidate != a {
+                    break candidate;
+                }
+            };
+            seq.push(Interaction::new(a, b));
+        }
+        seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_zero_is_uniform_like() {
+        let w = ZipfWorkload::new(5, 0.0);
+        let seq = w.generate(20_000, 1);
+        let mut counts = vec![0usize; 5];
+        for ti in seq.iter() {
+            counts[ti.interaction.min().index()] += 1;
+            counts[ti.interaction.max().index()] += 1;
+        }
+        let expected = 2.0 * 20_000.0 / 5.0;
+        for &c in &counts {
+            assert!((c as f64 - expected).abs() / expected < 0.1);
+        }
+    }
+
+    #[test]
+    fn high_exponent_concentrates_on_low_ids() {
+        let w = ZipfWorkload::new(10, 2.0);
+        let seq = w.generate(10_000, 2);
+        let node0: usize = seq
+            .iter()
+            .filter(|ti| ti.interaction.involves(NodeId(0)))
+            .count();
+        let node9: usize = seq
+            .iter()
+            .filter(|ti| ti.interaction.involves(NodeId(9)))
+            .count();
+        assert!(node0 > 10 * node9.max(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_exponent() {
+        let _ = ZipfWorkload::new(4, -1.0);
+    }
+}

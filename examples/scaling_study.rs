@@ -1,0 +1,46 @@
+//! Scaling study: the headline comparison of the paper's Section 4, on a
+//! small sweep (use `--full` for the benchmark-sized sweep).
+//!
+//! Reproduces the shapes of Theorems 7–11 against the uniform randomized
+//! adversary: the offline optimum grows like `n log n`, Waiting Greedy like
+//! `n^{3/2}√log n`, Gathering like `n²` and Waiting like `n² log n`, with
+//! the ordering offline < WaitingGreedy < Gathering < Waiting at every `n`.
+//!
+//! ```text
+//! cargo run --release --example scaling_study [-- --full]
+//! ```
+
+use doda::analysis::report::{exponents_to_markdown, scaling_to_markdown};
+use doda::analysis::ScalingStudy;
+use doda::prelude::*;
+use doda::stats::harmonic;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let study = if full {
+        ScalingStudy::benchmark()
+    } else {
+        ScalingStudy::quick()
+    };
+    println!(
+        "Scaling study against the uniform randomized adversary: n ∈ {:?}, {} trials per point\n",
+        study.ns, study.trials
+    );
+
+    let results = study.run_all(&AlgorithmSpec::randomized_comparison());
+
+    println!("{}", scaling_to_markdown(&results));
+    println!("{}", exponents_to_markdown(&results));
+
+    println!("Closed-form expectations from the paper's proofs, for comparison:");
+    for &n in &study.ns {
+        println!(
+            "  n = {n:4}: offline (n-1)H(n-1) = {:8.0}   Gathering (n-1)^2 = {:8.0}   Waiting n(n-1)H(n-1)/2 = {:9.0}   WG τ = {:8}",
+            harmonic::expected_full_knowledge_interactions(n),
+            harmonic::expected_gathering_interactions(n),
+            harmonic::expected_waiting_interactions(n),
+            harmonic::waiting_greedy_tau(n),
+        );
+    }
+    println!("\nExpected ordering at every n: OfflineOptimal < WaitingGreedy < Gathering < Waiting.");
+}

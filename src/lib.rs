@@ -1,0 +1,50 @@
+//! # doda — Distributed Online Data Aggregation in Dynamic Graphs
+//!
+//! Facade crate of the reproduction of *"Distributed Online Data
+//! Aggregation in Dynamic Graphs"* (Bramas, Masuzawa, Tixeuil — ICDCS
+//! 2016). It re-exports the workspace crates under a single name and hosts
+//! the runnable examples and the cross-crate integration tests.
+//!
+//! | module | contents |
+//! |--------|----------|
+//! | [`graph`] | static/evolving graph substrate (`doda-graph`) |
+//! | [`stats`] | statistics substrate (`doda-stats`) |
+//! | [`core`] | the paper's model, algorithms, convergecast and cost (`doda-core`) |
+//! | [`adversary`] | oblivious / adaptive / randomized adversaries (`doda-adversary`) |
+//! | [`workloads`] | synthetic interaction-sequence generators (`doda-workloads`) |
+//! | [`sim`] | trial runner, batches, tables (`doda-sim`) |
+//! | [`analysis`] | scaling studies and the E1–E12 experiment harness (`doda-analysis`) |
+//!
+//! ```
+//! use doda::prelude::*;
+//! use doda::graph::NodeId;
+//!
+//! let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1)]);
+//! let mut algo = Gathering::new();
+//! let outcome = engine::run_with_id_sets(
+//!     &mut algo,
+//!     &mut seq.source(false),
+//!     NodeId(0),
+//!     EngineConfig::default(),
+//! )?;
+//! assert!(outcome.terminated());
+//! # Ok::<(), doda::core::error::EngineError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use doda_adversary as adversary;
+pub use doda_analysis as analysis;
+pub use doda_core as core;
+pub use doda_graph as graph;
+pub use doda_sim as sim;
+pub use doda_stats as stats;
+pub use doda_workloads as workloads;
+
+/// One-stop prelude: the core prelude plus the most used simulation types.
+pub mod prelude {
+    pub use doda_core::prelude::*;
+    pub use doda_sim::prelude::*;
+    pub use doda_workloads::Workload;
+}

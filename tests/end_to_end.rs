@@ -1,0 +1,264 @@
+//! Cross-crate integration tests: adversaries + workloads + algorithms +
+//! cost function, exercised through the public facade crate.
+
+use doda::adversary::{AdaptiveTrap, CycleTrap, ObliviousTrap, RandomizedAdversary};
+use doda::core::cost::{cost_of_duration, Cost};
+use doda::core::knowledge::MeetTimeOracle;
+use doda::graph::NodeId;
+use doda::prelude::*;
+use doda::stats::harmonic;
+use doda::workloads::{
+    BodyAreaWorkload, CommunityWorkload, RoundRobinWorkload, TreeRestrictedWorkload,
+    UniformWorkload, VehicularWorkload, ZipfWorkload,
+};
+
+const SINK: NodeId = NodeId(0);
+
+fn run_spec_on(seq: &InteractionSequence, spec: AlgorithmSpec) -> ExecutionOutcome<IdSet> {
+    let mut algorithm = spec
+        .instantiate(seq, SINK)
+        .expect("algorithm must instantiate on a connected random sequence");
+    engine::run_with_id_sets(
+        algorithm.as_mut(),
+        &mut seq.source(false),
+        SINK,
+        EngineConfig::default(),
+    )
+    .expect("valid decisions")
+}
+
+#[test]
+fn every_algorithm_terminates_and_conserves_data_on_every_workload() {
+    let n = 12;
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(UniformWorkload::new(n)),
+        Box::new(ZipfWorkload::new(n, 1.0)),
+        Box::new(CommunityWorkload::new(n, 3, 0.8)),
+        Box::new(BodyAreaWorkload::new(n)),
+        Box::new(VehicularWorkload::new(n, 3)),
+        Box::new(RoundRobinWorkload::all_pairs(n)),
+    ];
+    for workload in &workloads {
+        let seq = workload.generate(10 * n * n, 0xBEEF);
+        for spec in AlgorithmSpec::all() {
+            let Some(mut algorithm) = spec.instantiate(&seq, SINK) else {
+                continue;
+            };
+            let outcome = engine::run_with_id_sets(
+                algorithm.as_mut(),
+                &mut seq.source(false),
+                SINK,
+                EngineConfig::default(),
+            )
+            .expect("valid decisions");
+            if outcome.terminated() {
+                // Data conservation: the sink's value is exactly the set of
+                // all origins, and exactly n-1 nodes transmitted.
+                assert!(
+                    outcome.sink_data.as_ref().unwrap().covers_all(n),
+                    "{} on {} lost data",
+                    spec,
+                    workload.name()
+                );
+                assert_eq!(outcome.remaining_owners(), 1);
+            }
+            // One-transmission rule: even without termination, the number of
+            // owners only decreases from n and the sink always owns data.
+            assert!(outcome.final_ownership[SINK.index()]);
+        }
+    }
+}
+
+#[test]
+fn offline_optimal_is_never_beaten_on_shared_sequences() {
+    for seed in 0..5u64 {
+        let seq = UniformWorkload::new(10).generate(4_000, seed);
+        let offline = run_spec_on(&seq, AlgorithmSpec::OfflineOptimal);
+        assert!(offline.terminated());
+        let off_t = offline.termination_time.unwrap();
+        for spec in [
+            AlgorithmSpec::Waiting,
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+            AlgorithmSpec::FutureBroadcast,
+        ] {
+            let outcome = run_spec_on(&seq, spec);
+            if let Some(t) = outcome.termination_time {
+                assert!(off_t <= t, "{spec} beat the offline optimum on seed {seed}");
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_optimal_cost_is_always_one() {
+    for seed in 10..15u64 {
+        let seq = UniformWorkload::new(8).generate(2_000, seed);
+        let outcome = run_spec_on(&seq, AlgorithmSpec::OfflineOptimal);
+        let cost = cost_of_duration(&seq, SINK, outcome.termination_time, 64);
+        assert!(cost.is_optimal(), "seed {seed}: cost {cost}");
+    }
+}
+
+#[test]
+fn expected_interaction_counts_match_the_closed_forms() {
+    // Average over independent trials and compare against the exact
+    // expectations used in the proofs of Theorems 8 and 9 (±25%).
+    let n = 24;
+    let trials = 30;
+    let mut sums = [0.0f64; 3];
+    for trial in 0..trials {
+        let seq = RandomizedAdversary::new(n, 1000 + trial).generate_sequence(8 * n * n);
+        for (i, spec) in [
+            AlgorithmSpec::OfflineOptimal,
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::Waiting,
+        ]
+        .iter()
+        .enumerate()
+        {
+            let outcome = run_spec_on(&seq, *spec);
+            sums[i] += (outcome.termination_time.expect("terminates") + 1) as f64;
+        }
+    }
+    let means: Vec<f64> = sums.iter().map(|s| s / trials as f64).collect();
+    let expected = [
+        harmonic::expected_full_knowledge_interactions(n),
+        harmonic::expected_gathering_interactions(n),
+        harmonic::expected_waiting_interactions(n),
+    ];
+    for ((mean, exp), label) in means
+        .iter()
+        .zip(expected.iter())
+        .zip(["offline", "gathering", "waiting"])
+    {
+        let ratio = mean / exp;
+        assert!(
+            (0.75..=1.25).contains(&ratio),
+            "{label}: measured {mean:.1} vs expected {exp:.1} (ratio {ratio:.2})"
+        );
+    }
+}
+
+#[test]
+fn waiting_greedy_beats_gathering_and_respects_tau() {
+    let n = 64;
+    let tau = harmonic::waiting_greedy_tau(n);
+    let mut wg_wins = 0;
+    let trials = 10;
+    for seed in 0..trials {
+        let seq = UniformWorkload::new(n).generate(8 * n * n, seed);
+        let oracle = MeetTimeOracle::new(&seq, SINK);
+        let mut wg = WaitingGreedy::new(tau, oracle);
+        let wg_outcome = engine::run_with_id_sets(
+            &mut wg,
+            &mut seq.source(false),
+            SINK,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        let gathering_outcome = run_spec_on(&seq, AlgorithmSpec::Gathering);
+        let (Some(wg_t), Some(g_t)) = (wg_outcome.termination_time, gathering_outcome.termination_time)
+        else {
+            panic!("both algorithms should terminate on an 8n² horizon");
+        };
+        if wg_t < g_t {
+            wg_wins += 1;
+        }
+    }
+    assert!(
+        wg_wins >= trials * 7 / 10,
+        "Waiting Greedy should beat Gathering on most sequences at n = {n} (won {wg_wins}/{trials})"
+    );
+}
+
+#[test]
+fn adversarial_traps_produce_unbounded_cost_for_online_algorithms() {
+    // Adaptive trap vs Gathering.
+    let horizon = 3_000;
+    let mut trap = AdaptiveTrap::new();
+    let mut gathering = Gathering::new();
+    let outcome = engine::run_with_id_sets(
+        &mut gathering,
+        &mut trap,
+        AdaptiveTrap::SINK,
+        EngineConfig::with_max_interactions(horizon),
+    )
+    .unwrap();
+    assert!(!outcome.terminated());
+
+    // Oblivious trap: the materialised sequence keeps admitting convergecasts,
+    // so the cost of the non-terminating run exceeds any horizon we test.
+    let trap = ObliviousTrap::for_greedy_algorithms(8);
+    let seq = trap.materialize(5_000);
+    let cost = cost_of_duration(&seq, ObliviousTrap::SINK, None, 40);
+    assert_eq!(cost, Cost::ExceedsHorizon { checked: 40 });
+
+    // 4-cycle trap vs the spanning-tree algorithm.
+    let underlying = CycleTrap::underlying_graph();
+    let mut spanning =
+        SpanningTreeAggregation::from_underlying_graph(&underlying, CycleTrap::SINK).unwrap();
+    let mut trap = CycleTrap::new();
+    let outcome = engine::run_with_id_sets(
+        &mut spanning,
+        &mut trap,
+        CycleTrap::SINK,
+        EngineConfig::with_max_interactions(horizon),
+    )
+    .unwrap();
+    assert!(!outcome.terminated());
+}
+
+#[test]
+fn tree_restricted_sequences_make_spanning_tree_optimal() {
+    let n = 10;
+    let workload = TreeRestrictedWorkload::random_tree(n);
+    for seed in 0..5u64 {
+        let seq = workload.generate(60 * n, seed);
+        let underlying = seq.underlying_graph();
+        let Some(mut algo) = SpanningTreeAggregation::from_underlying_graph(&underlying, SINK)
+        else {
+            continue;
+        };
+        let outcome = engine::run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            SINK,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.terminated(), "seed {seed}");
+        let cost = cost_of_duration(&seq, SINK, outcome.termination_time, 128);
+        assert!(cost.is_optimal(), "seed {seed}: cost {cost}");
+    }
+}
+
+#[test]
+fn future_broadcast_cost_is_at_most_n_across_workloads() {
+    let n = 8;
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(UniformWorkload::new(n)),
+        Box::new(CommunityWorkload::new(n, 2, 0.7)),
+        Box::new(RoundRobinWorkload::all_pairs(n)),
+    ];
+    for workload in &workloads {
+        let seq = workload.generate(10 * n * n, 77);
+        let mut algo = FutureBroadcast::new(&seq, SINK);
+        let outcome = engine::run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            SINK,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.terminated(), "{}", workload.name());
+        match cost_of_duration(&seq, SINK, outcome.termination_time, 8 * n as u64) {
+            Cost::Finite(c) => assert!(
+                c <= n as u64,
+                "{}: cost {c} exceeds n = {n}",
+                workload.name()
+            ),
+            other => panic!("{}: unexpected cost {other}", workload.name()),
+        }
+    }
+}

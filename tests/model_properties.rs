@@ -1,0 +1,133 @@
+//! Property-based integration tests on the model invariants, across crates.
+
+use doda::core::convergecast::{optimal_convergecast, validate_schedule};
+use doda::core::cost::cost_of_duration;
+use doda::graph::NodeId;
+use doda::prelude::*;
+use proptest::prelude::*;
+
+const SINK: NodeId = NodeId(0);
+
+/// Strategy: a random interaction sequence over `n` nodes.
+fn sequence_strategy(n: usize, max_len: usize) -> impl Strategy<Value = InteractionSequence> {
+    prop::collection::vec((0..n, 0..n), 1..max_len).prop_map(move |pairs| {
+        let mut filtered: Vec<(usize, usize)> = pairs.into_iter().filter(|(a, b)| a != b).collect();
+        if filtered.is_empty() {
+            filtered.push((0, 1));
+        }
+        InteractionSequence::from_pairs(n, filtered)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The one-transmission rule and data conservation hold for every
+    /// algorithm on every sequence: the multiset of origins at the sink plus
+    /// the origins still held by other owners always equals {0, …, n-1}.
+    #[test]
+    fn ownership_partition_is_invariant(seq in sequence_strategy(7, 120)) {
+        for spec in [AlgorithmSpec::Waiting, AlgorithmSpec::Gathering,
+                     AlgorithmSpec::WaitingGreedy { tau: None },
+                     AlgorithmSpec::OfflineOptimal] {
+            let Some(mut algo) = spec.instantiate(&seq, SINK) else { continue };
+            let outcome = engine::run_with_id_sets(
+                algo.as_mut(),
+                &mut seq.source(false),
+                SINK,
+                EngineConfig::default(),
+            ).unwrap();
+            // Owners hold disjoint origin sets whose union is everything.
+            // (We can only see the sink's data from the outcome, so check the
+            // weaker but still discriminating invariants below.)
+            let owners = outcome.remaining_owners();
+            prop_assert!(owners >= 1);
+            prop_assert!(outcome.final_ownership[SINK.index()]);
+            if outcome.terminated() {
+                prop_assert_eq!(owners, 1);
+                prop_assert!(outcome.sink_data.as_ref().unwrap().covers_all(7));
+            } else {
+                prop_assert!(outcome.sink_data.as_ref().unwrap().len() < 7);
+            }
+        }
+    }
+
+    /// Whenever an optimal convergecast exists it is a valid aggregation
+    /// schedule, no algorithm terminates before it, and the cost of the
+    /// offline optimum is 1.
+    #[test]
+    fn convergecast_is_valid_and_unbeatable(seq in sequence_strategy(6, 200)) {
+        match optimal_convergecast(&seq, SINK, 0) {
+            None => {
+                // No convergecast: no algorithm can terminate either.
+                for spec in [AlgorithmSpec::Gathering, AlgorithmSpec::OfflineOptimal] {
+                    let Some(mut algo) = spec.instantiate(&seq, SINK) else { continue };
+                    let outcome = engine::run_with_id_sets(
+                        algo.as_mut(),
+                        &mut seq.source(false),
+                        SINK,
+                        EngineConfig::default(),
+                    ).unwrap();
+                    prop_assert!(!outcome.terminated());
+                }
+            }
+            Some(schedule) => {
+                prop_assert!(validate_schedule(&seq, SINK, &schedule).is_ok());
+                let mut offline = AlgorithmSpec::OfflineOptimal
+                    .instantiate(&seq, SINK)
+                    .expect("offline always instantiates");
+                let outcome = engine::run_with_id_sets(
+                    offline.as_mut(),
+                    &mut seq.source(false),
+                    SINK,
+                    EngineConfig::default(),
+                ).unwrap();
+                prop_assert!(outcome.terminated());
+                prop_assert_eq!(outcome.termination_time, Some(schedule.completion));
+                let cost = cost_of_duration(&seq, SINK, outcome.termination_time, 64);
+                prop_assert!(cost.is_optimal());
+                // Nothing terminates strictly before the optimum.
+                for spec in [AlgorithmSpec::Waiting, AlgorithmSpec::Gathering] {
+                    let mut algo = spec.instantiate(&seq, SINK).unwrap();
+                    let online = engine::run_with_id_sets(
+                        algo.as_mut(),
+                        &mut seq.source(false),
+                        SINK,
+                        EngineConfig::default(),
+                    ).unwrap();
+                    if let Some(t) = online.termination_time {
+                        prop_assert!(t >= schedule.completion);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The cost function is monotone in the duration and invariant under
+    /// appending duplicate interactions.
+    #[test]
+    fn cost_monotonicity_and_duplicate_invariance(
+        seq in sequence_strategy(5, 150),
+        d1 in 0u64..150,
+        d2 in 0u64..150,
+    ) {
+        let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+        let c_lo = cost_of_duration(&seq, SINK, Some(lo), 64);
+        let c_hi = cost_of_duration(&seq, SINK, Some(hi), 64);
+        if let (Some(a), Some(b)) = (c_lo.as_finite(), c_hi.as_finite()) {
+            prop_assert!(a <= b, "cost must be monotone in the duration");
+        }
+        // Appending duplicates of the last interaction does not change the
+        // cost of a fixed duration within the original sequence length.
+        if let Some(last) = seq.get(seq.len() as u64 - 1) {
+            let mut padded = seq.clone();
+            padded.push(last);
+            padded.push(last);
+            let duration = Some(lo.min(seq.len() as u64 - 1));
+            prop_assert_eq!(
+                cost_of_duration(&seq, SINK, duration, 64),
+                cost_of_duration(&padded, SINK, duration, 64)
+            );
+        }
+    }
+}
