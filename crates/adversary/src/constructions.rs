@@ -256,7 +256,10 @@ impl ObliviousTrap {
     /// Panics if `n < 4` or `d` is not a valid ring index (`0 < d < n−1`).
     pub fn new(n: usize, l0: usize, d: usize) -> Self {
         assert!(n >= 4, "the construction needs at least 4 nodes, got {n}");
-        assert!(d > 0 && d < n - 1, "ring index d={d} must satisfy 0 < d < n-1");
+        assert!(
+            d > 0 && d < n - 1,
+            "ring index d={d} must satisfy 0 < d < n-1"
+        );
         ObliviousTrap { n, l0, d }
     }
 
@@ -313,7 +316,12 @@ mod tests {
     use super::*;
     use doda_core::prelude::*;
 
-    fn run_trap<S, D>(source: &mut S, algo: &mut D, sink: NodeId, horizon: u64) -> ExecutionOutcome<IdSet>
+    fn run_trap<S, D>(
+        source: &mut S,
+        algo: &mut D,
+        sink: NodeId,
+        horizon: u64,
+    ) -> ExecutionOutcome<IdSet>
     where
         S: InteractionSource + ?Sized,
         D: DodaAlgorithm + ?Sized,

@@ -58,7 +58,9 @@ impl WeightedRandomAdversary {
     /// Zipf-like weights: node `i` has weight `1 / (i + 1)^exponent`, so low
     /// ids (including the sink, id 0) are "popular" hubs.
     pub fn zipf(n: usize, exponent: f64, seed: u64) -> Self {
-        let weights = (0..n).map(|i| 1.0 / ((i + 1) as f64).powf(exponent)).collect();
+        let weights = (0..n)
+            .map(|i| 1.0 / ((i + 1) as f64).powf(exponent))
+            .collect();
         WeightedRandomAdversary::new(weights, seed)
     }
 
@@ -152,7 +154,7 @@ mod tests {
     fn uniform_variant_is_roughly_balanced() {
         let mut adv = WeightedRandomAdversary::uniform(5, 7);
         let seq = adv.generate_sequence(20_000);
-        let mut counts = vec![0usize; 5];
+        let mut counts = [0usize; 5];
         for ti in seq.iter() {
             counts[ti.interaction.min().index()] += 1;
             counts[ti.interaction.max().index()] += 1;

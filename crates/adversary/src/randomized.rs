@@ -32,7 +32,10 @@ impl RandomizedAdversary {
     ///
     /// Panics if `n < 2` (no pair of distinct nodes exists).
     pub fn new(n: usize, seed: u64) -> Self {
-        assert!(n >= 2, "the randomized adversary needs at least 2 nodes, got {n}");
+        assert!(
+            n >= 2,
+            "the randomized adversary needs at least 2 nodes, got {n}"
+        );
         RandomizedAdversary {
             n,
             rng: seeded_rng(seed),

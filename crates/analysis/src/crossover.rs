@@ -3,7 +3,7 @@
 use crate::scaling::ScalingResult;
 
 /// Pairwise comparison of two scaling results at each measured `n`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Comparison {
     /// Label of the first algorithm.
     pub a: String,

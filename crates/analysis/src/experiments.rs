@@ -28,7 +28,7 @@ pub enum Effort {
 }
 
 /// The outcome of one experiment.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentReport {
     /// Experiment id (`"E1"` … `"E12"`).
     pub id: String,
@@ -173,9 +173,8 @@ pub fn e3_cycle_trap(effort: Effort) -> ExperimentReport {
         Effort::Full => 100_000,
     };
     let underlying = CycleTrap::underlying_graph();
-    let mut spanning =
-        SpanningTreeAggregation::from_underlying_graph(&underlying, CycleTrap::SINK)
-            .expect("the 4-cycle is connected");
+    let mut spanning = SpanningTreeAggregation::from_underlying_graph(&underlying, CycleTrap::SINK)
+        .expect("the 4-cycle is connected");
     let mut trap = CycleTrap::new();
     let outcome = engine::run_with_id_sets(
         &mut spanning,
@@ -287,7 +286,10 @@ pub fn e5_tree_underlying(effort: Effort) -> ExperimentReport {
         "E5",
         "Tree underlying graph: spanning-tree algorithm is optimal",
         "Theorem 5: if G̅ is a tree, the algorithm achieves cost_A(I) = 1",
-        format!("{} tree-restricted sequences, costs = {costs:?}", costs.len()),
+        format!(
+            "{} tree-restricted sequences, costs = {costs:?}",
+            costs.len()
+        ),
         passed,
     )
 }
@@ -325,7 +327,9 @@ pub fn e6_future_knowledge(effort: Effort) -> ExperimentReport {
         "E6",
         "Own-future knowledge: cost at most n",
         "Theorem 6: there is an algorithm in DODA(future) with cost_A(I) ≤ n for every I",
-        format!("n = {n}, {seeds} random sequences: maximum observed cost = {max_cost} (bound n = {n})"),
+        format!(
+            "n = {n}, {seeds} random sequences: maximum observed cost = {max_cost} (bound n = {n})"
+        ),
         all_within,
     )
 }
@@ -433,10 +437,21 @@ pub fn e10_waiting_greedy(effort: Effort) -> ExperimentReport {
         .iter()
         .map(|p| p.fraction_within)
         .fold(f64::INFINITY, f64::min);
-    let passed = worst >= 0.8 && points.last().map(|p| p.fraction_within >= 0.9).unwrap_or(false);
+    let passed = worst >= 0.8
+        && points
+            .last()
+            .map(|p| p.fraction_within >= 0.9)
+            .unwrap_or(false);
     let detail: Vec<String> = points
         .iter()
-        .map(|p| format!("n={}: {:.0}% ≤ τ={}", p.n, p.fraction_within * 100.0, p.bound))
+        .map(|p| {
+            format!(
+                "n={}: {:.0}% ≤ τ={}",
+                p.n,
+                p.fraction_within * 100.0,
+                p.bound
+            )
+        })
         .collect();
     report(
         "E10",
@@ -472,7 +487,10 @@ pub fn e11_meettime_optimality(effort: Effort) -> ExperimentReport {
             format!(
                 "{} {:.0}",
                 r.algorithm,
-                r.points.last().map(|p| p.mean_interactions).unwrap_or(f64::NAN)
+                r.points
+                    .last()
+                    .map(|p| p.mean_interactions)
+                    .unwrap_or(f64::NAN)
             )
         })
         .collect();

@@ -15,7 +15,11 @@ pub fn reports_to_markdown(reports: &[ExperimentReport]) -> String {
             r.title.clone(),
             r.paper_claim.clone(),
             r.measured.clone(),
-            if r.passed { "consistent".to_string() } else { "MISMATCH".to_string() },
+            if r.passed {
+                "consistent".to_string()
+            } else {
+                "MISMATCH".to_string()
+            },
         ]);
     }
     table.to_markdown()
@@ -24,7 +28,13 @@ pub fn reports_to_markdown(reports: &[ExperimentReport]) -> String {
 /// Renders a set of scaling results (one line per algorithm and `n`) as a
 /// Markdown table — the "headline figure" of the reproduction.
 pub fn scaling_to_markdown(results: &[ScalingResult]) -> String {
-    let mut table = Table::new(["algorithm", "n", "mean interactions", "median", "completion rate"]);
+    let mut table = Table::new([
+        "algorithm",
+        "n",
+        "mean interactions",
+        "median",
+        "completion rate",
+    ]);
     for r in results {
         for p in &r.points {
             table.push_row([

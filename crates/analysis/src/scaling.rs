@@ -4,7 +4,7 @@ use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
 use doda_stats::regression::{fit_power_law, fit_power_law_with_log_factor, PowerLawFit};
 
 /// One measured point of a scaling study.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalingPoint {
     /// Node count.
     pub n: usize,
@@ -17,7 +17,7 @@ pub struct ScalingPoint {
 }
 
 /// The result of sweeping one algorithm across node counts.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScalingResult {
     /// Algorithm label.
     pub algorithm: String,
@@ -44,7 +44,7 @@ impl ScalingResult {
 
 /// A scaling study: a set of node counts, a trial count per point and a
 /// root seed.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScalingStudy {
     /// Node counts to sweep.
     pub ns: Vec<usize>,

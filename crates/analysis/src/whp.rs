@@ -10,7 +10,7 @@ use doda_sim::{runner::run_batch_detailed, AlgorithmSpec, BatchConfig};
 use doda_stats::bounds::whp_failure_budget;
 
 /// Result of a w.h.p. check for one node count.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WhpPoint {
     /// Node count.
     pub n: usize,
@@ -49,7 +49,10 @@ where
             let config = BatchConfig {
                 n,
                 trials,
-                horizon: Some((b.ceil() as usize).max(doda_adversary::RandomizedAdversary::default_horizon(n))),
+                horizon: Some(
+                    (b.ceil() as usize)
+                        .max(doda_adversary::RandomizedAdversary::default_horizon(n)),
+                ),
                 seed: seed ^ ((n as u64) << 20),
                 parallel: false,
             };

@@ -7,7 +7,11 @@ use doda_sim::AlgorithmSpec;
 use doda_stats::harmonic;
 
 fn print_reproduction() {
-    report_line("E7", "paper", "E[Gathering] = (n-1)^2, optimal without knowledge (Thm 7)");
+    report_line(
+        "E7",
+        "paper",
+        "E[Gathering] = (n-1)^2, optimal without knowledge (Thm 7)",
+    );
     for &n in REPORT_NS {
         let measured = mean_interactions(AlgorithmSpec::Gathering, n, REPORT_TRIALS, 0xE7);
         let expected = harmonic::expected_gathering_interactions(n);

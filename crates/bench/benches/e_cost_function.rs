@@ -23,7 +23,11 @@ fn print_reproduction() {
         report_line(
             &report.id,
             "status",
-            if report.passed { "consistent" } else { "MISMATCH" },
+            if report.passed {
+                "consistent"
+            } else {
+                "MISMATCH"
+            },
         );
     }
 }

@@ -23,7 +23,9 @@ fn mean_under_weights(spec: AlgorithmSpec, weights: &[f64], trials: usize, seed:
             completions.push(x);
         }
     }
-    Summary::from_values(&completions).map(|s| s.mean).unwrap_or(f64::NAN)
+    Summary::from_values(&completions)
+        .map(|s| s.mean)
+        .unwrap_or(f64::NAN)
 }
 
 fn print_reproduction() {
@@ -37,7 +39,9 @@ fn print_reproduction() {
     // Popular sink: the sink (node 0) is contacted far more often.
     let popular_sink: Vec<f64> = (0..n).map(|i| if i == 0 { 8.0 } else { 1.0 }).collect();
     // Remote sink: the sink is contacted far less often.
-    let remote_sink: Vec<f64> = (0..n).map(|i| if i == 0 { 1.0 / 8.0 } else { 1.0 }).collect();
+    let remote_sink: Vec<f64> = (0..n)
+        .map(|i| if i == 0 { 1.0 / 8.0 } else { 1.0 })
+        .collect();
     for spec in [
         AlgorithmSpec::Gathering,
         AlgorithmSpec::Waiting,
@@ -49,7 +53,9 @@ fn print_reproduction() {
         report_line(
             "E-nonuniform",
             spec.label(),
-            &format!("uniform {u:.0} | popular sink {p:.0} | remote sink {r:.0} interactions (n={n})"),
+            &format!(
+                "uniform {u:.0} | popular sink {p:.0} | remote sink {r:.0} interactions (n={n})"
+            ),
         );
     }
     let _ = Interaction::new(NodeId(0), NodeId(1));

@@ -22,6 +22,11 @@ pub const TIMED_N: usize = 32;
 /// Number of trials behind each printed mean.
 pub const REPORT_TRIALS: usize = 20;
 
+// Compile-time pins: the timed loops must stay non-trivial and the printed
+// means statistically meaningful.
+const _: () = assert!(TIMED_N >= 16);
+const _: () = assert!(REPORT_TRIALS >= 10);
+
 /// Runs one batch against the uniform randomized adversary and returns the
 /// mean number of interactions to completion.
 pub fn mean_interactions(spec: AlgorithmSpec, n: usize, trials: usize, seed: u64) -> f64 {
@@ -53,7 +58,5 @@ mod tests {
     #[test]
     fn constants_are_sane() {
         assert!(REPORT_NS.windows(2).all(|w| w[0] < w[1]));
-        assert!(TIMED_N >= 16);
-        assert!(REPORT_TRIALS >= 10);
     }
 }

@@ -11,7 +11,7 @@ use doda_graph::NodeId;
 use crate::interaction::{Interaction, Time};
 
 /// The decision of a DODA algorithm for one interaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Decision {
     /// `⊥`: nobody transmits.
     Idle,

@@ -54,8 +54,8 @@ impl FutureBroadcast {
             seq.node_count()
         );
         let full_knowledge_time = Self::simulate_gossip(seq);
-        let schedule = full_knowledge_time
-            .and_then(|t_star| optimal_convergecast(seq, sink, t_star + 1));
+        let schedule =
+            full_knowledge_time.and_then(|t_star| optimal_convergecast(seq, sink, t_star + 1));
         FutureBroadcast {
             full_knowledge_time,
             schedule,
@@ -83,16 +83,21 @@ impl FutureBroadcast {
         for ti in seq.iter() {
             let (a, b) = ti.interaction.pair();
             let (ai, bi) = (a.index(), b.index());
-            // Merge the two knowledge sets.
-            for x in 0..n {
-                let union = known[ai][x] || known[bi][x];
-                if union && !known[ai][x] {
-                    known[ai][x] = true;
-                    counts[ai] += 1;
-                }
-                if union && !known[bi][x] {
-                    known[bi][x] = true;
+            // Merge the two knowledge sets (split the rows to walk them in
+            // lockstep without re-indexing).
+            let (lo, hi) = known.split_at_mut(ai.max(bi));
+            let (a_row, b_row) = if ai < bi {
+                (&mut lo[ai], &mut hi[0])
+            } else {
+                (&mut hi[0], &mut lo[bi])
+            };
+            for (xa, xb) in a_row.iter_mut().zip(b_row.iter_mut()) {
+                if *xa && !*xb {
+                    *xb = true;
                     counts[bi] += 1;
+                } else if *xb && !*xa {
+                    *xa = true;
+                    counts[ai] += 1;
                 }
             }
             let before = fully_informed;
@@ -175,9 +180,13 @@ mod tests {
         let seq = round_robin(8);
         let n = seq.node_count() as u64;
         let mut algo = FutureBroadcast::new(&seq, NodeId(0));
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert!(outcome.sink_data.as_ref().unwrap().covers_all(4));
         // Theorem 6: cost at most n.
@@ -192,11 +201,19 @@ mod tests {
         let seq = round_robin(8);
         let mut algo = FutureBroadcast::new(&seq, NodeId(0));
         let t_star = algo.full_knowledge_time().unwrap();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         for tr in &outcome.transmissions {
-            assert!(tr.time > t_star, "transmission at {} before t*={t_star}", tr.time);
+            assert!(
+                tr.time > t_star,
+                "transmission at {} before t*={t_star}",
+                tr.time
+            );
         }
         assert_eq!(algo.name(), "FutureBroadcast");
         assert!(!algo.is_oblivious());

@@ -77,9 +77,13 @@ mod tests {
         let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 2), (0, 1)]);
         let mut algo = OfflineOptimal::new(&FullKnowledge::new(seq.clone()), NodeId(0));
         assert!(algo.schedule().is_some());
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert_eq!(outcome.termination_time, Some(1));
         assert!(outcome.sink_data.as_ref().unwrap().covers_all(3));
@@ -90,15 +94,32 @@ mod tests {
     fn cost_is_one_on_any_feasible_sequence() {
         let seq = InteractionSequence::from_pairs(
             5,
-            vec![(1, 2), (3, 4), (2, 3), (0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (0, 1)],
+            vec![
+                (1, 2),
+                (3, 4),
+                (2, 3),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (0, 1),
+            ],
         );
         let mut algo = OfflineOptimal::new(&FullKnowledge::new(seq.clone()), NodeId(0));
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         let cost = cost_of_outcome(&seq, &outcome, 10);
-        assert!(cost.is_optimal(), "offline optimal must have cost 1, got {cost}");
+        assert!(
+            cost.is_optimal(),
+            "offline optimal must have cost 1, got {cost}"
+        );
     }
 
     #[test]
@@ -106,9 +127,13 @@ mod tests {
         let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (1, 2)]);
         let mut algo = OfflineOptimal::new(&FullKnowledge::new(seq.clone()), NodeId(0));
         assert!(algo.schedule().is_none());
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(!outcome.terminated());
         assert_eq!(outcome.transmission_count(), 0);
         assert_eq!(algo.name(), "OfflineOptimal");

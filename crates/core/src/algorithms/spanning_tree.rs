@@ -122,14 +122,28 @@ mod tests {
         // algorithm is optimal. Give it a sequence where the path edges recur.
         let seq = InteractionSequence::from_pairs(
             4,
-            vec![(0, 1), (1, 2), (2, 3), (0, 1), (1, 2), (2, 3), (0, 1), (1, 2), (0, 1)],
+            vec![
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (0, 1),
+                (1, 2),
+                (0, 1),
+            ],
         );
         let underlying = seq.underlying_graph();
         let mut algo =
             SpanningTreeAggregation::from_underlying_graph(&underlying, NodeId(0)).unwrap();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert!(outcome.sink_data.as_ref().unwrap().covers_all(4));
         // Leaf 3 transmits first, then 2, then 1 — order respects the tree.
@@ -146,9 +160,13 @@ mod tests {
         let underlying = seq.underlying_graph();
         let mut algo =
             SpanningTreeAggregation::from_underlying_graph(&underlying, NodeId(0)).unwrap();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert_eq!(outcome.termination_time, Some(2));
         assert_eq!(outcome.transmissions[0].sender, NodeId(2));
@@ -161,14 +179,22 @@ mod tests {
         let underlying = seq.underlying_graph();
         let mut algo =
             SpanningTreeAggregation::from_underlying_graph(&underlying, NodeId(0)).unwrap();
-        let first =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let first = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(first.terminated());
         algo.reset();
-        let second: crate::outcome::ExecutionOutcome<IdSet> =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let second: crate::outcome::ExecutionOutcome<IdSet> = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(second.terminated());
         assert_eq!(first.termination_time, second.termination_time);
     }

@@ -31,7 +31,7 @@ use crate::outcome::Transmission;
 use crate::sequence::InteractionSequence;
 
 /// An explicit optimal convergecast schedule.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ConvergecastSchedule {
     /// First time step the schedule is allowed to use.
     pub start: Time,
@@ -55,12 +55,7 @@ impl ConvergecastSchedule {
 /// Returns `true` if a broadcast from `sink` completes when flooding the
 /// interactions of `[start, end]` in *reverse* time order — equivalently,
 /// if a convergecast towards `sink` over `[start, end]` exists.
-fn convergecast_feasible(
-    seq: &InteractionSequence,
-    sink: NodeId,
-    start: Time,
-    end: Time,
-) -> bool {
+fn convergecast_feasible(seq: &InteractionSequence, sink: NodeId, start: Time, end: Time) -> bool {
     let n = seq.node_count();
     if n <= 1 {
         return true;
@@ -156,10 +151,7 @@ pub fn optimal_convergecast(
     start: Time,
 ) -> Option<ConvergecastSchedule> {
     let n = seq.node_count();
-    assert!(
-        sink.index() < n,
-        "sink {sink} out of range for {n} nodes"
-    );
+    assert!(sink.index() < n, "sink {sink} out of range for {n} nodes");
     if n <= 1 {
         return Some(ConvergecastSchedule {
             start,
@@ -257,8 +249,8 @@ pub fn validate_schedule(
         transmit_time[tr.sender.index()] = Some(tr.time);
     }
     // Every non-sink node transmits exactly once.
-    for v in 0..n {
-        if NodeId(v) != sink && transmit_time[v].is_none() {
+    for (v, time) in transmit_time.iter().enumerate() {
+        if NodeId(v) != sink && time.is_none() {
             return Err(format!("node v{v} never transmits"));
         }
     }
@@ -476,7 +468,16 @@ mod tests {
     fn schedules_have_exactly_n_minus_1_transmissions() {
         let seq = InteractionSequence::from_pairs(
             5,
-            vec![(1, 2), (3, 4), (2, 3), (0, 1), (0, 2), (0, 3), (0, 4), (1, 2)],
+            vec![
+                (1, 2),
+                (3, 4),
+                (2, 3),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+            ],
         );
         let s = optimal_convergecast(&seq, NodeId(0), 0).unwrap();
         assert_eq!(s.transmissions.len(), 4);

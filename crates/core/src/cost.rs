@@ -20,7 +20,7 @@ use crate::interaction::Time;
 use crate::sequence::InteractionSequence;
 
 /// The cost of an algorithm on a sequence, per the paper's definition.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cost {
     /// `cost_A(I) = i`: the execution fits within `i` successive optimal
     /// convergecasts (or the `i`-th convergecast is already impossible).
@@ -120,16 +120,28 @@ mod tests {
     #[test]
     fn optimal_duration_has_cost_one() {
         let seq = chain3();
-        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(2), 10), Cost::Finite(1));
+        assert_eq!(
+            cost_of_duration(&seq, NodeId(0), Some(2), 10),
+            Cost::Finite(1)
+        );
         assert!(cost_of_duration(&seq, NodeId(0), Some(0), 10).is_optimal());
     }
 
     #[test]
     fn slower_durations_cost_more() {
         let seq = chain3();
-        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(3), 10), Cost::Finite(2));
-        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(5), 10), Cost::Finite(2));
-        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(8), 10), Cost::Finite(3));
+        assert_eq!(
+            cost_of_duration(&seq, NodeId(0), Some(3), 10),
+            Cost::Finite(2)
+        );
+        assert_eq!(
+            cost_of_duration(&seq, NodeId(0), Some(5), 10),
+            Cost::Finite(2)
+        );
+        assert_eq!(
+            cost_of_duration(&seq, NodeId(0), Some(8), 10),
+            Cost::Finite(3)
+        );
     }
 
     #[test]
@@ -154,7 +166,10 @@ mod tests {
         let seq = chain3();
         // Terminating at time 100 (after the sequence): the first i with
         // duration <= T(i) is the first infinite T, i.e. 4.
-        assert_eq!(cost_of_duration(&seq, NodeId(0), Some(100), 10), Cost::Finite(4));
+        assert_eq!(
+            cost_of_duration(&seq, NodeId(0), Some(100), 10),
+            Cost::Finite(4)
+        );
     }
 
     #[test]

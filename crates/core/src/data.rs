@@ -27,7 +27,7 @@ pub trait Aggregate: Clone + std::fmt::Debug {
 }
 
 /// Counts how many original data have been aggregated.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Count(pub u64);
 
 impl Count {
@@ -44,7 +44,7 @@ impl Aggregate for Count {
 }
 
 /// Sum of numeric readings.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SumData(pub f64);
 
 impl Aggregate for SumData {
@@ -54,7 +54,7 @@ impl Aggregate for SumData {
 }
 
 /// Minimum of numeric readings.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinData(pub f64);
 
 impl Aggregate for MinData {
@@ -64,7 +64,7 @@ impl Aggregate for MinData {
 }
 
 /// Maximum of numeric readings.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaxData(pub f64);
 
 impl Aggregate for MaxData {
@@ -78,7 +78,7 @@ impl Aggregate for MaxData {
 /// Unlike the other aggregates this one grows with the number of inputs;
 /// it exists so tests can verify *exact* data conservation: at termination
 /// the sink's `IdSet` must equal `{0, …, n−1}`.
-#[derive(Debug, Clone, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct IdSet(pub BTreeSet<NodeId>);
 
 impl IdSet {

@@ -17,7 +17,7 @@ use crate::sequence::{AdversaryView, InteractionSource};
 use crate::state::NetworkState;
 
 /// Configuration of a single execution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineConfig {
     /// Maximum number of interactions to process before giving up.
     ///
@@ -168,7 +168,13 @@ where
     S: InteractionSource + ?Sized,
     D: DodaAlgorithm + ?Sized,
 {
-    run(algorithm, source, sink, crate::data::IdSet::singleton, config)
+    run(
+        algorithm,
+        source,
+        sink,
+        crate::data::IdSet::singleton,
+        config,
+    )
 }
 
 #[cfg(test)]
@@ -193,9 +199,13 @@ mod tests {
     fn waiting_terminates_on_star_sequence() {
         let seq = star_sequence(5, 1);
         let mut algo = Waiting::new();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert_eq!(outcome.termination_time, Some(3));
         assert_eq!(outcome.transmission_count(), 4);
@@ -208,9 +218,13 @@ mod tests {
         // Path-ish sequence where intermediate aggregation happens.
         let seq = InteractionSequence::from_pairs(4, vec![(2, 3), (1, 2), (0, 1), (0, 2), (0, 3)]);
         let mut algo = Gathering::new();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         // Each node transmits at most once.
         let mut senders: Vec<_> = outcome.transmissions.iter().map(|t| t.sender).collect();
         senders.sort();
@@ -227,9 +241,13 @@ mod tests {
     fn engine_stops_when_source_is_exhausted() {
         let seq = InteractionSequence::from_pairs(4, vec![(1, 2)]);
         let mut algo = Waiting::new();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(!outcome.terminated());
         assert_eq!(outcome.interactions_processed, 1);
         assert_eq!(outcome.remaining_owners(), 4);
@@ -254,9 +272,13 @@ mod tests {
     fn single_node_graph_is_complete_immediately() {
         let seq = InteractionSequence::new(1);
         let mut algo = Gathering::new();
-        let outcome =
-            run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), EngineConfig::default())
-                .unwrap();
+        let outcome = run_with_id_sets(
+            &mut algo,
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
         assert!(outcome.terminated());
         assert_eq!(outcome.termination_time, Some(0));
         assert_eq!(outcome.interactions_processed, 0);
@@ -284,7 +306,10 @@ mod tests {
             EngineConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, EngineError::DecisionOutsideInteraction { .. }));
+        assert!(matches!(
+            err,
+            EngineError::DecisionOutsideInteraction { .. }
+        ));
     }
 
     #[test]

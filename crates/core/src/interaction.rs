@@ -27,7 +27,7 @@ pub type Time = u64;
 /// assert!(i.involves(NodeId(4)));
 /// assert_eq!(i.partner_of(NodeId(1)), Some(NodeId(4)));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Interaction {
     min: NodeId,
     max: NodeId,
@@ -41,7 +41,10 @@ impl Interaction {
     /// Panics if `u == v`: the model only allows interactions between
     /// distinct nodes.
     pub fn new(u: NodeId, v: NodeId) -> Self {
-        assert!(u != v, "an interaction requires two distinct nodes, got {u} twice");
+        assert!(
+            u != v,
+            "an interaction requires two distinct nodes, got {u} twice"
+        );
         if u < v {
             Interaction { min: u, max: v }
         } else {
@@ -112,7 +115,7 @@ impl From<Interaction> for Edge {
 }
 
 /// An interaction together with its time of occurrence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimedInteraction {
     /// Time of occurrence (index in the sequence).
     pub time: Time,

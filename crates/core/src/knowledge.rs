@@ -25,7 +25,7 @@ use crate::sequence::InteractionSequence;
 /// The time of a node's next meeting with the sink; `Never` behaves as
 /// `+∞` in comparisons, matching the convention needed by Waiting Greedy
 /// (a node that will never meet the sink again should prefer to transmit).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MeetTime {
     /// Next meeting with the sink occurs at this time.
     At(Time),
@@ -79,7 +79,7 @@ impl Ord for MeetTime {
 /// assert_eq!(oracle.meet_time(NodeId(2), 1), MeetTime::Never);
 /// assert_eq!(oracle.meet_time(NodeId(0), 5), MeetTime::At(5));
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeetTimeOracle {
     sink: NodeId,
     /// For each node, the sorted times of its interactions with the sink.
@@ -134,7 +134,7 @@ impl MeetTimeOracle {
 ///
 /// This is the knowledge `u.future` of Theorem 6; the union of all nodes'
 /// futures is the entire sequence.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OwnFuture {
     /// The node this future belongs to.
     pub node: NodeId,
@@ -165,7 +165,7 @@ impl OwnFuture {
 /// A thin wrapper that exists mostly for type-level clarity in algorithm
 /// constructors: an algorithm taking `FullKnowledge` advertises the
 /// strongest knowledge model of the paper.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FullKnowledge {
     sequence: InteractionSequence,
 }

@@ -82,8 +82,7 @@ pub use sequence::{InteractionSequence, InteractionSource};
 pub mod prelude {
     pub use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
     pub use crate::algorithms::{
-        FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting,
-        WaitingGreedy,
+        FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting, WaitingGreedy,
     };
     pub use crate::convergecast::{self, optimal_convergecast};
     pub use crate::cost::{self, Cost};

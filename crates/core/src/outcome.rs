@@ -6,7 +6,7 @@ use crate::interaction::Time;
 
 /// One applied transmission: at `time`, `sender` handed its (aggregated)
 /// data to `receiver`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Transmission {
     /// Time of the interaction during which the transmission happened.
     pub time: Time,
@@ -17,7 +17,7 @@ pub struct Transmission {
 }
 
 /// The result of running a DODA algorithm over an interaction source.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionOutcome<A> {
     /// Number of nodes in the dynamic graph.
     pub node_count: usize,

@@ -77,7 +77,7 @@ pub trait InteractionSource {
 /// assert_eq!(seq.get(1), Some(Interaction::new(NodeId(1), NodeId(2))));
 /// assert!(seq.underlying_graph().is_complete());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct InteractionSequence {
     n: usize,
     interactions: Vec<Interaction>,
@@ -200,8 +200,12 @@ impl InteractionSequence {
     /// Returns the sub-sequence covering times `[from, to)` (clamped),
     /// re-indexed to start at time 0.
     pub fn slice(&self, from: Time, to: Time) -> InteractionSequence {
-        let from = usize::try_from(from).unwrap_or(usize::MAX).min(self.interactions.len());
-        let to = usize::try_from(to).unwrap_or(usize::MAX).min(self.interactions.len());
+        let from = usize::try_from(from)
+            .unwrap_or(usize::MAX)
+            .min(self.interactions.len());
+        let to = usize::try_from(to)
+            .unwrap_or(usize::MAX)
+            .min(self.interactions.len());
         let items = if from < to {
             self.interactions[from..to].to_vec()
         } else {

@@ -12,7 +12,7 @@ use crate::data::Aggregate;
 use crate::error::TransmissionError;
 
 /// The state of a single node during an execution.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeState<A> {
     /// The data currently owned, if any.
     pub data: Option<A>,
@@ -22,7 +22,7 @@ pub struct NodeState<A> {
 
 /// The global state of an execution: one [`NodeState`] per node, plus the
 /// identity of the sink.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NetworkState<A> {
     nodes: Vec<NodeState<A>>,
     sink: NodeId,
@@ -62,16 +62,12 @@ impl<A: Aggregate> NetworkState<A> {
 
     /// Returns `true` if node `v` currently owns data.
     pub fn owns_data(&self, v: NodeId) -> bool {
-        self.nodes
-            .get(v.index())
-            .is_some_and(|s| s.data.is_some())
+        self.nodes.get(v.index()).is_some_and(|s| s.data.is_some())
     }
 
     /// Returns `true` if node `v` has already transmitted.
     pub fn has_transmitted(&self, v: NodeId) -> bool {
-        self.nodes
-            .get(v.index())
-            .is_some_and(|s| s.has_transmitted)
+        self.nodes.get(v.index()).is_some_and(|s| s.has_transmitted)
     }
 
     /// A reference to the data currently owned by `v`, if any.
@@ -126,7 +122,11 @@ impl<A: Aggregate> NetworkState<A> {
         let n = self.nodes.len();
         if sender.index() >= n || receiver.index() >= n {
             return Err(TransmissionError::UnknownNode {
-                node: if sender.index() >= n { sender } else { receiver },
+                node: if sender.index() >= n {
+                    sender
+                } else {
+                    receiver
+                },
             });
         }
         if self.nodes[sender.index()].has_transmitted {
@@ -169,7 +169,10 @@ mod tests {
         assert!(!st.is_complete());
         assert!(st.owns_data(NodeId(3)));
         assert!(!st.has_transmitted(NodeId(3)));
-        assert_eq!(st.owners(), vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(
+            st.owners(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
     }
 
     #[test]
@@ -205,7 +208,10 @@ mod tests {
         let err = st.transmit(NodeId(1), NodeId(2)).unwrap_err();
         // The node no longer owns data *and* has transmitted; the
         // has-transmitted check fires first.
-        assert_eq!(err, TransmissionError::AlreadyTransmitted { node: NodeId(1) });
+        assert_eq!(
+            err,
+            TransmissionError::AlreadyTransmitted { node: NodeId(1) }
+        );
     }
 
     #[test]

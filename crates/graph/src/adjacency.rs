@@ -29,7 +29,7 @@ use crate::{Edge, NodeId};
 /// assert!(g.has_edge(NodeId(1), NodeId(0)));
 /// assert_eq!(g.degree(NodeId(1)), 2);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AdjacencyGraph {
     neighbors: Vec<BTreeSet<NodeId>>,
     edge_count: usize,
@@ -215,7 +215,10 @@ mod tests {
         let edges: Vec<_> = g.edges().collect();
         assert_eq!(
             edges,
-            vec![Edge::new(NodeId(0), NodeId(1)), Edge::new(NodeId(1), NodeId(2))]
+            vec![
+                Edge::new(NodeId(0), NodeId(1)),
+                Edge::new(NodeId(1), NodeId(2))
+            ]
         );
     }
 
@@ -223,7 +226,10 @@ mod tests {
     fn from_edges_builder() {
         let g = AdjacencyGraph::from_edges(
             4,
-            [Edge::new(NodeId(0), NodeId(3)), Edge::new(NodeId(1), NodeId(2))],
+            [
+                Edge::new(NodeId(0), NodeId(3)),
+                Edge::new(NodeId(1), NodeId(2)),
+            ],
         );
         assert_eq!(g.edge_count(), 2);
         assert!(g.has_edge(NodeId(3), NodeId(0)));

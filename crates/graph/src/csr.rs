@@ -25,7 +25,7 @@ use crate::{AdjacencyGraph, Edge, NodeId};
 /// assert_eq!(g.degree(NodeId(1)), 2);
 /// assert_eq!(g.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CsrGraph {
     offsets: Vec<usize>,
     targets: Vec<NodeId>,

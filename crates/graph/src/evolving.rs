@@ -14,7 +14,7 @@ use crate::{AdjacencyGraph, Edge, NodeId};
 /// A `None` snapshot models a time step where the adversary schedules no
 /// interaction — the paper's sequences always have an edge at every index,
 /// but the generality is convenient for trimming and splicing in tests.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EvolvingGraph {
     n: usize,
     snapshots: Vec<Option<Edge>>,

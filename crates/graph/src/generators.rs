@@ -92,7 +92,10 @@ pub fn random_tree_graph<R: rand::Rng>(n: usize, rng: &mut R) -> AdjacencyGraph 
 
 /// Erdős–Rényi `G(n, p)` random graph. Deterministic given the caller's RNG.
 pub fn gnp_graph<R: rand::Rng>(n: usize, p: f64, rng: &mut R) -> AdjacencyGraph {
-    assert!((0.0..=1.0).contains(&p), "probability p={p} must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability p={p} must be in [0, 1]"
+    );
     let mut g = AdjacencyGraph::new(n);
     for i in 0..n {
         for j in (i + 1)..n {

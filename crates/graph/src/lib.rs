@@ -61,7 +61,7 @@ pub use union_find::UnionFind;
 /// Self-loops are not representable through [`Edge::new`], which panics on
 /// equal endpoints; the DODA model never produces them (an interaction is a
 /// pair of *distinct* nodes).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Edge {
     /// The smaller endpoint.
     pub a: NodeId,

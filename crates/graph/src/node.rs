@@ -22,7 +22,7 @@ use std::fmt;
 /// assert_eq!(u.index(), 3);
 /// assert_eq!(format!("{u}"), "v3");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct NodeId(pub usize);
 
 impl NodeId {

@@ -7,11 +7,7 @@
 //! [`bfs_spanning_tree`] produces the shallowest tree rooted at the sink,
 //! used as the baseline tree in examples and tests.
 
-use crate::{
-    traversal::bfs,
-    tree::RootedTree,
-    AdjacencyGraph, NodeId, UnionFind,
-};
+use crate::{traversal::bfs, tree::RootedTree, AdjacencyGraph, NodeId, UnionFind};
 
 /// Builds the BFS spanning tree of `g` rooted at `root`.
 ///

@@ -20,9 +20,7 @@ pub struct BfsResult {
 impl BfsResult {
     /// Returns `true` if `v` was reached by the search.
     pub fn is_reachable(&self, v: NodeId) -> bool {
-        self.distance
-            .get(v.index())
-            .is_some_and(|d| d.is_some())
+        self.distance.get(v.index()).is_some_and(|d| d.is_some())
     }
 
     /// Reconstructs the path from the BFS source to `v` (inclusive), or

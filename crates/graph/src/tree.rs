@@ -13,7 +13,7 @@ use crate::{Edge, NodeId};
 ///
 /// Nodes that are not part of the tree have no parent and are not children
 /// of anyone; [`RootedTree::contains`] reports membership.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RootedTree {
     root: NodeId,
     /// `parent[v] = Some(u)` iff `u` is the parent of `v`. The root has no parent.
@@ -172,8 +172,7 @@ impl RootedTree {
 
     /// Iterates over the leaves (members with no children).
     pub fn leaves(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.members()
-            .filter(move |&v| self.children(v).is_empty())
+        self.members().filter(move |&v| self.children(v).is_empty())
     }
 
     /// Iterates over tree edges as (child, parent) pairs.

@@ -8,13 +8,12 @@ use proptest::prelude::*;
 
 /// Strategy producing a random edge list over `n` nodes.
 fn edge_list(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
-    prop::collection::vec((0..n, 0..n), 0..max_edges)
-        .prop_map(move |pairs| {
-            pairs
-                .into_iter()
-                .filter(|(a, b)| a != b)
-                .collect::<Vec<_>>()
-        })
+    prop::collection::vec((0..n, 0..n), 0..max_edges).prop_map(move |pairs| {
+        pairs
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .collect::<Vec<_>>()
+    })
 }
 
 proptest! {
@@ -60,7 +59,7 @@ proptest! {
         for v in g.nodes() {
             let d = res.distance[v.index()];
             prop_assert!(d.is_some());
-            prop_assert!(d.unwrap() <= n - 1);
+            prop_assert!(d.unwrap() < n);
             if let Some(p) = res.parent[v.index()] {
                 prop_assert_eq!(res.distance[p.index()].unwrap() + 1, d.unwrap());
             }

@@ -4,7 +4,7 @@
 //! draws an independent sequence from the uniform randomized adversary
 //! (the paper's Section 4 setting), runs the algorithm, and the batch
 //! summarises the interaction counts. Batches can run their trials across
-//! threads with `crossbeam` scoped threads.
+//! threads with `std::thread::scope` scoped threads.
 
 use doda_stats::rng::SeedSequence;
 use doda_stats::Summary;
@@ -15,7 +15,7 @@ use crate::spec::AlgorithmSpec;
 use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult};
 
 /// Configuration of a batch of independent randomized-adversary trials.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchConfig {
     /// Number of nodes (the sink is node 0).
     pub n: usize,
@@ -40,7 +40,7 @@ impl BatchConfig {
 }
 
 /// Summary of a batch of trials.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BatchResult {
     /// Algorithm label.
     pub algorithm: String,
@@ -81,7 +81,10 @@ impl BatchResult {
 ///
 /// Panics if every trial fails to terminate (no summary can be formed); in
 /// practice this means the horizon was far too small for the algorithm.
-pub fn run_batch_detailed(spec: AlgorithmSpec, config: &BatchConfig) -> (BatchResult, Vec<TrialResult>) {
+pub fn run_batch_detailed(
+    spec: AlgorithmSpec,
+    config: &BatchConfig,
+) -> (BatchResult, Vec<TrialResult>) {
     let seeds = SeedSequence::new(config.seed);
     let horizon = config.horizon_len();
     let trial_config = TrialConfig::default();
@@ -98,11 +101,11 @@ pub fn run_batch_detailed(spec: AlgorithmSpec, config: &BatchConfig) -> (BatchRe
             .map(|p| p.get())
             .unwrap_or(2)
             .min(config.trials);
-        crossbeam::scope(|scope| {
+        std::thread::scope(|scope| {
             for worker in 0..threads {
                 let collected = &collected;
                 let run_one = &run_one;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut idx = worker;
                     while idx < config.trials {
                         let result = run_one(idx);
@@ -111,8 +114,7 @@ pub fn run_batch_detailed(spec: AlgorithmSpec, config: &BatchConfig) -> (BatchRe
                     }
                 });
             }
-        })
-        .expect("simulation worker threads never panic");
+        });
         collected
             .into_inner()
             .into_iter()

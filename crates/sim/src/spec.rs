@@ -14,7 +14,7 @@ use doda_core::{DodaAlgorithm, InteractionSequence, Time};
 use doda_graph::NodeId;
 
 /// A named DODA algorithm together with its parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AlgorithmSpec {
     /// [`Waiting`] — no knowledge.
     Waiting,
@@ -143,8 +143,12 @@ mod tests {
     #[test]
     fn spanning_tree_requires_connected_underlying_graph() {
         let seq = InteractionSequence::from_pairs(4, vec![(1, 2), (1, 2)]);
-        assert!(AlgorithmSpec::SpanningTree.instantiate(&seq, NodeId(0)).is_none());
-        assert!(AlgorithmSpec::Gathering.instantiate(&seq, NodeId(0)).is_some());
+        assert!(AlgorithmSpec::SpanningTree
+            .instantiate(&seq, NodeId(0))
+            .is_none());
+        assert!(AlgorithmSpec::Gathering
+            .instantiate(&seq, NodeId(0))
+            .is_some());
     }
 
     #[test]

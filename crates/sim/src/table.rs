@@ -147,10 +147,7 @@ mod tests {
 
     #[test]
     fn helper_builds_in_one_call() {
-        let md = markdown_table(
-            ["x", "y"],
-            vec![vec!["1".to_string(), "2".to_string()]],
-        );
+        let md = markdown_table(["x", "y"], vec![vec!["1".to_string(), "2".to_string()]]);
         assert!(md.contains("| 1 | 2 |"));
     }
 }

@@ -9,7 +9,7 @@ use doda_graph::NodeId;
 use crate::spec::AlgorithmSpec;
 
 /// Configuration of a single trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TrialConfig {
     /// The sink node.
     pub sink: NodeId,
@@ -37,7 +37,7 @@ impl Default for TrialConfig {
 }
 
 /// Metrics extracted from one execution.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TrialResult {
     /// Algorithm label.
     pub algorithm: String,
@@ -92,20 +92,19 @@ pub fn run_trial_on_sequence(
         max_interactions,
         record_transmissions: false,
     };
-    let mut not_applicable = TrialResult {
-        algorithm: spec.label().to_string(),
-        n,
-        termination_time: None,
-        interactions_processed: 0,
-        transmissions: 0,
-        ignored_decisions: 0,
-        data_conserved: false,
-        cost: None,
-    };
     let Some(mut algorithm) = spec.instantiate(seq, sink) else {
         // Spanning tree over a disconnected underlying graph: no algorithm
         // could aggregate on this sequence; report a non-terminated trial.
-        return not_applicable;
+        return TrialResult {
+            algorithm: spec.label().to_string(),
+            n,
+            termination_time: None,
+            interactions_processed: 0,
+            transmissions: 0,
+            ignored_decisions: 0,
+            data_conserved: false,
+            cost: None,
+        };
     };
     let outcome = run(
         algorithm.as_mut(),
@@ -119,10 +118,15 @@ pub fn run_trial_on_sequence(
         (Some(_), Some(data)) => data.covers_all(n),
         _ => false,
     };
-    let cost = config
-        .compute_cost
-        .then(|| cost_of_duration(seq, sink, outcome.termination_time, config.max_convergecasts));
-    not_applicable = TrialResult {
+    let cost = config.compute_cost.then(|| {
+        cost_of_duration(
+            seq,
+            sink,
+            outcome.termination_time,
+            config.max_convergecasts,
+        )
+    });
+    TrialResult {
         algorithm: spec.label().to_string(),
         n,
         termination_time: outcome.termination_time,
@@ -131,8 +135,7 @@ pub fn run_trial_on_sequence(
         ignored_decisions: outcome.ignored_decisions,
         data_conserved,
         cost,
-    };
-    not_applicable
+    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@ use rand::Rng;
 use crate::rng::DodaRng;
 
 /// A percentile bootstrap confidence interval.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BootstrapCi {
     /// Point estimate (the statistic on the full sample).
     pub estimate: f64,

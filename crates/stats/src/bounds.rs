@@ -28,7 +28,10 @@ pub fn markov_upper_bound(mean: f64, a: f64) -> f64 {
 /// Panics if `t <= 0` or `variance < 0`.
 pub fn chebyshev_upper_bound(variance: f64, t: f64) -> f64 {
     assert!(t > 0.0, "Chebyshev deviation must be positive, got {t}");
-    assert!(variance >= 0.0, "variance must be non-negative, got {variance}");
+    assert!(
+        variance >= 0.0,
+        "variance must be non-negative, got {variance}"
+    );
     (variance / (t * t)).min(1.0)
 }
 
@@ -52,7 +55,10 @@ pub fn chernoff_upper_tail(mu: f64, delta: f64) -> f64 {
 /// Panics if `mu < 0` or `delta` is outside `(0, 1)`.
 pub fn chernoff_lower_tail(mu: f64, delta: f64) -> f64 {
     assert!(mu >= 0.0, "mu must be non-negative, got {mu}");
-    assert!((0.0..1.0).contains(&delta) && delta > 0.0, "delta must be in (0, 1), got {delta}");
+    assert!(
+        (0.0..1.0).contains(&delta) && delta > 0.0,
+        "delta must be in (0, 1), got {delta}"
+    );
     (-(delta * delta) * mu / 2.0).exp().min(1.0)
 }
 

@@ -14,7 +14,7 @@
 /// assert_eq!(d.min(), 1.0);
 /// assert_eq!(d.median(), 2.5);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Descriptive {
     sorted: Vec<f64>,
     mean: f64,

@@ -120,8 +120,13 @@ mod tests {
                 "n={n}"
             );
             // Thm 9 Waiting: Σ n(n-1) / (2 (n-i)).
-            let waiting: f64 = (1..n).map(|i| nf * (nf - 1.0) / (2.0 * (nf - i as f64))).sum();
-            assert!((waiting - expected_waiting_interactions(n)).abs() < 1e-9, "n={n}");
+            let waiting: f64 = (1..n)
+                .map(|i| nf * (nf - 1.0) / (2.0 * (nf - i as f64)))
+                .sum();
+            assert!(
+                (waiting - expected_waiting_interactions(n)).abs() < 1e-9,
+                "n={n}"
+            );
             // Thm 9 Gathering: Σ n(n-1) / ((n-i+1)(n-i)) = (n-1)^2.
             let gathering: f64 = (1..n)
                 .map(|i| nf * (nf - 1.0) / ((nf - i as f64 + 1.0) * (nf - i as f64)))

@@ -15,7 +15,7 @@
 /// assert_eq!(h.counts(), &[0, 1, 0, 1, 0]);
 /// assert_eq!(h.overflow(), 1);
 /// ```
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     lo: f64,
     hi: f64,

@@ -7,7 +7,7 @@
 //! `α` (plus `R²`) gives an objective, constant-free check.
 
 /// Result of an ordinary-least-squares fit of `y = a + b·x`.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinearFit {
     /// Intercept `a`.
     pub intercept: f64,
@@ -18,7 +18,7 @@ pub struct LinearFit {
 }
 
 /// Result of a power-law fit `y = c·x^α` (done in log–log space).
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLawFit {
     /// Multiplicative constant `c`.
     pub constant: f64,
@@ -169,7 +169,11 @@ mod tests {
             .map(|(x, e)| 2.0 * x * x * e)
             .collect();
         let fit = fit_power_law(&xs, &ys).unwrap();
-        assert!((fit.exponent - 2.0).abs() < 0.05, "exponent {}", fit.exponent);
+        assert!(
+            (fit.exponent - 2.0).abs() < 0.05,
+            "exponent {}",
+            fit.exponent
+        );
         assert!(fit.r_squared > 0.999);
     }
 

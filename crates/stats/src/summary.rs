@@ -1,4 +1,4 @@
-//! Compact, serializable summaries of trial batches.
+//! Compact summaries of trial batches.
 //!
 //! A [`Summary`] is the unit of reporting used by the simulation runner and
 //! the experiment harness: for a batch of trials of one (algorithm, n)
@@ -7,8 +7,8 @@
 
 use crate::descriptive::Descriptive;
 
-/// Serializable summary of a batch of numeric observations.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+/// Summary of a batch of numeric observations.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
     /// Number of observations.
     pub count: usize,

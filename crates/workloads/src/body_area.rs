@@ -40,7 +40,10 @@ impl BodyAreaWorkload {
     ///
     /// Panics if `n < 3` or the probability is outside `[0, 1]`.
     pub fn with_peer_probability(n: usize, peer_contact_probability: f64) -> Self {
-        assert!(n >= 3, "a body-area network needs a hub and at least 2 sensors, got {n}");
+        assert!(
+            n >= 3,
+            "a body-area network needs a hub and at least 2 sensors, got {n}"
+        );
         assert!(
             (0.0..=1.0).contains(&peer_contact_probability),
             "probability {peer_contact_probability} must be in [0, 1]"
@@ -69,7 +72,9 @@ impl Workload for BodyAreaWorkload {
         let sensors = self.n - 1;
         // Each sensor reports to the hub with its own period (in "events"):
         // slower sensors (larger period) model low-duty-cycle devices.
-        let periods: Vec<u64> = (0..sensors).map(|_| rng.gen_range(2..=(2 * sensors as u64 + 2))).collect();
+        let periods: Vec<u64> = (0..sensors)
+            .map(|_| rng.gen_range(2..=(2 * sensors as u64 + 2)))
+            .collect();
         // next_due[i] = virtual time of sensor i's next hub contact.
         let mut next_due: Vec<u64> = periods
             .iter()
@@ -125,7 +130,8 @@ mod tests {
         let seq = w.generate(2_000, 11);
         for sensor in 1..6 {
             assert!(
-                !seq.meeting_times(BodyAreaWorkload::HUB, NodeId(sensor)).is_empty(),
+                !seq.meeting_times(BodyAreaWorkload::HUB, NodeId(sensor))
+                    .is_empty(),
                 "sensor {sensor} never meets the hub"
             );
         }

@@ -45,7 +45,10 @@ impl TreeRestrictedWorkload {
             tree.edge_count() == n - 1 && doda_graph::traversal::is_connected(&tree),
             "the provided graph is not a tree"
         );
-        TreeRestrictedWorkload { n, tree: Some(tree) }
+        TreeRestrictedWorkload {
+            n,
+            tree: Some(tree),
+        }
     }
 
     /// The tree used for a given seed (the fixed one, or the seed-derived one).

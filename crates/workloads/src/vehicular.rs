@@ -61,7 +61,12 @@ impl Workload for VehicularWorkload {
     fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
         let mut rng = seeded_rng(seed);
         let mut positions: Vec<(usize, usize)> = (0..self.n)
-            .map(|_| (rng.gen_range(0..self.grid_side), rng.gen_range(0..self.grid_side)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..self.grid_side),
+                    rng.gen_range(0..self.grid_side),
+                )
+            })
             .collect();
         let mut seq = InteractionSequence::new(self.n);
         while seq.len() < len {
@@ -133,7 +138,10 @@ mod tests {
             let repeats = seq.meeting_times(e.a, e.b).len();
             max_repeats = max_repeats.max(repeats);
         }
-        assert!(max_repeats > 10, "expected bursty contacts, max repeats = {max_repeats}");
+        assert!(
+            max_repeats > 10,
+            "expected bursty contacts, max repeats = {max_repeats}"
+        );
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn run_once<S: InteractionSource>(
 
 fn main() {
     let horizon = 50_000;
-    let mut table = Table::new(["adversary (theorem)", "algorithm", "terminated within horizon"]);
+    let mut table = Table::new([
+        "adversary (theorem)",
+        "algorithm",
+        "terminated within horizon",
+    ]);
 
     // Theorem 1 — 3-node adaptive trap, defeats every algorithm.
     for algo in [
@@ -42,7 +46,11 @@ fn main() {
     ] {
         let mut trap = AdaptiveTrap::new();
         let (name, terminated) = run_once(&mut trap, algo, AdaptiveTrap::SINK, horizon);
-        table.push_row(["adaptive trap (Thm 1)".to_string(), name, terminated.to_string()]);
+        table.push_row([
+            "adaptive trap (Thm 1)".to_string(),
+            name,
+            terminated.to_string(),
+        ]);
     }
 
     // Theorem 2 — oblivious star + ring trap.
@@ -53,7 +61,11 @@ fn main() {
     ] {
         let mut adversary = oblivious.adversary();
         let (name, terminated) = run_once(&mut adversary, algo, ObliviousTrap::SINK, horizon);
-        table.push_row(["oblivious trap (Thm 2)".to_string(), name, terminated.to_string()]);
+        table.push_row([
+            "oblivious trap (Thm 2)".to_string(),
+            name,
+            terminated.to_string(),
+        ]);
     }
 
     // Theorem 3 — 4-cycle adaptive trap vs the underlying-graph algorithm.
@@ -66,7 +78,11 @@ fn main() {
     ] {
         let mut trap = CycleTrap::new();
         let (name, terminated) = run_once(&mut trap, algo, CycleTrap::SINK, horizon);
-        table.push_row(["4-cycle trap (Thm 3)".to_string(), name, terminated.to_string()]);
+        table.push_row([
+            "4-cycle trap (Thm 3)".to_string(),
+            name,
+            terminated.to_string(),
+        ]);
     }
 
     println!("Adversarial constructions, horizon = {horizon} interactions\n");

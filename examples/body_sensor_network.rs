@@ -43,7 +43,12 @@ fn main() {
         ),
     ];
 
-    let mut table = Table::new(["algorithm", "terminated", "interactions", "max reading at hub"]);
+    let mut table = Table::new([
+        "algorithm",
+        "terminated",
+        "interactions",
+        "max reading at hub",
+    ]);
     for (label, mut algorithm) in algorithms {
         let outcome = engine::run(
             algorithm.as_mut(),

@@ -56,5 +56,7 @@ fn main() {
 
     println!("{}", table.to_markdown());
     println!("The offline optimum always has cost 1; online algorithms pay more, and the");
-    println!("paper's theorems predict the ordering offline < WaitingGreedy < Gathering < Waiting.");
+    println!(
+        "paper's theorems predict the ordering offline < WaitingGreedy < Gathering < Waiting."
+    );
 }

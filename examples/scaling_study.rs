@@ -42,5 +42,7 @@ fn main() {
             harmonic::waiting_greedy_tau(n),
         );
     }
-    println!("\nExpected ordering at every n: OfflineOptimal < WaitingGreedy < Gathering < Waiting.");
+    println!(
+        "\nExpected ordering at every n: OfflineOptimal < WaitingGreedy < Gathering < Waiting."
+    );
 }

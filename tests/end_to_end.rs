@@ -127,10 +127,11 @@ fn expected_interaction_counts_match_the_closed_forms() {
         harmonic::expected_gathering_interactions(n),
         harmonic::expected_waiting_interactions(n),
     ];
-    for ((mean, exp), label) in means
-        .iter()
-        .zip(expected.iter())
-        .zip(["offline", "gathering", "waiting"])
+    for ((mean, exp), label) in
+        means
+            .iter()
+            .zip(expected.iter())
+            .zip(["offline", "gathering", "waiting"])
     {
         let ratio = mean / exp;
         assert!(
@@ -158,8 +159,10 @@ fn waiting_greedy_beats_gathering_and_respects_tau() {
         )
         .unwrap();
         let gathering_outcome = run_spec_on(&seq, AlgorithmSpec::Gathering);
-        let (Some(wg_t), Some(g_t)) = (wg_outcome.termination_time, gathering_outcome.termination_time)
-        else {
+        let (Some(wg_t), Some(g_t)) = (
+            wg_outcome.termination_time,
+            gathering_outcome.termination_time,
+        ) else {
             panic!("both algorithms should terminate on an 8n² horizon");
         };
         if wg_t < g_t {

@@ -1,0 +1,59 @@
+//! Workspace smoke test: pins the public `doda::prelude` facade path
+//! end-to-end — build a sequence, run `Gathering` through the engine, and
+//! assert termination — so any breakage of the re-export surface fails fast.
+
+use doda::graph::NodeId;
+use doda::prelude::*;
+
+const SINK: NodeId = NodeId(0);
+
+#[test]
+fn prelude_facade_runs_gathering_to_termination() {
+    // A 4-node sequence that admits a full aggregation at the sink:
+    // 3 -> 2, 2 -> 1, 1 -> 0 is an admissible convergecast.
+    let seq = InteractionSequence::from_pairs(4, vec![(2, 3), (1, 2), (0, 1), (0, 2), (0, 3)]);
+    let mut algo = Gathering::new();
+    let outcome = engine::run_with_id_sets(
+        &mut algo,
+        &mut seq.source(false),
+        SINK,
+        EngineConfig::default(),
+    )
+    .expect("gathering makes only valid decisions");
+    assert!(
+        outcome.terminated(),
+        "gathering must terminate: {outcome:?}"
+    );
+    assert_eq!(outcome.remaining_owners(), 1);
+    assert!(outcome
+        .sink_data
+        .expect("sink aggregated data")
+        .covers_all(4));
+}
+
+#[test]
+fn facade_modules_are_wired_to_the_member_crates() {
+    // Each facade module must expose its crate's flagship type/function.
+    let _g: doda::graph::AdjacencyGraph = doda::graph::AdjacencyGraph::new(3);
+    let _rng = doda::stats::seeded_rng(7);
+    let _w = doda::workloads::UniformWorkload::new(4);
+    let _a = doda::adversary::RandomizedAdversary::new(4, 1);
+    let spec = doda::sim::AlgorithmSpec::Gathering;
+    assert!(!spec.label().is_empty());
+}
+
+#[test]
+fn doctest_example_from_lib_rs_stays_valid() {
+    // Mirror of the crate-level doctest, kept as a plain test so it also
+    // runs under harnesses that skip doctests.
+    let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1)]);
+    let mut algo = Gathering::new();
+    let outcome = engine::run_with_id_sets(
+        &mut algo,
+        &mut seq.source(false),
+        NodeId(0),
+        EngineConfig::default(),
+    )
+    .expect("valid decisions");
+    assert!(outcome.terminated());
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for the subset of `criterion` used by the doda bench
+//! targets (`harness = false` benchmarks).
+//!
+//! Behaviour:
+//! - `cargo bench -- --test` (or any run whose args contain `--test`) runs
+//!   every registered benchmark closure exactly once and reports `ok`, which
+//!   is what the CI bench-smoke job exercises.
+//! - A plain `cargo bench` times each closure over `sample_size` iterations
+//!   and prints a mean wall-clock time per iteration.
+//! - Positional arguments act as substring filters on the benchmark id,
+//!   mirroring criterion's filter behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Returns `value` while discouraging the optimiser from const-folding it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> Self {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (once in test mode) and records timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / self.iterations.max(1) as f64;
+    }
+}
+
+/// Entry point holding the parsed command-line configuration.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+/// Flags that take no value; anything else starting with `-` is assumed to
+/// consume the following token (e.g. `--sample-size 20`), so that values
+/// never leak into the positional filter list.
+const VALUELESS_FLAGS: &[&str] = &[
+    "--test",
+    "--bench",
+    "--list",
+    "--exact",
+    "--quiet",
+    "--verbose",
+    "--nocapture",
+];
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                s if VALUELESS_FLAGS.contains(&s) || s.contains('=') => {}
+                // A value-bearing flag: drop its value too.
+                s if s.starts_with('-') => {
+                    if args.peek().is_some_and(|next| !next.starts_with('-')) {
+                        args.next();
+                    }
+                }
+                s => filters.push(s.to_owned()),
+            }
+        }
+        Criterion { test_mode, filters }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f.as_str()))
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        assert!(samples > 0, "sample size must be positive");
+        self.sample_size = samples;
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into().id);
+        if !self.criterion.matches(&id) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            iterations: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size as u64
+            },
+            last_mean_ns: 0.0,
+        };
+        routine(&mut bencher);
+        if self.criterion.test_mode {
+            eprintln!("test {id} ... ok");
+        } else {
+            eprintln!(
+                "{id}: {:.1} ns/iter (mean over {} iterations)",
+                bencher.last_mean_ns, bencher.iterations
+            );
+        }
+        self
+    }
+
+    /// Ends the group (provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        #[doc = "Runs the benchmark targets registered by `criterion_group!`."]
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(7).id, "7");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+
+    #[test]
+    fn bencher_runs_the_routine() {
+        let mut bencher = Bencher {
+            iterations: 3,
+            last_mean_ns: 0.0,
+        };
+        let mut count = 0u64;
+        bencher.iter(|| count += 1);
+        assert_eq!(count, 3);
+    }
+}

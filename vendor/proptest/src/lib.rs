@@ -1,0 +1,145 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! Provides the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros, a
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies, and
+//! `prop::collection::vec`, all driven by a deterministic SplitMix64 stream
+//! seeded from the test name. Unlike the real `proptest` there is no
+//! shrinking: a failing case panics with the generated inputs so it can be
+//! reproduced (generation is fully deterministic per test).
+
+#![forbid(unsafe_code)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections (`vec`).
+    pub use crate::strategy::{vec, VecStrategy};
+}
+
+pub mod prop {
+    //! Namespace mirror of `proptest::prop`, so `prop::collection::vec`
+    //! resolves after `use proptest::prelude::*`.
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! The glob-importable prelude, mirroring `proptest::prelude`.
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests over strategy-generated inputs.
+///
+/// Supports the same surface the workspace uses:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(0u64..5, 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __doda_config: $crate::test_runner::ProptestConfig = $config;
+                let mut __doda_rng =
+                    $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for __doda_case in 0..__doda_config.cases {
+                    let mut __doda_inputs: ::std::vec::Vec<::std::string::String> =
+                        ::std::vec::Vec::new();
+                    $(
+                        let __doda_value = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            &mut __doda_rng,
+                        );
+                        __doda_inputs.push(::std::format!(
+                            ::std::concat!(::std::stringify!($pat), " = {:?}"),
+                            &__doda_value
+                        ));
+                        let $pat = __doda_value;
+                    )+
+                    let __doda_result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(__doda_err) = __doda_result {
+                        ::std::panic!(
+                            "proptest case {}/{} of `{}` failed: {}\n  inputs: {}",
+                            __doda_case + 1,
+                            __doda_config.cases,
+                            stringify!($name),
+                            __doda_err,
+                            __doda_inputs.join(", "),
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (rather
+/// than panicking directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__doda_left, __doda_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__doda_left == *__doda_right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __doda_left,
+            __doda_right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__doda_left, __doda_right) = (&$left, &$right);
+        $crate::prop_assert!(*__doda_left == *__doda_right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__doda_left, __doda_right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__doda_left != *__doda_right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            __doda_left
+        );
+    }};
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `rand_chacha` crate: a genuine ChaCha8 stream
+//! cipher core behind the `ChaCha8Rng` name, implementing the workspace's
+//! `rand` shim traits.
+//!
+//! Stream output is deterministic in the seed (the property the workspace
+//! relies on for bit-for-bit reproducible experiments) but is not guaranteed
+//! to be byte-identical to the upstream `rand_chacha` stream.
+
+#![forbid(unsafe_code)]
+
+/// Re-export of the core traits, mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::{RngCore, SeedableRng};
+}
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA8_ROUNDS: usize = 8;
+
+/// A deterministic RNG backed by the ChaCha stream cipher with 8 rounds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// The 16-word ChaCha input block (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// The current 64-byte output block, as 16 little-endian words.
+    block: [u32; 16],
+    /// Next unread word of `block`; 16 means "exhausted".
+    index: usize,
+}
+
+#[inline]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Generates the next 64-byte block and advances the block counter.
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..CHACHA8_ROUNDS / 2 {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for (out, inp) in self.block.iter_mut().zip(working.iter()) {
+            *out = *inp;
+        }
+        for (out, inp) in self.block.iter_mut().zip(self.state.iter()) {
+            *out = out.wrapping_add(*inp);
+        }
+        // 64-bit block counter in words 12..14.
+        let counter = (self.state[12] as u64) | ((self.state[13] as u64) << 32);
+        let counter = counter.wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.index = 0;
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        // "expand 32-byte k" sigma constants.
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for (i, chunk) in seed.chunks_exact(4).enumerate() {
+            state[4 + i] = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        // Words 12..16 (counter and nonce) start at zero.
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            index: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.index];
+        self.index += 1;
+        word
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(7);
+        let mut b = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn blocks_are_not_constant() {
+        // 3 blocks worth of words must not all be equal (the counter moves).
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let words: Vec<u32> = (0..48).map(|_| rng.next_u32()).collect();
+        assert!(words.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn fill_bytes_matches_words() {
+        let mut a = ChaCha8Rng::seed_from_u64(9);
+        let mut b = ChaCha8Rng::seed_from_u64(9);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        let expect = [b.next_u64().to_le_bytes(), b.next_u64().to_le_bytes()].concat();
+        assert_eq!(&buf[..], &expect[..]);
+    }
+}
