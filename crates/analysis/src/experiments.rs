@@ -62,13 +62,9 @@ where
     let mut algo = spec
         .instantiate(&empty, sink)
         .expect("knowledge-free algorithms always instantiate");
-    let outcome = engine::run_with_id_sets(
-        algo.as_mut(),
-        source,
-        sink,
-        EngineConfig::with_max_interactions(horizon),
-    )
-    .expect("algorithms never emit invalid decisions");
+    let outcome =
+        engine::run_with_id_sets(algo.as_mut(), source, sink, EngineConfig::sweep(horizon))
+            .expect("algorithms never emit invalid decisions");
     outcome.terminated()
 }
 
@@ -180,7 +176,7 @@ pub fn e3_cycle_trap(effort: Effort) -> ExperimentReport {
         &mut spanning,
         &mut trap,
         CycleTrap::SINK,
-        EngineConfig::with_max_interactions(horizon),
+        EngineConfig::sweep(horizon),
     )
     .expect("valid decisions");
     let mut gathering_trap = CycleTrap::new();
@@ -231,7 +227,7 @@ pub fn e4_recurring_edges(effort: Effort) -> ExperimentReport {
             &mut algo,
             &mut seq.source(false),
             NodeId(0),
-            EngineConfig::default(),
+            EngineConfig::sweep_default(),
         )
         .expect("valid decisions");
         let cost = cost_of_duration(&seq, NodeId(0), outcome.termination_time, 1_000);
@@ -272,7 +268,7 @@ pub fn e5_tree_underlying(effort: Effort) -> ExperimentReport {
             &mut algo,
             &mut seq.source(false),
             NodeId(0),
-            EngineConfig::default(),
+            EngineConfig::sweep_default(),
         )
         .expect("valid decisions");
         let cost = cost_of_duration(&seq, NodeId(0), outcome.termination_time, 200);
@@ -310,7 +306,7 @@ pub fn e6_future_knowledge(effort: Effort) -> ExperimentReport {
             &mut algo,
             &mut seq.source(false),
             NodeId(0),
-            EngineConfig::default(),
+            EngineConfig::sweep_default(),
         )
         .expect("valid decisions");
         match cost_of_duration(&seq, NodeId(0), outcome.termination_time, 4 * n as u64) {
@@ -525,7 +521,7 @@ pub fn e12_cost_function(effort: Effort) -> ExperimentReport {
             &mut algo,
             &mut seq.source(false),
             NodeId(0),
-            EngineConfig::default(),
+            EngineConfig::sweep_default(),
         )
         .expect("valid decisions");
         let base = cost_of_duration(&seq, NodeId(0), outcome.termination_time, 100);

@@ -34,7 +34,7 @@ fn run_gathering_under_adaptive_trap(horizon: u64) -> bool {
         &mut algo,
         &mut trap,
         AdaptiveTrap::SINK,
-        EngineConfig::with_max_interactions(horizon),
+        EngineConfig::sweep(horizon),
     )
     .expect("valid decisions")
     .terminated()
@@ -65,7 +65,7 @@ fn bench(c: &mut Criterion) {
                 &mut algo,
                 &mut trap,
                 CycleTrap::SINK,
-                EngineConfig::with_max_interactions(10_000),
+                EngineConfig::sweep(10_000),
             )
             .expect("valid decisions")
             .terminated()

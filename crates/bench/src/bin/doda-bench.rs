@@ -1,0 +1,225 @@
+//! `doda-bench` — the machine-readable perf harness.
+//!
+//! Runs a pinned scenario grid (algorithms × workloads × node counts)
+//! through the sharded sweep runner and emits `BENCH_<scenario>.json`, the
+//! perf-trajectory artifact CI uploads on every push and PRs extend over
+//! time. Also validates existing artifacts and measures the sharded
+//! runner's speedup over the legacy mutex runner.
+//!
+//! ```text
+//! doda-bench --baseline              # full grid  -> BENCH_baseline.json
+//! doda-bench --smoke                 # tiny grid  -> BENCH_smoke.json (CI)
+//! doda-bench --out-dir perf --smoke  # write into ./perf/
+//! doda-bench --validate FILE.json    # schema-check an artifact
+//! doda-bench --compare-runners      # sharded vs mutex runner speedup
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use doda_bench::json::Json;
+use doda_bench::perf::{run_scenario, validate_report, Scenario};
+use doda_sim::runner::{run_batch_detailed, run_batch_mutex_detailed, BatchConfig};
+use doda_sim::AlgorithmSpec;
+
+struct Args {
+    scenario: Scenario,
+    out_dir: PathBuf,
+    validate: Vec<PathBuf>,
+    compare_runners: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        scenario: Scenario::baseline(),
+        out_dir: PathBuf::from("."),
+        validate: Vec::new(),
+        compare_runners: false,
+    };
+    let mut scenario_requested = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--smoke" => {
+                args.scenario = Scenario::smoke();
+                scenario_requested = true;
+            }
+            "--baseline" => {
+                args.scenario = Scenario::baseline();
+                scenario_requested = true;
+            }
+            "--out-dir" => {
+                let dir = argv.next().ok_or("--out-dir needs a directory")?;
+                args.out_dir = PathBuf::from(dir);
+            }
+            "--validate" => {
+                let file = argv.next().ok_or("--validate needs a file")?;
+                args.validate.push(PathBuf::from(file));
+            }
+            "--compare-runners" => args.compare_runners = true,
+            "--help" | "-h" => {
+                println!(
+                    "doda-bench [--smoke | --baseline] [--out-dir DIR] \
+                     | --validate FILE... | --compare-runners"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    // The three modes are mutually exclusive; combining them would
+    // silently skip a requested scenario run.
+    let modes = usize::from(scenario_requested)
+        + usize::from(!args.validate.is_empty())
+        + usize::from(args.compare_runners);
+    if modes > 1 {
+        return Err(
+            "--smoke/--baseline, --validate and --compare-runners are mutually exclusive"
+                .to_string(),
+        );
+    }
+    Ok(args)
+}
+
+fn validate_files(files: &[PathBuf]) -> Result<(), String> {
+    for file in files {
+        let text = std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", file.display()))?;
+        validate_report(&doc).map_err(|e| format!("{}: {e}", file.display()))?;
+        println!("{}: ok", file.display());
+    }
+    Ok(())
+}
+
+/// Measures the sharded runner against the retained legacy mutex-funnel
+/// runner on identical parallel batches, and cross-checks that both
+/// produce identical results.
+///
+/// Two batch shapes are timed: one dominated by per-trial overhead (many
+/// small trials — where the mutex funnel and the per-trial allocations of
+/// the legacy runner hurt most) and one dominated by in-trial work (fewer
+/// large trials).
+fn compare_runners() -> Result<(), String> {
+    const REPS: usize = 7;
+    let shapes = [
+        ("overhead-bound", 16usize, 2_048usize),
+        ("work-bound", 128, 32),
+    ];
+    let spec = AlgorithmSpec::Gathering;
+    for (label, n, trials) in shapes {
+        let config = BatchConfig {
+            n,
+            trials,
+            horizon: None,
+            seed: 0xD0DA,
+            parallel: true,
+        };
+        // Warm-up to populate thread pools and page caches fairly.
+        let _ = run_batch_detailed(
+            spec,
+            &BatchConfig {
+                trials: 8,
+                ..config
+            },
+        );
+
+        // Interleave the two runners so drift (frequency scaling, page
+        // cache) hits both equally; report the per-runner minimum, the
+        // usual low-noise estimator for wall-clock microbenchmarks.
+        let mut sharded_secs = f64::INFINITY;
+        let mut mutex_secs = f64::INFINITY;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            let sharded = run_batch_detailed(spec, &config);
+            sharded_secs = sharded_secs.min(t0.elapsed().as_secs_f64());
+
+            let t1 = Instant::now();
+            let mutex = run_batch_mutex_detailed(spec, &config);
+            mutex_secs = mutex_secs.min(t1.elapsed().as_secs_f64());
+
+            if sharded != mutex {
+                return Err("sharded and mutex runners diverged on identical input".to_string());
+            }
+        }
+        println!("{label} batch ({spec}, n = {n}, trials = {trials}, best of {REPS}):");
+        println!("  sharded runner : {sharded_secs:.3} s");
+        println!("  mutex runner   : {mutex_secs:.3} s");
+        println!(
+            "  speedup        : {:.2}x",
+            mutex_secs / sharded_secs.max(1e-9)
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("doda-bench: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if !args.validate.is_empty() {
+        return match validate_files(&args.validate) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.compare_runners {
+        return match compare_runners() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    println!(
+        "running scenario '{}' ({} algorithms x {} workloads x {} node counts, {} trials/cell)",
+        args.scenario.name,
+        args.scenario.algorithms.len(),
+        args.scenario.workloads.len(),
+        args.scenario.ns.len(),
+        args.scenario.trials,
+    );
+    let report = run_scenario(&args.scenario);
+    for cell in &report.results {
+        println!(
+            "  {:<14} {:<10} n={:<4} completed {}/{} mean {:>10} throughput {:>12.0} i/s",
+            cell.algorithm,
+            cell.workload,
+            cell.n,
+            cell.completed,
+            cell.trials,
+            cell.mean_interactions
+                .map_or_else(|| "-".to_string(), |m| format!("{m:.0}")),
+            cell.throughput_ips,
+        );
+    }
+
+    if let Err(e) = std::fs::create_dir_all(&args.out_dir) {
+        eprintln!("doda-bench: cannot create {}: {e}", args.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let path = args.out_dir.join(report.file_name());
+    if let Err(e) = std::fs::write(&path, report.to_json()) {
+        eprintln!("doda-bench: cannot write {}: {e}", path.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {} ({} cells, {:.1} s wall clock, rev {})",
+        path.display(),
+        report.results.len(),
+        report.wall_clock_secs,
+        report.git_rev,
+    );
+    ExitCode::SUCCESS
+}

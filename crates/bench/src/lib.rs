@@ -6,9 +6,18 @@
 //! fractions, …) to stderr so that `cargo bench` output doubles as the raw
 //! material of EXPERIMENTS.md; the timed portion then measures the cost of
 //! regenerating a representative slice of that table.
+//!
+//! Besides the criterion targets, the crate hosts the machine-readable
+//! perf harness: [`perf`] runs pinned scenario grids and the `doda-bench`
+//! binary (`src/bin/doda-bench.rs`) emits/validates `BENCH_*.json`
+//! trajectory files; [`json`] is the dependency-free JSON support beneath
+//! it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod json;
+pub mod perf;
 
 use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
 

@@ -1,0 +1,433 @@
+//! The machine-readable perf harness behind the `doda-bench` binary.
+//!
+//! A [`Scenario`] pins a grid of (algorithm × workload × n) cells; running
+//! it executes every cell through the sharded sweep runner and produces a
+//! [`PerfReport`] that serialises to `BENCH_<scenario>.json`. Every PR
+//! extends the perf trajectory by re-running a scenario and comparing the
+//! emitted file against the committed baseline; CI runs the `smoke`
+//! scenario on every push and schema-checks the artifact with
+//! [`validate_report`].
+
+use std::time::Instant;
+
+use doda_sim::runner::{run_trials, BatchConfig};
+use doda_sim::AlgorithmSpec;
+use doda_stats::Summary;
+use doda_workloads::{UniformWorkload, VehicularWorkload, Workload, ZipfWorkload};
+
+use crate::json::{pretty, Json};
+
+/// Version of the `BENCH_*.json` schema emitted by [`PerfReport::to_json`].
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The workload families covered by the perf grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Uniform random contacts (the paper's randomized adversary).
+    Uniform,
+    /// Zipf-popularity contacts (exponent 1.2).
+    Zipf,
+    /// The vehicular grid scenario workload.
+    Vehicular,
+}
+
+impl WorkloadKind {
+    /// All workload kinds, in grid order.
+    pub fn all() -> [WorkloadKind; 3] {
+        [
+            WorkloadKind::Uniform,
+            WorkloadKind::Zipf,
+            WorkloadKind::Vehicular,
+        ]
+    }
+
+    /// The label used in JSON records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Uniform => "uniform",
+            WorkloadKind::Zipf => "zipf",
+            WorkloadKind::Vehicular => "vehicular",
+        }
+    }
+
+    /// Builds the workload over `n` nodes.
+    pub fn build(&self, n: usize) -> Box<dyn Workload + Sync> {
+        match self {
+            WorkloadKind::Uniform => Box::new(UniformWorkload::new(n)),
+            WorkloadKind::Zipf => Box::new(ZipfWorkload::new(n, 1.2)),
+            WorkloadKind::Vehicular => {
+                // A square-ish grid: side ≈ √n keeps the road density
+                // comparable across node counts.
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                Box::new(VehicularWorkload::new(n, side))
+            }
+        }
+    }
+}
+
+/// A pinned perf scenario: the grid plus the execution parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario label; the emitted file is `BENCH_<name>.json`.
+    pub name: String,
+    /// Node counts of the grid.
+    pub ns: Vec<usize>,
+    /// Trials per cell.
+    pub trials: usize,
+    /// Root seed; each cell derives an independent sub-seed.
+    pub seed: u64,
+    /// Algorithms of the grid.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Workload families of the grid.
+    pub workloads: Vec<WorkloadKind>,
+    /// Whether cells run their trials through the sharded parallel runner.
+    pub parallel: bool,
+}
+
+impl Scenario {
+    /// The tiny grid CI runs on every push (`doda-bench --smoke`).
+    pub fn smoke() -> Scenario {
+        Scenario {
+            name: "smoke".to_string(),
+            ns: vec![8, 16],
+            trials: 3,
+            seed: 0xD0DA,
+            algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
+            workloads: vec![WorkloadKind::Uniform, WorkloadKind::Zipf],
+            parallel: true,
+        }
+    }
+
+    /// The committed perf-trajectory grid (`doda-bench --baseline`):
+    /// online algorithms × {uniform, zipf, vehicular} × n ∈ {32, 128, 512}.
+    pub fn baseline() -> Scenario {
+        Scenario {
+            name: "baseline".to_string(),
+            ns: vec![32, 128, 512],
+            trials: 4,
+            seed: 0xD0DA,
+            algorithms: vec![
+                AlgorithmSpec::Gathering,
+                AlgorithmSpec::Waiting,
+                AlgorithmSpec::WaitingGreedy { tau: None },
+            ],
+            workloads: WorkloadKind::all().to_vec(),
+            parallel: true,
+        }
+    }
+}
+
+/// The measurements of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Algorithm label.
+    pub algorithm: String,
+    /// Workload label.
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Trials run.
+    pub trials: usize,
+    /// Trials that completed the aggregation within the horizon.
+    pub completed: usize,
+    /// `completed / trials`.
+    pub completion_rate: f64,
+    /// Mean interactions to completion over completed trials (`None` when
+    /// no trial completed).
+    pub mean_interactions: Option<f64>,
+    /// Total interactions processed by the engine across all trials —
+    /// the work units behind the throughput figure.
+    pub total_interactions: u64,
+    /// Wall-clock spent on the cell (trial execution plus sequence
+    /// generation), in seconds.
+    pub elapsed_secs: f64,
+    /// Engine throughput: `total_interactions / elapsed_secs`.
+    pub throughput_ips: f64,
+}
+
+/// A full perf report, serialisable to `BENCH_<scenario>.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Scenario label.
+    pub scenario: String,
+    /// `git rev-parse --short=12 HEAD` at measurement time, or `"unknown"`.
+    pub git_rev: String,
+    /// The scenario's root seed.
+    pub seed: u64,
+    /// Wall-clock of the whole scenario, in seconds.
+    pub wall_clock_secs: f64,
+    /// One record per grid cell.
+    pub results: Vec<CellResult>,
+}
+
+impl PerfReport {
+    /// The canonical file name, `BENCH_<scenario>.json`.
+    pub fn file_name(&self) -> String {
+        format!("BENCH_{}.json", self.scenario)
+    }
+
+    /// Serialises the report (pretty-printed, schema-versioned).
+    pub fn to_json(&self) -> String {
+        let results = self
+            .results
+            .iter()
+            .map(|cell| {
+                Json::Object(vec![
+                    ("algorithm".to_string(), Json::str(&cell.algorithm)),
+                    ("workload".to_string(), Json::str(&cell.workload)),
+                    ("n".to_string(), Json::Uint(cell.n as u64)),
+                    ("trials".to_string(), Json::Uint(cell.trials as u64)),
+                    ("completed".to_string(), Json::Uint(cell.completed as u64)),
+                    (
+                        "completion_rate".to_string(),
+                        Json::Num(cell.completion_rate),
+                    ),
+                    (
+                        "mean_interactions".to_string(),
+                        cell.mean_interactions.map_or(Json::Null, Json::Num),
+                    ),
+                    (
+                        "total_interactions".to_string(),
+                        Json::Uint(cell.total_interactions),
+                    ),
+                    ("elapsed_secs".to_string(), Json::Num(cell.elapsed_secs)),
+                    ("throughput_ips".to_string(), Json::Num(cell.throughput_ips)),
+                ])
+            })
+            .collect();
+        let doc = Json::Object(vec![
+            ("schema_version".to_string(), Json::Uint(SCHEMA_VERSION)),
+            ("scenario".to_string(), Json::str(&self.scenario)),
+            ("git_rev".to_string(), Json::str(&self.git_rev)),
+            ("seed".to_string(), Json::Uint(self.seed)),
+            (
+                "wall_clock_secs".to_string(),
+                Json::Num(self.wall_clock_secs),
+            ),
+            ("results".to_string(), Json::Array(results)),
+        ]);
+        pretty(&doc)
+    }
+}
+
+/// Runs every cell of `scenario` and collects the perf report.
+pub fn run_scenario(scenario: &Scenario) -> PerfReport {
+    let started = Instant::now();
+    let mut results = Vec::new();
+    let mut cell_index = 0u64;
+    for kind in &scenario.workloads {
+        for &n in &scenario.ns {
+            let workload = kind.build(n);
+            for &spec in &scenario.algorithms {
+                results.push(run_cell(scenario, spec, &*workload, kind, n, cell_index));
+                cell_index += 1;
+            }
+        }
+    }
+    PerfReport {
+        scenario: scenario.name.clone(),
+        git_rev: git_rev(),
+        seed: scenario.seed,
+        wall_clock_secs: started.elapsed().as_secs_f64(),
+        results,
+    }
+}
+
+fn run_cell(
+    scenario: &Scenario,
+    spec: AlgorithmSpec,
+    workload: &(dyn Workload + Sync),
+    kind: &WorkloadKind,
+    n: usize,
+    cell_index: u64,
+) -> CellResult {
+    let config = BatchConfig {
+        n,
+        trials: scenario.trials,
+        horizon: None,
+        seed: doda_stats::rng::SeedSequence::new(scenario.seed)
+            .child(cell_index)
+            .seed(0),
+        parallel: scenario.parallel,
+    };
+    let cell_start = Instant::now();
+    let raw = run_trials(spec, workload, &config);
+    let elapsed_secs = cell_start.elapsed().as_secs_f64();
+    let completions: Vec<f64> = raw
+        .iter()
+        .filter_map(|r| r.interactions_to_completion())
+        .collect();
+    let total_interactions: u64 = raw.iter().map(|r| r.interactions_processed).sum();
+    CellResult {
+        algorithm: spec.label().to_string(),
+        workload: kind.name().to_string(),
+        n,
+        trials: raw.len(),
+        completed: completions.len(),
+        completion_rate: completions.len() as f64 / raw.len().max(1) as f64,
+        mean_interactions: Summary::from_values(&completions).map(|s| s.mean),
+        total_interactions,
+        elapsed_secs,
+        throughput_ips: total_interactions as f64 / elapsed_secs.max(1e-9),
+    }
+}
+
+/// The current short git revision, or `"unknown"` outside a git checkout.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Schema-checks a parsed `BENCH_*.json` document.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: missing or mistyped
+/// field, wrong schema version, empty results, or out-of-range rate.
+pub fn validate_report(doc: &Json) -> Result<(), String> {
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_f64)
+        .ok_or("missing numeric field: schema_version")?;
+    if version != SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "unsupported schema_version {version} (expected {SCHEMA_VERSION})"
+        ));
+    }
+    for field in ["scenario", "git_rev"] {
+        doc.get(field)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field: {field}"))?;
+    }
+    for field in ["seed", "wall_clock_secs"] {
+        doc.get(field)
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("missing numeric field: {field}"))?;
+    }
+    let results = doc
+        .get("results")
+        .and_then(Json::as_array)
+        .ok_or("missing array field: results")?;
+    if results.is_empty() {
+        return Err("results must not be empty".to_string());
+    }
+    for (i, cell) in results.iter().enumerate() {
+        for field in ["algorithm", "workload"] {
+            cell.get(field)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("results[{i}]: missing string field: {field}"))?;
+        }
+        for field in [
+            "n",
+            "trials",
+            "completed",
+            "completion_rate",
+            "total_interactions",
+            "elapsed_secs",
+            "throughput_ips",
+        ] {
+            cell.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("results[{i}]: missing numeric field: {field}"))?;
+        }
+        let mean = cell
+            .get("mean_interactions")
+            .ok_or_else(|| format!("results[{i}]: missing field: mean_interactions"))?;
+        if !mean.is_null() && mean.as_f64().is_none() {
+            return Err(format!(
+                "results[{i}]: mean_interactions must be a number or null"
+            ));
+        }
+        let rate = cell
+            .get("completion_rate")
+            .and_then(Json::as_f64)
+            .expect("checked above");
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(format!(
+                "results[{i}]: completion_rate {rate} outside [0, 1]"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scenario_emits_a_valid_schema() {
+        let report = run_scenario(&Scenario::smoke());
+        assert_eq!(report.file_name(), "BENCH_smoke.json");
+        assert_eq!(report.results.len(), 2 * 2 * 2);
+        let doc = Json::parse(&report.to_json()).expect("emitted JSON parses");
+        validate_report(&doc).expect("emitted JSON passes the schema check");
+    }
+
+    #[test]
+    fn smoke_scenario_is_deterministic_in_its_measurements() {
+        // Wall-clock fields vary run to run; the measured simulation
+        // quantities must not.
+        let a = run_scenario(&Scenario::smoke());
+        let b = run_scenario(&Scenario::smoke());
+        for (x, y) in a.results.iter().zip(&b.results) {
+            assert_eq!(x.algorithm, y.algorithm);
+            assert_eq!(x.workload, y.workload);
+            assert_eq!(x.n, y.n);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.mean_interactions, y.mean_interactions);
+            assert_eq!(x.total_interactions, y.total_interactions);
+        }
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        let good = run_scenario(&Scenario {
+            trials: 2,
+            ns: vec![8],
+            algorithms: vec![AlgorithmSpec::Gathering],
+            workloads: vec![WorkloadKind::Uniform],
+            ..Scenario::smoke()
+        })
+        .to_json();
+        let doc = Json::parse(&good).unwrap();
+        validate_report(&doc).unwrap();
+
+        for (breaker, expected) in [
+            (r#"{"schema_version": 1}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 9}"#, "unsupported schema_version"),
+            (r#"{}"#, "missing numeric field: schema_version"),
+        ] {
+            let err = validate_report(&Json::parse(breaker).unwrap()).unwrap_err();
+            assert!(err.contains(expected), "{err} !~ {expected}");
+        }
+        // Empty results array is rejected.
+        let Json::Object(mut fields) = Json::parse(&good).unwrap() else {
+            unreachable!("reports are objects");
+        };
+        for (key, value) in &mut fields {
+            if key == "results" {
+                *value = Json::Array(Vec::new());
+            }
+        }
+        let err = validate_report(&Json::Object(fields)).unwrap_err();
+        assert!(err.contains("results must not be empty"), "{err}");
+    }
+
+    #[test]
+    fn workload_kinds_build_over_any_n() {
+        for kind in WorkloadKind::all() {
+            for n in [8, 32, 100] {
+                let w = kind.build(n);
+                assert_eq!(w.node_count(), n, "{}", kind.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Golden-file and round-trip tests for the `BENCH_*.json` schema.
+
+use doda_bench::json::Json;
+use doda_bench::perf::{run_scenario, validate_report, Scenario, SCHEMA_VERSION};
+
+/// The committed perf-trajectory baseline at the repository root must keep
+/// parsing and satisfying the schema the validator enforces — the golden
+/// file every future PR's `doda-bench --baseline` run is compared against.
+#[test]
+fn committed_baseline_matches_the_schema() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+    let text = std::fs::read_to_string(path).expect("BENCH_baseline.json is committed");
+    let doc = Json::parse(&text).expect("baseline parses as JSON");
+    validate_report(&doc).expect("baseline passes the schema check");
+
+    assert_eq!(
+        doc.get("schema_version").and_then(Json::as_f64),
+        Some(SCHEMA_VERSION as f64)
+    );
+    assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("baseline"));
+    let results = doc.get("results").and_then(Json::as_array).unwrap();
+    // The pinned grid: 3 algorithms x 3 workloads x 3 node counts.
+    assert_eq!(results.len(), 27);
+    for cell in results {
+        let n = cell.get("n").and_then(Json::as_f64).unwrap();
+        assert!([32.0, 128.0, 512.0].contains(&n), "unexpected n = {n}");
+        let throughput = cell.get("throughput_ips").and_then(Json::as_f64).unwrap();
+        assert!(throughput > 0.0, "throughput must be positive");
+    }
+}
+
+/// A freshly emitted report must round-trip through the parser and pass
+/// the same validation CI applies to the uploaded artifact.
+#[test]
+fn emitted_smoke_report_round_trips_and_validates() {
+    let report = run_scenario(&Scenario::smoke());
+    let text = report.to_json();
+    let doc = Json::parse(&text).expect("emitted JSON parses");
+    validate_report(&doc).expect("emitted JSON validates");
+    assert_eq!(
+        doc.get("seed").and_then(Json::as_f64),
+        Some(report.seed as f64)
+    );
+    assert_eq!(
+        doc.get("results").and_then(Json::as_array).map(<[_]>::len),
+        Some(report.results.len())
+    );
+}

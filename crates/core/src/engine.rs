@@ -6,12 +6,25 @@
 //! control information both nodes would exchange, applies the algorithm's
 //! decision under the model's rules, and stops when the sink is the only
 //! node owning data (or when a step budget / the source is exhausted).
+//!
+//! Two entry points are provided:
+//!
+//! * [`run`] (and [`run_with_id_sets`]) build a full [`ExecutionOutcome`]
+//!   per call — convenient for demos, tests and one-off executions;
+//! * [`Engine`] is the allocation-free stepping core behind them: its
+//!   scratch state is preallocated once and reused across executions via
+//!   [`NetworkState::reset`], the hot loop performs no per-step heap
+//!   allocation, and transmissions are only observed through a caller-
+//!   provided [`TransmissionSink`]. Monte-Carlo sweeps (see `doda-sim`)
+//!   keep one `Engine` per worker thread and run thousands of trials
+//!   through it.
 
 use doda_graph::NodeId;
 
 use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
 use crate::data::Aggregate;
 use crate::error::EngineError;
+use crate::interaction::Time;
 use crate::outcome::{ExecutionOutcome, Transmission};
 use crate::sequence::{AdversaryView, InteractionSource};
 use crate::state::NetworkState;
@@ -25,8 +38,10 @@ pub struct EngineConfig {
     /// terminate, so an execution horizon is required to make experiments
     /// finite.
     pub max_interactions: u64,
-    /// Whether to record every transmission in the outcome (cheap, but can
-    /// be disabled for very large parameter sweeps).
+    /// Whether [`run`] records every transmission in the outcome. Useful
+    /// for small demos and tests; parameter sweeps must disable it (or use
+    /// [`Engine::run`] with [`DiscardTransmissions`], which ignores this
+    /// flag entirely and is driven by the sink argument instead).
     pub record_transmissions: bool,
 }
 
@@ -47,10 +62,260 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// Configuration for parameter sweeps: an explicit interaction budget
+    /// and no transmission recording. This is the configuration every
+    /// batch/sweep path should use — recording is only for small demos and
+    /// tests that inspect individual transmissions.
+    pub fn sweep(max_interactions: u64) -> Self {
+        EngineConfig {
+            max_interactions,
+            record_transmissions: false,
+        }
+    }
+
+    /// [`EngineConfig::sweep`] with the default interaction budget.
+    pub fn sweep_default() -> Self {
+        EngineConfig::sweep(EngineConfig::default().max_interactions)
+    }
+}
+
+/// Observer of applied transmissions, called once per transmission in time
+/// order by [`Engine::run`].
+///
+/// The engine itself never buffers transmissions: callers that want them
+/// pass a `Vec<Transmission>` (or any custom observer), callers that do not
+/// pass [`DiscardTransmissions`] and pay nothing.
+pub trait TransmissionSink {
+    /// Records one applied transmission.
+    fn record(&mut self, transmission: Transmission);
+}
+
+/// A [`TransmissionSink`] that drops every transmission — the zero-cost
+/// choice for parameter sweeps.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscardTransmissions;
+
+impl TransmissionSink for DiscardTransmissions {
+    #[inline]
+    fn record(&mut self, _transmission: Transmission) {}
+}
+
+impl TransmissionSink for Vec<Transmission> {
+    #[inline]
+    fn record(&mut self, transmission: Transmission) {
+        self.push(transmission);
+    }
+}
+
+/// The counters produced by one [`Engine::run`] execution.
+///
+/// This is the allocation-free subset of [`ExecutionOutcome`]; the final
+/// aggregate and ownership details remain inspectable on
+/// [`Engine::state`] until the next run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Number of nodes in the dynamic graph.
+    pub node_count: usize,
+    /// The sink node.
+    pub sink: NodeId,
+    /// `Some(t)` if the aggregation completed at interaction index `t`
+    /// (`Some(0)` for the degenerate single-node graph).
+    pub termination_time: Option<Time>,
+    /// Number of interactions presented to the algorithm.
+    pub interactions_processed: u64,
+    /// Number of transmissions applied. For a terminating execution over
+    /// `n` nodes this is always `n − 1`.
+    pub transmissions: u64,
+    /// Number of `Transmit` decisions ignored by the engine (the paper's
+    /// "output is ignored" rule).
+    pub ignored_decisions: u64,
+    /// Number of nodes still owning data at the end.
+    pub remaining_owners: usize,
+}
+
+impl RunStats {
+    /// Returns `true` if the aggregation completed (sink is the sole owner).
+    pub fn terminated(&self) -> bool {
+        self.termination_time.is_some()
+    }
+}
+
+/// The reusable, zero-allocation stepping core.
+///
+/// An `Engine` owns the scratch an execution needs — the
+/// [`NetworkState`] and the ownership bitmap handed to adaptive
+/// adversaries — and reuses it across calls to [`Engine::run`], so a sweep
+/// of thousands of trials allocates the scratch once. The hot loop
+/// performs no heap allocation: ownership is maintained incrementally
+/// (instead of re-deriving a fresh bitmap every step) and completion is
+/// detected from an owner counter (instead of an `O(n)` scan per
+/// transmission).
+#[derive(Debug)]
+pub struct Engine<A> {
+    state: NetworkState<A>,
+    ownership: Vec<bool>,
+    owners: usize,
+}
+
+impl<A: Aggregate> Default for Engine<A> {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl<A: Aggregate> Engine<A> {
+    /// Creates an engine with empty scratch; the first [`Engine::run`]
+    /// sizes it to the source's node count.
+    pub fn new() -> Self {
+        Engine {
+            state: NetworkState::empty(),
+            ownership: Vec::new(),
+            owners: 0,
+        }
+    }
+
+    /// The network state left behind by the most recent run (empty before
+    /// the first run). Use it to read the sink's final aggregate or the
+    /// per-node ownership after [`Engine::run`] returns.
+    pub fn state(&self) -> &NetworkState<A> {
+        &self.state
+    }
+
+    /// Runs `algorithm` over the interactions produced by `source`,
+    /// reusing this engine's scratch, reporting applied transmissions to
+    /// `transmissions` and returning the execution counters.
+    ///
+    /// Unlike [`run`], the `config.record_transmissions` flag is ignored:
+    /// whether transmissions are observed is decided entirely by the sink
+    /// argument ([`DiscardTransmissions`] for none, `&mut Vec<Transmission>`
+    /// to collect them).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] if the algorithm produces a structurally
+    /// invalid decision (a sender/receiver outside the current
+    /// interaction). Decisions whose endpoints do not both own data are
+    /// *ignored* (counted in [`RunStats::ignored_decisions`]), per the
+    /// paper's convention.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range for `source.node_count()` or the
+    /// node count is zero (propagated from [`NetworkState::reset`]).
+    pub fn run<F, S, D, T>(
+        &mut self,
+        algorithm: &mut D,
+        source: &mut S,
+        sink: NodeId,
+        initial_data: F,
+        config: EngineConfig,
+        transmissions: &mut T,
+    ) -> Result<RunStats, EngineError>
+    where
+        F: FnMut(NodeId) -> A,
+        S: InteractionSource + ?Sized,
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+    {
+        let n = source.node_count();
+        self.state.reset(n, sink, initial_data);
+        self.ownership.clear();
+        self.ownership.resize(n, true);
+        self.owners = n;
+
+        let mut applied = 0u64;
+        let mut ignored = 0u64;
+        let mut processed = 0u64;
+        let mut termination_time = if self.owners == 1 { Some(0) } else { None };
+
+        while termination_time.is_none() && processed < config.max_interactions {
+            let t = processed;
+            let view = AdversaryView {
+                owns_data: &self.ownership,
+                sink,
+            };
+            let Some(interaction) = source.next_interaction(t, &view) else {
+                break;
+            };
+            processed += 1;
+
+            let ctx = InteractionContext {
+                time: t,
+                interaction,
+                min_owns_data: self.owns(interaction.min()),
+                max_owns_data: self.owns(interaction.max()),
+                sink,
+            };
+            match algorithm.decide(&ctx) {
+                Decision::Idle => {}
+                Decision::Transmit { sender, receiver } => {
+                    if !interaction.involves(sender)
+                        || !interaction.involves(receiver)
+                        || sender == receiver
+                    {
+                        return Err(EngineError::DecisionOutsideInteraction {
+                            time: t,
+                            interaction,
+                            sender,
+                            receiver,
+                        });
+                    }
+                    if !ctx.both_own_data() || sender == sink {
+                        // "The output is ignored if the interacting nodes do
+                        // not both have data." A decision asking the sink to
+                        // transmit is likewise ignored rather than fatal: it
+                        // can only come from an algorithm treating the sink
+                        // as a regular node, and the model simply forbids
+                        // the transfer.
+                        ignored += 1;
+                    } else {
+                        self.state
+                            .transmit(sender, receiver)
+                            .map_err(|cause| EngineError::InvalidTransmission { time: t, cause })?;
+                        self.ownership[sender.index()] = false;
+                        self.owners -= 1;
+                        applied += 1;
+                        transmissions.record(Transmission {
+                            time: t,
+                            sender,
+                            receiver,
+                        });
+                        algorithm.on_transmission(t, sender, receiver);
+                        // The sink can never transmit, so it always owns
+                        // data: a single remaining owner must be the sink.
+                        if self.owners == 1 {
+                            termination_time = Some(t);
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(RunStats {
+            node_count: n,
+            sink,
+            termination_time,
+            interactions_processed: processed,
+            transmissions: applied,
+            ignored_decisions: ignored,
+            remaining_owners: self.owners,
+        })
+    }
+
+    #[inline]
+    fn owns(&self, v: NodeId) -> bool {
+        self.ownership.get(v.index()).copied().unwrap_or(false)
+    }
 }
 
 /// Runs `algorithm` over the interactions produced by `source`, starting
 /// from the initial data assignment `initial_data`.
+///
+/// This is a thin convenience wrapper over [`Engine::run`] that allocates
+/// fresh scratch and packages the full [`ExecutionOutcome`] (including the
+/// transmission log when `config.record_transmissions` is set). Sweeps
+/// that run many executions should hold an [`Engine`] instead.
 ///
 /// # Errors
 ///
@@ -76,82 +341,36 @@ where
     S: InteractionSource + ?Sized,
     D: DodaAlgorithm + ?Sized,
 {
-    let n = source.node_count();
-    let mut state: NetworkState<A> = NetworkState::new(n, sink, initial_data);
+    let mut engine: Engine<A> = Engine::new();
     let mut transmissions = Vec::new();
-    let mut ignored = 0u64;
-    let mut processed = 0u64;
-    let mut termination_time = if state.is_complete() { Some(0) } else { None };
-
-    while termination_time.is_none() && processed < config.max_interactions {
-        let t = processed;
-        let ownership = state.ownership_bitmap();
-        let view = AdversaryView {
-            owns_data: &ownership,
+    let stats = if config.record_transmissions {
+        engine.run(
+            algorithm,
+            source,
             sink,
-        };
-        let Some(interaction) = source.next_interaction(t, &view) else {
-            break;
-        };
-        processed += 1;
-
-        let ctx = InteractionContext {
-            time: t,
-            interaction,
-            min_owns_data: state.owns_data(interaction.min()),
-            max_owns_data: state.owns_data(interaction.max()),
+            initial_data,
+            config,
+            &mut transmissions,
+        )?
+    } else {
+        engine.run(
+            algorithm,
+            source,
             sink,
-        };
-        match algorithm.decide(&ctx) {
-            Decision::Idle => {}
-            Decision::Transmit { sender, receiver } => {
-                if !interaction.involves(sender)
-                    || !interaction.involves(receiver)
-                    || sender == receiver
-                {
-                    return Err(EngineError::DecisionOutsideInteraction {
-                        time: t,
-                        interaction,
-                        sender,
-                        receiver,
-                    });
-                }
-                if !ctx.both_own_data() || sender == sink {
-                    // "The output is ignored if the interacting nodes do not
-                    // both have data." A decision asking the sink to transmit
-                    // is likewise ignored rather than fatal: it can only come
-                    // from an algorithm treating the sink as a regular node,
-                    // and the model simply forbids the transfer.
-                    ignored += 1;
-                } else {
-                    state
-                        .transmit(sender, receiver)
-                        .map_err(|cause| EngineError::InvalidTransmission { time: t, cause })?;
-                    if config.record_transmissions {
-                        transmissions.push(Transmission {
-                            time: t,
-                            sender,
-                            receiver,
-                        });
-                    }
-                    algorithm.on_transmission(t, sender, receiver);
-                    if state.is_complete() {
-                        termination_time = Some(t);
-                    }
-                }
-            }
-        }
-    }
-
+            initial_data,
+            config,
+            &mut DiscardTransmissions,
+        )?
+    };
     Ok(ExecutionOutcome {
-        node_count: n,
+        node_count: stats.node_count,
         sink,
-        termination_time,
-        interactions_processed: processed,
+        termination_time: stats.termination_time,
+        interactions_processed: stats.interactions_processed,
         transmissions,
-        ignored_decisions: ignored,
-        sink_data: state.data_of(sink).cloned(),
-        final_ownership: state.ownership_bitmap(),
+        ignored_decisions: stats.ignored_decisions,
+        sink_data: engine.state().data_of(sink).cloned(),
+        final_ownership: engine.state().ownership_bitmap(),
     })
 }
 
@@ -355,5 +574,80 @@ mod tests {
             run_with_id_sets(&mut algo, &mut seq.source(false), NodeId(0), config).unwrap();
         assert!(outcome.terminated());
         assert_eq!(outcome.transmission_count(), 0);
+    }
+
+    #[test]
+    fn sweep_config_disables_recording() {
+        let config = EngineConfig::sweep(1_000);
+        assert_eq!(config.max_interactions, 1_000);
+        assert!(!config.record_transmissions);
+        assert!(EngineConfig::with_max_interactions(1_000).record_transmissions);
+    }
+
+    #[test]
+    fn engine_reuse_matches_fresh_runs_and_handles_shape_changes() {
+        use crate::data::IdSet;
+
+        let mut engine: Engine<IdSet> = Engine::new();
+        // Alternate node counts to exercise scratch resizing in both
+        // directions; every reused run must match a fresh `run` exactly.
+        for &(n, rounds) in &[(5usize, 1usize), (3, 2), (8, 1), (2, 1)] {
+            let seq = star_sequence(n, rounds);
+            let mut algo = Waiting::new();
+            let stats = engine
+                .run(
+                    &mut algo,
+                    &mut seq.source(false),
+                    NodeId(0),
+                    IdSet::singleton,
+                    EngineConfig::default(),
+                    &mut DiscardTransmissions,
+                )
+                .unwrap();
+            let mut fresh_algo = Waiting::new();
+            let outcome = run_with_id_sets(
+                &mut fresh_algo,
+                &mut seq.source(false),
+                NodeId(0),
+                EngineConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(stats.termination_time, outcome.termination_time);
+            assert_eq!(stats.interactions_processed, outcome.interactions_processed);
+            assert_eq!(stats.transmissions as usize, outcome.transmission_count());
+            assert_eq!(stats.ignored_decisions, outcome.ignored_decisions);
+            assert_eq!(stats.remaining_owners, outcome.remaining_owners());
+            assert_eq!(
+                engine.state().data_of(NodeId(0)).cloned(),
+                outcome.sink_data
+            );
+            assert_eq!(engine.state().ownership_bitmap(), outcome.final_ownership);
+        }
+    }
+
+    #[test]
+    fn engine_records_into_a_vec_sink() {
+        use crate::data::IdSet;
+
+        let seq = star_sequence(4, 1);
+        let mut engine: Engine<IdSet> = Engine::new();
+        let mut algo = Waiting::new();
+        let mut log: Vec<Transmission> = Vec::new();
+        let stats = engine
+            .run(
+                &mut algo,
+                &mut seq.source(false),
+                NodeId(0),
+                IdSet::singleton,
+                // The flag is ignored by the core: the sink argument decides.
+                EngineConfig::sweep(1_000),
+                &mut log,
+            )
+            .unwrap();
+        assert!(stats.terminated());
+        assert_eq!(stats.transmissions, 3);
+        assert_eq!(log.len(), 3);
+        assert!(log.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(log.iter().all(|t| t.receiver == NodeId(0)));
     }
 }

@@ -73,7 +73,7 @@ pub mod sequence;
 pub mod state;
 
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
-pub use engine::EngineConfig;
+pub use engine::{DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink};
 pub use interaction::{Interaction, Time, TimedInteraction};
 pub use outcome::{ExecutionOutcome, Transmission};
 pub use sequence::{InteractionSequence, InteractionSource};
@@ -87,7 +87,9 @@ pub mod prelude {
     pub use crate::convergecast::{self, optimal_convergecast};
     pub use crate::cost::{self, Cost};
     pub use crate::data::{Aggregate, Count, IdSet, MaxData, MinData, SumData};
-    pub use crate::engine::{self, EngineConfig};
+    pub use crate::engine::{
+        self, DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink,
+    };
     pub use crate::interaction::{Interaction, Time, TimedInteraction};
     pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
     pub use crate::outcome::{ExecutionOutcome, Transmission};

@@ -258,13 +258,41 @@ impl InteractionSequence {
         }
     }
 
+    /// Clears the sequence and re-targets it to `n` nodes, retaining the
+    /// interaction allocation. Workload generators use this to refill one
+    /// scratch sequence across many trials instead of allocating a fresh
+    /// buffer per trial.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.interactions.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more interactions.
+    pub fn reserve(&mut self, additional: usize) {
+        self.interactions.reserve(additional);
+    }
+
     /// A streaming source that replays this sequence and then, optionally,
     /// keeps cycling through it forever (`cycle = true`).
+    ///
+    /// This clones the sequence so the source is self-contained; hot paths
+    /// that replay a sequence in place should use [`stream`] instead.
+    ///
+    /// [`stream`]: InteractionSequence::stream
     pub fn source(&self, cycle: bool) -> SequenceSource {
         SequenceSource {
             seq: self.clone(),
             cycle,
         }
+    }
+
+    /// A borrowing streaming source over this sequence — like [`source`]
+    /// but without cloning the interactions, so replaying a materialised
+    /// sequence costs nothing. Used by the sweep runner's hot path.
+    ///
+    /// [`source`]: InteractionSequence::source
+    pub fn stream(&self, cycle: bool) -> SequenceStream<'_> {
+        SequenceStream { seq: self, cycle }
     }
 }
 
@@ -286,6 +314,33 @@ pub struct SequenceSource {
 }
 
 impl InteractionSource for SequenceSource {
+    fn node_count(&self) -> usize {
+        self.seq.node_count()
+    }
+
+    fn next_interaction(&mut self, t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        if self.seq.is_empty() {
+            return None;
+        }
+        if self.cycle {
+            let idx = (t as usize) % self.seq.len();
+            self.seq.get(idx as Time)
+        } else {
+            self.seq.get(t)
+        }
+    }
+}
+
+/// Borrowing counterpart of [`SequenceSource`]: replays an
+/// [`InteractionSequence`] without cloning it. Created by
+/// [`InteractionSequence::stream`].
+#[derive(Debug, Clone)]
+pub struct SequenceStream<'a> {
+    seq: &'a InteractionSequence,
+    cycle: bool,
+}
+
+impl InteractionSource for SequenceStream<'_> {
     fn node_count(&self) -> usize {
         self.seq.node_count()
     }
@@ -391,6 +446,47 @@ mod tests {
             cyclic.next_interaction(5, &view),
             Some(Interaction::new(NodeId(1), NodeId(2)))
         );
+    }
+
+    #[test]
+    fn stream_matches_cloning_source() {
+        let seq = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2)]);
+        let owns = vec![true, true, true];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        for cycle in [false, true] {
+            let mut cloning = seq.source(cycle);
+            let mut borrowing = seq.stream(cycle);
+            assert_eq!(borrowing.node_count(), cloning.node_count());
+            for t in 0..6 {
+                assert_eq!(
+                    borrowing.next_interaction(t, &view),
+                    cloning.next_interaction(t, &view),
+                    "divergence at t={t}, cycle={cycle}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn reset_retargets_and_clears() {
+        let mut seq = InteractionSequence::from_pairs(4, vec![(0, 1), (2, 3)]);
+        seq.reserve(16);
+        seq.reset(2);
+        assert_eq!(seq.node_count(), 2);
+        assert!(seq.is_empty());
+        seq.push(Interaction::new(NodeId(0), NodeId(1)));
+        assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reset_enforces_the_new_node_count() {
+        let mut seq = InteractionSequence::from_pairs(4, vec![(2, 3)]);
+        seq.reset(2);
+        seq.push(Interaction::new(NodeId(2), NodeId(3)));
     }
 
     #[test]

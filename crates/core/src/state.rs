@@ -35,19 +35,46 @@ impl<A: Aggregate> NetworkState<A> {
     /// # Panics
     ///
     /// Panics if `sink.index() >= n` or `n == 0`.
-    pub fn new<F>(n: usize, sink: NodeId, mut initial_data: F) -> Self
+    pub fn new<F>(n: usize, sink: NodeId, initial_data: F) -> Self
+    where
+        F: FnMut(NodeId) -> A,
+    {
+        let mut state = NetworkState::empty();
+        state.reset(n, sink, initial_data);
+        state
+    }
+
+    /// An empty placeholder state owning no nodes; it must be [`reset`]
+    /// before use. Used by the engine as reusable scratch so that a single
+    /// allocation serves many executions.
+    ///
+    /// [`reset`]: NetworkState::reset
+    pub(crate) fn empty() -> Self {
+        NetworkState {
+            nodes: Vec::new(),
+            sink: NodeId(0),
+        }
+    }
+
+    /// Re-initialises the state for a fresh execution over `n` nodes,
+    /// reusing the node-vector allocation: every node owns the datum
+    /// produced by `initial_data(v)` and nobody has transmitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink.index() >= n` or `n == 0`.
+    pub fn reset<F>(&mut self, n: usize, sink: NodeId, mut initial_data: F)
     where
         F: FnMut(NodeId) -> A,
     {
         assert!(n > 0, "a dynamic graph needs at least one node");
         assert!(sink.index() < n, "sink {sink} out of range for {n} nodes");
-        let nodes = (0..n)
-            .map(|i| NodeState {
-                data: Some(initial_data(NodeId(i))),
-                has_transmitted: false,
-            })
-            .collect();
-        NetworkState { nodes, sink }
+        self.nodes.clear();
+        self.nodes.extend((0..n).map(|i| NodeState {
+            data: Some(initial_data(NodeId(i))),
+            has_transmitted: false,
+        }));
+        self.sink = sink;
     }
 
     /// Number of nodes.
@@ -248,6 +275,31 @@ mod tests {
         let mut st = fresh(3);
         st.transmit(NodeId(2), NodeId(1)).unwrap();
         assert_eq!(st.ownership_bitmap(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn reset_reuses_the_state_for_a_fresh_execution() {
+        let mut st = fresh(4);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        st.transmit(NodeId(2), NodeId(0)).unwrap();
+        // Reset to a different shape: everything is fresh again.
+        st.reset(3, NodeId(2), IdSet::singleton);
+        assert_eq!(st.node_count(), 3);
+        assert_eq!(st.sink(), NodeId(2));
+        assert_eq!(st.owner_count(), 3);
+        assert!(!st.has_transmitted(NodeId(1)));
+        // The reset state enforces the model exactly like a new one.
+        assert_eq!(
+            st.transmit(NodeId(2), NodeId(1)).unwrap_err(),
+            TransmissionError::SinkMustNotTransmit
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn reset_rejects_out_of_range_sink() {
+        let mut st = fresh(4);
+        st.reset(2, NodeId(3), IdSet::singleton);
     }
 
     #[test]

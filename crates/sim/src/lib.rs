@@ -37,14 +37,14 @@ pub mod spec;
 pub mod table;
 pub mod trial;
 
-pub use runner::{run_batch, BatchConfig, BatchResult};
+pub use runner::{run_batch, run_batch_detailed, run_trials, BatchConfig, BatchResult};
 pub use spec::AlgorithmSpec;
-pub use trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+pub use trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
 
 /// Commonly used items for examples and benches.
 pub mod prelude {
-    pub use crate::runner::{run_batch, BatchConfig, BatchResult};
+    pub use crate::runner::{run_batch, run_batch_detailed, run_trials, BatchConfig, BatchResult};
     pub use crate::spec::AlgorithmSpec;
     pub use crate::table::{markdown_table, Table};
-    pub use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+    pub use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
 }

@@ -1,18 +1,32 @@
 //! Multi-trial batches.
 //!
 //! A batch fixes an algorithm, a node count and a trial count; each trial
-//! draws an independent sequence from the uniform randomized adversary
-//! (the paper's Section 4 setting), runs the algorithm, and the batch
-//! summarises the interaction counts. Batches can run their trials across
-//! threads with `std::thread::scope` scoped threads.
+//! draws an independent sequence from a workload (by default the uniform
+//! randomized adversary — the paper's Section 4 setting), runs the
+//! algorithm, and the batch summarises the interaction counts.
+//!
+//! # Sharded execution
+//!
+//! Parallel batches are *sharded*: the trial indices are split into one
+//! contiguous chunk per worker, every worker owns a [`TrialRunner`] (reused
+//! engine scratch), a scratch [`InteractionSequence`] refilled in place via
+//! [`Workload::fill`], and a local result vector. Nothing is shared while
+//! trials run — no mutex, no per-trial synchronisation — and the local
+//! vectors are concatenated once, in worker order, when the scope joins.
+//! Because trial `i` always uses the sub-seed `SeedSequence::seed(i)`
+//! regardless of which worker executes it, serial and parallel runs of the
+//! same [`BatchConfig`] produce **identical** [`BatchResult`]s and raw
+//! [`TrialResult`]s, byte for byte.
 
+use std::ops::Range;
+
+use doda_core::InteractionSequence;
 use doda_stats::rng::SeedSequence;
 use doda_stats::Summary;
 use doda_workloads::{UniformWorkload, Workload};
-use parking_lot::Mutex;
 
 use crate::spec::AlgorithmSpec;
-use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult};
+use crate::trial::{TrialConfig, TrialResult, TrialRunner};
 
 /// Configuration of a batch of independent randomized-adversary trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +88,103 @@ impl BatchResult {
     }
 }
 
+/// Runs `config.trials` independent trials of `spec`, each over a fresh
+/// sequence drawn from `workload`, and returns the raw per-trial results
+/// in trial-index order.
+///
+/// This is the sharded core behind [`run_batch`]; it is exposed so that
+/// sweeps over non-uniform workloads (Zipf, vehicular, …) — notably the
+/// `doda-bench` perf harness — can reuse the same execution machinery and
+/// tolerate batches in which no trial terminates.
+///
+/// # Panics
+///
+/// Panics if `workload.node_count() != config.n`, or if a worker thread
+/// panics.
+pub fn run_trials<W>(spec: AlgorithmSpec, workload: &W, config: &BatchConfig) -> Vec<TrialResult>
+where
+    W: Workload + Sync + ?Sized,
+{
+    assert_eq!(
+        workload.node_count(),
+        config.n,
+        "workload is over {} nodes but the batch asks for {}",
+        workload.node_count(),
+        config.n
+    );
+    let seeds = SeedSequence::new(config.seed);
+    let horizon = config.horizon_len();
+    let trial_config = TrialConfig::default();
+
+    // One invocation per shard: owns its engine scratch and its sequence
+    // buffer for the whole chunk.
+    let run_chunk = |range: Range<usize>| -> Vec<TrialResult> {
+        let mut runner = TrialRunner::new();
+        let mut seq = InteractionSequence::new(config.n);
+        let mut results = Vec::with_capacity(range.len());
+        for trial in range {
+            workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
+            results.push(runner.run(spec, &seq, &trial_config));
+        }
+        results
+    };
+
+    if config.parallel && config.trials > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .min(config.trials);
+        let chunk = config.trials.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let run_chunk = &run_chunk;
+                    let start = worker * chunk;
+                    let end = config.trials.min(start + chunk);
+                    scope.spawn(move || run_chunk(start..end))
+                })
+                .collect();
+            let mut results = Vec::with_capacity(config.trials);
+            for handle in handles {
+                results.extend(handle.join().expect("batch worker thread panicked"));
+            }
+            results
+        })
+    } else {
+        run_chunk(0..config.trials)
+    }
+}
+
+/// Summarises raw trial results into a [`BatchResult`].
+///
+/// # Panics
+///
+/// Panics if no trial terminated (no summary can be formed); in practice
+/// this means the horizon was far too small for the algorithm.
+fn summarize(spec: AlgorithmSpec, config: &BatchConfig, results: &[TrialResult]) -> BatchResult {
+    let completions: Vec<f64> = results
+        .iter()
+        .filter_map(|r| r.interactions_to_completion())
+        .collect();
+    let completed = completions.len();
+    let interactions = Summary::from_values(&completions).unwrap_or_else(|| {
+        panic!(
+            "no trial of {} terminated within {} interactions (n = {}); increase the horizon",
+            spec,
+            config.horizon_len(),
+            config.n
+        )
+    });
+    BatchResult {
+        algorithm: spec.label().to_string(),
+        n: config.n,
+        trials: config.trials,
+        completed,
+        interactions,
+        completion_rate: completed as f64 / config.trials.max(1) as f64,
+    }
+}
+
 /// Runs a batch against the uniform randomized adversary and returns its
 /// summary together with the raw per-trial results.
 ///
@@ -85,6 +196,31 @@ pub fn run_batch_detailed(
     spec: AlgorithmSpec,
     config: &BatchConfig,
 ) -> (BatchResult, Vec<TrialResult>) {
+    let workload = UniformWorkload::new(config.n);
+    let results = run_trials(spec, &workload, config);
+    (summarize(spec, config, &results), results)
+}
+
+/// Runs a batch and returns only its summary.
+pub fn run_batch(spec: AlgorithmSpec, config: &BatchConfig) -> BatchResult {
+    run_batch_detailed(spec, config).0
+}
+
+/// The pre-sharding batch runner, which funnelled every trial result
+/// through a single `parking_lot::Mutex` and allocated fresh engine
+/// scratch and a fresh sequence per trial.
+///
+/// Kept (hidden) solely as the measurement baseline for
+/// `doda-bench --compare-runners`, which reports the sharded runner's
+/// speedup over it; it must produce results identical to [`run_batch_detailed`].
+#[doc(hidden)]
+pub fn run_batch_mutex_detailed(
+    spec: AlgorithmSpec,
+    config: &BatchConfig,
+) -> (BatchResult, Vec<TrialResult>) {
+    use crate::trial::run_trial_on_sequence;
+    use parking_lot::Mutex;
+
     let seeds = SeedSequence::new(config.seed);
     let horizon = config.horizon_len();
     let trial_config = TrialConfig::default();
@@ -124,38 +260,13 @@ pub fn run_batch_detailed(
         (0..config.trials).map(run_one).collect()
     };
 
-    let completions: Vec<f64> = results
-        .iter()
-        .filter_map(|r| r.interactions_to_completion())
-        .collect();
-    let completed = completions.len();
-    let interactions = Summary::from_values(&completions).unwrap_or_else(|| {
-        panic!(
-            "no trial of {} terminated within {} interactions (n = {}); increase the horizon",
-            spec, horizon, config.n
-        )
-    });
-    (
-        BatchResult {
-            algorithm: spec.label().to_string(),
-            n: config.n,
-            trials: config.trials,
-            completed,
-            interactions,
-            completion_rate: completed as f64 / config.trials.max(1) as f64,
-        },
-        results,
-    )
-}
-
-/// Runs a batch and returns only its summary.
-pub fn run_batch(spec: AlgorithmSpec, config: &BatchConfig) -> BatchResult {
-    run_batch_detailed(spec, config).0
+    (summarize(spec, config, &results), results)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use doda_workloads::ZipfWorkload;
 
     fn config(n: usize, trials: usize, parallel: bool) -> BatchConfig {
         BatchConfig {
@@ -180,10 +291,43 @@ mod tests {
 
     #[test]
     fn parallel_and_sequential_agree() {
-        let sequential = run_batch(AlgorithmSpec::Gathering, &config(10, 6, false));
-        let parallel = run_batch(AlgorithmSpec::Gathering, &config(10, 6, true));
-        // Same seeds per trial index, so the summaries are identical.
+        let sequential = run_batch_detailed(AlgorithmSpec::Gathering, &config(10, 6, false));
+        let parallel = run_batch_detailed(AlgorithmSpec::Gathering, &config(10, 6, true));
+        // Same seeds per trial index regardless of sharding, so both the
+        // summary and the raw per-trial results are identical.
         assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sharded_runner_reproduces_the_legacy_mutex_runner() {
+        for parallel in [false, true] {
+            let cfg = config(10, 7, parallel);
+            let sharded = run_batch_detailed(AlgorithmSpec::Gathering, &cfg);
+            let legacy = run_batch_mutex_detailed(AlgorithmSpec::Gathering, &cfg);
+            assert_eq!(sharded, legacy, "parallel = {parallel}");
+        }
+    }
+
+    #[test]
+    fn run_trials_supports_non_uniform_workloads_without_panicking() {
+        let cfg = BatchConfig {
+            n: 10,
+            trials: 4,
+            horizon: Some(5), // hopeless horizon: zero completions allowed
+            seed: 3,
+            parallel: false,
+        };
+        let workload = ZipfWorkload::new(10, 1.2);
+        let raw = run_trials(AlgorithmSpec::Waiting, &workload, &cfg);
+        assert_eq!(raw.len(), 4);
+        assert!(raw.iter().all(|r| !r.terminated()));
+    }
+
+    #[test]
+    #[should_panic(expected = "workload is over")]
+    fn run_trials_rejects_mismatched_node_counts() {
+        let workload = ZipfWorkload::new(8, 1.2);
+        let _ = run_trials(AlgorithmSpec::Waiting, &workload, &config(10, 2, false));
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Single-trial execution and metrics.
+//!
+//! [`TrialRunner`] is the sweep-facing entry point: it owns a reusable
+//! [`Engine`] so that running thousands of trials reuses one set of
+//! scratch allocations. [`run_trial_on_sequence`] remains as a stateless
+//! convenience for one-off trials.
 
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::data::IdSet;
-use doda_core::engine::{run, EngineConfig};
+use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig};
 use doda_core::{InteractionSequence, Time};
 use doda_graph::NodeId;
 
@@ -73,7 +78,92 @@ impl TrialResult {
     }
 }
 
-/// Runs `spec` over a concrete, pre-materialised sequence.
+/// A reusable trial executor.
+///
+/// Holds the zero-allocation [`Engine`] scratch so that consecutive trials
+/// (the Monte-Carlo sweeps of Sections 4–5) reuse one set of allocations.
+/// The sharded batch runner keeps one `TrialRunner` per worker thread.
+#[derive(Debug, Default)]
+pub struct TrialRunner {
+    engine: Engine<IdSet>,
+}
+
+impl TrialRunner {
+    /// Creates a runner with empty scratch.
+    pub fn new() -> Self {
+        TrialRunner {
+            engine: Engine::new(),
+        }
+    }
+
+    /// Runs `spec` over a concrete, pre-materialised sequence, reusing
+    /// this runner's scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the algorithm produces a structurally invalid decision
+    /// (this would be a bug in the algorithm implementation, not a
+    /// property of the input).
+    pub fn run(
+        &mut self,
+        spec: AlgorithmSpec,
+        seq: &InteractionSequence,
+        config: &TrialConfig,
+    ) -> TrialResult {
+        let n = seq.node_count();
+        let sink = config.sink;
+        let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
+        let engine_config = EngineConfig::sweep(max_interactions);
+        let Some(mut algorithm) = spec.instantiate(seq, sink) else {
+            // Spanning tree over a disconnected underlying graph: no
+            // algorithm could aggregate on this sequence; report a
+            // non-terminated trial.
+            return TrialResult {
+                algorithm: spec.label().to_string(),
+                n,
+                termination_time: None,
+                interactions_processed: 0,
+                transmissions: 0,
+                ignored_decisions: 0,
+                data_conserved: false,
+                cost: None,
+            };
+        };
+        let stats = self
+            .engine
+            .run(
+                algorithm.as_mut(),
+                &mut seq.stream(false),
+                sink,
+                IdSet::singleton,
+                engine_config,
+                &mut DiscardTransmissions,
+            )
+            .expect("the provided algorithms never emit structurally invalid decisions");
+        let data_conserved = stats.terminated()
+            && self
+                .engine
+                .state()
+                .data_of(sink)
+                .is_some_and(|data| data.covers_all(n));
+        let cost = config
+            .compute_cost
+            .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
+        TrialResult {
+            algorithm: spec.label().to_string(),
+            n,
+            termination_time: stats.termination_time,
+            interactions_processed: stats.interactions_processed,
+            transmissions: stats.transmissions as usize,
+            ignored_decisions: stats.ignored_decisions,
+            data_conserved,
+            cost,
+        }
+    }
+}
+
+/// Runs `spec` over a concrete, pre-materialised sequence with fresh
+/// scratch. Convenience wrapper over [`TrialRunner`] for one-off trials.
 ///
 /// # Panics
 ///
@@ -85,57 +175,7 @@ pub fn run_trial_on_sequence(
     seq: &InteractionSequence,
     config: &TrialConfig,
 ) -> TrialResult {
-    let n = seq.node_count();
-    let sink = config.sink;
-    let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
-    let engine_config = EngineConfig {
-        max_interactions,
-        record_transmissions: false,
-    };
-    let Some(mut algorithm) = spec.instantiate(seq, sink) else {
-        // Spanning tree over a disconnected underlying graph: no algorithm
-        // could aggregate on this sequence; report a non-terminated trial.
-        return TrialResult {
-            algorithm: spec.label().to_string(),
-            n,
-            termination_time: None,
-            interactions_processed: 0,
-            transmissions: 0,
-            ignored_decisions: 0,
-            data_conserved: false,
-            cost: None,
-        };
-    };
-    let outcome = run(
-        algorithm.as_mut(),
-        &mut seq.source(false),
-        sink,
-        IdSet::singleton,
-        engine_config,
-    )
-    .expect("the provided algorithms never emit structurally invalid decisions");
-    let data_conserved = match (&outcome.termination_time, &outcome.sink_data) {
-        (Some(_), Some(data)) => data.covers_all(n),
-        _ => false,
-    };
-    let cost = config.compute_cost.then(|| {
-        cost_of_duration(
-            seq,
-            sink,
-            outcome.termination_time,
-            config.max_convergecasts,
-        )
-    });
-    TrialResult {
-        algorithm: spec.label().to_string(),
-        n,
-        termination_time: outcome.termination_time,
-        interactions_processed: outcome.interactions_processed,
-        transmissions: (n - outcome.remaining_owners()).min(n.saturating_sub(1)),
-        ignored_decisions: outcome.ignored_decisions,
-        data_conserved,
-        cost,
-    }
+    TrialRunner::new().run(spec, seq, config)
 }
 
 #[cfg(test)]
@@ -198,6 +238,25 @@ mod tests {
             run_trial_on_sequence(AlgorithmSpec::SpanningTree, &seq, &TrialConfig::default());
         assert!(!result.terminated());
         assert_eq!(result.interactions_processed, 0);
+    }
+
+    #[test]
+    fn reused_runner_matches_fresh_runs() {
+        let config = TrialConfig::default();
+        let mut runner = TrialRunner::new();
+        // Varying n across consecutive runs exercises scratch resizing.
+        for (n, seed) in [(8usize, 1u64), (12, 2), (6, 3), (12, 4)] {
+            let seq = UniformWorkload::new(n).generate(8 * n * n, seed);
+            for spec in [
+                AlgorithmSpec::Gathering,
+                AlgorithmSpec::Waiting,
+                AlgorithmSpec::WaitingGreedy { tau: None },
+            ] {
+                let reused = runner.run(spec, &seq, &config);
+                let fresh = run_trial_on_sequence(spec, &seq, &config);
+                assert_eq!(reused, fresh, "{spec} diverged at n={n}, seed={seed}");
+            }
+        }
     }
 
     #[test]

@@ -63,6 +63,17 @@ pub trait Workload {
 
     /// Generates a sequence of exactly `len` interactions.
     fn generate(&self, len: usize, seed: u64) -> InteractionSequence;
+
+    /// Fills `seq` with exactly the sequence `generate(len, seed)` would
+    /// return, reusing its allocation where possible.
+    ///
+    /// The default implementation simply replaces `seq`; generators on the
+    /// sweep hot path (e.g. [`UniformWorkload`]) override it to refill the
+    /// buffer in place, so a worker running thousands of trials keeps one
+    /// sequence allocation alive instead of allocating one per trial.
+    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
+        *seq = self.generate(len, seed);
+    }
 }
 
 #[cfg(test)]
@@ -96,6 +107,27 @@ mod tests {
                 assert_ne!(a, c, "{} should vary with the seed", w.name());
             }
             assert!(!w.name().is_empty());
+        }
+    }
+
+    /// `fill` must be observationally identical to `generate`, including
+    /// when the target buffer held a stale sequence of a different shape.
+    #[test]
+    fn fill_matches_generate_for_all_workloads() {
+        let workloads: Vec<Box<dyn Workload>> = vec![
+            Box::new(UniformWorkload::new(8)),
+            Box::new(ZipfWorkload::new(8, 1.2)),
+            Box::new(CommunityWorkload::new(8, 2, 0.9)),
+            Box::new(BodyAreaWorkload::new(8)),
+            Box::new(VehicularWorkload::new(8, 3)),
+            Box::new(RoundRobinWorkload::all_pairs(8)),
+            Box::new(TreeRestrictedWorkload::random_tree(8)),
+        ];
+        for w in &workloads {
+            // Stale scratch over a different node count and length.
+            let mut scratch = UniformWorkload::new(5).generate(40, 0);
+            w.fill(&mut scratch, 200, 11);
+            assert_eq!(scratch, w.generate(200, 11), "{}", w.name());
         }
     }
 }

@@ -38,8 +38,15 @@ impl Workload for UniformWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
-        let mut rng = seeded_rng(seed);
         let mut seq = InteractionSequence::new(self.n);
+        self.fill(&mut seq, len, seed);
+        seq
+    }
+
+    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
+        let mut rng = seeded_rng(seed);
+        seq.reset(self.n);
+        seq.reserve(len);
         for _ in 0..len {
             let a = rng.gen_range(0..self.n);
             let mut b = rng.gen_range(0..self.n - 1);
@@ -49,7 +56,6 @@ impl Workload for UniformWorkload {
             seq.push(Interaction::new(NodeId(a), NodeId(b)));
         }
         let _: Time = 0;
-        seq
     }
 }
 

@@ -59,6 +59,12 @@ impl Workload for VehicularWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.n);
+        self.fill(&mut seq, len, seed);
+        seq
+    }
+
+    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
         let mut rng = seeded_rng(seed);
         let mut positions: Vec<(usize, usize)> = (0..self.n)
             .map(|_| {
@@ -68,7 +74,8 @@ impl Workload for VehicularWorkload {
                 )
             })
             .collect();
-        let mut seq = InteractionSequence::new(self.n);
+        seq.reset(self.n);
+        seq.reserve(len);
         while seq.len() < len {
             // Move every vehicle one step.
             for pos in positions.iter_mut() {
@@ -108,7 +115,6 @@ impl Workload for VehicularWorkload {
                 seq.push(Interaction::new(NodeId(a), NodeId(b)));
             }
         }
-        seq
     }
 }
 

@@ -53,6 +53,12 @@ impl Workload for ZipfWorkload {
     }
 
     fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.n);
+        self.fill(&mut seq, len, seed);
+        seq
+    }
+
+    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
         let mut rng = seeded_rng(seed);
         let cumulative = self.cumulative_weights();
         let total = *cumulative.last().expect("n >= 2");
@@ -60,7 +66,8 @@ impl Workload for ZipfWorkload {
             let x: f64 = rng.gen_range(0.0..total);
             NodeId(cumulative.partition_point(|&c| c <= x).min(self.n - 1))
         };
-        let mut seq = InteractionSequence::new(self.n);
+        seq.reset(self.n);
+        seq.reserve(len);
         for _ in 0..len {
             let a = draw_node(&mut rng);
             let b = loop {
@@ -71,7 +78,6 @@ impl Workload for ZipfWorkload {
             };
             seq.push(Interaction::new(a, b));
         }
-        seq
     }
 }
 

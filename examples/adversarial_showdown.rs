@@ -25,7 +25,7 @@ fn run_once<S: InteractionSource>(
         algorithm.as_mut(),
         source,
         sink,
-        EngineConfig::with_max_interactions(horizon),
+        EngineConfig::sweep(horizon),
     )
     .expect("valid decisions");
     (algorithm.name().to_string(), outcome.terminated())
