@@ -5,11 +5,13 @@
 //! exposes exactly that power through the ownership view passed to
 //! [`InteractionSource::next_interaction`]; [`AdaptiveAdversary`] lets
 //! experiments and tests build ad-hoc adaptive strategies from a closure,
-//! while the named constructions of the paper live in
-//! [`crate::constructions`].
+//! [`IsolatorAdversary`] is the *sweepable* adaptive strategy (any node
+//! count, `O(1)` amortised per step), and the named constructions of the
+//! paper live in [`crate::constructions`].
 
 use doda_core::sequence::{AdversaryView, InteractionSource};
 use doda_core::{Interaction, Time};
+use doda_graph::NodeId;
 
 /// An adaptive adversary defined by a closure receiving the current time
 /// and the ownership view.
@@ -49,11 +51,96 @@ where
     }
 }
 
+/// The sweepable online adaptive adversary: it *isolates* the sink.
+///
+/// While at least two non-sink nodes still own data, the adversary pairs
+/// the two smallest-id such owners — the sink never appears in an
+/// interaction, so "meet the sink" strategies ([`Waiting`]) can make no
+/// progress whatsoever. Only once a single non-sink owner remains (an
+/// aggregating strategy such as [`Gathering`] drains everyone into one
+/// node) is that owner finally granted a meeting with the sink.
+///
+/// This generalises the Theorem 1 trap's starvation idea to any node count
+/// with a completion path, which makes adaptive adversaries *sweepable*:
+/// Gathering terminates in exactly `n − 1` transmissions, Waiting runs to
+/// the horizon. The strategy is deterministic and seed-independent.
+///
+/// Cost per step is `O(1)` amortised: the previously issued pair is
+/// revalidated against the ownership view in constant time, and a linear
+/// rescan happens only after a transmission changed ownership — at most
+/// `n − 1` times per execution.
+///
+/// [`Waiting`]: doda_core::algorithms::Waiting
+/// [`Gathering`]: doda_core::algorithms::Gathering
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IsolatorAdversary {
+    n: usize,
+    cached: Option<(NodeId, NodeId)>,
+}
+
+impl IsolatorAdversary {
+    /// Creates the adversary over `n ≥ 2` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (no pair of distinct nodes exists).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 2,
+            "the isolator adversary needs at least 2 nodes, got {n}"
+        );
+        IsolatorAdversary { n, cached: None }
+    }
+}
+
+impl InteractionSource for IsolatorAdversary {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction> {
+        if t == 0 {
+            // A fresh execution: a pair cached by a previous run (possibly
+            // the sink-release pair) must not leak into this one.
+            self.cached = None;
+        }
+        // Fast path: the pair issued last step is still jointly owning —
+        // reissue it (no transmission happened, the picture is unchanged).
+        if let Some((a, b)) = self.cached {
+            if view.owns(a) && view.owns(b) {
+                return Some(Interaction::new(a, b));
+            }
+        }
+        // Slow path: ownership changed (or first step) — rescan for the
+        // two smallest-id non-sink owners.
+        let mut first = None;
+        for i in 0..self.n {
+            let v = NodeId(i);
+            if v == view.sink || !view.owns(v) {
+                continue;
+            }
+            match first {
+                None => first = Some(v),
+                Some(a) => {
+                    self.cached = Some((a, v));
+                    return Some(Interaction::new(a, v));
+                }
+            }
+        }
+        // A single non-sink owner remains: release it to the sink. (If
+        // none remains the aggregation is already complete and the engine
+        // never asks for another interaction — returning the sink pair is
+        // unreachable but harmless.)
+        let last = first?;
+        self.cached = Some((last, view.sink));
+        Some(Interaction::new(last, view.sink))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use doda_core::prelude::*;
-    use doda_graph::NodeId;
 
     #[test]
     fn closure_adversary_reacts_to_ownership() {
@@ -92,5 +179,90 @@ mod tests {
     fn debug_impl_does_not_require_closure_debug() {
         let adv = AdaptiveAdversary::new(3, |_t, _v| None);
         assert!(format!("{adv:?}").contains("AdaptiveAdversary"));
+    }
+
+    #[test]
+    fn isolator_starves_waiting_for_the_whole_horizon() {
+        let mut adversary = IsolatorAdversary::new(16);
+        let mut algo = Waiting::new();
+        let outcome = engine::run_with_id_sets(
+            &mut algo,
+            &mut adversary,
+            NodeId(0),
+            EngineConfig::sweep(10_000),
+        )
+        .unwrap();
+        assert!(!outcome.terminated());
+        assert_eq!(outcome.interactions_processed, 10_000);
+        assert_eq!(outcome.transmission_count(), 0);
+    }
+
+    #[test]
+    fn isolator_lets_gathering_terminate_in_n_minus_1_transmissions() {
+        for n in [2usize, 3, 8, 33] {
+            let mut adversary = IsolatorAdversary::new(n);
+            let mut algo = Gathering::new();
+            let outcome = engine::run_with_id_sets(
+                &mut algo,
+                &mut adversary,
+                NodeId(0),
+                EngineConfig::with_max_interactions(10_000),
+            )
+            .unwrap();
+            assert!(outcome.terminated(), "n = {n}");
+            assert_eq!(outcome.transmission_count(), n - 1, "n = {n}");
+            assert!(outcome.sink_data.as_ref().unwrap().covers_all(n));
+        }
+    }
+
+    #[test]
+    fn isolator_respects_a_non_zero_sink() {
+        let mut adversary = IsolatorAdversary::new(6);
+        let mut algo = Gathering::new();
+        let outcome = engine::run_with_id_sets(
+            &mut algo,
+            &mut adversary,
+            NodeId(3),
+            EngineConfig::sweep(10_000),
+        )
+        .unwrap();
+        assert!(outcome.terminated());
+        assert!(outcome.sink_data.as_ref().unwrap().covers_all(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn isolator_rejects_tiny_graphs() {
+        let _ = IsolatorAdversary::new(1);
+    }
+
+    #[test]
+    fn isolator_reuse_across_runs_resets_the_cached_pair() {
+        // After a completed Gathering run the cache holds the sink-release
+        // pair; a reused instance must not leak it into a fresh execution
+        // (the isolation invariant starts over at t = 0).
+        let mut adversary = IsolatorAdversary::new(8);
+        let mut algo = Gathering::new();
+        let first = engine::run_with_id_sets(
+            &mut algo,
+            &mut adversary,
+            NodeId(0),
+            EngineConfig::sweep(10_000),
+        )
+        .unwrap();
+        assert!(first.terminated());
+
+        // Second run, same instance: Waiting must still be starved — zero
+        // transmissions, never a sink meeting while others own data.
+        let mut waiting = Waiting::new();
+        let second = engine::run_with_id_sets(
+            &mut waiting,
+            &mut adversary,
+            NodeId(0),
+            EngineConfig::with_max_interactions(2_000),
+        )
+        .unwrap();
+        assert!(!second.terminated());
+        assert_eq!(second.transmission_count(), 0);
     }
 }

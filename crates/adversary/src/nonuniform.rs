@@ -94,14 +94,10 @@ impl WeightedRandomAdversary {
         }
     }
 
-    /// Materialises a finite sequence of `len` interactions.
+    /// Materialises a finite sequence of `len` interactions — shorthand
+    /// for [`InteractionSequence::materialize`] over this source.
     pub fn generate_sequence(&mut self, len: usize) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.weights.len());
-        for _ in 0..len {
-            let i = self.draw();
-            seq.push(i);
-        }
-        seq
+        InteractionSequence::materialize(self, len)
     }
 }
 

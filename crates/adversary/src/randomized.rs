@@ -52,14 +52,11 @@ impl RandomizedAdversary {
         Interaction::new(NodeId(a), NodeId(b))
     }
 
-    /// Materialises a finite sequence of `len` uniformly random interactions.
+    /// Materialises a finite sequence of `len` uniformly random
+    /// interactions — shorthand for [`InteractionSequence::materialize`]
+    /// over this source.
     pub fn generate_sequence(&mut self, len: usize) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.n);
-        for _ in 0..len {
-            let i = self.draw();
-            seq.push(i);
-        }
-        seq
+        InteractionSequence::materialize(self, len)
     }
 
     /// A generous default horizon for materialised sequences: `8·n²`

@@ -1,16 +1,21 @@
-//! The per-theorem experiment index (E1–E12).
+//! The per-theorem experiment index (E1–E13).
 //!
 //! Each function reproduces one result of the paper as a finite-`n`
 //! experiment and returns an [`ExperimentReport`] comparing the paper's
 //! claim with what was measured. `EXPERIMENTS.md` is generated from these
 //! reports (see [`crate::report`]), and the Criterion benches in
 //! `crates/bench` re-run the heavier ones with larger parameters.
+//!
+//! Adversarial sources are pulled from the unified
+//! [`doda_sim::Scenario`] registry where a sweepable scenario exists;
+//! the fixed-`n` trap constructions of Theorems 1 and 3 keep using their
+//! bespoke types.
 
-use doda_adversary::{AdaptiveTrap, CycleTrap, ObliviousTrap};
+use doda_adversary::{AdaptiveTrap, CycleTrap};
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::prelude::*;
 use doda_graph::NodeId;
-use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
+use doda_sim::{run_batch, run_scenario_trials, AlgorithmSpec, BatchConfig, Scenario};
 use doda_stats::harmonic;
 use doda_workloads::{TreeRestrictedWorkload, UniformWorkload, Workload};
 
@@ -54,14 +59,13 @@ fn report(id: &str, title: &str, claim: &str, measured: String, passed: bool) ->
 
 fn run_against_trap<S>(source: &mut S, spec: AlgorithmSpec, sink: NodeId, horizon: u64) -> bool
 where
-    S: InteractionSource,
+    S: InteractionSource + ?Sized,
 {
-    // Instantiating knowledge-free algorithms needs no sequence; an empty
-    // one suffices.
-    let empty = InteractionSequence::new(source.node_count());
+    // Knowledge-free algorithms run streamed against the live adversary —
+    // no sequence, no oracles.
     let mut algo = spec
-        .instantiate(&empty, sink)
-        .expect("knowledge-free algorithms always instantiate");
+        .instantiate_online()
+        .expect("knowledge-free algorithms instantiate without a sequence");
     let outcome =
         engine::run_with_id_sets(algo.as_mut(), source, sink, EngineConfig::sweep(horizon))
             .expect("algorithms never emit invalid decisions");
@@ -133,22 +137,25 @@ fn materialize_adaptive_trap_vs_gathering(horizon: u64) -> InteractionSequence {
 }
 
 /// E2 — Theorem 2: the oblivious star-then-ring construction defeats the
-/// oblivious knowledge-free algorithms.
+/// oblivious knowledge-free algorithms. The trap is drawn from the
+/// unified scenario registry ([`Scenario::ObliviousTrap`]).
 pub fn e2_oblivious_trap(effort: Effort) -> ExperimentReport {
     let (n, horizon) = match effort {
         Effort::Quick => (8, 20_000),
         Effort::Full => (32, 500_000),
     };
-    let trap = ObliviousTrap::for_greedy_algorithms(n);
+    let sink = NodeId(0);
     let mut any_terminated = false;
     for spec in [AlgorithmSpec::Waiting, AlgorithmSpec::Gathering] {
-        let mut adversary = trap.adversary();
-        if run_against_trap(&mut adversary, spec, ObliviousTrap::SINK, horizon) {
+        let mut adversary = Scenario::ObliviousTrap.source(n, 0);
+        if run_against_trap(adversary.as_mut(), spec, sink, horizon) {
             any_terminated = true;
         }
     }
-    let seq = trap.materialize(4_000);
-    let convergecasts = convergecast::successive_convergecast_times(&seq, ObliviousTrap::SINK, 32);
+    let seq = Scenario::ObliviousTrap
+        .materialize(n, 4_000, 0)
+        .expect("the oblivious trap is not adaptive");
+    let convergecasts = convergecast::successive_convergecast_times(&seq, sink, 32);
     let passed = !any_terminated && convergecasts.len() >= 32;
     report(
         "E2",
@@ -551,8 +558,59 @@ pub fn e12_cost_function(effort: Effort) -> ExperimentReport {
     )
 }
 
+/// E13 — adaptive adversaries are *sweepable*: Monte-Carlo batches of the
+/// online adaptive isolator run through the sharded streamed runner, with
+/// serial and parallel execution byte-identical. Gathering completes every
+/// trial in exactly `n − 1` transmissions; Waiting completes none.
+pub fn e13_adaptive_sweep(effort: Effort) -> ExperimentReport {
+    let (n, trials, horizon) = match effort {
+        Effort::Quick => (16usize, 8usize, 4_000usize),
+        Effort::Full => (64, 40, 64_000),
+    };
+    let config = BatchConfig {
+        n,
+        trials,
+        horizon: Some(horizon),
+        seed: 0xE13,
+        parallel: false,
+    };
+    let gathering = run_scenario_trials(
+        AlgorithmSpec::Gathering,
+        Scenario::AdaptiveIsolator,
+        &config,
+    );
+    let waiting = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator, &config);
+    let parallel = run_scenario_trials(
+        AlgorithmSpec::Gathering,
+        Scenario::AdaptiveIsolator,
+        &BatchConfig {
+            parallel: true,
+            ..config
+        },
+    );
+    let gathering_all = gathering
+        .iter()
+        .all(|r| r.terminated() && r.data_conserved && r.transmissions == n - 1);
+    let waiting_none = waiting
+        .iter()
+        .all(|r| !r.terminated() && r.interactions_processed == horizon as u64);
+    let deterministic = gathering == parallel;
+    let passed = gathering_all && waiting_none && deterministic;
+    report(
+        "E13",
+        "Adaptive adversaries sweep through the streamed sharded runner",
+        "Section 2.2 operationalised: online adaptive adversaries run as first-class streamed scenarios — no materialisation — with deterministic sharded batches",
+        format!(
+            "n = {n}, {trials} trials vs the adaptive isolator: Gathering completed {}/{trials} (n−1 transmissions each), Waiting completed {}/{trials} within {horizon} interactions; serial == parallel: {deterministic}",
+            gathering.iter().filter(|r| r.terminated()).count(),
+            waiting.iter().filter(|r| r.terminated()).count(),
+        ),
+        passed,
+    )
+}
+
 /// Runs every experiment at the given effort and returns the reports in
-/// order E1–E12.
+/// order E1–E13.
 pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
     vec![
         e1_adaptive_adversary(effort),
@@ -567,6 +625,7 @@ pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
         e10_waiting_greedy(effort),
         e11_meettime_optimality(effort),
         e12_cost_function(effort),
+        e13_adaptive_sweep(effort),
     ]
 }
 
@@ -634,6 +693,12 @@ mod tests {
     fn cost_function_experiment_passes() {
         let e12 = e12_cost_function(Effort::Quick);
         assert!(e12.passed, "{e12:?}");
+    }
+
+    #[test]
+    fn adaptive_sweep_experiment_passes() {
+        let e13 = e13_adaptive_sweep(Effort::Quick);
+        assert!(e13.passed, "{e13:?}");
     }
 
     #[test]

@@ -1,17 +1,19 @@
 //! `doda-bench` — the machine-readable perf harness.
 //!
-//! Runs a pinned scenario grid (algorithms × workloads × node counts)
-//! through the sharded sweep runner and emits `BENCH_<scenario>.json`, the
+//! Runs a pinned perf grid (algorithms × scenarios × node counts) through
+//! the sharded sweep runner and emits `BENCH_<grid>.json`, the
 //! perf-trajectory artifact CI uploads on every push and PRs extend over
-//! time. Also validates existing artifacts and measures the sharded
-//! runner's speedup over the legacy mutex runner.
+//! time. Also validates existing artifacts, measures the sharded runner's
+//! speedup over the legacy mutex runner, and guards the streaming path's
+//! `O(n)`-memory claim with a long-horizon run.
 //!
 //! ```text
 //! doda-bench --baseline              # full grid  -> BENCH_baseline.json
 //! doda-bench --smoke                 # tiny grid  -> BENCH_smoke.json (CI)
 //! doda-bench --out-dir perf --smoke  # write into ./perf/
 //! doda-bench --validate FILE.json    # schema-check an artifact
-//! doda-bench --compare-runners      # sharded vs mutex runner speedup
+//! doda-bench --compare-runners       # sharded vs mutex runner speedup
+//! doda-bench --stream-guard          # 10^7-interaction streamed sweeps
 //! ```
 
 use std::path::PathBuf;
@@ -19,35 +21,39 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use doda_bench::json::Json;
-use doda_bench::perf::{run_scenario, validate_report, Scenario};
-use doda_sim::runner::{run_batch_detailed, run_batch_mutex_detailed, BatchConfig};
-use doda_sim::AlgorithmSpec;
+use doda_bench::perf::{run_grid, validate_report, PerfGrid};
+use doda_sim::runner::{
+    run_batch_detailed, run_batch_mutex_detailed, run_scenario_trials, BatchConfig,
+};
+use doda_sim::{AlgorithmSpec, Scenario};
 
 struct Args {
-    scenario: Scenario,
+    grid: PerfGrid,
     out_dir: PathBuf,
     validate: Vec<PathBuf>,
     compare_runners: bool,
+    stream_guard: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
-        scenario: Scenario::baseline(),
+        grid: PerfGrid::baseline(),
         out_dir: PathBuf::from("."),
         validate: Vec::new(),
         compare_runners: false,
+        stream_guard: false,
     };
-    let mut scenario_requested = false;
+    let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
         match arg.as_str() {
             "--smoke" => {
-                args.scenario = Scenario::smoke();
-                scenario_requested = true;
+                args.grid = PerfGrid::smoke();
+                grid_requested = true;
             }
             "--baseline" => {
-                args.scenario = Scenario::baseline();
-                scenario_requested = true;
+                args.grid = PerfGrid::baseline();
+                grid_requested = true;
             }
             "--out-dir" => {
                 let dir = argv.next().ok_or("--out-dir needs a directory")?;
@@ -58,24 +64,27 @@ fn parse_args() -> Result<Args, String> {
                 args.validate.push(PathBuf::from(file));
             }
             "--compare-runners" => args.compare_runners = true,
+            "--stream-guard" => args.stream_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
-                     | --validate FILE... | --compare-runners"
+                     | --validate FILE... | --compare-runners | --stream-guard"
                 );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument: {other}")),
         }
     }
-    // The three modes are mutually exclusive; combining them would
-    // silently skip a requested scenario run.
-    let modes = usize::from(scenario_requested)
+    // The modes are mutually exclusive; combining them would silently skip
+    // a requested grid run.
+    let modes = usize::from(grid_requested)
         + usize::from(!args.validate.is_empty())
-        + usize::from(args.compare_runners);
+        + usize::from(args.compare_runners)
+        + usize::from(args.stream_guard);
     if modes > 1 {
         return Err(
-            "--smoke/--baseline, --validate and --compare-runners are mutually exclusive"
+            "--smoke/--baseline, --validate, --compare-runners and --stream-guard \
+             are mutually exclusive"
                 .to_string(),
         );
     }
@@ -153,6 +162,63 @@ fn compare_runners() -> Result<(), String> {
     Ok(())
 }
 
+/// Guards the streaming path's `O(n)`-memory claim with two long-horizon
+/// runs at `horizon = 10^7` (a horizon whose materialised sequence would
+/// occupy ~160 MB per worker — the buffer the streamed path never
+/// allocates):
+///
+/// 1. `Waiting` vs the adaptive isolator at `n = 128`: the adversary
+///    starves the sink, so the engine genuinely processes all 10^7
+///    streamed interactions;
+/// 2. `Gathering` vs the uniform scenario at the same horizon: terminates
+///    after ~n² interactions without the horizon-sized buffer fill the
+///    materialised path would have paid up front.
+fn stream_guard() -> Result<(), String> {
+    const HORIZON: usize = 10_000_000;
+    const N: usize = 128;
+
+    let config = BatchConfig {
+        n: N,
+        trials: 1,
+        horizon: Some(HORIZON),
+        seed: 0xD0DA,
+        parallel: false,
+    };
+
+    let t0 = Instant::now();
+    let starved = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator, &config);
+    let starved_secs = t0.elapsed().as_secs_f64();
+    let starved = &starved[0];
+    if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
+        return Err(format!(
+            "adaptive starvation run should process exactly {HORIZON} interactions \
+             without terminating, got {} (terminated: {})",
+            starved.interactions_processed,
+            starved.terminated()
+        ));
+    }
+    println!(
+        "stream-guard: Waiting vs adaptive-isolator, n = {N}, horizon = {HORIZON}: \
+         processed {} interactions in {starved_secs:.2} s ({:.0} i/s), O(n) memory",
+        starved.interactions_processed,
+        starved.interactions_processed as f64 / starved_secs.max(1e-9),
+    );
+
+    let t1 = Instant::now();
+    let gathered = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::Uniform, &config);
+    let gathered_secs = t1.elapsed().as_secs_f64();
+    let gathered = &gathered[0];
+    if !gathered.terminated() {
+        return Err("Gathering should terminate well within a 10^7 uniform horizon".to_string());
+    }
+    println!(
+        "stream-guard: Gathering vs uniform, n = {N}, horizon = {HORIZON}: terminated \
+         after {} interactions in {gathered_secs:.2} s — no horizon-sized buffer allocated",
+        gathered.interactions_processed,
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -182,20 +248,33 @@ fn main() -> ExitCode {
         };
     }
 
+    if args.stream_guard {
+        return match stream_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: stream guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     println!(
-        "running scenario '{}' ({} algorithms x {} workloads x {} node counts, {} trials/cell)",
-        args.scenario.name,
-        args.scenario.algorithms.len(),
-        args.scenario.workloads.len(),
-        args.scenario.ns.len(),
-        args.scenario.trials,
+        "running grid '{}' ({} algorithms x {} scenarios x {} node counts, {} trials/cell, \
+         {} runnable cells)",
+        args.grid.name,
+        args.grid.algorithms.len(),
+        args.grid.scenarios.len(),
+        args.grid.ns.len(),
+        args.grid.trials,
+        args.grid.cell_count(),
     );
-    let report = run_scenario(&args.scenario);
+    let report = run_grid(&args.grid);
     for cell in &report.results {
         println!(
-            "  {:<14} {:<10} n={:<4} completed {}/{} mean {:>10} throughput {:>12.0} i/s",
+            "  {:<14} {:<17} {:<12} n={:<4} completed {}/{} mean {:>10} throughput {:>12.0} i/s",
             cell.algorithm,
             cell.workload,
+            cell.mode,
             cell.n,
             cell.completed,
             cell.trials,

@@ -1,74 +1,36 @@
 //! The machine-readable perf harness behind the `doda-bench` binary.
 //!
-//! A [`Scenario`] pins a grid of (algorithm × workload × n) cells; running
-//! it executes every cell through the sharded sweep runner and produces a
-//! [`PerfReport`] that serialises to `BENCH_<scenario>.json`. Every PR
-//! extends the perf trajectory by re-running a scenario and comparing the
-//! emitted file against the committed baseline; CI runs the `smoke`
-//! scenario on every push and schema-checks the artifact with
+//! A [`PerfGrid`] pins a grid of (algorithm × scenario × n) cells over the
+//! unified [`Scenario`] registry — synthetic workloads *and* the
+//! oblivious/adaptive adversaries; running it executes every cell through
+//! the sharded sweep runner and produces a [`PerfReport`] that serialises
+//! to `BENCH_<grid>.json`. Each cell records its execution `mode`:
+//! `"streamed"` for knowledge-free algorithms (the engine pulls
+//! interactions straight from the source, `O(n)` memory at any horizon)
+//! and `"materialized"` for algorithms whose oracles force sequence
+//! generation. Every PR extends the perf trajectory by re-running a grid
+//! and comparing the emitted file against the committed baseline; CI runs
+//! the `smoke` grid on every push and schema-checks the artifact with
 //! [`validate_report`].
 
 use std::time::Instant;
 
-use doda_sim::runner::{run_trials, BatchConfig};
-use doda_sim::AlgorithmSpec;
+use doda_sim::runner::{run_scenario_trials, BatchConfig};
+use doda_sim::{AlgorithmSpec, Scenario};
 use doda_stats::Summary;
-use doda_workloads::{UniformWorkload, VehicularWorkload, Workload, ZipfWorkload};
 
 use crate::json::{pretty, Json};
 
 /// Version of the `BENCH_*.json` schema emitted by [`PerfReport::to_json`].
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// Version history: 1 = workload-only grids; 2 = unified scenario grids
+/// with the per-cell `"mode"` (`"streamed" | "materialized"`) field.
+pub const SCHEMA_VERSION: u64 = 2;
 
-/// The workload families covered by the perf grid.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WorkloadKind {
-    /// Uniform random contacts (the paper's randomized adversary).
-    Uniform,
-    /// Zipf-popularity contacts (exponent 1.2).
-    Zipf,
-    /// The vehicular grid scenario workload.
-    Vehicular,
-}
-
-impl WorkloadKind {
-    /// All workload kinds, in grid order.
-    pub fn all() -> [WorkloadKind; 3] {
-        [
-            WorkloadKind::Uniform,
-            WorkloadKind::Zipf,
-            WorkloadKind::Vehicular,
-        ]
-    }
-
-    /// The label used in JSON records.
-    pub fn name(&self) -> &'static str {
-        match self {
-            WorkloadKind::Uniform => "uniform",
-            WorkloadKind::Zipf => "zipf",
-            WorkloadKind::Vehicular => "vehicular",
-        }
-    }
-
-    /// Builds the workload over `n` nodes.
-    pub fn build(&self, n: usize) -> Box<dyn Workload + Sync> {
-        match self {
-            WorkloadKind::Uniform => Box::new(UniformWorkload::new(n)),
-            WorkloadKind::Zipf => Box::new(ZipfWorkload::new(n, 1.2)),
-            WorkloadKind::Vehicular => {
-                // A square-ish grid: side ≈ √n keeps the road density
-                // comparable across node counts.
-                let side = (n as f64).sqrt().round().max(2.0) as usize;
-                Box::new(VehicularWorkload::new(n, side))
-            }
-        }
-    }
-}
-
-/// A pinned perf scenario: the grid plus the execution parameters.
+/// A pinned perf grid: the cells plus the execution parameters.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Scenario {
-    /// Scenario label; the emitted file is `BENCH_<name>.json`.
+pub struct PerfGrid {
+    /// Grid label; the emitted file is `BENCH_<name>.json`.
     pub name: String,
     /// Node counts of the grid.
     pub ns: Vec<usize>,
@@ -78,30 +40,36 @@ pub struct Scenario {
     pub seed: u64,
     /// Algorithms of the grid.
     pub algorithms: Vec<AlgorithmSpec>,
-    /// Workload families of the grid.
-    pub workloads: Vec<WorkloadKind>,
+    /// Scenarios of the grid (workloads and adversaries alike).
+    pub scenarios: Vec<Scenario>,
     /// Whether cells run their trials through the sharded parallel runner.
     pub parallel: bool,
 }
 
-impl Scenario {
+impl PerfGrid {
     /// The tiny grid CI runs on every push (`doda-bench --smoke`).
-    pub fn smoke() -> Scenario {
-        Scenario {
+    pub fn smoke() -> PerfGrid {
+        PerfGrid {
             name: "smoke".to_string(),
             ns: vec![8, 16],
             trials: 3,
             seed: 0xD0DA,
             algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
-            workloads: vec![WorkloadKind::Uniform, WorkloadKind::Zipf],
+            scenarios: vec![
+                Scenario::Uniform,
+                Scenario::Zipf { exponent: 1.2 },
+                Scenario::AdaptiveIsolator,
+            ],
             parallel: true,
         }
     }
 
     /// The committed perf-trajectory grid (`doda-bench --baseline`):
-    /// online algorithms × {uniform, zipf, vehicular} × n ∈ {32, 128, 512}.
-    pub fn baseline() -> Scenario {
-        Scenario {
+    /// online algorithms × {uniform, zipf, vehicular, oblivious-trap,
+    /// adaptive-isolator} × n ∈ {32, 128, 512}. Adaptive cells are skipped
+    /// for algorithms that require materialisation.
+    pub fn baseline() -> PerfGrid {
+        PerfGrid {
             name: "baseline".to_string(),
             ns: vec![32, 128, 512],
             trials: 4,
@@ -111,9 +79,39 @@ impl Scenario {
                 AlgorithmSpec::Waiting,
                 AlgorithmSpec::WaitingGreedy { tau: None },
             ],
-            workloads: WorkloadKind::all().to_vec(),
+            scenarios: vec![
+                Scenario::Uniform,
+                Scenario::Zipf { exponent: 1.2 },
+                Scenario::Vehicular,
+                Scenario::ObliviousTrap,
+                Scenario::AdaptiveIsolator,
+            ],
             parallel: true,
         }
+    }
+
+    /// The number of runnable cells (incompatible algorithm × adaptive
+    /// scenario combinations are skipped).
+    pub fn cell_count(&self) -> usize {
+        self.scenarios
+            .iter()
+            .map(|scenario| {
+                self.algorithms
+                    .iter()
+                    .filter(|spec| scenario.supports(**spec))
+                    .count()
+            })
+            .sum::<usize>()
+            * self.ns.len()
+    }
+}
+
+/// The execution mode of a grid cell.
+fn mode_of(spec: AlgorithmSpec) -> &'static str {
+    if spec.requires_materialization() {
+        "materialized"
+    } else {
+        "streamed"
     }
 }
 
@@ -122,8 +120,12 @@ impl Scenario {
 pub struct CellResult {
     /// Algorithm label.
     pub algorithm: String,
-    /// Workload label.
+    /// Scenario label (kept under the `workload` key in the JSON for
+    /// trajectory continuity).
     pub workload: String,
+    /// Execution mode: `"streamed"` (knowledge-free, `O(n)` memory) or
+    /// `"materialized"` (oracle construction forced sequence generation).
+    pub mode: &'static str,
     /// Node count.
     pub n: usize,
     /// Trials run.
@@ -138,30 +140,31 @@ pub struct CellResult {
     /// Total interactions processed by the engine across all trials —
     /// the work units behind the throughput figure.
     pub total_interactions: u64,
-    /// Wall-clock spent on the cell (trial execution plus sequence
+    /// Wall-clock spent on the cell (trial execution plus stream/sequence
     /// generation), in seconds.
     pub elapsed_secs: f64,
     /// Engine throughput: `total_interactions / elapsed_secs`.
     pub throughput_ips: f64,
 }
 
-/// A full perf report, serialisable to `BENCH_<scenario>.json`.
+/// A full perf report, serialisable to `BENCH_<grid>.json`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
-    /// Scenario label.
+    /// Grid label (the `scenario` key of the JSON envelope, predating the
+    /// unified scenario registry).
     pub scenario: String,
     /// `git rev-parse --short=12 HEAD` at measurement time, or `"unknown"`.
     pub git_rev: String,
-    /// The scenario's root seed.
+    /// The grid's root seed.
     pub seed: u64,
-    /// Wall-clock of the whole scenario, in seconds.
+    /// Wall-clock of the whole grid, in seconds.
     pub wall_clock_secs: f64,
-    /// One record per grid cell.
+    /// One record per runnable grid cell.
     pub results: Vec<CellResult>,
 }
 
 impl PerfReport {
-    /// The canonical file name, `BENCH_<scenario>.json`.
+    /// The canonical file name, `BENCH_<grid>.json`.
     pub fn file_name(&self) -> String {
         format!("BENCH_{}.json", self.scenario)
     }
@@ -175,6 +178,7 @@ impl PerfReport {
                 Json::Object(vec![
                     ("algorithm".to_string(), Json::str(&cell.algorithm)),
                     ("workload".to_string(), Json::str(&cell.workload)),
+                    ("mode".to_string(), Json::str(cell.mode)),
                     ("n".to_string(), Json::Uint(cell.n as u64)),
                     ("trials".to_string(), Json::Uint(cell.trials as u64)),
                     ("completed".to_string(), Json::Uint(cell.completed as u64)),
@@ -210,48 +214,51 @@ impl PerfReport {
     }
 }
 
-/// Runs every cell of `scenario` and collects the perf report.
-pub fn run_scenario(scenario: &Scenario) -> PerfReport {
+/// Runs every runnable cell of `grid` and collects the perf report.
+pub fn run_grid(grid: &PerfGrid) -> PerfReport {
     let started = Instant::now();
     let mut results = Vec::new();
     let mut cell_index = 0u64;
-    for kind in &scenario.workloads {
-        for &n in &scenario.ns {
-            let workload = kind.build(n);
-            for &spec in &scenario.algorithms {
-                results.push(run_cell(scenario, spec, &*workload, kind, n, cell_index));
+    for scenario in &grid.scenarios {
+        for &n in &grid.ns {
+            for &spec in &grid.algorithms {
+                if !scenario.supports(spec) {
+                    // Adaptive streams cannot feed materialising oracles;
+                    // the cell is skipped rather than faked.
+                    continue;
+                }
+                results.push(run_cell(grid, spec, *scenario, n, cell_index));
                 cell_index += 1;
             }
         }
     }
     PerfReport {
-        scenario: scenario.name.clone(),
+        scenario: grid.name.clone(),
         git_rev: git_rev(),
-        seed: scenario.seed,
+        seed: grid.seed,
         wall_clock_secs: started.elapsed().as_secs_f64(),
         results,
     }
 }
 
 fn run_cell(
-    scenario: &Scenario,
+    grid: &PerfGrid,
     spec: AlgorithmSpec,
-    workload: &(dyn Workload + Sync),
-    kind: &WorkloadKind,
+    scenario: Scenario,
     n: usize,
     cell_index: u64,
 ) -> CellResult {
     let config = BatchConfig {
         n,
-        trials: scenario.trials,
+        trials: grid.trials,
         horizon: None,
-        seed: doda_stats::rng::SeedSequence::new(scenario.seed)
+        seed: doda_stats::rng::SeedSequence::new(grid.seed)
             .child(cell_index)
             .seed(0),
-        parallel: scenario.parallel,
+        parallel: grid.parallel,
     };
     let cell_start = Instant::now();
-    let raw = run_trials(spec, workload, &config);
+    let raw = run_scenario_trials(spec, scenario, &config);
     let elapsed_secs = cell_start.elapsed().as_secs_f64();
     let completions: Vec<f64> = raw
         .iter()
@@ -260,7 +267,8 @@ fn run_cell(
     let total_interactions: u64 = raw.iter().map(|r| r.interactions_processed).sum();
     CellResult {
         algorithm: spec.label().to_string(),
-        workload: kind.name().to_string(),
+        workload: scenario.name().to_string(),
+        mode: mode_of(spec),
         n,
         trials: raw.len(),
         completed: completions.len(),
@@ -290,7 +298,8 @@ pub fn git_rev() -> String {
 /// # Errors
 ///
 /// Returns a description of the first violation: missing or mistyped
-/// field, wrong schema version, empty results, or out-of-range rate.
+/// field, wrong schema version, empty results, invalid mode, or
+/// out-of-range rate.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let version = doc
         .get("schema_version")
@@ -319,10 +328,16 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         return Err("results must not be empty".to_string());
     }
     for (i, cell) in results.iter().enumerate() {
-        for field in ["algorithm", "workload"] {
+        for field in ["algorithm", "workload", "mode"] {
             cell.get(field)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("results[{i}]: missing string field: {field}"))?;
+        }
+        let mode = cell.get("mode").and_then(Json::as_str).expect("checked");
+        if mode != "streamed" && mode != "materialized" {
+            return Err(format!(
+                "results[{i}]: mode '{mode}' must be 'streamed' or 'materialized'"
+            ));
         }
         for field in [
             "n",
@@ -363,23 +378,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn smoke_scenario_emits_a_valid_schema() {
-        let report = run_scenario(&Scenario::smoke());
+    fn smoke_grid_emits_a_valid_schema() {
+        let report = run_grid(&PerfGrid::smoke());
         assert_eq!(report.file_name(), "BENCH_smoke.json");
-        assert_eq!(report.results.len(), 2 * 2 * 2);
+        // 2 algorithms x 3 scenarios x 2 node counts, all compatible (both
+        // smoke algorithms are knowledge-free).
+        assert_eq!(report.results.len(), PerfGrid::smoke().cell_count());
+        assert_eq!(report.results.len(), 2 * 3 * 2);
         let doc = Json::parse(&report.to_json()).expect("emitted JSON parses");
         validate_report(&doc).expect("emitted JSON passes the schema check");
+        // Knowledge-free smoke algorithms all stream.
+        assert!(report.results.iter().all(|c| c.mode == "streamed"));
     }
 
     #[test]
-    fn smoke_scenario_is_deterministic_in_its_measurements() {
+    fn smoke_grid_is_deterministic_in_its_measurements() {
         // Wall-clock fields vary run to run; the measured simulation
         // quantities must not.
-        let a = run_scenario(&Scenario::smoke());
-        let b = run_scenario(&Scenario::smoke());
+        let a = run_grid(&PerfGrid::smoke());
+        let b = run_grid(&PerfGrid::smoke());
         for (x, y) in a.results.iter().zip(&b.results) {
             assert_eq!(x.algorithm, y.algorithm);
             assert_eq!(x.workload, y.workload);
+            assert_eq!(x.mode, y.mode);
             assert_eq!(x.n, y.n);
             assert_eq!(x.completed, y.completed);
             assert_eq!(x.mean_interactions, y.mean_interactions);
@@ -388,20 +409,62 @@ mod tests {
     }
 
     #[test]
+    fn baseline_grid_skips_adaptive_cells_for_materializing_specs() {
+        let grid = PerfGrid::baseline();
+        // 3 algorithms x 5 scenarios x 3 node counts, minus the
+        // WaitingGreedy x adaptive-isolator column (3 cells).
+        assert_eq!(grid.cell_count(), 3 * 5 * 3 - 3);
+    }
+
+    #[test]
+    fn adaptive_cells_run_and_report_modes() {
+        let report = run_grid(&PerfGrid {
+            name: "adaptive-mini".to_string(),
+            ns: vec![8],
+            trials: 2,
+            seed: 1,
+            algorithms: vec![
+                AlgorithmSpec::Gathering,
+                AlgorithmSpec::WaitingGreedy { tau: None },
+            ],
+            scenarios: vec![Scenario::Uniform, Scenario::AdaptiveIsolator],
+            parallel: false,
+        });
+        // uniform admits both; adaptive-isolator only Gathering.
+        assert_eq!(report.results.len(), 3);
+        let modes: Vec<(&str, &str)> = report
+            .results
+            .iter()
+            .map(|c| (c.workload.as_str(), c.mode))
+            .collect();
+        assert!(modes.contains(&("uniform", "streamed")));
+        assert!(modes.contains(&("uniform", "materialized")));
+        assert!(modes.contains(&("adaptive-isolator", "streamed")));
+        // The adaptive cell completes under Gathering (the isolator's
+        // release rule) — adaptive adversaries are genuinely sweepable.
+        let adaptive = report
+            .results
+            .iter()
+            .find(|c| c.workload == "adaptive-isolator")
+            .unwrap();
+        assert_eq!(adaptive.completion_rate, 1.0);
+    }
+
+    #[test]
     fn validator_rejects_broken_documents() {
-        let good = run_scenario(&Scenario {
+        let good = run_grid(&PerfGrid {
             trials: 2,
             ns: vec![8],
             algorithms: vec![AlgorithmSpec::Gathering],
-            workloads: vec![WorkloadKind::Uniform],
-            ..Scenario::smoke()
+            scenarios: vec![Scenario::Uniform],
+            ..PerfGrid::smoke()
         })
         .to_json();
         let doc = Json::parse(&good).unwrap();
         validate_report(&doc).unwrap();
 
         for (breaker, expected) in [
-            (r#"{"schema_version": 1}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 2}"#, "missing string field: scenario"),
             (r#"{"schema_version": 9}"#, "unsupported schema_version"),
             (r#"{}"#, "missing numeric field: schema_version"),
         ] {
@@ -419,15 +482,12 @@ mod tests {
         }
         let err = validate_report(&Json::Object(fields)).unwrap_err();
         assert!(err.contains("results must not be empty"), "{err}");
-    }
-
-    #[test]
-    fn workload_kinds_build_over_any_n() {
-        for kind in WorkloadKind::all() {
-            for n in [8, 32, 100] {
-                let w = kind.build(n);
-                assert_eq!(w.node_count(), n, "{}", kind.name());
-            }
-        }
+        // A bogus mode is rejected.
+        let bad_mode = good.replace("\"streamed\"", "\"telepathic\"");
+        let err = validate_report(&Json::parse(&bad_mode).unwrap()).unwrap_err();
+        assert!(
+            err.contains("must be 'streamed' or 'materialized'"),
+            "{err}"
+        );
     }
 }

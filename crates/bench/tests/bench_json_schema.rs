@@ -1,7 +1,7 @@
 //! Golden-file and round-trip tests for the `BENCH_*.json` schema.
 
 use doda_bench::json::Json;
-use doda_bench::perf::{run_scenario, validate_report, Scenario, SCHEMA_VERSION};
+use doda_bench::perf::{run_grid, validate_report, PerfGrid, SCHEMA_VERSION};
 
 /// The committed perf-trajectory baseline at the repository root must keep
 /// parsing and satisfying the schema the validator enforces — the golden
@@ -19,13 +19,33 @@ fn committed_baseline_matches_the_schema() {
     );
     assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("baseline"));
     let results = doc.get("results").and_then(Json::as_array).unwrap();
-    // The pinned grid: 3 algorithms x 3 workloads x 3 node counts.
-    assert_eq!(results.len(), 27);
+    // The pinned grid: 3 algorithms x 5 scenarios x 3 node counts, minus
+    // the skipped WaitingGreedy x adaptive-isolator column.
+    assert_eq!(results.len(), PerfGrid::baseline().cell_count());
+    let mut modes_seen = (false, false);
     for cell in results {
         let n = cell.get("n").and_then(Json::as_f64).unwrap();
         assert!([32.0, 128.0, 512.0].contains(&n), "unexpected n = {n}");
         let throughput = cell.get("throughput_ips").and_then(Json::as_f64).unwrap();
         assert!(throughput > 0.0, "throughput must be positive");
+        match cell.get("mode").and_then(Json::as_str).unwrap() {
+            "streamed" => modes_seen.0 = true,
+            "materialized" => modes_seen.1 = true,
+            other => panic!("unexpected mode {other}"),
+        }
+    }
+    assert!(
+        modes_seen.0 && modes_seen.1,
+        "the baseline must cover both execution modes"
+    );
+    // Both adversarial scenarios must be present in the trajectory.
+    for scenario in ["oblivious-trap", "adaptive-isolator"] {
+        assert!(
+            results
+                .iter()
+                .any(|c| c.get("workload").and_then(Json::as_str) == Some(scenario)),
+            "baseline is missing the {scenario} scenario"
+        );
     }
 }
 
@@ -33,7 +53,7 @@ fn committed_baseline_matches_the_schema() {
 /// the same validation CI applies to the uploaded artifact.
 #[test]
 fn emitted_smoke_report_round_trips_and_validates() {
-    let report = run_scenario(&Scenario::smoke());
+    let report = run_grid(&PerfGrid::smoke());
     let text = report.to_json();
     let doc = Json::parse(&text).expect("emitted JSON parses");
     validate_report(&doc).expect("emitted JSON validates");

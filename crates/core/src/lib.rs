@@ -31,7 +31,46 @@
 //! * the offline optimal convergecast and the paper's cost function
 //!   ([`convergecast`], [`cost`]).
 //!
-//! ## Quick start
+//! ## Quick start — streaming execution
+//!
+//! The model is inherently online: the adversary reveals one interaction
+//! per step, and the algorithm must decide without seeing the future. The
+//! engine mirrors that — it pulls interactions from an
+//! [`InteractionSource`] one at a time, so executions run in `O(n)` memory
+//! at *any* horizon; no sequence is ever materialised unless an oracle
+//! needs one.
+//!
+//! ```
+//! use doda_core::prelude::*;
+//! use doda_graph::NodeId;
+//!
+//! // A streaming adversary: node 1 + t%2 meets the sink at time t. It is
+//! // never materialised — the engine pulls one interaction per step.
+//! struct Alternating;
+//! impl InteractionSource for Alternating {
+//!     fn node_count(&self) -> usize {
+//!         3
+//!     }
+//!     fn next_interaction(&mut self, t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+//!         Some(Interaction::new(NodeId(0), NodeId(1 + (t as usize) % 2)))
+//!     }
+//! }
+//!
+//! let mut algo = Gathering::new();
+//! let outcome = engine::run_with_id_sets(
+//!     &mut algo,
+//!     &mut Alternating,
+//!     NodeId(0),
+//!     EngineConfig::sweep(1_000), // budget, since the source is infinite
+//! )?;
+//! assert!(outcome.terminated());
+//! # Ok::<(), doda_core::error::EngineError>(())
+//! ```
+//!
+//! A finite [`InteractionSequence`] is itself a source (via
+//! [`InteractionSequence::stream`]), and the bridge back — for the
+//! knowledge oracles that genuinely need the future — is
+//! [`InteractionSequence::materialize`]:
 //!
 //! ```
 //! use doda_core::prelude::*;
@@ -41,12 +80,8 @@
 //! let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1)]);
 //!
 //! let mut algo = Gathering::new();
-//! let outcome = engine::run_with_id_sets(
-//!     &mut algo,
-//!     &mut seq.source(false),
-//!     NodeId(0),
-//!     EngineConfig::default(),
-//! )?;
+//! let outcome =
+//!     engine::run_with_id_sets(&mut algo, &mut seq.stream(false), NodeId(0), EngineConfig::default())?;
 //! assert!(outcome.terminated());
 //!
 //! // Gathering aggregates 2 into 1 at t=0 and delivers at t=1: optimal here.

@@ -124,6 +124,63 @@ impl InteractionSequence {
         seq
     }
 
+    /// Materialises the first `len` interactions of `source` into a fresh
+    /// sequence (shorter if the source is exhausted first).
+    ///
+    /// This is the one sanctioned bridge from the streaming world to the
+    /// materialised one: knowledge oracles ([`crate::knowledge`]) need a
+    /// concrete sequence, and the oblivious/randomized adversaries build
+    /// theirs through this helper. The source is driven with a
+    /// *materialisation view* in which every node owns data and the sink is
+    /// node 0 — oblivious sources ignore the view entirely, and
+    /// materialising an adaptive source captures the stream it would play
+    /// against an algorithm that never transmits.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use doda_core::InteractionSequence;
+    ///
+    /// let committed = InteractionSequence::from_pairs(3, vec![(0, 1), (1, 2)]);
+    /// let replayed = InteractionSequence::materialize(&mut committed.stream(true), 5);
+    /// assert_eq!(replayed.len(), 5);
+    /// assert_eq!(replayed.get(4), committed.get(0));
+    /// ```
+    pub fn materialize<S>(source: &mut S, len: usize) -> Self
+    where
+        S: InteractionSource + ?Sized,
+    {
+        let mut seq = InteractionSequence::new(source.node_count());
+        seq.fill_from(source, len);
+        seq
+    }
+
+    /// In-place counterpart of [`materialize`]: clears this sequence,
+    /// re-targets it to the source's node count and fills it with up to
+    /// `len` interactions, reusing the existing allocation. Sweep workers
+    /// use this to refill one scratch buffer across many trials.
+    ///
+    /// [`materialize`]: InteractionSequence::materialize
+    pub fn fill_from<S>(&mut self, source: &mut S, len: usize)
+    where
+        S: InteractionSource + ?Sized,
+    {
+        let n = source.node_count();
+        self.reset(n);
+        self.reserve(len);
+        let owns = vec![true; n];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        for t in 0..len {
+            match source.next_interaction(t as Time, &view) {
+                Some(i) => self.push(i),
+                None => break,
+            }
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.n
@@ -519,5 +576,28 @@ mod tests {
         let mut seq = InteractionSequence::new(3);
         seq.extend([Interaction::new(NodeId(0), NodeId(1))]);
         assert_eq!(seq.len(), 1);
+    }
+
+    #[test]
+    fn materialize_stops_at_exhaustion() {
+        let seq = seq123();
+        let materialized = InteractionSequence::materialize(&mut seq.stream(false), 100);
+        assert_eq!(materialized, seq);
+        let cycled = InteractionSequence::materialize(&mut seq.stream(true), 10);
+        assert_eq!(cycled.len(), 10);
+        assert_eq!(cycled.get(4), seq.get(0));
+    }
+
+    #[test]
+    fn fill_from_reuses_the_buffer_and_retargets() {
+        let small = InteractionSequence::from_pairs(2, vec![(0, 1)]);
+        let big = seq123();
+        let mut scratch = InteractionSequence::new(8);
+        scratch.fill_from(&mut big.stream(false), 3);
+        assert_eq!(scratch.node_count(), 4);
+        assert_eq!(scratch.len(), 3);
+        scratch.fill_from(&mut small.stream(true), 5);
+        assert_eq!(scratch.node_count(), 2);
+        assert_eq!(scratch.len(), 5);
     }
 }

@@ -3,9 +3,15 @@
 //! This crate turns the building blocks of `doda-core`, `doda-adversary`
 //! and `doda-workloads` into repeatable experiments:
 //!
-//! * [`spec::AlgorithmSpec`] names an algorithm plus the knowledge it needs,
-//!   and can instantiate it for any concrete interaction sequence;
-//! * [`trial`] runs one algorithm over one sequence and extracts metrics;
+//! * [`spec::AlgorithmSpec`] names an algorithm plus its
+//!   [`spec::KnowledgeRequirement`] — which decides whether sweeps stream
+//!   it straight off the adversary (`O(n)` memory at any horizon) or must
+//!   materialise the sequence for its oracles;
+//! * [`scenario::Scenario`] is the unified registry of interaction
+//!   processes: synthetic workloads *and* the oblivious / weighted /
+//!   adaptive adversaries, all enumerable by the same sweep;
+//! * [`trial`] runs one algorithm over one stream (or sequence) and
+//!   extracts metrics;
 //! * [`runner`] runs multi-trial batches (optionally in parallel across
 //!   threads) and summarises them;
 //! * [`table`] renders result rows as Markdown/CSV for EXPERIMENTS.md and
@@ -33,18 +39,25 @@
 #![warn(missing_debug_implementations)]
 
 pub mod runner;
+pub mod scenario;
 pub mod spec;
 pub mod table;
 pub mod trial;
 
-pub use runner::{run_batch, run_batch_detailed, run_trials, BatchConfig, BatchResult};
-pub use spec::AlgorithmSpec;
+pub use runner::{
+    run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
+};
+pub use scenario::Scenario;
+pub use spec::{AlgorithmSpec, KnowledgeRequirement};
 pub use trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
 
 /// Commonly used items for examples and benches.
 pub mod prelude {
-    pub use crate::runner::{run_batch, run_batch_detailed, run_trials, BatchConfig, BatchResult};
-    pub use crate::spec::AlgorithmSpec;
+    pub use crate::runner::{
+        run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
+    };
+    pub use crate::scenario::Scenario;
+    pub use crate::spec::{AlgorithmSpec, KnowledgeRequirement};
     pub use crate::table::{markdown_table, Table};
     pub use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
 }

@@ -1,22 +1,36 @@
 //! Multi-trial batches.
 //!
 //! A batch fixes an algorithm, a node count and a trial count; each trial
-//! draws an independent sequence from a workload (by default the uniform
-//! randomized adversary — the paper's Section 4 setting), runs the
-//! algorithm, and the batch summarises the interaction counts.
+//! draws an independent interaction stream from a workload or scenario (by
+//! default the uniform randomized adversary — the paper's Section 4
+//! setting), runs the algorithm, and the batch summarises the interaction
+//! counts.
+//!
+//! # Streaming-first execution
+//!
+//! Knowledge-free algorithms ([`AlgorithmSpec::requires_materialization`]
+//! is `false`) run **streamed**: each trial pulls interactions one at a
+//! time from a seeded source, so a sweep's memory footprint is `O(n)`
+//! regardless of the horizon, and adaptive adversaries (which cannot be
+//! pre-generated at all) sweep through the exact same machinery
+//! ([`run_scenario_trials`]). Knowledge-based algorithms materialise each
+//! trial's sequence into a per-worker scratch buffer first, because their
+//! oracles are functions of the future. Both paths produce byte-identical
+//! results for the same seed, enforced by `tests/determinism.rs` and the
+//! `streaming_equivalence` property suite.
 //!
 //! # Sharded execution
 //!
 //! Parallel batches are *sharded*: the trial indices are split into one
 //! contiguous chunk per worker, every worker owns a [`TrialRunner`] (reused
-//! engine scratch), a scratch [`InteractionSequence`] refilled in place via
-//! [`Workload::fill`], and a local result vector. Nothing is shared while
-//! trials run — no mutex, no per-trial synchronisation — and the local
-//! vectors are concatenated once, in worker order, when the scope joins.
-//! Because trial `i` always uses the sub-seed `SeedSequence::seed(i)`
-//! regardless of which worker executes it, serial and parallel runs of the
-//! same [`BatchConfig`] produce **identical** [`BatchResult`]s and raw
-//! [`TrialResult`]s, byte for byte.
+//! engine scratch) plus — only on the materialising path — a scratch
+//! [`InteractionSequence`] refilled in place, and a local result vector.
+//! Nothing is shared while trials run — no mutex, no per-trial
+//! synchronisation — and the local vectors are concatenated once, in
+//! worker order, when the scope joins. Because trial `i` always uses the
+//! sub-seed `SeedSequence::seed(i)` regardless of which worker executes
+//! it, serial and parallel runs of the same [`BatchConfig`] produce
+//! **identical** [`BatchResult`]s and raw [`TrialResult`]s, byte for byte.
 
 use std::ops::Range;
 
@@ -25,6 +39,7 @@ use doda_stats::rng::SeedSequence;
 use doda_stats::Summary;
 use doda_workloads::{UniformWorkload, Workload};
 
+use crate::scenario::Scenario;
 use crate::spec::AlgorithmSpec;
 use crate::trial::{TrialConfig, TrialResult, TrialRunner};
 
@@ -88,9 +103,49 @@ impl BatchResult {
     }
 }
 
+/// Splits `trials` into contiguous per-worker chunks and concatenates the
+/// chunk results in worker order (the sharded-execution skeleton shared by
+/// every sweep entry point).
+fn shard<F>(trials: usize, parallel: bool, run_chunk: F) -> Vec<TrialResult>
+where
+    F: Fn(Range<usize>) -> Vec<TrialResult> + Sync,
+{
+    if parallel && trials > 1 {
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(2)
+            .min(trials);
+        let chunk = trials.div_ceil(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|worker| {
+                    let run_chunk = &run_chunk;
+                    let start = worker * chunk;
+                    let end = trials.min(start + chunk);
+                    scope.spawn(move || run_chunk(start..end))
+                })
+                .collect();
+            let mut results = Vec::with_capacity(trials);
+            for handle in handles {
+                results.extend(handle.join().expect("batch worker thread panicked"));
+            }
+            results
+        })
+    } else {
+        run_chunk(0..trials)
+    }
+}
+
 /// Runs `config.trials` independent trials of `spec`, each over a fresh
-/// sequence drawn from `workload`, and returns the raw per-trial results
-/// in trial-index order.
+/// interaction stream drawn from `workload`, and returns the raw per-trial
+/// results in trial-index order.
+///
+/// Knowledge-free specs are **streamed** — each trial pulls interactions
+/// from [`Workload::source`] with the horizon as the engine budget, never
+/// materialising a sequence. Knowledge-based specs refill a per-worker
+/// scratch sequence via [`Workload::fill`] and build their oracles from
+/// it. The two paths are observationally identical for the same seeds
+/// (workload sources stream exactly what `fill` materialises).
 ///
 /// This is the sharded core behind [`run_batch`]; it is exposed so that
 /// sweeps over non-uniform workloads (Zipf, vehicular, …) — notably the
@@ -114,44 +169,97 @@ where
     );
     let seeds = SeedSequence::new(config.seed);
     let horizon = config.horizon_len();
-    let trial_config = TrialConfig::default();
 
-    // One invocation per shard: owns its engine scratch and its sequence
-    // buffer for the whole chunk.
-    let run_chunk = |range: Range<usize>| -> Vec<TrialResult> {
-        let mut runner = TrialRunner::new();
-        let mut seq = InteractionSequence::new(config.n);
-        let mut results = Vec::with_capacity(range.len());
-        for trial in range {
-            workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
-            results.push(runner.run(spec, &seq, &trial_config));
-        }
-        results
-    };
-
-    if config.parallel && config.trials > 1 {
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(2)
-            .min(config.trials);
-        let chunk = config.trials.div_ceil(workers);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|worker| {
-                    let run_chunk = &run_chunk;
-                    let start = worker * chunk;
-                    let end = config.trials.min(start + chunk);
-                    scope.spawn(move || run_chunk(start..end))
-                })
-                .collect();
-            let mut results = Vec::with_capacity(config.trials);
-            for handle in handles {
-                results.extend(handle.join().expect("batch worker thread panicked"));
+    if spec.requires_materialization() {
+        let trial_config = TrialConfig::default();
+        // One invocation per shard: owns its engine scratch and its
+        // sequence buffer for the whole chunk.
+        shard(config.trials, config.parallel, |range| {
+            let mut runner = TrialRunner::new();
+            let mut seq = InteractionSequence::new(config.n);
+            let mut results = Vec::with_capacity(range.len());
+            for trial in range {
+                workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
+                results.push(runner.run(spec, &seq, &trial_config));
             }
             results
         })
     } else {
-        run_chunk(0..config.trials)
+        let trial_config = TrialConfig {
+            max_interactions: Some(horizon as u64),
+            ..TrialConfig::default()
+        };
+        shard(config.trials, config.parallel, |range| {
+            let mut runner = TrialRunner::new();
+            let mut results = Vec::with_capacity(range.len());
+            for trial in range {
+                let mut source = workload.source(seeds.seed(trial as u64));
+                results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
+            }
+            results
+        })
+    }
+}
+
+/// Runs `config.trials` independent trials of `spec` against `scenario` —
+/// the scenario-registry counterpart of [`run_trials`], covering the
+/// adversaries (oblivious trap, weighted, **adaptive**) alongside the
+/// synthetic workloads.
+///
+/// Adaptive scenarios construct a fresh live adversary per trial and run
+/// it streamed through the same sharded machinery; serial and parallel
+/// runs remain byte-identical because the adversary's decisions depend
+/// only on its own trial's execution.
+///
+/// # Panics
+///
+/// Panics if `spec` requires materialisation and `scenario` is adaptive
+/// (an adaptive adversary's stream depends on the execution, so no
+/// faithful sequence exists to build oracles from — check
+/// [`Scenario::supports`] first), if `config.n` is below
+/// [`Scenario::min_nodes`], or if a worker thread panics.
+pub fn run_scenario_trials(
+    spec: AlgorithmSpec,
+    scenario: Scenario,
+    config: &BatchConfig,
+) -> Vec<TrialResult> {
+    assert!(
+        scenario.supports(spec),
+        "scenario '{}' is adaptive: {spec} requires {} knowledge, which would \
+         need materialising a stream that depends on the execution itself",
+        scenario.name(),
+        spec.knowledge()
+    );
+    let seeds = SeedSequence::new(config.seed);
+    let horizon = config.horizon_len();
+
+    if spec.requires_materialization() {
+        let trial_config = TrialConfig::default();
+        shard(config.trials, config.parallel, |range| {
+            let mut runner = TrialRunner::new();
+            let mut seq = InteractionSequence::new(config.n);
+            let mut results = Vec::with_capacity(range.len());
+            for trial in range {
+                let mut source = scenario.source(config.n, seeds.seed(trial as u64));
+                seq.fill_from(source.as_mut(), horizon);
+                results.push(runner.run(spec, &seq, &trial_config));
+            }
+            results
+        })
+    } else {
+        let trial_config = TrialConfig {
+            max_interactions: Some(horizon as u64),
+            ..TrialConfig::default()
+        };
+        shard(config.trials, config.parallel, |range| {
+            let mut runner = TrialRunner::new();
+            let mut results = Vec::with_capacity(range.len());
+            for trial in range {
+                let mut source = scenario.source(config.n, seeds.seed(trial as u64));
+                results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
+            }
+            results
+        })
     }
 }
 
@@ -328,6 +436,70 @@ mod tests {
     fn run_trials_rejects_mismatched_node_counts() {
         let workload = ZipfWorkload::new(8, 1.2);
         let _ = run_trials(AlgorithmSpec::Waiting, &workload, &config(10, 2, false));
+    }
+
+    #[test]
+    fn scenario_sweep_runs_adaptive_adversaries_sharded() {
+        let cfg = BatchConfig {
+            n: 12,
+            trials: 6,
+            horizon: Some(4_000),
+            seed: 9,
+            parallel: false,
+        };
+        let serial =
+            run_scenario_trials(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator, &cfg);
+        let parallel = run_scenario_trials(
+            AlgorithmSpec::Gathering,
+            Scenario::AdaptiveIsolator,
+            &BatchConfig {
+                parallel: true,
+                ..cfg
+            },
+        );
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().all(|r| r.terminated() && r.data_conserved));
+        // The same adversary starves Waiting for the whole horizon.
+        let waiting = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator, &cfg);
+        assert!(waiting.iter().all(|r| !r.terminated()));
+        assert!(waiting.iter().all(|r| r.interactions_processed == 4_000));
+    }
+
+    #[test]
+    fn scenario_sweep_materializes_for_knowledge_based_specs() {
+        let cfg = BatchConfig {
+            n: 10,
+            trials: 3,
+            horizon: None,
+            seed: 4,
+            parallel: false,
+        };
+        let raw = run_scenario_trials(
+            AlgorithmSpec::WaitingGreedy { tau: None },
+            Scenario::Uniform,
+            &cfg,
+        );
+        assert_eq!(raw.len(), 3);
+        assert!(raw.iter().all(|r| r.terminated()));
+        // The scenario and workload views of "uniform" are the same process:
+        // identical seeds produce identical trials.
+        let via_workload = run_trials(
+            AlgorithmSpec::WaitingGreedy { tau: None },
+            &UniformWorkload::new(10),
+            &cfg,
+        );
+        assert_eq!(raw, via_workload);
+    }
+
+    #[test]
+    #[should_panic(expected = "is adaptive")]
+    fn scenario_sweep_rejects_oracles_over_adaptive_streams() {
+        let cfg = config(10, 2, false);
+        let _ = run_scenario_trials(
+            AlgorithmSpec::OfflineOptimal,
+            Scenario::AdaptiveIsolator,
+            &cfg,
+        );
     }
 
     #[test]

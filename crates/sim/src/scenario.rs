@@ -1,0 +1,280 @@
+//! The unified scenario registry.
+//!
+//! A [`Scenario`] names one member of the composable space of interaction
+//! processes the sweep stack can run against: the synthetic workload
+//! generators of `doda-workloads` *and* the adversaries of
+//! `doda-adversary` (weighted randomized, the oblivious star-then-ring
+//! trap, and the sweepable online **adaptive** isolator). Every consumer —
+//! the sharded batch runner ([`crate::runner::run_scenario_trials`]), the
+//! `doda-bench` perf grid, the experiment harness and the examples —
+//! enumerates the same registry instead of hand-wiring its own list of
+//! generators.
+//!
+//! Every scenario yields a seeded streaming [`InteractionSource`] over any
+//! admissible node count. Non-adaptive scenarios can additionally be
+//! [`materialize`]d into a concrete [`InteractionSequence`] for the
+//! knowledge oracles; adaptive ones cannot (their stream depends on the
+//! execution itself), which is exactly the [`Scenario::supports`] rule.
+//!
+//! [`materialize`]: Scenario::materialize
+
+use doda_adversary::{IsolatorAdversary, ObliviousTrap, WeightedRandomAdversary};
+use doda_core::{InteractionSequence, InteractionSource};
+use doda_workloads::{
+    BodyAreaWorkload, CommunityWorkload, UniformWorkload, VehicularWorkload, Workload, ZipfWorkload,
+};
+
+use crate::spec::AlgorithmSpec;
+
+/// One entry of the unified scenario space: a named, seeded family of
+/// interaction sources parameterised by the node count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scenario {
+    /// Uniform random contacts — the randomized adversary of Section 4.
+    Uniform,
+    /// Zipf-popularity contacts (hub-and-spoke mobility).
+    Zipf {
+        /// Zipf exponent of the popularity law.
+        exponent: f64,
+    },
+    /// Community-structured contacts with rare bridge interactions.
+    Community {
+        /// Number of equal-sized communities (needs `n ≥ 2·communities`).
+        communities: usize,
+        /// Probability of an intra-community contact.
+        p_intra: f64,
+    },
+    /// Periodic body-area sensor reports to a hub.
+    BodyArea,
+    /// Vehicular random-walk contacts on a `√n × √n` road grid.
+    Vehicular,
+    /// The non-uniform randomized adversary: pairs drawn proportionally to
+    /// Zipf popularity weights (the paper's concluding question 3).
+    WeightedZipf {
+        /// Zipf exponent of the weight law.
+        exponent: f64,
+    },
+    /// The oblivious star-then-ring trap of Theorem 2 (deterministic; the
+    /// seed is ignored).
+    ObliviousTrap,
+    /// The online **adaptive** isolator adversary: starves the sink while
+    /// more than one non-sink node owns data (deterministic; the seed is
+    /// ignored). The only scenario whose stream depends on the execution.
+    AdaptiveIsolator,
+}
+
+impl Scenario {
+    /// The default-parameterised registry, in display order: every
+    /// scenario the sweep stack knows how to run.
+    pub fn registry() -> Vec<Scenario> {
+        vec![
+            Scenario::Uniform,
+            Scenario::Zipf { exponent: 1.2 },
+            Scenario::Community {
+                communities: 4,
+                p_intra: 0.9,
+            },
+            Scenario::BodyArea,
+            Scenario::Vehicular,
+            Scenario::WeightedZipf { exponent: 1.2 },
+            Scenario::ObliviousTrap,
+            Scenario::AdaptiveIsolator,
+        ]
+    }
+
+    /// The label used in reports, benchmark grids and `BENCH_*.json`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::Uniform => "uniform",
+            Scenario::Zipf { .. } => "zipf",
+            Scenario::Community { .. } => "community",
+            Scenario::BodyArea => "body-area",
+            Scenario::Vehicular => "vehicular",
+            Scenario::WeightedZipf { .. } => "weighted-zipf",
+            Scenario::ObliviousTrap => "oblivious-trap",
+            Scenario::AdaptiveIsolator => "adaptive-isolator",
+        }
+    }
+
+    /// Looks a scenario up by its [`name`](Scenario::name), with the
+    /// registry's default parameters.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::registry().into_iter().find(|s| s.name() == name)
+    }
+
+    /// `true` iff the scenario's stream depends on the execution (the
+    /// online adaptive adversary) and therefore cannot be materialised
+    /// faithfully.
+    pub fn is_adaptive(&self) -> bool {
+        matches!(self, Scenario::AdaptiveIsolator)
+    }
+
+    /// The smallest node count the scenario admits.
+    pub fn min_nodes(&self) -> usize {
+        match self {
+            Scenario::Community { communities, .. } => 2 * (*communities).max(1),
+            Scenario::BodyArea => 3,
+            Scenario::ObliviousTrap => 4,
+            _ => 2,
+        }
+    }
+
+    /// `true` iff `spec` can run against this scenario: everything runs
+    /// against the non-adaptive scenarios, while adaptive scenarios only
+    /// admit knowledge-free algorithms (their oracles would require
+    /// materialising a stream that depends on the execution itself).
+    pub fn supports(&self, spec: AlgorithmSpec) -> bool {
+        !(self.is_adaptive() && spec.requires_materialization())
+    }
+
+    /// A seeded streaming source over `n` nodes. The adversarial
+    /// constructions are deterministic and ignore the seed; everything
+    /// else streams the exact interactions its workload would materialise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < self.min_nodes()`.
+    pub fn source(&self, n: usize, seed: u64) -> Box<dyn InteractionSource + Send> {
+        match self {
+            Scenario::WeightedZipf { exponent } => {
+                Box::new(WeightedRandomAdversary::zipf(n, *exponent, seed))
+            }
+            Scenario::ObliviousTrap => {
+                Box::new(ObliviousTrap::for_greedy_algorithms(n).adversary())
+            }
+            Scenario::AdaptiveIsolator => Box::new(IsolatorAdversary::new(n)),
+            workload_backed => workload_backed
+                .workload(n)
+                .expect("non-adversary scenarios are workload-backed")
+                .source(seed),
+        }
+    }
+
+    /// The backing [`Workload`], for the scenarios that have one (`None`
+    /// for the adversary-backed entries).
+    pub fn workload(&self, n: usize) -> Option<Box<dyn Workload + Send + Sync>> {
+        match self {
+            Scenario::Uniform => Some(Box::new(UniformWorkload::new(n))),
+            Scenario::Zipf { exponent } => Some(Box::new(ZipfWorkload::new(n, *exponent))),
+            Scenario::Community {
+                communities,
+                p_intra,
+            } => Some(Box::new(CommunityWorkload::new(n, *communities, *p_intra))),
+            Scenario::BodyArea => Some(Box::new(BodyAreaWorkload::new(n))),
+            Scenario::Vehicular => {
+                // A square-ish grid: side ≈ √n keeps the road density
+                // comparable across node counts.
+                let side = (n as f64).sqrt().round().max(2.0) as usize;
+                Some(Box::new(VehicularWorkload::new(n, side)))
+            }
+            Scenario::WeightedZipf { .. }
+            | Scenario::ObliviousTrap
+            | Scenario::AdaptiveIsolator => None,
+        }
+    }
+
+    /// Materialises the first `len` interactions of the scenario's stream,
+    /// or `None` for adaptive scenarios (no faithful sequence exists).
+    pub fn materialize(&self, n: usize, len: usize, seed: u64) -> Option<InteractionSequence> {
+        if self.is_adaptive() {
+            return None;
+        }
+        Some(InteractionSequence::materialize(
+            self.source(n, seed).as_mut(),
+            len,
+        ))
+    }
+}
+
+impl std::fmt::Display for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_core::sequence::AdversaryView;
+    use doda_graph::NodeId;
+
+    #[test]
+    fn registry_names_are_unique_and_resolvable() {
+        let registry = Scenario::registry();
+        for s in &registry {
+            assert_eq!(Scenario::by_name(s.name()), Some(*s));
+            assert_eq!(s.to_string(), s.name());
+        }
+        let mut names: Vec<_> = registry.iter().map(|s| s.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry.len());
+        assert_eq!(Scenario::by_name("no-such-scenario"), None);
+    }
+
+    #[test]
+    fn every_scenario_streams_at_its_minimum_node_count() {
+        for s in Scenario::registry() {
+            for n in [s.min_nodes(), s.min_nodes() + 5] {
+                let mut source = s.source(n, 7);
+                assert_eq!(source.node_count(), n, "{s}");
+                let owns = vec![true; n];
+                let view = AdversaryView {
+                    owns_data: &owns,
+                    sink: NodeId(0),
+                };
+                for t in 0..50u64 {
+                    let i = source
+                        .next_interaction(t, &view)
+                        .unwrap_or_else(|| panic!("{s} ran dry at t={t}, n={n}"));
+                    assert!(i.max().index() < n, "{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn materialization_matches_the_stream_for_non_adaptive_scenarios() {
+        for s in Scenario::registry() {
+            let n = s.min_nodes().max(8);
+            match s.materialize(n, 120, 3) {
+                None => assert!(s.is_adaptive(), "{s}"),
+                Some(seq) => {
+                    assert_eq!(seq.len(), 120, "{s}");
+                    assert_eq!(seq.node_count(), n, "{s}");
+                    // Deterministic: a second materialisation is identical.
+                    assert_eq!(s.materialize(n, 120, 3), Some(seq), "{s}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_scenarios_only_support_knowledge_free_specs() {
+        for s in Scenario::registry() {
+            for spec in AlgorithmSpec::all() {
+                let expected = !(s.is_adaptive() && spec.requires_materialization());
+                assert_eq!(s.supports(spec), expected, "{s} / {spec}");
+            }
+        }
+    }
+
+    #[test]
+    fn workload_backed_scenarios_expose_their_workload() {
+        for s in Scenario::registry() {
+            let n = s.min_nodes().max(8);
+            match s.workload(n) {
+                Some(w) => assert_eq!(w.node_count(), n, "{s}"),
+                None => assert!(
+                    matches!(
+                        s,
+                        Scenario::WeightedZipf { .. }
+                            | Scenario::ObliviousTrap
+                            | Scenario::AdaptiveIsolator
+                    ),
+                    "{s}"
+                ),
+            }
+        }
+    }
+}

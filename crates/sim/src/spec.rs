@@ -3,8 +3,18 @@
 //! Algorithms differ in the knowledge they require (nothing, `meetTime`,
 //! the underlying graph, their own future, or the full sequence), so they
 //! cannot all be constructed before the adversary's sequence is known.
-//! [`AlgorithmSpec`] captures *which* algorithm to run; instantiation takes
-//! the concrete sequence and builds the required oracles.
+//! [`AlgorithmSpec`] captures *which* algorithm to run;
+//! [`AlgorithmSpec::knowledge_requirement`] classifies what the algorithm
+//! must see of the future, which decides the execution path:
+//!
+//! * [`KnowledgeRequirement::None`] algorithms instantiate with
+//!   [`AlgorithmSpec::instantiate_online`] and run **streamed** — the
+//!   engine pulls interactions straight from the adversary in `O(n)`
+//!   memory at any horizon;
+//! * every other requirement forces the sweep to **materialise** the
+//!   adversary's sequence first ([`AlgorithmSpec::instantiate`]), because
+//!   the oracles (`meetTime`, underlying graph, futures, full sequence)
+//!   are functions of the future.
 
 use doda_core::algorithms::{
     FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting, WaitingGreedy,
@@ -12,6 +22,47 @@ use doda_core::algorithms::{
 use doda_core::knowledge::{FullKnowledge, MeetTimeOracle};
 use doda_core::{DodaAlgorithm, InteractionSequence, Time};
 use doda_graph::NodeId;
+
+/// The knowledge class an algorithm draws on — and therefore whether a
+/// sweep must materialise the adversary's sequence before execution.
+///
+/// Only [`KnowledgeRequirement::None`] algorithms can run against a live
+/// (possibly adaptive) adversary; the other classes need oracles that are
+/// functions of the future, so the adversary must commit to a finite
+/// sequence first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnowledgeRequirement {
+    /// Decides from the current interaction alone: streams in `O(n)`
+    /// memory against any adversary, including adaptive ones.
+    None,
+    /// Needs the `meetTime` oracle (next meeting with the sink).
+    MeetTime,
+    /// Needs the underlying graph `G̅` of the whole sequence.
+    UnderlyingGraph,
+    /// Needs each node's own future interactions.
+    OwnFuture,
+    /// Needs the entire interaction sequence.
+    FullSequence,
+}
+
+impl KnowledgeRequirement {
+    /// `true` iff this requirement can only be satisfied by materialising
+    /// the adversary's sequence up front.
+    pub fn requires_materialization(self) -> bool {
+        self != KnowledgeRequirement::None
+    }
+
+    /// The label used in reports and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            KnowledgeRequirement::None => "none",
+            KnowledgeRequirement::MeetTime => "meetTime",
+            KnowledgeRequirement::UnderlyingGraph => "underlying graph",
+            KnowledgeRequirement::OwnFuture => "own future",
+            KnowledgeRequirement::FullSequence => "full sequence",
+        }
+    }
+}
 
 /// A named DODA algorithm together with its parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,14 +120,41 @@ impl AlgorithmSpec {
         }
     }
 
+    /// The knowledge class the spec's algorithm requires.
+    pub fn knowledge_requirement(&self) -> KnowledgeRequirement {
+        match self {
+            AlgorithmSpec::Waiting | AlgorithmSpec::Gathering => KnowledgeRequirement::None,
+            AlgorithmSpec::WaitingGreedy { .. } => KnowledgeRequirement::MeetTime,
+            AlgorithmSpec::SpanningTree => KnowledgeRequirement::UnderlyingGraph,
+            AlgorithmSpec::FutureBroadcast => KnowledgeRequirement::OwnFuture,
+            AlgorithmSpec::OfflineOptimal => KnowledgeRequirement::FullSequence,
+        }
+    }
+
+    /// `true` iff sweeps must materialise the adversary's sequence to run
+    /// this spec (see [`KnowledgeRequirement::requires_materialization`]).
+    pub fn requires_materialization(&self) -> bool {
+        self.knowledge_requirement().requires_materialization()
+    }
+
     /// The knowledge model the spec corresponds to (for reports).
     pub fn knowledge(&self) -> &'static str {
+        self.knowledge_requirement().label()
+    }
+
+    /// Instantiates a knowledge-free algorithm — no sequence, no oracles —
+    /// ready to run streamed against any [`doda_core::InteractionSource`],
+    /// including adaptive adversaries.
+    ///
+    /// Returns `None` when the spec requires knowledge of the future
+    /// (check with [`AlgorithmSpec::requires_materialization`]); such specs
+    /// must go through [`AlgorithmSpec::instantiate`] with a materialised
+    /// sequence.
+    pub fn instantiate_online(&self) -> Option<Box<dyn DodaAlgorithm>> {
         match self {
-            AlgorithmSpec::Waiting | AlgorithmSpec::Gathering => "none",
-            AlgorithmSpec::WaitingGreedy { .. } => "meetTime",
-            AlgorithmSpec::SpanningTree => "underlying graph",
-            AlgorithmSpec::FutureBroadcast => "own future",
-            AlgorithmSpec::OfflineOptimal => "full sequence",
+            AlgorithmSpec::Waiting => Some(Box::new(Waiting::new())),
+            AlgorithmSpec::Gathering => Some(Box::new(Gathering::new())),
+            _ => None,
         }
     }
 
@@ -170,5 +248,28 @@ mod tests {
             assert!(all.contains(&spec));
         }
         assert_eq!(all.len(), 6);
+    }
+
+    #[test]
+    fn online_instantiation_matches_the_knowledge_requirement() {
+        for spec in AlgorithmSpec::all() {
+            let req = spec.knowledge_requirement();
+            assert_eq!(req.label(), spec.knowledge());
+            assert_eq!(
+                req.requires_materialization(),
+                spec.requires_materialization()
+            );
+            // Exactly the knowledge-free specs instantiate without a sequence.
+            assert_eq!(
+                spec.instantiate_online().is_some(),
+                !spec.requires_materialization(),
+                "{spec}"
+            );
+            if let Some(algo) = spec.instantiate_online() {
+                assert_eq!(algo.name(), spec.label());
+            }
+        }
+        assert!(!KnowledgeRequirement::None.requires_materialization());
+        assert!(KnowledgeRequirement::MeetTime.requires_materialization());
     }
 }

@@ -2,13 +2,17 @@
 //!
 //! [`TrialRunner`] is the sweep-facing entry point: it owns a reusable
 //! [`Engine`] so that running thousands of trials reuses one set of
-//! scratch allocations. [`run_trial_on_sequence`] remains as a stateless
-//! convenience for one-off trials.
+//! scratch allocations. [`TrialRunner::run_streamed`] is the primary path
+//! — it drives a knowledge-free algorithm straight off an
+//! [`InteractionSource`] in `O(n)` memory; [`TrialRunner::run`] executes
+//! over a materialised sequence for the algorithms whose oracles need the
+//! future. [`run_trial_on_sequence`] remains as a stateless convenience
+//! for one-off trials.
 
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::data::IdSet;
-use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig};
-use doda_core::{InteractionSequence, Time};
+use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig, RunStats};
+use doda_core::{InteractionSequence, InteractionSource, Time};
 use doda_graph::NodeId;
 
 use crate::spec::AlgorithmSpec;
@@ -18,9 +22,11 @@ use crate::spec::AlgorithmSpec;
 pub struct TrialConfig {
     /// The sink node.
     pub sink: NodeId,
-    /// Interaction budget of the engine (defaults to the sequence length
-    /// when `None` — an algorithm that cannot finish on the materialised
-    /// sequence is reported as non-terminated).
+    /// Interaction budget of the engine. For materialised trials `None`
+    /// defaults to the sequence length (an algorithm that cannot finish on
+    /// the sequence is reported as non-terminated); for streamed trials
+    /// over an infinite source `None` falls back to the engine's default
+    /// budget, so sweeps should always set it explicitly.
     pub max_interactions: Option<u64>,
     /// Whether to compute the paper's cost function for the outcome (adds
     /// `O(len log len)` work per convergecast, so sweeps usually disable it).
@@ -140,18 +146,79 @@ impl TrialRunner {
                 &mut DiscardTransmissions,
             )
             .expect("the provided algorithms never emit structurally invalid decisions");
+        let cost = config
+            .compute_cost
+            .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
+        self.finish(spec, stats, cost)
+    }
+
+    /// Runs `spec` **streamed**: the engine pulls interactions straight
+    /// from `source` — no sequence is ever materialised, so the trial runs
+    /// in `O(n)` memory at any horizon and the source may be adaptive.
+    ///
+    /// The engine's budget is `config.max_interactions` (sources are
+    /// usually infinite, so sweeps must set it). Streamed trials never
+    /// compute the paper's cost function — it is defined over a concrete
+    /// sequence — and report `cost: None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` requires knowledge of the future (check
+    /// [`AlgorithmSpec::requires_materialization`] first; such specs must
+    /// materialise the source and go through [`TrialRunner::run`]), if
+    /// `config.compute_cost` is set, or if the algorithm produces a
+    /// structurally invalid decision.
+    pub fn run_streamed<S>(
+        &mut self,
+        spec: AlgorithmSpec,
+        source: &mut S,
+        config: &TrialConfig,
+    ) -> TrialResult
+    where
+        S: InteractionSource + ?Sized,
+    {
+        assert!(
+            !config.compute_cost,
+            "the paper's cost function needs the materialised sequence; \
+             streamed trials cannot compute it"
+        );
+        let sink = config.sink;
+        let max_interactions = config
+            .max_interactions
+            .unwrap_or(EngineConfig::default().max_interactions);
+        let Some(mut algorithm) = spec.instantiate_online() else {
+            panic!(
+                "{spec} requires {} knowledge and cannot run streamed; \
+                 materialise the source and use TrialRunner::run",
+                spec.knowledge()
+            );
+        };
+        let stats = self
+            .engine
+            .run(
+                algorithm.as_mut(),
+                source,
+                sink,
+                IdSet::singleton,
+                EngineConfig::sweep(max_interactions),
+                &mut DiscardTransmissions,
+            )
+            .expect("the provided algorithms never emit structurally invalid decisions");
+        self.finish(spec, stats, None)
+    }
+
+    /// Packages the engine counters (plus the data-conservation check read
+    /// off the engine's final state) into a [`TrialResult`].
+    fn finish(&self, spec: AlgorithmSpec, stats: RunStats, cost: Option<Cost>) -> TrialResult {
         let data_conserved = stats.terminated()
             && self
                 .engine
                 .state()
-                .data_of(sink)
-                .is_some_and(|data| data.covers_all(n));
-        let cost = config
-            .compute_cost
-            .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
+                .data_of(stats.sink)
+                .is_some_and(|data| data.covers_all(stats.node_count));
         TrialResult {
             algorithm: spec.label().to_string(),
-            n,
+            n: stats.node_count,
             termination_time: stats.termination_time,
             interactions_processed: stats.interactions_processed,
             transmissions: stats.transmissions as usize,
@@ -271,5 +338,74 @@ mod tests {
             },
         );
         assert!(result.interactions_processed <= 10);
+    }
+
+    #[test]
+    fn streamed_trial_matches_materialized_trial() {
+        let horizon = 3_000usize;
+        let mut runner = TrialRunner::new();
+        for (n, seed) in [(8usize, 1u64), (12, 2), (6, 3)] {
+            let workload = UniformWorkload::new(n);
+            for spec in [AlgorithmSpec::Gathering, AlgorithmSpec::Waiting] {
+                let seq = workload.generate(horizon, seed);
+                let materialized = runner.run(spec, &seq, &TrialConfig::default());
+                let streamed = runner.run_streamed(
+                    spec,
+                    workload.source(seed).as_mut(),
+                    &TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        ..TrialConfig::default()
+                    },
+                );
+                assert_eq!(
+                    streamed, materialized,
+                    "{spec} diverged at n={n}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn streamed_trial_runs_adaptive_adversaries() {
+        let mut runner = TrialRunner::new();
+        let config = TrialConfig {
+            max_interactions: Some(5_000),
+            ..TrialConfig::default()
+        };
+        let mut isolator = doda_adversary::IsolatorAdversary::new(16);
+        let gathering = runner.run_streamed(AlgorithmSpec::Gathering, &mut isolator, &config);
+        assert!(gathering.terminated());
+        assert!(gathering.data_conserved);
+        assert_eq!(gathering.transmissions, 15);
+
+        let mut isolator = doda_adversary::IsolatorAdversary::new(16);
+        let waiting = runner.run_streamed(AlgorithmSpec::Waiting, &mut isolator, &config);
+        assert!(!waiting.terminated());
+        assert_eq!(waiting.interactions_processed, 5_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot run streamed")]
+    fn streamed_trial_rejects_knowledge_based_specs() {
+        let workload = UniformWorkload::new(6);
+        let _ = TrialRunner::new().run_streamed(
+            AlgorithmSpec::OfflineOptimal,
+            workload.source(0).as_mut(),
+            &TrialConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cost function needs the materialised sequence")]
+    fn streamed_trial_rejects_cost_computation() {
+        let workload = UniformWorkload::new(6);
+        let _ = TrialRunner::new().run_streamed(
+            AlgorithmSpec::Gathering,
+            workload.source(0).as_mut(),
+            &TrialConfig {
+                compute_cost: true,
+                ..TrialConfig::default()
+            },
+        );
     }
 }

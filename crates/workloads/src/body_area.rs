@@ -7,9 +7,10 @@
 //! phase), and occasional sensor-to-sensor contacts occur when body parts
 //! come close (e.g. wrist sensor meeting hip sensor).
 
-use doda_core::{Interaction, InteractionSequence};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
-use doda_stats::rng::seeded_rng;
+use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
 use crate::Workload;
@@ -67,7 +68,7 @@ impl Workload for BodyAreaWorkload {
         "body-area"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
         let mut rng = seeded_rng(seed);
         let sensors = self.n - 1;
         // Each sensor reports to the hub with its own period (in "events"):
@@ -76,35 +77,60 @@ impl Workload for BodyAreaWorkload {
             .map(|_| rng.gen_range(2..=(2 * sensors as u64 + 2)))
             .collect();
         // next_due[i] = virtual time of sensor i's next hub contact.
-        let mut next_due: Vec<u64> = periods
+        let next_due: Vec<u64> = periods
             .iter()
             .map(|&p| rng.gen_range(0..p.max(1)))
             .collect();
-        let mut seq = InteractionSequence::new(self.n);
-        for _ in 0..len {
-            let interaction = if rng.gen_bool(self.peer_contact_probability) {
-                // Two distinct sensors meet.
-                let a = rng.gen_range(0..sensors);
-                let b = loop {
-                    let candidate = rng.gen_range(0..sensors);
-                    if candidate != a {
-                        break candidate;
-                    }
-                };
-                Interaction::new(NodeId(a + 1), NodeId(b + 1))
-            } else {
-                // The sensor whose report is due earliest contacts the hub.
-                let (idx, _) = next_due
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|&(i, &due)| (due, i))
-                    .expect("at least two sensors");
-                next_due[idx] += periods[idx];
-                Interaction::new(Self::HUB, NodeId(idx + 1))
+        Box::new(BodyAreaSource {
+            n: self.n,
+            peer_contact_probability: self.peer_contact_probability,
+            periods,
+            next_due,
+            rng,
+        })
+    }
+}
+
+/// Streaming source behind [`BodyAreaWorkload`]: periodic hub reports with
+/// occasional peer contacts.
+#[derive(Debug, Clone)]
+pub struct BodyAreaSource {
+    n: usize,
+    peer_contact_probability: f64,
+    periods: Vec<u64>,
+    next_due: Vec<u64>,
+    rng: DodaRng,
+}
+
+impl InteractionSource for BodyAreaSource {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let sensors = self.n - 1;
+        let interaction = if self.rng.gen_bool(self.peer_contact_probability) {
+            // Two distinct sensors meet.
+            let a = self.rng.gen_range(0..sensors);
+            let b = loop {
+                let candidate = self.rng.gen_range(0..sensors);
+                if candidate != a {
+                    break candidate;
+                }
             };
-            seq.push(interaction);
-        }
-        seq
+            Interaction::new(NodeId(a + 1), NodeId(b + 1))
+        } else {
+            // The sensor whose report is due earliest contacts the hub.
+            let (idx, _) = self
+                .next_due
+                .iter()
+                .enumerate()
+                .min_by_key(|&(i, &due)| (due, i))
+                .expect("at least two sensors");
+            self.next_due[idx] += self.periods[idx];
+            Interaction::new(BodyAreaWorkload::HUB, NodeId(idx + 1))
+        };
+        Some(interaction)
     }
 }
 

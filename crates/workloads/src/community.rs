@@ -1,8 +1,9 @@
 //! Community-structured contacts.
 
-use doda_core::{Interaction, InteractionSequence};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
-use doda_stats::rng::seeded_rng;
+use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
 use crate::Workload;
@@ -68,48 +69,71 @@ impl Workload for CommunityWorkload {
         "community"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
-        let mut rng = seeded_rng(seed);
-        let members: Vec<Vec<NodeId>> = (0..self.communities).map(|c| self.members(c)).collect();
-        let mut seq = InteractionSequence::new(self.n);
-        for _ in 0..len {
-            let interaction = if rng.gen_bool(self.p_intra) {
-                // Intra-community contact.
-                let c = rng.gen_range(0..self.communities);
-                let group = &members[c];
-                let a = group[rng.gen_range(0..group.len())];
-                let b = loop {
-                    let candidate = group[rng.gen_range(0..group.len())];
-                    if candidate != a {
-                        break candidate;
-                    }
-                };
-                Interaction::new(a, b)
-            } else {
-                // Bridge contact between two distinct communities.
-                let c1 = rng.gen_range(0..self.communities);
-                let c2 = if self.communities == 1 {
-                    c1
-                } else {
-                    loop {
-                        let candidate = rng.gen_range(0..self.communities);
-                        if candidate != c1 {
-                            break candidate;
-                        }
-                    }
-                };
-                let a = members[c1][rng.gen_range(0..members[c1].len())];
-                let b = loop {
-                    let candidate = members[c2][rng.gen_range(0..members[c2].len())];
-                    if candidate != a {
-                        break candidate;
-                    }
-                };
-                Interaction::new(a, b)
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
+        Box::new(CommunitySource {
+            n: self.n,
+            communities: self.communities,
+            p_intra: self.p_intra,
+            members: (0..self.communities).map(|c| self.members(c)).collect(),
+            rng: seeded_rng(seed),
+        })
+    }
+}
+
+/// Streaming source behind [`CommunityWorkload`]: intra-community contact
+/// with probability `p_intra`, bridge contact otherwise.
+#[derive(Debug, Clone)]
+pub struct CommunitySource {
+    n: usize,
+    communities: usize,
+    p_intra: f64,
+    members: Vec<Vec<NodeId>>,
+    rng: DodaRng,
+}
+
+impl InteractionSource for CommunitySource {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let rng = &mut self.rng;
+        let members = &self.members;
+        let interaction = if rng.gen_bool(self.p_intra) {
+            // Intra-community contact.
+            let c = rng.gen_range(0..self.communities);
+            let group = &members[c];
+            let a = group[rng.gen_range(0..group.len())];
+            let b = loop {
+                let candidate = group[rng.gen_range(0..group.len())];
+                if candidate != a {
+                    break candidate;
+                }
             };
-            seq.push(interaction);
-        }
-        seq
+            Interaction::new(a, b)
+        } else {
+            // Bridge contact between two distinct communities.
+            let c1 = rng.gen_range(0..self.communities);
+            let c2 = if self.communities == 1 {
+                c1
+            } else {
+                loop {
+                    let candidate = rng.gen_range(0..self.communities);
+                    if candidate != c1 {
+                        break candidate;
+                    }
+                }
+            };
+            let a = members[c1][rng.gen_range(0..members[c1].len())];
+            let b = loop {
+                let candidate = members[c2][rng.gen_range(0..members[c2].len())];
+                if candidate != a {
+                    break candidate;
+                }
+            };
+            Interaction::new(a, b)
+        };
+        Some(interaction)
     }
 }
 

@@ -1,4 +1,4 @@
-//! Synthetic interaction-sequence generators ("workloads") for the DODA
+//! Synthetic interaction-stream generators ("workloads") for the DODA
 //! reproduction.
 //!
 //! The paper evaluates nothing on real traces — its results are stated
@@ -13,17 +13,26 @@
 //!    encounters), so the examples exercise the same code paths a real
 //!    deployment would — see DESIGN.md §2 for the substitution note.
 //!
-//! Every generator is deterministic given its seed, and produces a plain
-//! [`doda_core::InteractionSequence`] that any algorithm / oracle can
-//! consume.
+//! Every generator is **streaming-first**: [`Workload::source`] yields a
+//! seeded, infinite [`doda_core::InteractionSource`] that the engine pulls
+//! one interaction at a time, so sweeps run in `O(n)` memory at any
+//! horizon. [`Workload::generate`] and [`Workload::fill`] are thin
+//! defaults that drain the same source, which makes the streamed and
+//! materialised views of a workload identical **by construction**: element
+//! `t` of the stream is exactly `generate(len, seed).get(t)`.
 //!
 //! # Example
 //!
 //! ```
+//! use doda_core::InteractionSequence;
 //! use doda_workloads::{UniformWorkload, Workload};
 //!
 //! let workload = UniformWorkload::new(10);
+//! // Streaming view: no buffer, pull-based.
+//! let mut source = workload.source(42);
+//! // Materialised view: identical interactions, now in a buffer.
 //! let seq = workload.generate(500, 42);
+//! assert_eq!(seq, InteractionSequence::materialize(source.as_mut(), 500));
 //! assert_eq!(seq.len(), 500);
 //! assert_eq!(seq.node_count(), 10);
 //! ```
@@ -48,12 +57,16 @@ pub use uniform::UniformWorkload;
 pub use vehicular::VehicularWorkload;
 pub use zipf::ZipfWorkload;
 
-use doda_core::InteractionSequence;
+use doda_core::{InteractionSequence, InteractionSource};
 
-/// A generator of interaction sequences.
+/// A generator of interaction streams.
 ///
-/// Implementations are deterministic: the same `(len, seed)` always yields
-/// the same sequence.
+/// Implementations are deterministic: the same seed always yields the same
+/// stream, and the materialised views derived from it ([`generate`],
+/// [`fill`]) are prefixes of that stream.
+///
+/// [`generate`]: Workload::generate
+/// [`fill`]: Workload::fill
 pub trait Workload {
     /// Number of nodes in the generated dynamic graphs.
     fn node_count(&self) -> usize;
@@ -61,39 +74,59 @@ pub trait Workload {
     /// A short, human-readable name used in reports and benchmark labels.
     fn name(&self) -> &str;
 
-    /// Generates a sequence of exactly `len` interactions.
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence;
+    /// A seeded, infinite streaming source over this workload's
+    /// interaction stream. This is the primary generation API: the engine
+    /// pulls one interaction per step and nothing is buffered, so a trial
+    /// at horizon 10⁷ costs the same memory as one at horizon 10³.
+    ///
+    /// Determinism contract: for every `len > t`, the `t`-th interaction
+    /// produced by this source equals `generate(len, seed).get(t)`.
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send>;
+
+    /// Materialises a sequence of exactly `len` interactions — the prefix
+    /// of [`source`]`(seed)` of that length. Only needed by the knowledge
+    /// oracles (meetTime, futures, underlying graph), which must see the
+    /// future; everything else should stream.
+    ///
+    /// [`source`]: Workload::source
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        let mut seq = InteractionSequence::new(self.node_count());
+        self.fill(&mut seq, len, seed);
+        seq
+    }
 
     /// Fills `seq` with exactly the sequence `generate(len, seed)` would
-    /// return, reusing its allocation where possible.
-    ///
-    /// The default implementation simply replaces `seq`; generators on the
-    /// sweep hot path (e.g. [`UniformWorkload`]) override it to refill the
-    /// buffer in place, so a worker running thousands of trials keeps one
-    /// sequence allocation alive instead of allocating one per trial.
+    /// return, reusing its allocation. Sweep workers that must materialise
+    /// (knowledge-based algorithms) refill one scratch buffer across many
+    /// trials through this.
     fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
-        *seq = self.generate(len, seed);
+        seq.fill_from(self.source(seed).as_mut(), len);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use doda_core::sequence::AdversaryView;
+    use doda_graph::NodeId;
+
+    fn all_workloads(n: usize) -> Vec<Box<dyn Workload>> {
+        vec![
+            Box::new(UniformWorkload::new(n)),
+            Box::new(ZipfWorkload::new(n, 1.2)),
+            Box::new(CommunityWorkload::new(n, 2, 0.9)),
+            Box::new(BodyAreaWorkload::new(n)),
+            Box::new(VehicularWorkload::new(n, 3)),
+            Box::new(RoundRobinWorkload::all_pairs(n)),
+            Box::new(TreeRestrictedWorkload::random_tree(n)),
+        ]
+    }
 
     /// All workloads must produce valid, deterministic sequences of the
     /// requested length.
     #[test]
     fn all_workloads_produce_valid_deterministic_sequences() {
-        let workloads: Vec<Box<dyn Workload>> = vec![
-            Box::new(UniformWorkload::new(8)),
-            Box::new(ZipfWorkload::new(8, 1.2)),
-            Box::new(CommunityWorkload::new(8, 2, 0.9)),
-            Box::new(BodyAreaWorkload::new(8)),
-            Box::new(VehicularWorkload::new(8, 3)),
-            Box::new(RoundRobinWorkload::all_pairs(8)),
-            Box::new(TreeRestrictedWorkload::random_tree(8)),
-        ];
-        for w in &workloads {
+        for w in &all_workloads(8) {
             assert_eq!(w.node_count(), 8, "{}", w.name());
             let a = w.generate(300, 7);
             let b = w.generate(300, 7);
@@ -114,20 +147,59 @@ mod tests {
     /// when the target buffer held a stale sequence of a different shape.
     #[test]
     fn fill_matches_generate_for_all_workloads() {
-        let workloads: Vec<Box<dyn Workload>> = vec![
-            Box::new(UniformWorkload::new(8)),
-            Box::new(ZipfWorkload::new(8, 1.2)),
-            Box::new(CommunityWorkload::new(8, 2, 0.9)),
-            Box::new(BodyAreaWorkload::new(8)),
-            Box::new(VehicularWorkload::new(8, 3)),
-            Box::new(RoundRobinWorkload::all_pairs(8)),
-            Box::new(TreeRestrictedWorkload::random_tree(8)),
-        ];
-        for w in &workloads {
+        for w in &all_workloads(8) {
             // Stale scratch over a different node count and length.
             let mut scratch = UniformWorkload::new(5).generate(40, 0);
             w.fill(&mut scratch, 200, 11);
             assert_eq!(scratch, w.generate(200, 11), "{}", w.name());
+        }
+    }
+
+    /// The streaming contract: the source's stream and the materialised
+    /// sequence are the same object viewed two ways. This is what makes
+    /// streamed and materialised trial execution byte-identical.
+    #[test]
+    fn source_streams_exactly_what_generate_materializes() {
+        for w in &all_workloads(9) {
+            for seed in [0u64, 7, 0xD0DA] {
+                let seq = w.generate(400, seed);
+                let mut source = w.source(seed);
+                assert_eq!(source.node_count(), w.node_count(), "{}", w.name());
+                let owns = vec![true; w.node_count()];
+                let view = AdversaryView {
+                    owns_data: &owns,
+                    sink: NodeId(0),
+                };
+                for t in 0..400u64 {
+                    assert_eq!(
+                        source.next_interaction(t, &view),
+                        seq.get(t),
+                        "{} diverged at t={t}, seed={seed}",
+                        w.name()
+                    );
+                }
+            }
+        }
+    }
+
+    /// Workload sources never run dry: every generator models an endless
+    /// contact process.
+    #[test]
+    fn sources_are_infinite() {
+        for w in &all_workloads(6) {
+            let mut source = w.source(3);
+            let owns = vec![true; 6];
+            let view = AdversaryView {
+                owns_data: &owns,
+                sink: NodeId(0),
+            };
+            for t in 0..2_000u64 {
+                assert!(
+                    source.next_interaction(t, &view).is_some(),
+                    "{} ran dry at t={t}",
+                    w.name()
+                );
+            }
         }
     }
 }

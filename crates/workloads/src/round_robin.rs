@@ -6,7 +6,8 @@
 //! complete graph) is replayed cyclically, so every edge of the underlying
 //! graph recurs every `|edges|` steps.
 
-use doda_core::{Interaction, InteractionSequence};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::{AdjacencyGraph, NodeId};
 
 use crate::Workload;
@@ -64,13 +65,34 @@ impl Workload for RoundRobinWorkload {
         "round-robin"
     }
 
-    fn generate(&self, len: usize, _seed: u64) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.n);
-        for t in 0..len {
-            let (a, b) = self.edges[t % self.edges.len()];
-            seq.push(Interaction::new(a, b));
-        }
-        seq
+    fn source(&self, _seed: u64) -> Box<dyn InteractionSource + Send> {
+        Box::new(RoundRobinSource {
+            n: self.n,
+            edges: self.edges.clone(),
+            cursor: 0,
+        })
+    }
+}
+
+/// Streaming source behind [`RoundRobinWorkload`]: replays the edge list
+/// cyclically forever (every edge recurs infinitely often — the Theorem 4
+/// assumption).
+#[derive(Debug, Clone)]
+pub struct RoundRobinSource {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    cursor: usize,
+}
+
+impl InteractionSource for RoundRobinSource {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let (a, b) = self.edges[self.cursor];
+        self.cursor = (self.cursor + 1) % self.edges.len();
+        Some(Interaction::new(a, b))
     }
 }
 

@@ -6,9 +6,10 @@
 //! generated from the seed), each edge recurring throughout the sequence in
 //! a random order.
 
-use doda_core::{Interaction, InteractionSequence};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::{generators, AdjacencyGraph, NodeId};
-use doda_stats::rng::seeded_rng;
+use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
 use crate::Workload;
@@ -76,16 +77,33 @@ impl Workload for TreeRestrictedWorkload {
         "tree-restricted"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
         let tree = self.tree_for_seed(seed);
-        let edges: Vec<(NodeId, NodeId)> = tree.edges().map(|e| (e.a, e.b)).collect();
-        let mut rng = seeded_rng(seed);
-        let mut seq = InteractionSequence::new(self.n);
-        for _ in 0..len {
-            let (a, b) = edges[rng.gen_range(0..edges.len())];
-            seq.push(Interaction::new(a, b));
-        }
-        seq
+        Box::new(TreeRestrictedSource {
+            n: self.n,
+            edges: tree.edges().map(|e| (e.a, e.b)).collect(),
+            rng: seeded_rng(seed),
+        })
+    }
+}
+
+/// Streaming source behind [`TreeRestrictedWorkload`]: a uniformly random
+/// tree edge per step.
+#[derive(Debug, Clone)]
+pub struct TreeRestrictedSource {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    rng: DodaRng,
+}
+
+impl InteractionSource for TreeRestrictedSource {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let (a, b) = self.edges[self.rng.gen_range(0..self.edges.len())];
+        Some(Interaction::new(a, b))
     }
 }
 

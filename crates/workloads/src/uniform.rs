@@ -1,9 +1,9 @@
 //! Uniform random contacts — the paper's randomized adversary as a workload.
 
-use doda_core::InteractionSequence;
-use doda_core::{Interaction, Time};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
-use doda_stats::rng::seeded_rng;
+use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
 use crate::Workload;
@@ -37,25 +37,33 @@ impl Workload for UniformWorkload {
         "uniform"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.n);
-        self.fill(&mut seq, len, seed);
-        seq
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
+        Box::new(UniformSource {
+            n: self.n,
+            rng: seeded_rng(seed),
+        })
+    }
+}
+
+/// Streaming source behind [`UniformWorkload`]: one uniform pair per step.
+#[derive(Debug, Clone)]
+pub struct UniformSource {
+    n: usize,
+    rng: DodaRng,
+}
+
+impl InteractionSource for UniformSource {
+    fn node_count(&self) -> usize {
+        self.n
     }
 
-    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
-        let mut rng = seeded_rng(seed);
-        seq.reset(self.n);
-        seq.reserve(len);
-        for _ in 0..len {
-            let a = rng.gen_range(0..self.n);
-            let mut b = rng.gen_range(0..self.n - 1);
-            if b >= a {
-                b += 1;
-            }
-            seq.push(Interaction::new(NodeId(a), NodeId(b)));
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let a = self.rng.gen_range(0..self.n);
+        let mut b = self.rng.gen_range(0..self.n - 1);
+        if b >= a {
+            b += 1;
         }
-        let _: Time = 0;
+        Some(Interaction::new(NodeId(a), NodeId(b)))
     }
 }
 

@@ -8,7 +8,10 @@
 //! contact pattern characteristic of vehicular traces (repeated contacts
 //! while driving alongside, long silences otherwise).
 
-use doda_core::{Interaction, InteractionSequence};
+use std::collections::VecDeque;
+
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
 use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
@@ -58,15 +61,9 @@ impl Workload for VehicularWorkload {
         "vehicular"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.n);
-        self.fill(&mut seq, len, seed);
-        seq
-    }
-
-    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
         let mut rng = seeded_rng(seed);
-        let mut positions: Vec<(usize, usize)> = (0..self.n)
+        let positions: Vec<(usize, usize)> = (0..self.n)
             .map(|_| {
                 (
                     rng.gen_range(0..self.grid_side),
@@ -74,47 +71,75 @@ impl Workload for VehicularWorkload {
                 )
             })
             .collect();
-        seq.reset(self.n);
-        seq.reserve(len);
-        while seq.len() < len {
-            // Move every vehicle one step.
-            for pos in positions.iter_mut() {
-                *pos = self.step_position(*pos, &mut rng);
-            }
-            // Collect co-located pairs and emit them one per time step, in a
-            // random order, until the budget is reached.
-            let mut pairs: Vec<(usize, usize)> = Vec::new();
-            for a in 0..self.n {
-                for b in (a + 1)..self.n {
-                    if positions[a] == positions[b] {
-                        pairs.push((a, b));
-                    }
+        Box::new(VehicularSource {
+            workload: *self,
+            positions,
+            pending: VecDeque::new(),
+            rng,
+        })
+    }
+}
+
+/// Streaming source behind [`VehicularWorkload`].
+///
+/// Each mobility round produces a *burst* of co-located pairs; the source
+/// buffers the current round's burst (bounded by `n²/4` pairs, independent
+/// of the horizon) and emits it one interaction per step before simulating
+/// the next round.
+#[derive(Debug, Clone)]
+pub struct VehicularSource {
+    workload: VehicularWorkload,
+    positions: Vec<(usize, usize)>,
+    pending: VecDeque<Interaction>,
+    rng: DodaRng,
+}
+
+impl InteractionSource for VehicularSource {
+    fn node_count(&self) -> usize {
+        self.workload.n
+    }
+
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        if let Some(i) = self.pending.pop_front() {
+            return Some(i);
+        }
+        let n = self.workload.n;
+        // Move every vehicle one step.
+        for pos in self.positions.iter_mut() {
+            *pos = self.workload.step_position(*pos, &mut self.rng);
+        }
+        // Collect co-located pairs; they are emitted one per time step, in
+        // a random order.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for a in 0..n {
+            for b in (a + 1)..n {
+                if self.positions[a] == self.positions[b] {
+                    pairs.push((a, b));
                 }
-            }
-            // Fisher-Yates shuffle for an unbiased emission order.
-            for i in (1..pairs.len()).rev() {
-                let j = rng.gen_range(0..=i);
-                pairs.swap(i, j);
-            }
-            if pairs.is_empty() {
-                // Nobody is co-located this round: emit one random "roadside
-                // unit" style long-range contact so the sequence keeps the
-                // one-interaction-per-step structure of the model.
-                let a = rng.gen_range(0..self.n);
-                let mut b = rng.gen_range(0..self.n - 1);
-                if b >= a {
-                    b += 1;
-                }
-                seq.push(Interaction::new(NodeId(a), NodeId(b)));
-                continue;
-            }
-            for (a, b) in pairs {
-                if seq.len() >= len {
-                    break;
-                }
-                seq.push(Interaction::new(NodeId(a), NodeId(b)));
             }
         }
+        // Fisher-Yates shuffle for an unbiased emission order.
+        for i in (1..pairs.len()).rev() {
+            let j = self.rng.gen_range(0..=i);
+            pairs.swap(i, j);
+        }
+        if pairs.is_empty() {
+            // Nobody is co-located this round: emit one random "roadside
+            // unit" style long-range contact so the stream keeps the
+            // one-interaction-per-step structure of the model.
+            let a = self.rng.gen_range(0..n);
+            let mut b = self.rng.gen_range(0..n - 1);
+            if b >= a {
+                b += 1;
+            }
+            return Some(Interaction::new(NodeId(a), NodeId(b)));
+        }
+        self.pending.extend(
+            pairs
+                .iter()
+                .map(|&(a, b)| Interaction::new(NodeId(a), NodeId(b))),
+        );
+        self.pending.pop_front()
     }
 }
 

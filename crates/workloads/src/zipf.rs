@@ -1,8 +1,9 @@
 //! Zipf-popularity contacts.
 
-use doda_core::{Interaction, InteractionSequence};
+use doda_core::sequence::AdversaryView;
+use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
-use doda_stats::rng::seeded_rng;
+use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
 use crate::Workload;
@@ -52,32 +53,48 @@ impl Workload for ZipfWorkload {
         "zipf"
     }
 
-    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
-        let mut seq = InteractionSequence::new(self.n);
-        self.fill(&mut seq, len, seed);
-        seq
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
+        Box::new(ZipfSource {
+            cumulative: self.cumulative_weights(),
+            rng: seeded_rng(seed),
+        })
+    }
+}
+
+/// Streaming source behind [`ZipfWorkload`]: both endpoints drawn from the
+/// Zipf popularity distribution, redrawing the second until distinct.
+#[derive(Debug, Clone)]
+pub struct ZipfSource {
+    cumulative: Vec<f64>,
+    rng: DodaRng,
+}
+
+impl ZipfSource {
+    fn draw_node(&mut self) -> NodeId {
+        let total = *self.cumulative.last().expect("n >= 2");
+        let x: f64 = self.rng.gen_range(0.0..total);
+        NodeId(
+            self.cumulative
+                .partition_point(|&c| c <= x)
+                .min(self.cumulative.len() - 1),
+        )
+    }
+}
+
+impl InteractionSource for ZipfSource {
+    fn node_count(&self) -> usize {
+        self.cumulative.len()
     }
 
-    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
-        let mut rng = seeded_rng(seed);
-        let cumulative = self.cumulative_weights();
-        let total = *cumulative.last().expect("n >= 2");
-        let draw_node = |rng: &mut doda_stats::rng::DodaRng| {
-            let x: f64 = rng.gen_range(0.0..total);
-            NodeId(cumulative.partition_point(|&c| c <= x).min(self.n - 1))
+    fn next_interaction(&mut self, _t: Time, _view: &AdversaryView<'_>) -> Option<Interaction> {
+        let a = self.draw_node();
+        let b = loop {
+            let candidate = self.draw_node();
+            if candidate != a {
+                break candidate;
+            }
         };
-        seq.reset(self.n);
-        seq.reserve(len);
-        for _ in 0..len {
-            let a = draw_node(&mut rng);
-            let b = loop {
-                let candidate = draw_node(&mut rng);
-                if candidate != a {
-                    break candidate;
-                }
-            };
-            seq.push(Interaction::new(a, b));
-        }
+        Some(Interaction::new(a, b))
     }
 }
 

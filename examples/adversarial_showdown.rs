@@ -1,21 +1,24 @@
-//! Adversarial showdown: the impossibility constructions of Theorems 1–3.
+//! Adversarial showdown: the impossibility constructions of Theorems 1–3,
+//! plus the sweepable adversaries of the unified scenario registry.
 //!
 //! Runs the knowledge-free algorithms (and the spanning-tree algorithm,
-//! where applicable) against the paper's three adversarial constructions
-//! and shows that none of them can finish, even though an offline optimal
-//! schedule keeps existing (unbounded cost).
+//! where applicable) against the paper's adversarial constructions and
+//! shows that none of them can finish, even though an offline optimal
+//! schedule keeps existing (unbounded cost). All adversaries are streamed:
+//! the engine pulls one interaction at a time, and the adaptive ones react
+//! to the ownership state the algorithm leaves behind.
 //!
 //! ```text
 //! cargo run --release --example adversarial_showdown
 //! ```
 
-use doda::adversary::{AdaptiveTrap, CycleTrap, ObliviousTrap};
+use doda::adversary::{AdaptiveTrap, CycleTrap};
 use doda::core::convergecast;
 use doda::graph::NodeId;
 use doda::prelude::*;
 use doda::sim::table::Table;
 
-fn run_once<S: InteractionSource>(
+fn run_once<S: InteractionSource + ?Sized>(
     source: &mut S,
     mut algorithm: Box<dyn DodaAlgorithm>,
     sink: NodeId,
@@ -53,14 +56,13 @@ fn main() {
         ]);
     }
 
-    // Theorem 2 — oblivious star + ring trap.
-    let oblivious = ObliviousTrap::for_greedy_algorithms(16);
+    // Theorem 2 — oblivious star + ring trap, from the scenario registry.
     for algo in [
         Box::new(Waiting::new()) as Box<dyn DodaAlgorithm>,
         Box::new(Gathering::new()) as Box<dyn DodaAlgorithm>,
     ] {
-        let mut adversary = oblivious.adversary();
-        let (name, terminated) = run_once(&mut adversary, algo, ObliviousTrap::SINK, horizon);
+        let mut adversary = Scenario::ObliviousTrap.source(16, 0);
+        let (name, terminated) = run_once(adversary.as_mut(), algo, NodeId(0), horizon);
         table.push_row([
             "oblivious trap (Thm 2)".to_string(),
             name,
@@ -85,12 +87,50 @@ fn main() {
         ]);
     }
 
+    // The sweepable adaptive isolator (any n): starves Waiting forever,
+    // but lets an aggregating strategy push through.
+    for algo in [
+        Box::new(Waiting::new()) as Box<dyn DodaAlgorithm>,
+        Box::new(Gathering::new()) as Box<dyn DodaAlgorithm>,
+    ] {
+        let mut adversary = Scenario::AdaptiveIsolator.source(16, 0);
+        let (name, terminated) = run_once(adversary.as_mut(), algo, NodeId(0), horizon);
+        table.push_row([
+            "adaptive isolator (sweepable)".to_string(),
+            name,
+            terminated.to_string(),
+        ]);
+    }
+
     println!("Adversarial constructions, horizon = {horizon} interactions\n");
     println!("{}", table.to_markdown());
 
+    // Adaptive adversaries are first-class sweep scenarios: Monte-Carlo
+    // batches run streamed through the sharded runner.
+    let batch = BatchConfig {
+        n: 64,
+        trials: 16,
+        horizon: Some(100_000),
+        seed: 7,
+        parallel: true,
+    };
+    let raw = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator, &batch);
+    let completed = raw.iter().filter(|r| r.terminated()).count();
+    println!(
+        "\nSweeping the adaptive isolator (n = {}, {} trials, sharded + streamed):",
+        batch.n, batch.trials
+    );
+    println!(
+        "Gathering completed {completed}/{} trials, each with exactly n-1 = {} transmissions.",
+        batch.trials,
+        raw.first().map(|r| r.transmissions).unwrap_or(0),
+    );
+
     // The traps are not vacuous: convergecasts keep existing on what they play.
-    let seq = ObliviousTrap::for_greedy_algorithms(16).materialize(10_000);
-    let possible = convergecast::successive_convergecast_times(&seq, ObliviousTrap::SINK, 100);
+    let seq = Scenario::ObliviousTrap
+        .materialize(16, 10_000, 0)
+        .expect("oblivious scenarios materialise");
+    let possible = convergecast::successive_convergecast_times(&seq, NodeId(0), 100);
     println!(
         "\nOn the first 10,000 interactions of the Theorem 2 trap, {} successive optimal",
         possible.len()

@@ -1,5 +1,12 @@
-//! Quickstart: run every algorithm of the paper on one random dynamic graph
-//! and print how long each took, together with the paper's cost measure.
+//! Quickstart: run every algorithm of the paper on the uniform randomized
+//! adversary and print how long each took, together with the paper's cost
+//! measure.
+//!
+//! Streaming is the default execution path: knowledge-free algorithms pull
+//! interactions straight from the seeded scenario source (`O(n)` memory at
+//! any horizon). Only the knowledge-based algorithms materialise the
+//! adversary's sequence — their oracles (`meetTime`, underlying graph,
+//! futures, full sequence) are functions of the future.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,42 +16,63 @@ use doda::core::cost::cost_of_duration;
 use doda::graph::NodeId;
 use doda::prelude::*;
 use doda::sim::table::Table;
-use doda::workloads::UniformWorkload;
+use doda::sim::Scenario;
 
 fn main() {
     let n = 32;
     let sink = NodeId(0);
     let seed = 2016; // ICDCS 2016
+    let horizon = 8 * n * n;
+    let scenario = Scenario::Uniform;
     println!("Distributed online data aggregation over a random dynamic graph");
-    println!("n = {n} nodes, sink = {sink}, uniform randomized adversary, seed = {seed}\n");
+    println!("n = {n} nodes, sink = {sink}, scenario = {scenario}, seed = {seed}\n");
 
-    // The adversary commits to a (long enough) sequence of pairwise
-    // interactions; knowledge-based algorithms derive their oracles from it.
-    let sequence = UniformWorkload::new(n).generate(8 * n * n, seed);
+    // The bridge for the knowledge-based algorithms: commit the adversary
+    // to a finite sequence so their oracles can be built. The streamed
+    // path below replays the *same* stream without this buffer.
+    let sequence = scenario
+        .materialize(n, horizon, seed)
+        .expect("the uniform scenario is not adaptive");
 
     let mut table = Table::new([
         "algorithm",
         "knowledge",
+        "mode",
         "terminated",
         "interactions",
         "cost (successive convergecasts)",
     ]);
 
     for spec in AlgorithmSpec::all() {
-        let Some(mut algorithm) = spec.instantiate(&sequence, sink) else {
-            continue;
+        let (mode, outcome) = if let Some(mut algorithm) = spec.instantiate_online() {
+            // Knowledge-free: stream straight off the adversary.
+            let outcome = engine::run_with_id_sets(
+                algorithm.as_mut(),
+                scenario.source(n, seed).as_mut(),
+                sink,
+                EngineConfig::with_max_interactions(horizon as u64),
+            )
+            .expect("algorithms only emit valid decisions");
+            ("streamed", outcome)
+        } else {
+            // Knowledge-based: build the oracles from the committed sequence.
+            let Some(mut algorithm) = spec.instantiate(&sequence, sink) else {
+                continue;
+            };
+            let outcome = engine::run_with_id_sets(
+                algorithm.as_mut(),
+                &mut sequence.stream(false),
+                sink,
+                EngineConfig::default(),
+            )
+            .expect("algorithms only emit valid decisions");
+            ("materialized", outcome)
         };
-        let outcome = engine::run_with_id_sets(
-            algorithm.as_mut(),
-            &mut sequence.source(false),
-            sink,
-            EngineConfig::default(),
-        )
-        .expect("algorithms only emit valid decisions");
         let cost = cost_of_duration(&sequence, sink, outcome.termination_time, 256);
         table.push_row([
             spec.to_string(),
             spec.knowledge().to_string(),
+            mode.to_string(),
             outcome.terminated().to_string(),
             outcome
                 .termination_time

@@ -12,20 +12,22 @@
 //! | [`core`] | the paper's model, algorithms, convergecast and cost (`doda-core`) |
 //! | [`adversary`] | oblivious / adaptive / randomized adversaries (`doda-adversary`) |
 //! | [`workloads`] | synthetic interaction-sequence generators (`doda-workloads`) |
-//! | [`sim`] | trial runner, batches, tables (`doda-sim`) |
-//! | [`analysis`] | scaling studies and the E1–E12 experiment harness (`doda-analysis`) |
+//! | [`sim`] | trial runner, batches, the scenario registry, tables (`doda-sim`) |
+//! | [`analysis`] | scaling studies and the E1–E13 experiment harness (`doda-analysis`) |
+//!
+//! Streaming is the default execution path — the engine pulls one
+//! interaction per step from a seeded [`sim::Scenario`] source:
 //!
 //! ```
-//! use doda::prelude::*;
 //! use doda::graph::NodeId;
+//! use doda::prelude::*;
 //!
-//! let seq = InteractionSequence::from_pairs(3, vec![(1, 2), (0, 1)]);
 //! let mut algo = Gathering::new();
 //! let outcome = engine::run_with_id_sets(
 //!     &mut algo,
-//!     &mut seq.source(false),
+//!     Scenario::Uniform.source(8, 42).as_mut(),
 //!     NodeId(0),
-//!     EngineConfig::default(),
+//!     EngineConfig::sweep(10_000),
 //! )?;
 //! assert!(outcome.terminated());
 //! # Ok::<(), doda::core::error::EngineError>(())

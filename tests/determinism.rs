@@ -51,3 +51,70 @@ fn different_seeds_produce_different_batches() {
     let b = run_batch_detailed(AlgorithmSpec::Gathering, &config(10, 6, 2, true));
     assert_ne!(a.1, b.1, "distinct seeds must draw distinct sequences");
 }
+
+/// The streamed sharded runner: every registry scenario (including the
+/// adversaries) must produce byte-identical raw results serially and in
+/// parallel, for both streamed and materialising algorithms.
+#[test]
+fn scenario_batches_are_serial_parallel_identical() {
+    for scenario in Scenario::registry() {
+        let n = scenario.min_nodes().max(10);
+        for spec in [
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::Waiting,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+        ] {
+            if !scenario.supports(spec) {
+                continue;
+            }
+            let cfg = BatchConfig {
+                n,
+                trials: 7,
+                horizon: Some(3_000),
+                seed: 0xD0DA,
+                parallel: false,
+            };
+            let serial = run_scenario_trials(spec, scenario, &cfg);
+            let parallel = run_scenario_trials(
+                spec,
+                scenario,
+                &BatchConfig {
+                    parallel: true,
+                    ..cfg
+                },
+            );
+            assert_eq!(
+                serial, parallel,
+                "{spec} diverged between serial and parallel on scenario '{scenario}'"
+            );
+            assert_eq!(serial.len(), 7);
+        }
+    }
+}
+
+/// Adaptive adversaries run through the sharded runner as first-class
+/// streamed scenarios, deterministically (the acceptance criterion of the
+/// streaming-first refactor).
+#[test]
+fn adaptive_scenarios_shard_deterministically() {
+    let cfg = BatchConfig {
+        n: 24,
+        trials: 9,
+        horizon: Some(10_000),
+        seed: 3,
+        parallel: false,
+    };
+    let serial = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator, &cfg);
+    let parallel = run_scenario_trials(
+        AlgorithmSpec::Gathering,
+        Scenario::AdaptiveIsolator,
+        &BatchConfig {
+            parallel: true,
+            ..cfg
+        },
+    );
+    assert_eq!(serial, parallel);
+    assert!(serial
+        .iter()
+        .all(|r| r.terminated() && r.data_conserved && r.transmissions == 23));
+}

@@ -1,7 +1,7 @@
 //! Offline stand-in for the subset of `proptest` used by this workspace.
 //!
 //! Provides the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros, a
-//! [`Strategy`] trait with `prop_map`, range and tuple strategies, and
+//! [`Strategy`](strategy::Strategy) trait with `prop_map`, range and tuple strategies, and
 //! `prop::collection::vec`, all driven by a deterministic SplitMix64 stream
 //! seeded from the test name. Unlike the real `proptest` there is no
 //! shrinking: a failing case panics with the generated inputs so it can be
