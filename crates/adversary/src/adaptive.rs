@@ -137,6 +137,116 @@ impl InteractionSource for IsolatorAdversary {
     }
 }
 
+/// The crash-aware online adaptive adversary: it targets the **current
+/// owner set** and never lets anyone reach the sink.
+///
+/// Like [`IsolatorAdversary`] it pairs the two smallest-id non-sink
+/// owners while at least two exist (same `O(1)` amortised cached-pair
+/// revalidation), but it has no endgame release: once a single non-sink
+/// owner remains, it pairs that owner with the smallest-id non-owner
+/// non-sink node — a wasted contact — forever. Against a fault-free
+/// execution this starves *every* knowledge-free algorithm (Gathering
+/// included, unlike the plain isolator). Layered under a crash fault
+/// plan it is the worst case the fault model opens up: the adversary
+/// keeps data away from the sink so that crashes, not transmissions,
+/// decide each datum's fate — exactly the regime where survivor-only
+/// completion appears.
+///
+/// The ownership view already reflects crashes and churn (dead nodes own
+/// nothing), so the cached-pair revalidation reacts to fault events for
+/// free: an isolation pair is reissued only while both endpoints still
+/// own data, a wasted pair only while its owner endpoint still owns and
+/// its dud still does not — so the endgame stays `O(1)` amortised too,
+/// rescanning only when ownership actually changes.
+///
+/// Deterministic and seed-independent; needs `n ≥ 3` so a wasted pair
+/// avoiding the sink always exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashAwareIsolator {
+    n: usize,
+    cached: Option<(NodeId, NodeId)>,
+    /// `true` when `cached` is an owner + dud wasted pair (validated as
+    /// owner-still-owns / dud-still-does-not) rather than an isolation
+    /// pair of two owners.
+    cached_wasted: bool,
+}
+
+impl CrashAwareIsolator {
+    /// Creates the adversary over `n ≥ 3` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (with only the sink and one other node, every
+    /// pair would touch the sink).
+    pub fn new(n: usize) -> Self {
+        assert!(
+            n >= 3,
+            "the crash-aware isolator needs at least 3 nodes, got {n}"
+        );
+        CrashAwareIsolator {
+            n,
+            cached: None,
+            cached_wasted: false,
+        }
+    }
+}
+
+impl InteractionSource for CrashAwareIsolator {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction> {
+        if t == 0 {
+            self.cached = None;
+            self.cached_wasted = false;
+        }
+        // Fast path: the issued pair is unchanged while the ownership
+        // picture it was built on still holds — both endpoints owning for
+        // an isolation pair; owner-still-owns and dud-still-does-not for
+        // a wasted pair (an arrival giving the dud fresh data, or a fault
+        // taking the owner, forces a rescan).
+        if let Some((a, b)) = self.cached {
+            let still_valid = if self.cached_wasted {
+                view.owns(a) && !view.owns(b)
+            } else {
+                view.owns(a) && view.owns(b)
+            };
+            if still_valid {
+                return Some(Interaction::new(a, b));
+            }
+        }
+        // Rescan: the two smallest-id non-sink owners, or owner + dud.
+        let mut first_owner = None;
+        let mut first_dud = None;
+        for i in 0..self.n {
+            let v = NodeId(i);
+            if v == view.sink {
+                continue;
+            }
+            if view.owns(v) {
+                match first_owner {
+                    None => first_owner = Some(v),
+                    Some(a) => {
+                        self.cached = Some((a, v));
+                        self.cached_wasted = false;
+                        return Some(Interaction::new(a, v));
+                    }
+                }
+            } else if first_dud.is_none() {
+                first_dud = Some(v);
+            }
+        }
+        // At most one non-sink owner left: waste the step on a pair that
+        // never touches the sink. (With n ≥ 3 a dud always exists here.)
+        let last = first_owner?;
+        let dud = first_dud?;
+        self.cached = Some((last, dud));
+        self.cached_wasted = true;
+        Some(Interaction::new(last, dud))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +344,111 @@ mod tests {
     #[should_panic(expected = "at least 2 nodes")]
     fn isolator_rejects_tiny_graphs() {
         let _ = IsolatorAdversary::new(1);
+    }
+
+    #[test]
+    fn crash_aware_isolator_starves_even_gathering() {
+        for n in [3usize, 8, 16] {
+            for spec_name in ["waiting", "gathering"] {
+                let mut adversary = CrashAwareIsolator::new(n);
+                let outcome = if spec_name == "waiting" {
+                    engine::run_with_id_sets(
+                        &mut Waiting::new(),
+                        &mut adversary,
+                        NodeId(0),
+                        EngineConfig::sweep(5_000),
+                    )
+                } else {
+                    engine::run_with_id_sets(
+                        &mut Gathering::new(),
+                        &mut adversary,
+                        NodeId(0),
+                        EngineConfig::sweep(5_000),
+                    )
+                }
+                .unwrap();
+                assert!(
+                    !outcome.terminated(),
+                    "{spec_name} must starve forever at n = {n}"
+                );
+                assert_eq!(outcome.interactions_processed, 5_000);
+                // No transmission ever reaches the sink.
+                assert_eq!(outcome.sink_data.as_ref().unwrap().len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn crash_aware_isolator_never_touches_the_sink() {
+        // Drive the adversary against Gathering by hand and record every
+        // emitted pair: none may involve the sink, before or after the
+        // owner set collapses to a single node.
+        let n = 10;
+        let sink = NodeId(3);
+        let mut adversary = CrashAwareIsolator::new(n);
+        let mut algo = Gathering::new();
+        let mut owns = vec![true; n];
+        for t in 0..2_000u64 {
+            let view = AdversaryView {
+                owns_data: &owns,
+                sink,
+            };
+            let interaction = adversary.next_interaction(t, &view).expect("never dry");
+            assert!(
+                !interaction.involves(sink),
+                "pair {interaction} touches the sink at t = {t}"
+            );
+            let ctx = InteractionContext {
+                time: t,
+                interaction,
+                min_owns_data: owns[interaction.min().index()],
+                max_owns_data: owns[interaction.max().index()],
+                sink,
+            };
+            if let Decision::Transmit { sender, .. } = algo.decide(&ctx) {
+                if ctx.both_own_data() && sender != sink {
+                    owns[sender.index()] = false;
+                }
+            }
+        }
+        // Gathering collapsed everything into one non-sink owner.
+        let owners = owns.iter().filter(|&&b| b).count();
+        assert_eq!(owners, 2, "sink plus the single surviving owner");
+    }
+
+    #[test]
+    fn crash_aware_isolator_reacts_to_external_ownership_loss() {
+        // Simulate fault-driven ownership loss (as a crash plan would
+        // produce): whenever the adversary's cached pair loses a member,
+        // the rescan must still avoid the sink and target live owners.
+        let n = 6;
+        let mut adversary = CrashAwareIsolator::new(n);
+        let mut owns = vec![true; n];
+        let sink = NodeId(0);
+        for t in 0..5u64 {
+            let view = AdversaryView {
+                owns_data: &owns,
+                sink,
+            };
+            let interaction = adversary.next_interaction(t, &view).unwrap();
+            assert!(!interaction.involves(sink));
+            // Kill the smaller endpoint, as a crash fault would.
+            owns[interaction.min().index()] = false;
+        }
+        // Everyone but the sink and one node is gone; the wasted pair
+        // still avoids the sink.
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink,
+        };
+        let last = adversary.next_interaction(5, &view).unwrap();
+        assert!(!last.involves(sink));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 nodes")]
+    fn crash_aware_isolator_rejects_tiny_graphs() {
+        let _ = CrashAwareIsolator::new(2);
     }
 
     #[test]

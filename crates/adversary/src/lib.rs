@@ -46,7 +46,7 @@ pub mod nonuniform;
 pub mod oblivious;
 pub mod randomized;
 
-pub use adaptive::{AdaptiveAdversary, IsolatorAdversary};
+pub use adaptive::{AdaptiveAdversary, CrashAwareIsolator, IsolatorAdversary};
 pub use constructions::{AdaptiveTrap, CycleTrap, ObliviousTrap};
 pub use nonuniform::WeightedRandomAdversary;
 pub use oblivious::ObliviousAdversary;

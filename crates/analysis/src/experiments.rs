@@ -1,4 +1,4 @@
-//! The per-theorem experiment index (E1–E13).
+//! The per-theorem experiment index (E1–E14).
 //!
 //! Each function reproduces one result of the paper as a finite-`n`
 //! experiment and returns an [`ExperimentReport`] comparing the paper's
@@ -609,8 +609,100 @@ pub fn e13_adaptive_sweep(effort: Effort) -> ExperimentReport {
     )
 }
 
+/// E14 — beyond the paper: completion-rate and transmission-cost
+/// degradation of Waiting / Gathering / WaitingGreedy as the crash
+/// probability grows. The paper's model assumes a fixed, fault-free
+/// population; the fault axis ([`doda_sim::FaultedScenario`]) measures
+/// how gracefully each strategy loses data when nodes crash mid-run:
+/// fault-free runs aggregate everything, crash plans push trials into
+/// survivors-only completion (the sink finishes, but over fewer data and
+/// with fewer transmissions), and data conservation holds throughout.
+pub fn e14_fault_degradation(effort: Effort) -> ExperimentReport {
+    use doda_core::fault::FaultProfile;
+
+    let (n, trials, ps) = match effort {
+        Effort::Quick => (16usize, 8usize, vec![0.0, 0.002, 0.01]),
+        Effort::Full => (64, 32, vec![0.0, 0.0005, 0.002, 0.01]),
+    };
+    let specs = [
+        AlgorithmSpec::Waiting,
+        AlgorithmSpec::Gathering,
+        AlgorithmSpec::WaitingGreedy { tau: None },
+    ];
+    let mut passed = true;
+    let mut lines = Vec::new();
+    for spec in specs {
+        let mut full_rates = Vec::new();
+        let mut mean_transmissions = Vec::new();
+        for &p in &ps {
+            let scenario = if p > 0.0 {
+                Scenario::Uniform.with_faults(FaultProfile::crash(p))
+            } else {
+                Scenario::Uniform.into()
+            };
+            let config = BatchConfig {
+                n,
+                trials,
+                horizon: None,
+                seed: 0xE14,
+                parallel: false,
+            };
+            let raw = run_scenario_trials(spec, scenario, &config);
+            // Conservation must hold on every terminated trial, faulted
+            // or not.
+            if raw.iter().any(|r| r.terminated() && !r.data_conserved) {
+                passed = false;
+            }
+            let full = raw.iter().filter(|r| r.fully_aggregated()).count();
+            let terminated: Vec<_> = raw.iter().filter(|r| r.terminated()).collect();
+            let mean_tx = terminated
+                .iter()
+                .map(|r| r.transmissions as f64)
+                .sum::<f64>()
+                / terminated.len().max(1) as f64;
+            full_rates.push(full as f64 / trials as f64);
+            mean_transmissions.push(mean_tx);
+        }
+        // Fault-free sweeps aggregate everything...
+        if full_rates[0] < 1.0 {
+            passed = false;
+        }
+        // ...and crashes must cost completeness at the heaviest plan,
+        // with fewer transmissions (lost data never transmits).
+        let last = full_rates.len() - 1;
+        if full_rates[last] >= 1.0 || mean_transmissions[last] >= mean_transmissions[0] {
+            passed = false;
+        }
+        // Degradation is monotone (never *gaining* completeness from
+        // more crashes).
+        if full_rates.windows(2).any(|w| w[1] > w[0]) {
+            passed = false;
+        }
+        lines.push(format!(
+            "{spec}: full-aggregation rate {} | mean transmissions {}",
+            full_rates
+                .iter()
+                .map(|r| format!("{:.2}", r))
+                .collect::<Vec<_>>()
+                .join(" → "),
+            mean_transmissions
+                .iter()
+                .map(|t| format!("{:.1}", t))
+                .collect::<Vec<_>>()
+                .join(" → "),
+        ));
+    }
+    report(
+        "E14",
+        "Crash faults degrade completion gracefully (fault axis)",
+        "Beyond the paper: under crash probability p per step, the sink still terminates but aggregates survivors only — completion degrades monotonically with p, transmissions shrink, and no datum is ever unaccounted for",
+        format!("n = {n}, {trials} trials, p ∈ {ps:?}: {}", lines.join(" ; ")),
+        passed,
+    )
+}
+
 /// Runs every experiment at the given effort and returns the reports in
-/// order E1–E13.
+/// order E1–E14.
 pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
     vec![
         e1_adaptive_adversary(effort),
@@ -626,6 +718,7 @@ pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
         e11_meettime_optimality(effort),
         e12_cost_function(effort),
         e13_adaptive_sweep(effort),
+        e14_fault_degradation(effort),
     ]
 }
 
@@ -699,6 +792,12 @@ mod tests {
     fn adaptive_sweep_experiment_passes() {
         let e13 = e13_adaptive_sweep(Effort::Quick);
         assert!(e13.passed, "{e13:?}");
+    }
+
+    #[test]
+    fn fault_degradation_experiment_passes() {
+        let e14 = e14_fault_degradation(Effort::Quick);
+        assert!(e14.passed, "{e14:?}");
     }
 
     #[test]

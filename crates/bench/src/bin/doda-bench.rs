@@ -14,6 +14,7 @@
 //! doda-bench --validate FILE.json    # schema-check an artifact
 //! doda-bench --compare-runners       # sharded vs mutex runner speedup
 //! doda-bench --stream-guard          # 10^7-interaction streamed sweeps
+//! doda-bench --fault-guard           # 10^6-interaction faulted sweeps
 //! ```
 
 use std::path::PathBuf;
@@ -22,6 +23,7 @@ use std::time::Instant;
 
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
+use doda_core::fault::FaultProfile;
 use doda_sim::runner::{
     run_batch_detailed, run_batch_mutex_detailed, run_scenario_trials, BatchConfig,
 };
@@ -33,6 +35,7 @@ struct Args {
     validate: Vec<PathBuf>,
     compare_runners: bool,
     stream_guard: bool,
+    fault_guard: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -42,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         validate: Vec::new(),
         compare_runners: false,
         stream_guard: false,
+        fault_guard: false,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -65,10 +69,12 @@ fn parse_args() -> Result<Args, String> {
             }
             "--compare-runners" => args.compare_runners = true,
             "--stream-guard" => args.stream_guard = true,
+            "--fault-guard" => args.fault_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
-                     | --validate FILE... | --compare-runners | --stream-guard"
+                     | --validate FILE... | --compare-runners | --stream-guard \
+                     | --fault-guard"
                 );
                 std::process::exit(0);
             }
@@ -80,11 +86,12 @@ fn parse_args() -> Result<Args, String> {
     let modes = usize::from(grid_requested)
         + usize::from(!args.validate.is_empty())
         + usize::from(args.compare_runners)
-        + usize::from(args.stream_guard);
+        + usize::from(args.stream_guard)
+        + usize::from(args.fault_guard);
     if modes > 1 {
         return Err(
-            "--smoke/--baseline, --validate, --compare-runners and --stream-guard \
-             are mutually exclusive"
+            "--smoke/--baseline, --validate, --compare-runners, --stream-guard and \
+             --fault-guard are mutually exclusive"
                 .to_string(),
         );
     }
@@ -219,6 +226,83 @@ fn stream_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// Guards the fault layer's streaming and survivor-completion claims with
+/// two long-horizon faulted runs at `horizon = 10^6`:
+///
+/// 1. `Waiting` vs the crash-aware isolator under a lossy plan at
+///    `n = 128`: the adversary never releases anyone to the sink, so the
+///    engine processes the full faulted horizon streamed — proving the
+///    fault adapter adds no horizon-sized buffer (`O(n)` memory);
+/// 2. `Gathering` vs `uniform+crash` at the same `n`: every trial must
+///    terminate, with a nonzero number of survivor-only completions
+///    (crashes genuinely cost data) and data conservation intact.
+fn fault_guard() -> Result<(), String> {
+    const HORIZON: usize = 1_000_000;
+    const N: usize = 128;
+
+    let starvation = Scenario::CrashAwareIsolator.with_faults(FaultProfile::lossy(0.25));
+    let config = BatchConfig {
+        n: N,
+        trials: 1,
+        horizon: Some(HORIZON),
+        seed: 0xD0DA,
+        parallel: false,
+    };
+    let t0 = Instant::now();
+    let starved = run_scenario_trials(AlgorithmSpec::Waiting, starvation, &config);
+    let starved_secs = t0.elapsed().as_secs_f64();
+    let starved = &starved[0];
+    if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
+        return Err(format!(
+            "faulted starvation run should process exactly {HORIZON} steps without \
+             terminating, got {} (terminated: {})",
+            starved.interactions_processed,
+            starved.terminated()
+        ));
+    }
+    if starved.faults.lost_interactions == 0 {
+        return Err("a 25% loss plan must drop interactions over 10^6 steps".to_string());
+    }
+    println!(
+        "fault-guard: Waiting vs crash-aware-isolator+loss(0.25), n = {N}, horizon = \
+         {HORIZON}: processed {} steps ({} lost) in {starved_secs:.2} s ({:.0} i/s), O(n) memory",
+        starved.interactions_processed,
+        starved.faults.lost_interactions,
+        starved.interactions_processed as f64 / starved_secs.max(1e-9),
+    );
+
+    let crashing = Scenario::Uniform.with_faults(FaultProfile::crash(0.001));
+    let config = BatchConfig {
+        n: N,
+        trials: 8,
+        horizon: None,
+        seed: 0xD0DA,
+        parallel: false,
+    };
+    let t1 = Instant::now();
+    let trials = run_scenario_trials(AlgorithmSpec::Gathering, crashing, &config);
+    let crash_secs = t1.elapsed().as_secs_f64();
+    if !trials.iter().all(|r| r.terminated() && r.data_conserved) {
+        return Err(
+            "every uniform+crash Gathering trial must terminate with data conserved".to_string(),
+        );
+    }
+    let survivors = trials.iter().filter(|r| !r.fully_aggregated()).count();
+    if survivors == 0 {
+        return Err(
+            "a 0.1% crash plan over n = 128 must produce survivor-only completions".to_string(),
+        );
+    }
+    let crashes: u64 = trials.iter().map(|r| r.faults.crashes).sum();
+    println!(
+        "fault-guard: Gathering vs uniform+crash(0.001), n = {N}, {} trials: all terminated \
+         and conserved data, {survivors} survivor-only completions, {crashes} crashes, \
+         {crash_secs:.2} s",
+        trials.len(),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -253,6 +337,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: stream guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.fault_guard {
+        return match fault_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: fault guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

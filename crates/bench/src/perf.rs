@@ -15,8 +15,9 @@
 
 use std::time::Instant;
 
+use doda_core::fault::FaultProfile;
 use doda_sim::runner::{run_scenario_trials, BatchConfig};
-use doda_sim::{AlgorithmSpec, Scenario};
+use doda_sim::{AlgorithmSpec, FaultedScenario, Scenario};
 use doda_stats::Summary;
 
 use crate::json::{pretty, Json};
@@ -24,8 +25,11 @@ use crate::json::{pretty, Json};
 /// Version of the `BENCH_*.json` schema emitted by [`PerfReport::to_json`].
 ///
 /// Version history: 1 = workload-only grids; 2 = unified scenario grids
-/// with the per-cell `"mode"` (`"streamed" | "materialized"`) field.
-pub const SCHEMA_VERSION: u64 = 2;
+/// with the per-cell `"mode"` (`"streamed" | "materialized"`) field;
+/// 3 = fault-model grids with the per-cell `"fault_profile"` column and
+/// the `"aggregated"` / `"aggregated_survivors"` completion split
+/// (`completed = aggregated + aggregated_survivors`).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// A pinned perf grid: the cells plus the execution parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,8 +44,10 @@ pub struct PerfGrid {
     pub seed: u64,
     /// Algorithms of the grid.
     pub algorithms: Vec<AlgorithmSpec>,
-    /// Scenarios of the grid (workloads and adversaries alike).
-    pub scenarios: Vec<Scenario>,
+    /// Scenarios of the grid: workloads and adversaries alike, each
+    /// optionally carrying a fault plan (plain [`Scenario`]s convert via
+    /// `.into()`).
+    pub scenarios: Vec<FaultedScenario>,
     /// Whether cells run their trials through the sharded parallel runner.
     pub parallel: bool,
 }
@@ -56,9 +62,10 @@ impl PerfGrid {
             seed: 0xD0DA,
             algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
             scenarios: vec![
-                Scenario::Uniform,
-                Scenario::Zipf { exponent: 1.2 },
-                Scenario::AdaptiveIsolator,
+                Scenario::Uniform.into(),
+                Scenario::Zipf { exponent: 1.2 }.into(),
+                Scenario::AdaptiveIsolator.into(),
+                Scenario::Uniform.with_faults(FaultProfile::crash(0.002)),
             ],
             parallel: true,
         }
@@ -66,8 +73,9 @@ impl PerfGrid {
 
     /// The committed perf-trajectory grid (`doda-bench --baseline`):
     /// online algorithms × {uniform, zipf, vehicular, oblivious-trap,
-    /// adaptive-isolator} × n ∈ {32, 128, 512}. Adaptive cells are skipped
-    /// for algorithms that require materialisation.
+    /// adaptive-isolator, uniform+crash, vehicular+churn} ×
+    /// n ∈ {32, 128, 512}. Adaptive cells are skipped for algorithms that
+    /// require materialisation.
     pub fn baseline() -> PerfGrid {
         PerfGrid {
             name: "baseline".to_string(),
@@ -80,11 +88,13 @@ impl PerfGrid {
                 AlgorithmSpec::WaitingGreedy { tau: None },
             ],
             scenarios: vec![
-                Scenario::Uniform,
-                Scenario::Zipf { exponent: 1.2 },
-                Scenario::Vehicular,
-                Scenario::ObliviousTrap,
-                Scenario::AdaptiveIsolator,
+                Scenario::Uniform.into(),
+                Scenario::Zipf { exponent: 1.2 }.into(),
+                Scenario::Vehicular.into(),
+                Scenario::ObliviousTrap.into(),
+                Scenario::AdaptiveIsolator.into(),
+                Scenario::Uniform.with_faults(FaultProfile::crash(0.002)),
+                Scenario::Vehicular.with_faults(FaultProfile::churn(0.002, 0.004)),
             ],
             parallel: true,
         }
@@ -123,6 +133,9 @@ pub struct CellResult {
     /// Scenario label (kept under the `workload` key in the JSON for
     /// trajectory continuity).
     pub workload: String,
+    /// The fault plan label of the cell's scenario (`"none"` when
+    /// fault-free).
+    pub fault_profile: String,
     /// Execution mode: `"streamed"` (knowledge-free, `O(n)` memory) or
     /// `"materialized"` (oracle construction forced sequence generation).
     pub mode: &'static str,
@@ -130,8 +143,14 @@ pub struct CellResult {
     pub n: usize,
     /// Trials run.
     pub trials: usize,
-    /// Trials that completed the aggregation within the horizon.
+    /// Trials that completed the aggregation within the horizon
+    /// (`aggregated + aggregated_survivors`).
     pub completed: usize,
+    /// Trials in which the sink aggregated every datum introduced.
+    pub aggregated: usize,
+    /// Trials that terminated over the survivors only (some data lost to
+    /// faults first); always 0 for fault-free cells.
+    pub aggregated_survivors: usize,
     /// `completed / trials`.
     pub completion_rate: f64,
     /// Mean interactions to completion over completed trials (`None` when
@@ -178,10 +197,16 @@ impl PerfReport {
                 Json::Object(vec![
                     ("algorithm".to_string(), Json::str(&cell.algorithm)),
                     ("workload".to_string(), Json::str(&cell.workload)),
+                    ("fault_profile".to_string(), Json::str(&cell.fault_profile)),
                     ("mode".to_string(), Json::str(cell.mode)),
                     ("n".to_string(), Json::Uint(cell.n as u64)),
                     ("trials".to_string(), Json::Uint(cell.trials as u64)),
                     ("completed".to_string(), Json::Uint(cell.completed as u64)),
+                    ("aggregated".to_string(), Json::Uint(cell.aggregated as u64)),
+                    (
+                        "aggregated_survivors".to_string(),
+                        Json::Uint(cell.aggregated_survivors as u64),
+                    ),
                     (
                         "completion_rate".to_string(),
                         Json::Num(cell.completion_rate),
@@ -244,7 +269,7 @@ pub fn run_grid(grid: &PerfGrid) -> PerfReport {
 fn run_cell(
     grid: &PerfGrid,
     spec: AlgorithmSpec,
-    scenario: Scenario,
+    scenario: FaultedScenario,
     n: usize,
     cell_index: u64,
 ) -> CellResult {
@@ -264,14 +289,18 @@ fn run_cell(
         .iter()
         .filter_map(|r| r.interactions_to_completion())
         .collect();
+    let aggregated = raw.iter().filter(|r| r.fully_aggregated()).count();
     let total_interactions: u64 = raw.iter().map(|r| r.interactions_processed).sum();
     CellResult {
         algorithm: spec.label().to_string(),
-        workload: scenario.name().to_string(),
+        workload: scenario.base.name().to_string(),
+        fault_profile: scenario.fault_label(),
         mode: mode_of(spec),
         n,
         trials: raw.len(),
         completed: completions.len(),
+        aggregated,
+        aggregated_survivors: completions.len() - aggregated,
         completion_rate: completions.len() as f64 / raw.len().max(1) as f64,
         mean_interactions: Summary::from_values(&completions).map(|s| s.mean),
         total_interactions,
@@ -298,8 +327,9 @@ pub fn git_rev() -> String {
 /// # Errors
 ///
 /// Returns a description of the first violation: missing or mistyped
-/// field, wrong schema version, empty results, invalid mode, or
-/// out-of-range rate.
+/// field, wrong schema version, empty results, invalid mode, an
+/// out-of-range rate, or a completion split that does not add up
+/// (`aggregated + aggregated_survivors != completed`).
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let version = doc
         .get("schema_version")
@@ -328,7 +358,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         return Err("results must not be empty".to_string());
     }
     for (i, cell) in results.iter().enumerate() {
-        for field in ["algorithm", "workload", "mode"] {
+        for field in ["algorithm", "workload", "fault_profile", "mode"] {
             cell.get(field)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("results[{i}]: missing string field: {field}"))?;
@@ -343,6 +373,8 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             "n",
             "trials",
             "completed",
+            "aggregated",
+            "aggregated_survivors",
             "completion_rate",
             "total_interactions",
             "elapsed_secs",
@@ -351,6 +383,21 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             cell.get(field)
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("results[{i}]: missing numeric field: {field}"))?;
+        }
+        let numeric = |field: &str| cell.get(field).and_then(Json::as_f64).expect("checked");
+        if numeric("aggregated") + numeric("aggregated_survivors") != numeric("completed") {
+            return Err(format!(
+                "results[{i}]: aggregated + aggregated_survivors must equal completed"
+            ));
+        }
+        let fault_profile = cell
+            .get("fault_profile")
+            .and_then(Json::as_str)
+            .expect("checked");
+        if fault_profile == "none" && numeric("aggregated_survivors") != 0.0 {
+            return Err(format!(
+                "results[{i}]: a fault-free cell cannot report survivor-only completions"
+            ));
         }
         let mean = cell
             .get("mean_interactions")
@@ -381,14 +428,26 @@ mod tests {
     fn smoke_grid_emits_a_valid_schema() {
         let report = run_grid(&PerfGrid::smoke());
         assert_eq!(report.file_name(), "BENCH_smoke.json");
-        // 2 algorithms x 3 scenarios x 2 node counts, all compatible (both
+        // 2 algorithms x 4 scenarios x 2 node counts, all compatible (both
         // smoke algorithms are knowledge-free).
         assert_eq!(report.results.len(), PerfGrid::smoke().cell_count());
-        assert_eq!(report.results.len(), 2 * 3 * 2);
+        assert_eq!(report.results.len(), 2 * 4 * 2);
         let doc = Json::parse(&report.to_json()).expect("emitted JSON parses");
         validate_report(&doc).expect("emitted JSON passes the schema check");
         // Knowledge-free smoke algorithms all stream.
         assert!(report.results.iter().all(|c| c.mode == "streamed"));
+        // The fault axis is present: fault-free cells say "none", the
+        // faulted cells carry the plan label and a consistent split.
+        assert!(report
+            .results
+            .iter()
+            .any(|c| c.fault_profile == "crash(0.002)"));
+        for cell in &report.results {
+            assert_eq!(cell.completed, cell.aggregated + cell.aggregated_survivors);
+            if cell.fault_profile == "none" {
+                assert_eq!(cell.aggregated_survivors, 0);
+            }
+        }
     }
 
     #[test]
@@ -411,9 +470,9 @@ mod tests {
     #[test]
     fn baseline_grid_skips_adaptive_cells_for_materializing_specs() {
         let grid = PerfGrid::baseline();
-        // 3 algorithms x 5 scenarios x 3 node counts, minus the
+        // 3 algorithms x 7 scenarios x 3 node counts, minus the
         // WaitingGreedy x adaptive-isolator column (3 cells).
-        assert_eq!(grid.cell_count(), 3 * 5 * 3 - 3);
+        assert_eq!(grid.cell_count(), 3 * 7 * 3 - 3);
     }
 
     #[test]
@@ -427,7 +486,7 @@ mod tests {
                 AlgorithmSpec::Gathering,
                 AlgorithmSpec::WaitingGreedy { tau: None },
             ],
-            scenarios: vec![Scenario::Uniform, Scenario::AdaptiveIsolator],
+            scenarios: vec![Scenario::Uniform.into(), Scenario::AdaptiveIsolator.into()],
             parallel: false,
         });
         // uniform admits both; adaptive-isolator only Gathering.
@@ -456,7 +515,7 @@ mod tests {
             trials: 2,
             ns: vec![8],
             algorithms: vec![AlgorithmSpec::Gathering],
-            scenarios: vec![Scenario::Uniform],
+            scenarios: vec![Scenario::Uniform.into()],
             ..PerfGrid::smoke()
         })
         .to_json();
@@ -464,7 +523,7 @@ mod tests {
         validate_report(&doc).unwrap();
 
         for (breaker, expected) in [
-            (r#"{"schema_version": 2}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 3}"#, "missing string field: scenario"),
             (r#"{"schema_version": 9}"#, "unsupported schema_version"),
             (r#"{}"#, "missing numeric field: schema_version"),
         ] {
@@ -489,5 +548,18 @@ mod tests {
             err.contains("must be 'streamed' or 'materialized'"),
             "{err}"
         );
+        // A completion split that does not add up is rejected. The tiny
+        // grid completes every trial, so "completed": 2 pairs with
+        // "aggregated": 2; corrupting the latter breaks the identity.
+        let bad_split = good.replace("\"aggregated\": 2", "\"aggregated\": 1");
+        assert_ne!(bad_split, good, "fixture must contain the field");
+        let err = validate_report(&Json::parse(&bad_split).unwrap()).unwrap_err();
+        assert!(err.contains("must equal completed"), "{err}");
+        // A fault-free cell claiming survivor completions is rejected.
+        let bad_survivors = good
+            .replace("\"aggregated\": 2", "\"aggregated\": 1")
+            .replace("\"aggregated_survivors\": 0", "\"aggregated_survivors\": 1");
+        let err = validate_report(&Json::parse(&bad_survivors).unwrap()).unwrap_err();
+        assert!(err.contains("fault-free cell"), "{err}");
     }
 }

@@ -19,10 +19,11 @@ fn committed_baseline_matches_the_schema() {
     );
     assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("baseline"));
     let results = doc.get("results").and_then(Json::as_array).unwrap();
-    // The pinned grid: 3 algorithms x 5 scenarios x 3 node counts, minus
+    // The pinned grid: 3 algorithms x 7 scenarios x 3 node counts, minus
     // the skipped WaitingGreedy x adaptive-isolator column.
     assert_eq!(results.len(), PerfGrid::baseline().cell_count());
     let mut modes_seen = (false, false);
+    let mut survivor_completions = 0.0;
     for cell in results {
         let n = cell.get("n").and_then(Json::as_f64).unwrap();
         assert!([32.0, 128.0, 512.0].contains(&n), "unexpected n = {n}");
@@ -33,18 +34,45 @@ fn committed_baseline_matches_the_schema() {
             "materialized" => modes_seen.1 = true,
             other => panic!("unexpected mode {other}"),
         }
+        // Schema v3: the completion split must add up, and fault-free
+        // cells can never report survivor-only completions.
+        let completed = cell.get("completed").and_then(Json::as_f64).unwrap();
+        let aggregated = cell.get("aggregated").and_then(Json::as_f64).unwrap();
+        let survivors = cell
+            .get("aggregated_survivors")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(aggregated + survivors, completed);
+        let fault_profile = cell.get("fault_profile").and_then(Json::as_str).unwrap();
+        if fault_profile == "none" {
+            assert_eq!(survivors, 0.0);
+        }
+        survivor_completions += survivors;
     }
     assert!(
         modes_seen.0 && modes_seen.1,
         "the baseline must cover both execution modes"
     );
-    // Both adversarial scenarios must be present in the trajectory.
+    assert!(
+        survivor_completions > 0.0,
+        "the baseline's faulted cells must record AggregatedSurvivors outcomes"
+    );
+    // The adversarial scenarios and both pinned fault profiles must be
+    // present in the trajectory.
     for scenario in ["oblivious-trap", "adaptive-isolator"] {
         assert!(
             results
                 .iter()
                 .any(|c| c.get("workload").and_then(Json::as_str) == Some(scenario)),
             "baseline is missing the {scenario} scenario"
+        );
+    }
+    for profile in ["crash(0.002)", "churn(0.002,0.004)"] {
+        assert!(
+            results
+                .iter()
+                .any(|c| c.get("fault_profile").and_then(Json::as_str) == Some(profile)),
+            "baseline is missing the {profile} fault profile"
         );
     }
 }

@@ -23,10 +23,11 @@ use doda_graph::NodeId;
 
 use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
 use crate::data::Aggregate;
-use crate::error::EngineError;
+use crate::error::{EngineError, FaultError};
+use crate::fault::CrashPolicy;
 use crate::interaction::Time;
-use crate::outcome::{ExecutionOutcome, Transmission};
-use crate::sequence::{AdversaryView, InteractionSource};
+use crate::outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+use crate::sequence::{AdversaryView, InteractionSource, StepEvent};
 use crate::state::NetworkState;
 
 /// Configuration of a single execution.
@@ -132,12 +133,24 @@ pub struct RunStats {
     pub ignored_decisions: u64,
     /// Number of nodes still owning data at the end.
     pub remaining_owners: usize,
+    /// How the execution ended: full aggregation, survivors-only
+    /// aggregation, or starvation (see [`Completion`]).
+    pub completion: Completion,
+    /// Counters of the fault events applied (all zero for fault-free
+    /// sources).
+    pub faults: FaultTally,
 }
 
 impl RunStats {
     /// Returns `true` if the aggregation completed (sink is the sole owner).
     pub fn terminated(&self) -> bool {
         self.termination_time.is_some()
+    }
+
+    /// Number of data introduced over the whole execution: the initial
+    /// `n` plus one fresh datum per churn arrival.
+    pub fn data_introduced(&self) -> u64 {
+        self.node_count as u64 + self.faults.arrivals
     }
 }
 
@@ -156,6 +169,10 @@ pub struct Engine<A> {
     state: NetworkState<A>,
     ownership: Vec<bool>,
     owners: usize,
+    /// `live[v]` is `false` once `v` crashed or departed; dead nodes show
+    /// as non-owners in the adversary view and must never appear in a
+    /// presented interaction.
+    live: Vec<bool>,
 }
 
 impl<A: Aggregate> Default for Engine<A> {
@@ -172,6 +189,7 @@ impl<A: Aggregate> Engine<A> {
             state: NetworkState::empty(),
             ownership: Vec::new(),
             owners: 0,
+            live: Vec::new(),
         }
     }
 
@@ -191,13 +209,24 @@ impl<A: Aggregate> Engine<A> {
     /// argument ([`DiscardTransmissions`] for none, `&mut Vec<Transmission>`
     /// to collect them).
     ///
+    /// The source is driven through [`InteractionSource::next_event`], so
+    /// fault-injecting sources ([`crate::fault::FaultedSource`]) compose
+    /// transparently: crash / churn / loss events update the ownership
+    /// bitmap and the accounting bins, and [`RunStats::completion`]
+    /// distinguishes full aggregation from survivors-only aggregation
+    /// and starvation.
+    ///
     /// # Errors
     ///
     /// Returns an [`EngineError`] if the algorithm produces a structurally
     /// invalid decision (a sender/receiver outside the current
-    /// interaction). Decisions whose endpoints do not both own data are
-    /// *ignored* (counted in [`RunStats::ignored_decisions`]), per the
-    /// paper's convention.
+    /// interaction), or if the source emits a fault event inconsistent
+    /// with the execution's fault state (a typed
+    /// [`crate::error::FaultError`]: sink targeted, double kill, arrival
+    /// of a live node, or an interaction involving a dead node).
+    /// Decisions whose endpoints do not both own data are *ignored*
+    /// (counted in [`RunStats::ignored_decisions`]), per the paper's
+    /// convention.
     ///
     /// # Panics
     ///
@@ -208,7 +237,7 @@ impl<A: Aggregate> Engine<A> {
         algorithm: &mut D,
         source: &mut S,
         sink: NodeId,
-        initial_data: F,
+        mut initial_data: F,
         config: EngineConfig,
         transmissions: &mut T,
     ) -> Result<RunStats, EngineError>
@@ -219,14 +248,17 @@ impl<A: Aggregate> Engine<A> {
         T: TransmissionSink + ?Sized,
     {
         let n = source.node_count();
-        self.state.reset(n, sink, initial_data);
+        self.state.reset(n, sink, &mut initial_data);
         self.ownership.clear();
         self.ownership.resize(n, true);
+        self.live.clear();
+        self.live.resize(n, true);
         self.owners = n;
 
         let mut applied = 0u64;
         let mut ignored = 0u64;
         let mut processed = 0u64;
+        let mut faults = FaultTally::default();
         let mut termination_time = if self.owners == 1 { Some(0) } else { None };
 
         while termination_time.is_none() && processed < config.max_interactions {
@@ -235,10 +267,51 @@ impl<A: Aggregate> Engine<A> {
                 owns_data: &self.ownership,
                 sink,
             };
-            let Some(interaction) = source.next_interaction(t, &view) else {
+            let Some(event) = source.next_event(t, &view) else {
                 break;
             };
             processed += 1;
+
+            let interaction = match event {
+                StepEvent::Interaction(interaction) => interaction,
+                StepEvent::Lost(_) => {
+                    faults.lost_interactions += 1;
+                    continue;
+                }
+                StepEvent::Crash { node, policy } => {
+                    faults.crashes += 1;
+                    self.remove_node(node, sink, Some(policy), t, &mut faults)?;
+                    if self.owners == 1 {
+                        termination_time = Some(t);
+                    }
+                    continue;
+                }
+                StepEvent::Departure(node) => {
+                    faults.departures += 1;
+                    self.remove_node(node, sink, None, t, &mut faults)?;
+                    if self.owners == 1 {
+                        termination_time = Some(t);
+                    }
+                    continue;
+                }
+                StepEvent::Arrival(node) => {
+                    faults.arrivals += 1;
+                    self.admit_node(node, sink, &mut initial_data, t)?;
+                    continue;
+                }
+            };
+
+            for endpoint in [interaction.min(), interaction.max()] {
+                if !self.live.get(endpoint.index()).copied().unwrap_or(false) {
+                    return Err(EngineError::InvalidFault {
+                        time: t,
+                        cause: FaultError::DeadParticipant {
+                            interaction,
+                            node: endpoint,
+                        },
+                    });
+                }
+            }
 
             let ctx = InteractionContext {
                 time: t,
@@ -282,8 +355,9 @@ impl<A: Aggregate> Engine<A> {
                             receiver,
                         });
                         algorithm.on_transmission(t, sender, receiver);
-                        // The sink can never transmit, so it always owns
-                        // data: a single remaining owner must be the sink.
+                        // The sink can never transmit and never dies, so it
+                        // always owns data: a single remaining owner must be
+                        // the sink.
                         if self.owners == 1 {
                             termination_time = Some(t);
                         }
@@ -292,6 +366,13 @@ impl<A: Aggregate> Engine<A> {
             }
         }
 
+        let completion = match termination_time {
+            Some(_) if faults.data_lost == 0 && faults.data_recovered == 0 => {
+                Completion::Aggregated
+            }
+            Some(_) => Completion::AggregatedSurvivors,
+            None => Completion::Starved,
+        };
         Ok(RunStats {
             node_count: n,
             sink,
@@ -300,7 +381,77 @@ impl<A: Aggregate> Engine<A> {
             transmissions: applied,
             ignored_decisions: ignored,
             remaining_owners: self.owners,
+            completion,
+            faults,
         })
+    }
+
+    /// Applies a crash (`policy` set) or departure (`policy` `None`):
+    /// the node goes dead, and its datum — if it still owned one — moves
+    /// to the lost or recovered accounting bin.
+    fn remove_node(
+        &mut self,
+        node: NodeId,
+        sink: NodeId,
+        policy: Option<CrashPolicy>,
+        time: Time,
+        faults: &mut FaultTally,
+    ) -> Result<(), EngineError> {
+        let fault = |cause| EngineError::InvalidFault { time, cause };
+        if node == sink {
+            return Err(fault(FaultError::TargetsSink { node }));
+        }
+        if node.index() >= self.live.len() {
+            return Err(fault(FaultError::UnknownNode { node }));
+        }
+        if !self.live[node.index()] {
+            return Err(fault(FaultError::NotLive { node }));
+        }
+        self.live[node.index()] = false;
+        if self.ownership[node.index()] {
+            match policy {
+                Some(CrashPolicy::DatumRecoverable) => {
+                    self.state.fault_recover(node);
+                    faults.data_recovered += 1;
+                }
+                Some(CrashPolicy::DatumLost) | None => {
+                    self.state.fault_lose(node);
+                    faults.data_lost += 1;
+                }
+            }
+            self.ownership[node.index()] = false;
+            self.owners -= 1;
+        }
+        Ok(())
+    }
+
+    /// Applies a churn arrival: the node comes back live with a fresh
+    /// datum (a new incarnation — its transmission allowance restarts).
+    fn admit_node<F>(
+        &mut self,
+        node: NodeId,
+        sink: NodeId,
+        initial_data: &mut F,
+        time: Time,
+    ) -> Result<(), EngineError>
+    where
+        F: FnMut(NodeId) -> A,
+    {
+        let fault = |cause| EngineError::InvalidFault { time, cause };
+        if node == sink {
+            return Err(fault(FaultError::TargetsSink { node }));
+        }
+        if node.index() >= self.live.len() {
+            return Err(fault(FaultError::UnknownNode { node }));
+        }
+        if self.live[node.index()] {
+            return Err(fault(FaultError::AlreadyLive { node }));
+        }
+        self.live[node.index()] = true;
+        self.state.revive(node, initial_data(node));
+        self.ownership[node.index()] = true;
+        self.owners += 1;
+        Ok(())
     }
 
     #[inline]
@@ -371,6 +522,8 @@ where
         ignored_decisions: stats.ignored_decisions,
         sink_data: engine.state().data_of(sink).cloned(),
         final_ownership: engine.state().ownership_bitmap(),
+        completion: stats.completion,
+        faults: stats.faults,
     })
 }
 
@@ -623,6 +776,290 @@ mod tests {
             );
             assert_eq!(engine.state().ownership_bitmap(), outcome.final_ownership);
         }
+    }
+
+    #[test]
+    fn unfaulted_runs_report_clean_completion() {
+        let seq = star_sequence(4, 1);
+        let outcome = run_with_id_sets(
+            &mut Waiting::new(),
+            &mut seq.source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(outcome.completion, crate::outcome::Completion::Aggregated);
+        assert!(outcome.faults.is_clean());
+
+        let starved = run_with_id_sets(
+            &mut Waiting::new(),
+            &mut InteractionSequence::from_pairs(4, vec![(1, 2)]).source(false),
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(starved.completion, crate::outcome::Completion::Starved);
+    }
+
+    #[test]
+    fn faulted_execution_applies_crash_churn_and_loss() {
+        use crate::fault::{FaultProfile, FaultedSource};
+        use crate::outcome::Completion;
+
+        // A crash-heavy plan over a cycling star (everyone keeps meeting
+        // the sink, so Waiting always terminates): crashes destroy some
+        // data along the way, and every run must account for each origin
+        // as either aggregated or lost.
+        let seq = star_sequence(8, 1);
+        let mut survivor_runs = 0;
+        for seed in 0..10u64 {
+            let profile = FaultProfile::crash(0.2);
+            let mut faulted = FaultedSource::new(seq.stream(true), profile, seed).unwrap();
+            let outcome = run_with_id_sets(
+                &mut Waiting::new(),
+                &mut faulted,
+                NodeId(0),
+                EngineConfig::sweep(50_000),
+            )
+            .unwrap();
+            assert!(outcome.terminated(), "seed {seed}");
+            assert!(outcome.faults.crashes >= outcome.faults.data_lost);
+            let sink_set = outcome.sink_data.unwrap();
+            assert_eq!(
+                sink_set.len() + outcome.faults.data_lost as usize,
+                8,
+                "every origin is either aggregated or lost (seed {seed})"
+            );
+            match outcome.completion {
+                Completion::AggregatedSurvivors => {
+                    assert!(outcome.faults.data_lost > 0, "seed {seed}");
+                    survivor_runs += 1;
+                }
+                Completion::Aggregated => assert_eq!(outcome.faults.data_lost, 0),
+                Completion::Starved => panic!("a star stream cannot starve Waiting"),
+            }
+        }
+        assert!(
+            survivor_runs > 0,
+            "a 20% crash rate must cost data in some of 10 runs"
+        );
+    }
+
+    #[test]
+    fn recoverable_crashes_fill_the_recovered_bin() {
+        use crate::data::IdSet;
+        use crate::fault::{FaultProfile, FaultedSource};
+
+        let seq = star_sequence(8, 1);
+        let mut engine: Engine<IdSet> = Engine::new();
+        let mut recovered_runs = 0;
+        for seed in 0..10u64 {
+            let profile = FaultProfile::crash_recoverable(0.2);
+            let mut faulted = FaultedSource::new(seq.stream(true), profile, seed).unwrap();
+            let stats = engine
+                .run(
+                    &mut Waiting::new(),
+                    &mut faulted,
+                    NodeId(0),
+                    IdSet::singleton,
+                    EngineConfig::sweep(50_000),
+                    &mut DiscardTransmissions,
+                )
+                .unwrap();
+            assert_eq!(stats.faults.data_lost, 0);
+            assert!(engine.state().lost_data().is_none());
+            if stats.faults.data_recovered > 0 {
+                assert_eq!(
+                    engine.state().recovered_data().unwrap().len() as u64,
+                    stats.faults.data_recovered
+                );
+                assert_eq!(
+                    stats.completion,
+                    crate::outcome::Completion::AggregatedSurvivors
+                );
+                recovered_runs += 1;
+            }
+        }
+        assert!(recovered_runs > 0, "some run must recover a datum");
+    }
+
+    #[test]
+    fn lossy_interactions_are_counted_and_never_seen() {
+        use crate::fault::{FaultProfile, FaultedSource};
+
+        let seq = star_sequence(5, 4_000);
+        let mut faulted =
+            FaultedSource::new(seq.stream(true), FaultProfile::lossy(0.5), 7).unwrap();
+        let outcome = run_with_id_sets(
+            &mut Waiting::new(),
+            &mut faulted,
+            NodeId(0),
+            EngineConfig::sweep(10_000),
+        )
+        .unwrap();
+        // Losses slow Waiting down but cannot destroy data.
+        assert!(outcome.terminated());
+        assert_eq!(outcome.completion, crate::outcome::Completion::Aggregated);
+        assert!(outcome.faults.lost_interactions > 0);
+        assert!(outcome.sink_data.unwrap().covers_all(5));
+    }
+
+    #[test]
+    fn churn_arrivals_introduce_fresh_data() {
+        use crate::data::Count;
+        use crate::fault::{FaultProfile, FaultedSource};
+
+        // A stream that never involves the sink: Waiting never transmits,
+        // so the population churns for the whole budget and the exact
+        // Count-conservation identity is checked over a long window.
+        let seq = InteractionSequence::from_pairs(6, vec![(1, 2), (3, 4), (2, 5)]);
+        let profile = FaultProfile::churn(0.05, 0.1);
+        let mut faulted = FaultedSource::new(seq.stream(true), profile, 3).unwrap();
+        let mut engine: Engine<Count> = Engine::new();
+        let stats = engine
+            .run(
+                &mut Waiting::new(),
+                &mut faulted,
+                NodeId(0),
+                |_| Count::unit(),
+                EngineConfig::sweep(2_000),
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert!(stats.faults.departures > 0);
+        assert!(stats.faults.arrivals > 0);
+        assert_eq!(stats.data_introduced(), 6 + stats.faults.arrivals);
+        // Exact conservation: every introduced datum is at the sink, in a
+        // bin, or still owned by a live node.
+        let at_nodes: u64 = (0..6)
+            .filter_map(|i| engine.state().data_of(NodeId(i)))
+            .map(|c| c.0)
+            .sum();
+        let lost = engine.state().lost_data().map_or(0, |c| c.0);
+        assert_eq!(at_nodes + lost, stats.data_introduced());
+    }
+
+    #[test]
+    fn malformed_fault_events_are_typed_errors() {
+        use crate::error::FaultError;
+        use crate::sequence::StepEvent;
+
+        struct Script(Vec<StepEvent>);
+        impl InteractionSource for Script {
+            fn node_count(&self) -> usize {
+                4
+            }
+            fn next_interaction(
+                &mut self,
+                t: Time,
+                view: &AdversaryView<'_>,
+            ) -> Option<Interaction> {
+                self.next_event(t, view).and_then(|e| match e {
+                    StepEvent::Interaction(i) => Some(i),
+                    _ => None,
+                })
+            }
+            fn next_event(&mut self, t: Time, _view: &AdversaryView<'_>) -> Option<StepEvent> {
+                self.0.get(t as usize).copied()
+            }
+        }
+
+        let cases: Vec<(Vec<StepEvent>, FaultError)> = vec![
+            (
+                vec![StepEvent::Departure(NodeId(0))],
+                FaultError::TargetsSink { node: NodeId(0) },
+            ),
+            (
+                vec![StepEvent::Departure(NodeId(9))],
+                FaultError::UnknownNode { node: NodeId(9) },
+            ),
+            (
+                vec![
+                    StepEvent::Departure(NodeId(2)),
+                    StepEvent::Crash {
+                        node: NodeId(2),
+                        policy: CrashPolicy::DatumLost,
+                    },
+                ],
+                FaultError::NotLive { node: NodeId(2) },
+            ),
+            (
+                vec![StepEvent::Arrival(NodeId(1))],
+                FaultError::AlreadyLive { node: NodeId(1) },
+            ),
+            (
+                vec![
+                    StepEvent::Departure(NodeId(2)),
+                    StepEvent::Interaction(Interaction::new(NodeId(1), NodeId(2))),
+                ],
+                FaultError::DeadParticipant {
+                    interaction: Interaction::new(NodeId(1), NodeId(2)),
+                    node: NodeId(2),
+                },
+            ),
+        ];
+        for (script, expected) in cases {
+            let err = run_with_id_sets(
+                &mut Waiting::new(),
+                &mut Script(script),
+                NodeId(0),
+                EngineConfig::default(),
+            )
+            .unwrap_err();
+            match err {
+                EngineError::InvalidFault { cause, .. } => assert_eq!(cause, expected),
+                other => panic!("expected InvalidFault, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn crash_of_the_last_owner_terminates_as_survivors() {
+        use crate::outcome::Completion;
+        use crate::sequence::StepEvent;
+
+        // Script: 2 transmits to 1 (Gathering aggregates away from the
+        // sink is not possible on a star, so use an explicit pair), then
+        // both non-sink owners crash — the sink is left as sole owner
+        // without ever receiving anything.
+        struct Script;
+        impl InteractionSource for Script {
+            fn node_count(&self) -> usize {
+                3
+            }
+            fn next_interaction(
+                &mut self,
+                _t: Time,
+                _v: &AdversaryView<'_>,
+            ) -> Option<Interaction> {
+                None
+            }
+            fn next_event(&mut self, t: Time, _v: &AdversaryView<'_>) -> Option<StepEvent> {
+                match t {
+                    0 => Some(StepEvent::Crash {
+                        node: NodeId(1),
+                        policy: CrashPolicy::DatumLost,
+                    }),
+                    1 => Some(StepEvent::Crash {
+                        node: NodeId(2),
+                        policy: CrashPolicy::DatumLost,
+                    }),
+                    _ => None,
+                }
+            }
+        }
+        let outcome = run_with_id_sets(
+            &mut Waiting::new(),
+            &mut Script,
+            NodeId(0),
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert!(outcome.terminated());
+        assert_eq!(outcome.termination_time, Some(1));
+        assert_eq!(outcome.completion, Completion::AggregatedSurvivors);
+        assert_eq!(outcome.faults.data_lost, 2);
+        assert_eq!(outcome.remaining_owners(), 1);
     }
 
     #[test]

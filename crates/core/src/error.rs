@@ -55,6 +55,72 @@ impl std::fmt::Display for TransmissionError {
 
 impl std::error::Error for TransmissionError {}
 
+/// A fault event that is inconsistent with the execution's fault state,
+/// rejected by the engine. A well-formed [`crate::fault::FaultedSource`]
+/// never produces these; they exist so that the model invariants are
+/// enforced — not assumed — against any event source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultError {
+    /// A crash, departure or arrival targeted the sink; the sink is
+    /// always live and always owns data.
+    TargetsSink {
+        /// The sink node.
+        node: NodeId,
+    },
+    /// A fault event referenced a node outside the graph.
+    UnknownNode {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// A crash or departure targeted a node that is already dead.
+    NotLive {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An arrival targeted a node that is still live.
+    AlreadyLive {
+        /// The offending node.
+        node: NodeId,
+    },
+    /// An interaction was presented whose participant is dead; a dead
+    /// node cannot participate, so the source must have downgraded the
+    /// contact to [`crate::sequence::StepEvent::Lost`].
+    DeadParticipant {
+        /// The interaction presented.
+        interaction: Interaction,
+        /// The dead participant.
+        node: NodeId,
+    },
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultError::TargetsSink { node } => {
+                write!(f, "fault event targets the sink {node}")
+            }
+            FaultError::UnknownNode { node } => {
+                write!(f, "fault event references unknown node {node}")
+            }
+            FaultError::NotLive { node } => {
+                write!(f, "fault event removes node {node}, which is already dead")
+            }
+            FaultError::AlreadyLive { node } => {
+                write!(f, "arrival of node {node}, which is already live")
+            }
+            FaultError::DeadParticipant { interaction, node } => {
+                write!(
+                    f,
+                    "interaction {interaction} involves dead node {node}; the source must \
+                     downgrade it to a lost contact"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
 /// An error raised by the execution engine when an algorithm's decision is
 /// structurally invalid for the current interaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +147,14 @@ pub enum EngineError {
         /// The underlying state-level error.
         cause: TransmissionError,
     },
+    /// The event source emitted a fault event that is inconsistent with
+    /// the execution's fault state (see [`FaultError`]).
+    InvalidFault {
+        /// Time of the offending event.
+        time: Time,
+        /// The underlying fault-model violation.
+        cause: FaultError,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -98,6 +172,9 @@ impl std::fmt::Display for EngineError {
             EngineError::InvalidTransmission { time, cause } => {
                 write!(f, "invalid transmission at t={time}: {cause}")
             }
+            EngineError::InvalidFault { time, cause } => {
+                write!(f, "invalid fault event at t={time}: {cause}")
+            }
         }
     }
 }
@@ -106,6 +183,7 @@ impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             EngineError::InvalidTransmission { cause, .. } => Some(cause),
+            EngineError::InvalidFault { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -138,5 +216,28 @@ mod tests {
         };
         assert!(e.to_string().contains("not the interacting pair"));
         assert!(std::error::Error::source(&e).is_none());
+    }
+
+    #[test]
+    fn fault_error_messages_and_source() {
+        let cases: Vec<(FaultError, &str)> = vec![
+            (FaultError::TargetsSink { node: NodeId(0) }, "sink"),
+            (FaultError::UnknownNode { node: NodeId(9) }, "unknown"),
+            (FaultError::NotLive { node: NodeId(2) }, "already dead"),
+            (FaultError::AlreadyLive { node: NodeId(2) }, "already live"),
+            (
+                FaultError::DeadParticipant {
+                    interaction: Interaction::new(NodeId(1), NodeId(2)),
+                    node: NodeId(2),
+                },
+                "dead node",
+            ),
+        ];
+        for (cause, needle) in cases {
+            assert!(cause.to_string().contains(needle), "{cause}");
+            let e = EngineError::InvalidFault { time: 3, cause };
+            assert!(e.to_string().contains("t=3"));
+            assert!(std::error::Error::source(&e).is_some());
+        }
     }
 }

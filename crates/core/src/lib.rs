@@ -89,6 +89,68 @@
 //! assert!(cost.is_optimal());
 //! # Ok::<(), doda_core::error::EngineError>(())
 //! ```
+//!
+//! ## Fault model semantics
+//!
+//! The paper assumes a fixed population and perfectly reliable
+//! interactions. The [`fault`] module relaxes both as a **composable
+//! layer**: a seeded [`fault::FaultProfile`] describes per-step crash and
+//! churn probabilities plus per-interaction loss, and
+//! [`fault::FaultedSource`] wraps *any* [`InteractionSource`] to
+//! interleave those events with the stream. The exact semantics, pinned
+//! by the conformance suite in `tests/fault_model_properties.rs`:
+//!
+//! * **Crash** — the node goes permanently dead. Its datum (if it still
+//!   owned one) is destroyed under [`fault::CrashPolicy::DatumLost`] or
+//!   salvaged out-of-band under
+//!   [`fault::CrashPolicy::DatumRecoverable`]; either way the datum moves
+//!   to an accounting bin on [`state::NetworkState`], never silently
+//!   vanishing. Crashed nodes are never revived.
+//! * **Departure / arrival (churn)** — a departing node takes its datum
+//!   out of the system (accounted as lost); a departed, non-crashed node
+//!   may later re-arrive with a *fresh* datum, as a new incarnation whose
+//!   single-transmission allowance restarts.
+//! * **Loss** — a scheduled interaction fails before the algorithm
+//!   observes it (also the fate of any contact involving a dead node).
+//! * **Invariants** — the sink never crashes or departs, the live
+//!   population never drops below [`fault::FaultProfile::min_live`]
+//!   (plans that could strand the execution below two live nodes are a
+//!   typed [`fault::FaultConfigError`], not a hang), and **data
+//!   conservation** holds at every step: every datum ever introduced is
+//!   at the sink, in the lost/recovered bins, or owned by a live node —
+//!   never duplicated, never dropped.
+//!
+//! Termination gains a third outcome: [`outcome::Completion`]
+//! distinguishes `Aggregated` (the sink got *everything*),
+//! `AggregatedSurvivors` (the sink became sole live owner but faults
+//! destroyed some data first) and `Starved` (budget or source exhausted
+//! early).
+//!
+//! ```
+//! use doda_core::fault::{FaultProfile, FaultedSource};
+//! use doda_core::prelude::*;
+//! use doda_graph::NodeId;
+//!
+//! // Every non-sink node meets the sink once per round...
+//! let mut round = InteractionSequence::new(6);
+//! for i in 1..6 {
+//!     round.push(Interaction::new(NodeId(0), NodeId(i)));
+//! }
+//! // ...but nodes crash along the way (deterministic per seed).
+//! let mut faulted = FaultedSource::new(round.stream(true), FaultProfile::crash(0.05), 9)?;
+//! let outcome = engine::run_with_id_sets(
+//!     &mut Waiting::new(),
+//!     &mut faulted,
+//!     NodeId(0),
+//!     EngineConfig::sweep(10_000),
+//! )
+//! .expect("valid decisions");
+//! assert!(outcome.terminated());
+//! // Whatever was not aggregated was lost to a crash — never dropped.
+//! let aggregated = outcome.sink_data.as_ref().unwrap().len() as u64;
+//! assert_eq!(aggregated + outcome.faults.data_lost, 6);
+//! # Ok::<(), doda_core::fault::FaultConfigError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -101,6 +163,7 @@ pub mod cost;
 pub mod data;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod interaction;
 pub mod knowledge;
 pub mod outcome;
@@ -109,9 +172,10 @@ pub mod state;
 
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
 pub use engine::{DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink};
+pub use fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
 pub use interaction::{Interaction, Time, TimedInteraction};
-pub use outcome::{ExecutionOutcome, Transmission};
-pub use sequence::{InteractionSequence, InteractionSource};
+pub use outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+pub use sequence::{InteractionSequence, InteractionSource, StepEvent};
 
 /// Commonly used items, for glob import in examples and benchmarks.
 pub mod prelude {
@@ -125,8 +189,9 @@ pub mod prelude {
     pub use crate::engine::{
         self, DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink,
     };
+    pub use crate::fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
     pub use crate::interaction::{Interaction, Time, TimedInteraction};
     pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
-    pub use crate::outcome::{ExecutionOutcome, Transmission};
-    pub use crate::sequence::{AdversaryView, InteractionSequence, InteractionSource};
+    pub use crate::outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+    pub use crate::sequence::{AdversaryView, InteractionSequence, InteractionSource, StepEvent};
 }

@@ -16,6 +16,83 @@ pub struct Transmission {
     pub receiver: NodeId,
 }
 
+/// How an execution ended, once faults can make data unreachable.
+///
+/// Without faults only [`Completion::Aggregated`] and
+/// [`Completion::Starved`] occur, and `Aggregated` coincides with the
+/// paper's termination. With faults the sink can become the sole live
+/// owner while some data was destroyed en route — the execution
+/// *terminates*, but over the survivors only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Completion {
+    /// The sink aggregated **every** datum ever introduced (initial data
+    /// plus churn arrivals): full termination in the paper's sense.
+    Aggregated,
+    /// The sink became the sole live owner, but one or more data were
+    /// lost to crashes or departures first: the aggregation completed
+    /// over the surviving data only.
+    AggregatedSurvivors,
+    /// The execution stopped (budget or source exhausted) while more than
+    /// one node still owned data.
+    #[default]
+    Starved,
+}
+
+impl Completion {
+    /// `true` for both terminating variants (the sink ended as the sole
+    /// live owner).
+    pub fn terminated(&self) -> bool {
+        !matches!(self, Completion::Starved)
+    }
+
+    /// The label used in reports and `BENCH_*.json` documentation.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Completion::Aggregated => "aggregated",
+            Completion::AggregatedSurvivors => "aggregated-survivors",
+            Completion::Starved => "starved",
+        }
+    }
+}
+
+impl std::fmt::Display for Completion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Counters of the fault events applied during one execution. All zero
+/// for fault-free sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultTally {
+    /// Nodes that crashed permanently.
+    pub crashes: u64,
+    /// Nodes that departed (churn).
+    pub departures: u64,
+    /// Departed nodes that re-arrived with fresh data (churn).
+    pub arrivals: u64,
+    /// Scheduled interactions that were lost before the algorithm saw
+    /// them (message loss or a dead participant).
+    pub lost_interactions: u64,
+    /// Data items destroyed by crashes ([`CrashPolicy::DatumLost`]) and
+    /// departures. Each item may be an *aggregate* of several origins
+    /// (the victim had received transmissions first); the lost bin on
+    /// [`crate::state::NetworkState`] accounts for the origins exactly.
+    ///
+    /// [`CrashPolicy::DatumLost`]: crate::fault::CrashPolicy::DatumLost
+    pub data_lost: u64,
+    /// Data items salvaged from recoverable crashes (same aggregate
+    /// caveat as [`FaultTally::data_lost`]).
+    pub data_recovered: u64,
+}
+
+impl FaultTally {
+    /// `true` iff no fault event of any kind occurred.
+    pub fn is_clean(&self) -> bool {
+        *self == FaultTally::default()
+    }
+}
+
 /// The result of running a DODA algorithm over an interaction source.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionOutcome<A> {
@@ -41,6 +118,12 @@ pub struct ExecutionOutcome<A> {
     pub sink_data: Option<A>,
     /// Final ownership bitmap (`true` = node still owns data).
     pub final_ownership: Vec<bool>,
+    /// How the execution ended: full aggregation, survivors-only
+    /// aggregation (some data lost to faults), or starvation.
+    pub completion: Completion,
+    /// The fault events applied during the execution (all zero for
+    /// fault-free sources).
+    pub faults: FaultTally,
 }
 
 impl<A> ExecutionOutcome<A> {
@@ -94,11 +177,15 @@ mod tests {
             ignored_decisions: 1,
             sink_data: Some(Count(3)),
             final_ownership: vec![true, false, false],
+            completion: Completion::Aggregated,
+            faults: FaultTally::default(),
         };
         assert!(outcome.terminated());
         assert_eq!(outcome.duration(), Some(7));
         assert_eq!(outcome.transmission_count(), 2);
         assert_eq!(outcome.remaining_owners(), 1);
+        assert!(outcome.completion.terminated());
+        assert!(outcome.faults.is_clean());
     }
 
     #[test]
@@ -112,9 +199,29 @@ mod tests {
             ignored_decisions: 0,
             sink_data: Some(Count(1)),
             final_ownership: vec![true, true, true],
+            completion: Completion::Starved,
+            faults: FaultTally::default(),
         };
         assert!(!outcome.terminated());
         assert_eq!(outcome.duration(), None);
         assert_eq!(outcome.remaining_owners(), 3);
+        assert!(!outcome.completion.terminated());
+    }
+
+    #[test]
+    fn completion_labels_and_default() {
+        assert_eq!(Completion::Aggregated.to_string(), "aggregated");
+        assert_eq!(
+            Completion::AggregatedSurvivors.to_string(),
+            "aggregated-survivors"
+        );
+        assert_eq!(Completion::Starved.to_string(), "starved");
+        assert_eq!(Completion::default(), Completion::Starved);
+        assert!(Completion::AggregatedSurvivors.terminated());
+        let tally = FaultTally {
+            crashes: 1,
+            ..FaultTally::default()
+        };
+        assert!(!tally.is_clean());
     }
 }

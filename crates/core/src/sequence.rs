@@ -13,6 +13,7 @@
 
 use doda_graph::{AdjacencyGraph, NodeId};
 
+use crate::fault::CrashPolicy;
 use crate::interaction::{Interaction, Time, TimedInteraction};
 
 /// Read-only view of the execution state offered to an [`InteractionSource`].
@@ -46,6 +47,33 @@ impl AdversaryView<'_> {
     }
 }
 
+/// One step of a (possibly faulted) interaction stream.
+///
+/// Fault-free sources only ever produce [`StepEvent::Interaction`] (the
+/// default [`InteractionSource::next_event`] guarantees it); the fault
+/// layer ([`crate::fault::FaultedSource`]) interleaves the other
+/// variants. The engine consumes events, so faults compose over any
+/// source without the source knowing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// A normal pairwise interaction, presented to the algorithm.
+    Interaction(Interaction),
+    /// A scheduled interaction that failed (message loss, or a dead
+    /// participant): the algorithm never observes it.
+    Lost(Interaction),
+    /// A node crashes permanently; its datum's fate follows the policy.
+    Crash {
+        /// The crashed node.
+        node: NodeId,
+        /// Whether the datum is destroyed or recovered out-of-band.
+        policy: CrashPolicy,
+    },
+    /// A live node departs (churn); its datum leaves the system.
+    Departure(NodeId),
+    /// A previously departed node re-arrives with a fresh datum.
+    Arrival(NodeId),
+}
+
 /// A producer of interactions, one per time step.
 ///
 /// Implementors include finite sequences (oblivious adversary), the
@@ -61,6 +89,50 @@ pub trait InteractionSource {
     /// The engine calls this exactly once per time step, with strictly
     /// increasing `t` starting from 0.
     fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction>;
+
+    /// Produces the event occurring at time `t` — the engine's actual
+    /// entry point, called exactly once per time step with strictly
+    /// increasing `t` starting from 0.
+    ///
+    /// The default implementation wraps [`next_interaction`] in
+    /// [`StepEvent::Interaction`], so every plain source is a fault-free
+    /// event stream; the fault layer ([`crate::fault::FaultedSource`])
+    /// overrides this to interleave crash / churn / loss events.
+    ///
+    /// [`next_interaction`]: InteractionSource::next_interaction
+    fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
+        self.next_interaction(t, view).map(StepEvent::Interaction)
+    }
+}
+
+impl<S: InteractionSource + ?Sized> InteractionSource for &mut S {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction> {
+        (**self).next_interaction(t, view)
+    }
+
+    // Must delegate explicitly: the default method would silently discard
+    // the fault events of a wrapped `&mut FaultedSource`.
+    fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
+        (**self).next_event(t, view)
+    }
+}
+
+impl<S: InteractionSource + ?Sized> InteractionSource for Box<S> {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn next_interaction(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<Interaction> {
+        (**self).next_interaction(t, view)
+    }
+
+    fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
+        (**self).next_event(t, view)
+    }
 }
 
 /// A finite sequence of interactions; the interaction at index `t` occurs

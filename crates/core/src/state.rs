@@ -26,6 +26,13 @@ pub struct NodeState<A> {
 pub struct NetworkState<A> {
     nodes: Vec<NodeState<A>>,
     sink: NodeId,
+    /// Aggregate of every datum destroyed by a crash or departure — the
+    /// accounting bin that makes data conservation checkable under faults
+    /// (sink data ⊎ lost ⊎ recovered ⊎ live owners = everything
+    /// introduced).
+    lost: Option<A>,
+    /// Aggregate of every datum salvaged from a recoverable crash.
+    recovered: Option<A>,
 }
 
 impl<A: Aggregate> NetworkState<A> {
@@ -53,6 +60,8 @@ impl<A: Aggregate> NetworkState<A> {
         NetworkState {
             nodes: Vec::new(),
             sink: NodeId(0),
+            lost: None,
+            recovered: None,
         }
     }
 
@@ -75,6 +84,8 @@ impl<A: Aggregate> NetworkState<A> {
             has_transmitted: false,
         }));
         self.sink = sink;
+        self.lost = None;
+        self.recovered = None;
     }
 
     /// Number of nodes.
@@ -176,6 +187,82 @@ impl<A: Aggregate> NetworkState<A> {
             .expect("checked above")
             .merge(sent);
         Ok(())
+    }
+
+    /// Destroys the datum of `v` (a crash with [`CrashPolicy::DatumLost`]
+    /// or a departure), merging it into the **lost** accounting bin. The
+    /// node keeps its transmission history but no longer owns data.
+    ///
+    /// [`CrashPolicy::DatumLost`]: crate::fault::CrashPolicy::DatumLost
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or does not own data; the engine
+    /// validates fault events (returning a typed
+    /// [`crate::error::FaultError`]) before calling this.
+    pub fn fault_lose(&mut self, v: NodeId) {
+        let datum = self.take_datum(v);
+        merge_into(&mut self.lost, datum);
+    }
+
+    /// Salvages the datum of `v` (a crash with
+    /// [`CrashPolicy::DatumRecoverable`]), merging it into the
+    /// **recovered** accounting bin.
+    ///
+    /// [`CrashPolicy::DatumRecoverable`]: crate::fault::CrashPolicy::DatumRecoverable
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or does not own data (see
+    /// [`NetworkState::fault_lose`]).
+    pub fn fault_recover(&mut self, v: NodeId) {
+        let datum = self.take_datum(v);
+        merge_into(&mut self.recovered, datum);
+    }
+
+    /// Re-seats `v` with a fresh datum (a churn arrival). The arrival is
+    /// a new incarnation of the slot: its single-transmission allowance
+    /// starts over.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range or currently owns data; the engine
+    /// validates arrivals (returning a typed [`crate::error::FaultError`])
+    /// before calling this.
+    pub fn revive(&mut self, v: NodeId, datum: A) {
+        let node = self
+            .nodes
+            .get_mut(v.index())
+            .unwrap_or_else(|| panic!("revive of unknown node {v}"));
+        assert!(node.data.is_none(), "revive of node {v}, which owns data");
+        node.data = Some(datum);
+        node.has_transmitted = false;
+    }
+
+    /// The aggregate of every datum destroyed by faults, if any.
+    pub fn lost_data(&self) -> Option<&A> {
+        self.lost.as_ref()
+    }
+
+    /// The aggregate of every datum salvaged from recoverable crashes.
+    pub fn recovered_data(&self) -> Option<&A> {
+        self.recovered.as_ref()
+    }
+
+    fn take_datum(&mut self, v: NodeId) -> A {
+        self.nodes
+            .get_mut(v.index())
+            .unwrap_or_else(|| panic!("fault on unknown node {v}"))
+            .data
+            .take()
+            .unwrap_or_else(|| panic!("fault takes the datum of {v}, which owns none"))
+    }
+}
+
+fn merge_into<A: Aggregate>(bin: &mut Option<A>, datum: A) {
+    match bin {
+        Some(acc) => acc.merge(datum),
+        None => *bin = Some(datum),
     }
 }
 
@@ -312,5 +399,52 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn sink_out_of_range_rejected() {
         let _: NetworkState<Count> = NetworkState::new(2, NodeId(5), |_| Count::unit());
+    }
+
+    #[test]
+    fn fault_bins_account_for_lost_and_recovered_data() {
+        let mut st = fresh(4);
+        assert!(st.lost_data().is_none());
+        st.fault_lose(NodeId(1));
+        st.fault_recover(NodeId(2));
+        assert!(!st.owns_data(NodeId(1)));
+        assert!(!st.owns_data(NodeId(2)));
+        assert_eq!(st.lost_data().unwrap(), &IdSet::singleton(NodeId(1)));
+        assert_eq!(st.recovered_data().unwrap(), &IdSet::singleton(NodeId(2)));
+        assert_eq!(st.owner_count(), 2);
+        // A second loss merges into the same bin.
+        st.fault_lose(NodeId(3));
+        assert_eq!(st.lost_data().unwrap().len(), 2);
+        // Reset empties both bins.
+        st.reset(3, NodeId(0), IdSet::singleton);
+        assert!(st.lost_data().is_none());
+        assert!(st.recovered_data().is_none());
+    }
+
+    #[test]
+    fn revive_reseats_a_fresh_incarnation() {
+        let mut st = fresh(3);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        assert!(st.has_transmitted(NodeId(1)));
+        st.revive(NodeId(1), IdSet::singleton(NodeId(1)));
+        assert!(st.owns_data(NodeId(1)));
+        // The new incarnation may transmit again.
+        assert!(!st.has_transmitted(NodeId(1)));
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "owns data")]
+    fn revive_of_a_live_owner_is_rejected() {
+        let mut st = fresh(3);
+        st.revive(NodeId(1), IdSet::singleton(NodeId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "owns none")]
+    fn fault_lose_requires_a_datum() {
+        let mut st = fresh(3);
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        st.fault_lose(NodeId(1));
     }
 }

@@ -10,6 +10,10 @@
 //! * [`scenario::Scenario`] is the unified registry of interaction
 //!   processes: synthetic workloads *and* the oblivious / weighted /
 //!   adaptive adversaries, all enumerable by the same sweep;
+//! * [`scenario::FaultedScenario`] crosses that registry with the fault
+//!   axis of `doda_core::fault` — crash faults, node churn, lossy
+//!   interactions — so every scenario also runs under a seeded,
+//!   deterministic fault plan;
 //! * [`trial`] runs one algorithm over one stream (or sequence) and
 //!   extracts metrics;
 //! * [`runner`] runs multi-trial batches (optionally in parallel across
@@ -47,17 +51,19 @@ pub mod trial;
 pub use runner::{
     run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
 };
-pub use scenario::Scenario;
+pub use scenario::{FaultedScenario, Scenario};
 pub use spec::{AlgorithmSpec, KnowledgeRequirement};
-pub use trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
+pub use trial::{run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner};
 
 /// Commonly used items for examples and benches.
 pub mod prelude {
     pub use crate::runner::{
         run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
     };
-    pub use crate::scenario::Scenario;
+    pub use crate::scenario::{FaultedScenario, Scenario};
     pub use crate::spec::{AlgorithmSpec, KnowledgeRequirement};
     pub use crate::table::{markdown_table, Table};
-    pub use crate::trial::{run_trial_on_sequence, TrialConfig, TrialResult, TrialRunner};
+    pub use crate::trial::{
+        run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
+    };
 }

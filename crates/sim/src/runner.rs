@@ -39,7 +39,7 @@ use doda_stats::rng::SeedSequence;
 use doda_stats::Summary;
 use doda_workloads::{UniformWorkload, Workload};
 
-use crate::scenario::Scenario;
+use crate::scenario::FaultedScenario;
 use crate::spec::AlgorithmSpec;
 use crate::trial::{TrialConfig, TrialResult, TrialRunner};
 
@@ -204,58 +204,79 @@ where
 /// Runs `config.trials` independent trials of `spec` against `scenario` —
 /// the scenario-registry counterpart of [`run_trials`], covering the
 /// adversaries (oblivious trap, weighted, **adaptive**) alongside the
-/// synthetic workloads.
+/// synthetic workloads, and — through the [`FaultedScenario`] axis — any
+/// of them with a fault plan layered on top (a plain
+/// [`crate::scenario::Scenario`] converts implicitly, fault-free).
 ///
 /// Adaptive scenarios construct a fresh live adversary per trial and run
 /// it streamed through the same sharded machinery; serial and parallel
 /// runs remain byte-identical because the adversary's decisions depend
-/// only on its own trial's execution.
+/// only on its own trial's execution. Fault plans preserve that: trial
+/// `i` derives its fault-stream seed from its own trial seed, no matter
+/// which worker executes it. On the materialising path the per-worker
+/// scratch sequence is filled from the **base** stream (oracles describe
+/// the committed schedule, not the faults) and the plan is injected at
+/// execution time.
 ///
 /// # Panics
 ///
 /// Panics if `spec` requires materialisation and `scenario` is adaptive
 /// (an adaptive adversary's stream depends on the execution, so no
 /// faithful sequence exists to build oracles from — check
-/// [`Scenario::supports`] first), if `config.n` is below
-/// [`Scenario::min_nodes`], or if a worker thread panics.
+/// [`FaultedScenario::supports`] first), if the fault plan is invalid for
+/// `config.n` (the typed [`doda_core::fault::FaultConfigError`] is the
+/// panic message — check [`FaultedScenario::validate`] first), if
+/// `config.n` is below [`FaultedScenario::min_nodes`], or if a worker
+/// thread panics.
 pub fn run_scenario_trials(
     spec: AlgorithmSpec,
-    scenario: Scenario,
+    scenario: impl Into<FaultedScenario>,
     config: &BatchConfig,
 ) -> Vec<TrialResult> {
+    let scenario: FaultedScenario = scenario.into();
     assert!(
         scenario.supports(spec),
-        "scenario '{}' is adaptive: {spec} requires {} knowledge, which would \
+        "scenario '{scenario}' is adaptive: {spec} requires {} knowledge, which would \
          need materialising a stream that depends on the execution itself",
-        scenario.name(),
         spec.knowledge()
     );
+    // A fault plan that could strand the execution below two live nodes
+    // must be a typed error before any trial runs — never a hang.
+    scenario
+        .validate(config.n)
+        .unwrap_or_else(|e| panic!("invalid fault plan for scenario '{scenario}': {e}"));
     let seeds = SeedSequence::new(config.seed);
     let horizon = config.horizon_len();
 
     if spec.requires_materialization() {
-        let trial_config = TrialConfig::default();
         shard(config.trials, config.parallel, |range| {
             let mut runner = TrialRunner::new();
             let mut seq = InteractionSequence::new(config.n);
             let mut results = Vec::with_capacity(range.len());
             for trial in range {
-                let mut source = scenario.source(config.n, seeds.seed(trial as u64));
+                let trial_seed = seeds.seed(trial as u64);
+                let mut source = scenario.base.source(config.n, trial_seed);
                 seq.fill_from(source.as_mut(), horizon);
+                let trial_config = TrialConfig {
+                    fault: scenario.fault_injection(trial_seed),
+                    ..TrialConfig::default()
+                };
                 results.push(runner.run(spec, &seq, &trial_config));
             }
             results
         })
     } else {
-        let trial_config = TrialConfig {
-            max_interactions: Some(horizon as u64),
-            ..TrialConfig::default()
-        };
         shard(config.trials, config.parallel, |range| {
             let mut runner = TrialRunner::new();
             let mut results = Vec::with_capacity(range.len());
             for trial in range {
-                let mut source = scenario.source(config.n, seeds.seed(trial as u64));
+                let trial_seed = seeds.seed(trial as u64);
+                let mut source = scenario.base.source(config.n, trial_seed);
+                let trial_config = TrialConfig {
+                    max_interactions: Some(horizon as u64),
+                    fault: scenario.fault_injection(trial_seed),
+                    ..TrialConfig::default()
+                };
                 results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
             }
             results
@@ -374,6 +395,8 @@ pub fn run_batch_mutex_detailed(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::Scenario;
+    use doda_core::fault::FaultProfile;
     use doda_workloads::ZipfWorkload;
 
     fn config(n: usize, trials: usize, parallel: bool) -> BatchConfig {
@@ -489,6 +512,57 @@ mod tests {
             &cfg,
         );
         assert_eq!(raw, via_workload);
+    }
+
+    #[test]
+    fn faulted_scenario_sweeps_are_serial_parallel_identical() {
+        let cfg = BatchConfig {
+            n: 12,
+            trials: 6,
+            horizon: Some(6_000),
+            seed: 0xFA,
+            parallel: false,
+        };
+        for spec in [
+            AlgorithmSpec::Gathering,
+            AlgorithmSpec::WaitingGreedy { tau: None },
+        ] {
+            let scenario = Scenario::Uniform.with_faults(FaultProfile::crash(0.002));
+            let serial = run_scenario_trials(spec, scenario, &cfg);
+            let parallel = run_scenario_trials(
+                spec,
+                scenario,
+                &BatchConfig {
+                    parallel: true,
+                    ..cfg
+                },
+            );
+            assert_eq!(serial, parallel, "{spec}");
+            assert!(serial.iter().all(|r| r.data_conserved || !r.terminated()));
+        }
+    }
+
+    #[test]
+    fn fault_free_faulted_scenario_reproduces_the_plain_scenario() {
+        let cfg = config(10, 5, false);
+        let plain = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::Uniform, &cfg);
+        let wrapped = run_scenario_trials(
+            AlgorithmSpec::Gathering,
+            FaultedScenario::from(Scenario::Uniform),
+            &cfg,
+        );
+        assert_eq!(plain, wrapped);
+        assert!(plain.iter().all(|r| r.faults.is_clean()));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 2 live nodes")]
+    fn invalid_fault_plans_panic_with_the_typed_error_not_a_hang() {
+        let bad = Scenario::Uniform.with_faults(FaultProfile {
+            min_live: 1,
+            ..FaultProfile::churn(0.5, 0.0)
+        });
+        let _ = run_scenario_trials(AlgorithmSpec::Gathering, bad, &config(8, 2, false));
     }
 
     #[test]

@@ -18,13 +18,18 @@
 //!
 //! [`materialize`]: Scenario::materialize
 
-use doda_adversary::{IsolatorAdversary, ObliviousTrap, WeightedRandomAdversary};
+use doda_adversary::{
+    CrashAwareIsolator, IsolatorAdversary, ObliviousTrap, WeightedRandomAdversary,
+};
+use doda_core::fault::{FaultConfigError, FaultProfile, FaultedSource};
 use doda_core::{InteractionSequence, InteractionSource};
+use doda_stats::rng::SeedSequence;
 use doda_workloads::{
     BodyAreaWorkload, CommunityWorkload, UniformWorkload, VehicularWorkload, Workload, ZipfWorkload,
 };
 
 use crate::spec::AlgorithmSpec;
+use crate::trial::FaultInjection;
 
 /// One entry of the unified scenario space: a named, seeded family of
 /// interaction sources parameterised by the node count.
@@ -59,8 +64,13 @@ pub enum Scenario {
     ObliviousTrap,
     /// The online **adaptive** isolator adversary: starves the sink while
     /// more than one non-sink node owns data (deterministic; the seed is
-    /// ignored). The only scenario whose stream depends on the execution.
+    /// ignored). A scenario whose stream depends on the execution.
     AdaptiveIsolator,
+    /// The **crash-aware** adaptive adversary: targets the current owner
+    /// set and never releases anyone to the sink, so that under a crash
+    /// fault plan every datum's fate is decided by faults, not
+    /// transmissions (deterministic; the seed is ignored). Adaptive.
+    CrashAwareIsolator,
 }
 
 impl Scenario {
@@ -79,6 +89,7 @@ impl Scenario {
             Scenario::WeightedZipf { exponent: 1.2 },
             Scenario::ObliviousTrap,
             Scenario::AdaptiveIsolator,
+            Scenario::CrashAwareIsolator,
         ]
     }
 
@@ -93,6 +104,7 @@ impl Scenario {
             Scenario::WeightedZipf { .. } => "weighted-zipf",
             Scenario::ObliviousTrap => "oblivious-trap",
             Scenario::AdaptiveIsolator => "adaptive-isolator",
+            Scenario::CrashAwareIsolator => "crash-aware-isolator",
         }
     }
 
@@ -106,14 +118,17 @@ impl Scenario {
     /// online adaptive adversary) and therefore cannot be materialised
     /// faithfully.
     pub fn is_adaptive(&self) -> bool {
-        matches!(self, Scenario::AdaptiveIsolator)
+        matches!(
+            self,
+            Scenario::AdaptiveIsolator | Scenario::CrashAwareIsolator
+        )
     }
 
     /// The smallest node count the scenario admits.
     pub fn min_nodes(&self) -> usize {
         match self {
             Scenario::Community { communities, .. } => 2 * (*communities).max(1),
-            Scenario::BodyArea => 3,
+            Scenario::BodyArea | Scenario::CrashAwareIsolator => 3,
             Scenario::ObliviousTrap => 4,
             _ => 2,
         }
@@ -143,6 +158,7 @@ impl Scenario {
                 Box::new(ObliviousTrap::for_greedy_algorithms(n).adversary())
             }
             Scenario::AdaptiveIsolator => Box::new(IsolatorAdversary::new(n)),
+            Scenario::CrashAwareIsolator => Box::new(CrashAwareIsolator::new(n)),
             workload_backed => workload_backed
                 .workload(n)
                 .expect("non-adversary scenarios are workload-backed")
@@ -169,7 +185,8 @@ impl Scenario {
             }
             Scenario::WeightedZipf { .. }
             | Scenario::ObliviousTrap
-            | Scenario::AdaptiveIsolator => None,
+            | Scenario::AdaptiveIsolator
+            | Scenario::CrashAwareIsolator => None,
         }
     }
 
@@ -186,9 +203,168 @@ impl Scenario {
     }
 }
 
+impl Scenario {
+    /// Layers a fault profile over this scenario, producing an entry of
+    /// the faulted scenario space (see [`FaultedScenario`]).
+    pub fn with_faults(self, profile: FaultProfile) -> FaultedScenario {
+        FaultedScenario {
+            base: self,
+            faults: Some(profile),
+        }
+    }
+}
+
 impl std::fmt::Display for Scenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// One entry of the **faulted** scenario space: a base interaction
+/// process plus an optional deterministic fault plan layered on top.
+///
+/// This is the axis product the sweep stack actually enumerates: every
+/// [`Scenario`] converts losslessly (`faults: None`) via `From`, so all
+/// existing call sites keep working, while
+/// [`FaultedScenario::registry`] adds the fault-profile variants
+/// (`uniform+crash(p)`, `vehicular+churn(..)`, …) that every consumer —
+/// the sharded runner, `doda-bench`, the experiment harness — picks up
+/// for free.
+///
+/// Execution semantics: the **base** stream is what oracles see and what
+/// the materialising path fills its sequence from (knowledge describes
+/// the committed schedule, not the faults); the fault plan is injected
+/// at execution time by the trial runner, per trial, from a sub-seed
+/// derived from the trial seed. A fault-free `FaultedScenario` therefore
+/// produces byte-identical trials to its plain [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultedScenario {
+    /// The base interaction process.
+    pub base: Scenario,
+    /// The fault plan layered on top, if any.
+    pub faults: Option<FaultProfile>,
+}
+
+impl From<Scenario> for FaultedScenario {
+    fn from(base: Scenario) -> Self {
+        FaultedScenario { base, faults: None }
+    }
+}
+
+impl FaultedScenario {
+    /// The default-parameterised faulted registry: every fault-free
+    /// scenario of [`Scenario::registry`], followed by the pinned
+    /// fault-profile variants of the new axis.
+    pub fn registry() -> Vec<FaultedScenario> {
+        let mut entries: Vec<FaultedScenario> =
+            Scenario::registry().into_iter().map(Into::into).collect();
+        entries.extend([
+            Scenario::Uniform.with_faults(FaultProfile::crash(0.002)),
+            Scenario::Uniform.with_faults(FaultProfile::crash_recoverable(0.002)),
+            Scenario::Zipf { exponent: 1.2 }.with_faults(FaultProfile::lossy(0.2)),
+            Scenario::Vehicular.with_faults(FaultProfile::churn(0.002, 0.004)),
+            Scenario::CrashAwareIsolator.with_faults(FaultProfile::crash(0.005)),
+        ]);
+        entries
+    }
+
+    /// The label used in reports and `BENCH_*.json`: the base name, plus
+    /// `+<fault label>` when a fault plan is present (e.g.
+    /// `"uniform+crash(0.002)"`).
+    pub fn name(&self) -> String {
+        match &self.faults {
+            None => self.base.name().to_string(),
+            Some(profile) => format!("{}+{}", self.base.name(), profile.label()),
+        }
+    }
+
+    /// Looks an entry up by its [`name`](FaultedScenario::name) among the
+    /// registry defaults.
+    pub fn by_name(name: &str) -> Option<FaultedScenario> {
+        FaultedScenario::registry()
+            .into_iter()
+            .find(|s| s.name() == name)
+    }
+
+    /// The label of the fault plan (`"none"` when fault-free) — the
+    /// `fault_profile` column of the bench schema.
+    pub fn fault_label(&self) -> String {
+        self.faults
+            .map_or_else(|| "none".to_string(), |p| p.label())
+    }
+
+    /// Delegates to [`Scenario::is_adaptive`]: faults never change
+    /// whether the *base* stream depends on the execution.
+    pub fn is_adaptive(&self) -> bool {
+        self.base.is_adaptive()
+    }
+
+    /// Delegates to [`Scenario::supports`]: oracles are built from the
+    /// base stream, so the compatibility rule is the base's.
+    pub fn supports(&self, spec: AlgorithmSpec) -> bool {
+        self.base.supports(spec)
+    }
+
+    /// The smallest node count the entry admits: the base's floor, never
+    /// below the fault plan's live floor.
+    pub fn min_nodes(&self) -> usize {
+        let floor = self.faults.map_or(0, |p| p.min_live);
+        self.base.min_nodes().max(floor)
+    }
+
+    /// Validates the fault plan for an execution over `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`FaultConfigError`] for a plan that could hang
+    /// the execution (live floor below 2), exceed the node count, or
+    /// carry an out-of-range probability. Fault-free entries always pass.
+    pub fn validate(&self, n: usize) -> Result<(), FaultConfigError> {
+        match &self.faults {
+            None => Ok(()),
+            Some(profile) => profile.validate(n),
+        }
+    }
+
+    /// The per-trial fault injection: the profile plus a fault-stream
+    /// seed derived from (but independent of) the trial seed, so base
+    /// stream and fault stream never share randomness.
+    pub fn fault_injection(&self, trial_seed: u64) -> Option<FaultInjection> {
+        self.faults.map(|profile| FaultInjection {
+            profile,
+            seed: SeedSequence::new(trial_seed).seed(FAULT_STREAM_LABEL),
+        })
+    }
+
+    /// A seeded streaming source with the fault plan already applied —
+    /// the composite view for direct engine use (sweeps go through
+    /// [`crate::runner::run_scenario_trials`], which injects faults per
+    /// trial instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < self.min_nodes()` (propagated from the base) or if
+    /// the fault plan is invalid for `n` (use
+    /// [`validate`](FaultedScenario::validate) for the typed error).
+    pub fn source(&self, n: usize, seed: u64) -> Box<dyn InteractionSource + Send> {
+        let base = self.base.source(n, seed);
+        match self.fault_injection(seed) {
+            None => base,
+            Some(injection) => Box::new(
+                FaultedSource::new(base, injection.profile, injection.seed)
+                    .unwrap_or_else(|e| panic!("invalid fault plan for '{}': {e}", self.name())),
+            ),
+        }
+    }
+}
+
+/// The seed-stream label separating fault randomness from the base
+/// stream's (see [`FaultedScenario::fault_injection`]).
+const FAULT_STREAM_LABEL: u64 = 0xFA;
+
+impl std::fmt::Display for FaultedScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
     }
 }
 
@@ -260,6 +436,111 @@ mod tests {
     }
 
     #[test]
+    fn faulted_registry_extends_the_plain_registry() {
+        let plain = Scenario::registry();
+        let faulted = FaultedScenario::registry();
+        assert!(faulted.len() > plain.len());
+        // The plain registry embeds as the fault-free prefix.
+        for (entry, base) in faulted.iter().zip(&plain) {
+            assert_eq!(entry.base, *base);
+            assert!(entry.faults.is_none());
+            assert_eq!(entry.name(), base.name());
+            assert_eq!(entry.fault_label(), "none");
+        }
+        // Names are unique and resolvable; faulted names carry the axis.
+        let mut names: Vec<String> = faulted.iter().map(FaultedScenario::name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), faulted.len());
+        for entry in &faulted {
+            assert_eq!(FaultedScenario::by_name(&entry.name()), Some(*entry));
+            assert_eq!(entry.to_string(), entry.name());
+            if let Some(profile) = entry.faults {
+                assert!(entry.name().contains('+'));
+                assert_eq!(entry.fault_label(), profile.label());
+                assert!(entry.validate(entry.min_nodes()).is_ok());
+            }
+        }
+        assert_eq!(FaultedScenario::by_name("uniform+crash(0.9999)"), None);
+    }
+
+    #[test]
+    fn faulted_sources_stream_and_fault_free_entries_match_the_base() {
+        use doda_core::StepEvent;
+
+        let entry = Scenario::Uniform.with_faults(FaultProfile::crash(0.05));
+        let n = 10;
+        let mut source = entry.source(n, 7);
+        let owns = vec![true; n];
+        let view = AdversaryView {
+            owns_data: &owns,
+            sink: NodeId(0),
+        };
+        let mut crashes = 0;
+        for t in 0..2_000u64 {
+            match source.next_event(t, &view) {
+                Some(StepEvent::Crash { .. }) => crashes += 1,
+                Some(_) => {}
+                None => panic!("uniform+crash ran dry at t={t}"),
+            }
+        }
+        assert!(crashes > 0, "a 5% crash plan must fire within 2000 steps");
+
+        // A fault-free FaultedScenario streams exactly its base.
+        let plain: FaultedScenario = Scenario::Uniform.into();
+        let mut a = plain.source(n, 3);
+        let mut b = Scenario::Uniform.source(n, 3);
+        for t in 0..200u64 {
+            assert_eq!(a.next_interaction(t, &view), b.next_interaction(t, &view));
+        }
+    }
+
+    #[test]
+    fn invalid_fault_plans_are_typed_errors_not_hangs() {
+        use doda_core::fault::FaultConfigError;
+
+        // A plan whose churn could strand the execution below 2 live
+        // nodes is rejected up front with the typed error...
+        let below_floor = Scenario::Uniform.with_faults(FaultProfile {
+            min_live: 1,
+            ..FaultProfile::crash(0.1)
+        });
+        assert_eq!(
+            below_floor.validate(8),
+            Err(FaultConfigError::MinLiveTooSmall { min_live: 1 })
+        );
+        // ...as is a floor the node count cannot satisfy.
+        let oversized = Scenario::Uniform.with_faults(FaultProfile {
+            min_live: 12,
+            ..FaultProfile::churn(0.1, 0.1)
+        });
+        assert_eq!(
+            oversized.validate(8),
+            Err(FaultConfigError::MinLiveExceedsNodes { min_live: 12, n: 8 })
+        );
+        assert_eq!(oversized.min_nodes(), 12);
+        // Fault-free entries always validate.
+        assert!(FaultedScenario::from(Scenario::Uniform).validate(2).is_ok());
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic_and_independent_of_the_base_stream() {
+        let entry = Scenario::Uniform.with_faults(FaultProfile::lossy(0.1));
+        let a = entry.fault_injection(42).unwrap();
+        let b = entry.fault_injection(42).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.seed, 42, "fault stream must not reuse the base seed");
+        assert_ne!(
+            entry.fault_injection(43).unwrap().seed,
+            a.seed,
+            "distinct trials draw distinct fault streams"
+        );
+        assert!(FaultedScenario::from(Scenario::Uniform)
+            .fault_injection(42)
+            .is_none());
+    }
+
+    #[test]
     fn workload_backed_scenarios_expose_their_workload() {
         for s in Scenario::registry() {
             let n = s.min_nodes().max(8);
@@ -271,6 +552,7 @@ mod tests {
                         Scenario::WeightedZipf { .. }
                             | Scenario::ObliviousTrap
                             | Scenario::AdaptiveIsolator
+                            | Scenario::CrashAwareIsolator
                     ),
                     "{s}"
                 ),

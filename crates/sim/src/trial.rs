@@ -10,15 +10,30 @@
 //! for one-off trials.
 
 use doda_core::cost::{cost_of_duration, Cost};
-use doda_core::data::IdSet;
+use doda_core::data::{Aggregate, IdSet};
 use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig, RunStats};
+use doda_core::fault::{FaultProfile, FaultedSource};
+use doda_core::outcome::{Completion, FaultTally};
 use doda_core::{InteractionSequence, InteractionSource, Time};
 use doda_graph::NodeId;
 
 use crate::spec::AlgorithmSpec;
 
+/// A fully resolved per-trial fault plan: the profile plus the seed of
+/// the dedicated fault stream. Built by
+/// [`crate::scenario::FaultedScenario::fault_injection`] from the trial
+/// seed; the runner injects it into the engine by wrapping the trial's
+/// source in a [`FaultedSource`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultInjection {
+    /// The fault plan.
+    pub profile: FaultProfile,
+    /// Seed of the fault stream (independent of the base stream's).
+    pub seed: u64,
+}
+
 /// Configuration of a single trial.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialConfig {
     /// The sink node.
     pub sink: NodeId,
@@ -34,6 +49,14 @@ pub struct TrialConfig {
     /// Cap on the number of successive convergecasts examined by the cost
     /// computation.
     pub max_convergecasts: u64,
+    /// The fault plan injected over the trial's source, if any. On the
+    /// materialised path the oracles are still built from the *base*
+    /// sequence (knowledge describes the committed schedule, not the
+    /// faults); the plan perturbs execution only, delaying the schedule
+    /// under the algorithm so time-indexed knowledge grows stale by the
+    /// number of fault events (see [`TrialRunner::run`]). Incompatible
+    /// with [`TrialConfig::compute_cost`].
+    pub fault: Option<FaultInjection>,
 }
 
 impl Default for TrialConfig {
@@ -43,6 +66,7 @@ impl Default for TrialConfig {
             max_interactions: None,
             compute_cost: false,
             max_convergecasts: 64,
+            fault: None,
         }
     }
 }
@@ -62,10 +86,19 @@ pub struct TrialResult {
     pub transmissions: usize,
     /// Number of `Transmit` decisions ignored by the engine.
     pub ignored_decisions: u64,
-    /// `true` iff the sink's final data covers every origin (always checked;
-    /// an algorithm with `false` here and `termination_time = Some(..)`
-    /// would indicate a model violation).
+    /// `true` iff, at termination, every origin is accounted for: the
+    /// sink's data plus the fault-model's lost/recovered bins cover every
+    /// origin (for fault-free trials this degenerates to "the sink covers
+    /// everything"). A terminated trial with `false` here would indicate
+    /// a model violation.
     pub data_conserved: bool,
+    /// How the execution ended: `Aggregated`, `AggregatedSurvivors`
+    /// (faults destroyed data before the sink became sole owner) or
+    /// `Starved`.
+    pub completion: Completion,
+    /// The fault events applied during the trial (all zero without a
+    /// fault plan).
+    pub faults: FaultTally,
     /// The paper's cost, when requested.
     pub cost: Option<Cost>,
 }
@@ -74,6 +107,12 @@ impl TrialResult {
     /// Returns `true` if the aggregation completed.
     pub fn terminated(&self) -> bool {
         self.termination_time.is_some()
+    }
+
+    /// Returns `true` if the sink aggregated every datum ever introduced
+    /// (the fault-free notion of success).
+    pub fn fully_aggregated(&self) -> bool {
+        self.completion == Completion::Aggregated
     }
 
     /// The number of interactions until completion, as a float for
@@ -105,17 +144,36 @@ impl TrialRunner {
     /// Runs `spec` over a concrete, pre-materialised sequence, reusing
     /// this runner's scratch.
     ///
+    /// With a fault plan ([`TrialConfig::fault`]), the oracles are built
+    /// from `seq` — the committed schedule — while fault events consume
+    /// execution steps without consuming schedule entries. Time-indexed
+    /// knowledge (`meetTime`, futures) therefore grows *stale* by the
+    /// number of fault events: the algorithm acts on the committed times
+    /// while the schedule is delayed under it. This knowledge
+    /// degradation is deliberate fault-model semantics (a real
+    /// deployment's precomputed schedule drifts exactly like this), and
+    /// part of what the fault-degradation experiment (E14) measures.
+    ///
     /// # Panics
     ///
     /// Panics if the algorithm produces a structurally invalid decision
     /// (this would be a bug in the algorithm implementation, not a
-    /// property of the input).
+    /// property of the input), or if `config.compute_cost` is combined
+    /// with a fault plan: the paper's cost function indexes the committed
+    /// sequence by time, and a faulted execution's clock includes fault
+    /// events, so no faithful duration exists to price.
     pub fn run(
         &mut self,
         spec: AlgorithmSpec,
         seq: &InteractionSequence,
         config: &TrialConfig,
     ) -> TrialResult {
+        assert!(
+            !(config.compute_cost && config.fault.is_some()),
+            "the paper's cost function is defined over the committed fault-free \
+             sequence; a faulted execution's termination time indexes the engine \
+             clock (schedule + fault events), so its cost is undefined"
+        );
         let n = seq.node_count();
         let sink = config.sink;
         let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
@@ -132,20 +190,37 @@ impl TrialRunner {
                 transmissions: 0,
                 ignored_decisions: 0,
                 data_conserved: false,
+                completion: Completion::Starved,
+                faults: FaultTally::default(),
                 cost: None,
             };
         };
-        let stats = self
-            .engine
-            .run(
+        let stats = match config.fault {
+            None => self.engine.run(
                 algorithm.as_mut(),
                 &mut seq.stream(false),
                 sink,
                 IdSet::singleton,
                 engine_config,
                 &mut DiscardTransmissions,
-            )
-            .expect("the provided algorithms never emit structurally invalid decisions");
+            ),
+            Some(injection) => {
+                // The oracles above were built from the base sequence (the
+                // committed schedule); only execution sees the faults.
+                let mut faulted =
+                    FaultedSource::new(seq.stream(false), injection.profile, injection.seed)
+                        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                self.engine.run(
+                    algorithm.as_mut(),
+                    &mut faulted,
+                    sink,
+                    IdSet::singleton,
+                    engine_config,
+                    &mut DiscardTransmissions,
+                )
+            }
+        }
+        .expect("the provided algorithms never emit structurally invalid decisions");
         let cost = config
             .compute_cost
             .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
@@ -193,29 +268,54 @@ impl TrialRunner {
                 spec.knowledge()
             );
         };
-        let stats = self
-            .engine
-            .run(
+        let engine_config = EngineConfig::sweep(max_interactions);
+        let stats = match config.fault {
+            None => self.engine.run(
                 algorithm.as_mut(),
                 source,
                 sink,
                 IdSet::singleton,
-                EngineConfig::sweep(max_interactions),
+                engine_config,
                 &mut DiscardTransmissions,
-            )
-            .expect("the provided algorithms never emit structurally invalid decisions");
+            ),
+            Some(injection) => {
+                let mut faulted = FaultedSource::new(source, injection.profile, injection.seed)
+                    .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                self.engine.run(
+                    algorithm.as_mut(),
+                    &mut faulted,
+                    sink,
+                    IdSet::singleton,
+                    engine_config,
+                    &mut DiscardTransmissions,
+                )
+            }
+        }
+        .expect("the provided algorithms never emit structurally invalid decisions");
         self.finish(spec, stats, None)
     }
 
     /// Packages the engine counters (plus the data-conservation check read
     /// off the engine's final state) into a [`TrialResult`].
+    ///
+    /// Conservation under faults: at termination, the union of the sink's
+    /// origin set with the lost and recovered bins must be exactly the
+    /// full origin set — a datum may be aggregated or destroyed by a
+    /// fault, but never silently dropped. Fault-free trials reduce to the
+    /// classic "sink covers every origin".
     fn finish(&self, spec: AlgorithmSpec, stats: RunStats, cost: Option<Cost>) -> TrialResult {
+        let state = self.engine.state();
         let data_conserved = stats.terminated()
-            && self
-                .engine
-                .state()
-                .data_of(stats.sink)
-                .is_some_and(|data| data.covers_all(stats.node_count));
+            && state.data_of(stats.sink).is_some_and(|data| {
+                let mut accounted = data.clone();
+                if let Some(lost) = state.lost_data() {
+                    accounted.merge(lost.clone());
+                }
+                if let Some(recovered) = state.recovered_data() {
+                    accounted.merge(recovered.clone());
+                }
+                accounted.covers_all(stats.node_count)
+            });
         TrialResult {
             algorithm: spec.label().to_string(),
             n: stats.node_count,
@@ -224,6 +324,8 @@ impl TrialRunner {
             transmissions: stats.transmissions as usize,
             ignored_decisions: stats.ignored_decisions,
             data_conserved,
+            completion: stats.completion,
+            faults: stats.faults,
             cost,
         }
     }
@@ -385,6 +487,76 @@ mod tests {
     }
 
     #[test]
+    fn faulted_streamed_trial_matches_faulted_materialized_trial() {
+        use doda_core::fault::FaultProfile;
+
+        let horizon = 4_000usize;
+        let mut runner = TrialRunner::new();
+        let injection = FaultInjection {
+            profile: FaultProfile {
+                loss: 0.1,
+                ..FaultProfile::crash(0.001)
+            },
+            seed: 0xFA7,
+        };
+        for (n, seed) in [(8usize, 1u64), (12, 2)] {
+            let workload = UniformWorkload::new(n);
+            for spec in [AlgorithmSpec::Gathering, AlgorithmSpec::Waiting] {
+                let seq = workload.generate(horizon, seed);
+                let config = TrialConfig {
+                    max_interactions: Some(horizon as u64),
+                    fault: Some(injection),
+                    ..TrialConfig::default()
+                };
+                let materialized = runner.run(spec, &seq, &config);
+                let streamed = runner.run_streamed(spec, workload.source(seed).as_mut(), &config);
+                assert_eq!(
+                    streamed, materialized,
+                    "{spec} diverged under faults at n={n}, seed={seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faulted_trials_conserve_data_and_classify_completion() {
+        use doda_core::fault::FaultProfile;
+        use doda_core::outcome::Completion;
+
+        let mut runner = TrialRunner::new();
+        let workload = UniformWorkload::new(16);
+        let mut survivor_trials = 0;
+        for seed in 0..8u64 {
+            let config = TrialConfig {
+                max_interactions: Some(40_000),
+                fault: Some(FaultInjection {
+                    profile: FaultProfile::crash(0.005),
+                    seed: seed ^ 0xFA,
+                }),
+                ..TrialConfig::default()
+            };
+            let result = runner.run_streamed(
+                AlgorithmSpec::Gathering,
+                workload.source(seed).as_mut(),
+                &config,
+            );
+            assert!(result.terminated(), "seed {seed}");
+            // Conservation holds whether or not data was lost.
+            assert!(result.data_conserved, "seed {seed}");
+            match result.completion {
+                Completion::Aggregated => assert_eq!(result.faults.data_lost, 0),
+                Completion::AggregatedSurvivors => {
+                    assert!(result.faults.data_lost > 0);
+                    assert!(!result.fully_aggregated());
+                    survivor_trials += 1;
+                }
+                Completion::Starved => panic!("uniform contacts cannot starve Gathering"),
+            }
+        }
+        assert!(survivor_trials > 0, "crashes must cost data in some trials");
+    }
+
+    #[test]
     #[should_panic(expected = "cannot run streamed")]
     fn streamed_trial_rejects_knowledge_based_specs() {
         let workload = UniformWorkload::new(6);
@@ -392,6 +564,26 @@ mod tests {
             AlgorithmSpec::OfflineOptimal,
             workload.source(0).as_mut(),
             &TrialConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cost is undefined")]
+    fn faulted_trial_rejects_cost_computation() {
+        use doda_core::fault::FaultProfile;
+
+        let seq = UniformWorkload::new(6).generate(500, 1);
+        let _ = TrialRunner::new().run(
+            AlgorithmSpec::Gathering,
+            &seq,
+            &TrialConfig {
+                compute_cost: true,
+                fault: Some(FaultInjection {
+                    profile: FaultProfile::crash(0.01),
+                    seed: 1,
+                }),
+                ..TrialConfig::default()
+            },
         );
     }
 

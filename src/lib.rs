@@ -13,7 +13,7 @@
 //! | [`adversary`] | oblivious / adaptive / randomized adversaries (`doda-adversary`) |
 //! | [`workloads`] | synthetic interaction-sequence generators (`doda-workloads`) |
 //! | [`sim`] | trial runner, batches, the scenario registry, tables (`doda-sim`) |
-//! | [`analysis`] | scaling studies and the E1–E13 experiment harness (`doda-analysis`) |
+//! | [`analysis`] | scaling studies and the E1–E14 experiment harness (`doda-analysis`) |
 //!
 //! Streaming is the default execution path — the engine pulls one
 //! interaction per step from a seeded [`sim::Scenario`] source:

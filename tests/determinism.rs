@@ -6,6 +6,7 @@
 //! (summary and raw per-trial results, byte for byte) to the serial batch
 //! of the same configuration, and re-running either must reproduce it.
 
+use doda_core::fault::FaultProfile;
 use doda_sim::prelude::*;
 
 fn config(n: usize, trials: usize, seed: u64, parallel: bool) -> BatchConfig {
@@ -52,12 +53,13 @@ fn different_seeds_produce_different_batches() {
     assert_ne!(a.1, b.1, "distinct seeds must draw distinct sequences");
 }
 
-/// The streamed sharded runner: every registry scenario (including the
-/// adversaries) must produce byte-identical raw results serially and in
-/// parallel, for both streamed and materialising algorithms.
+/// The streamed sharded runner: every entry of the **faulted** scenario
+/// registry — the fault-free scenarios plus every fault-profile variant —
+/// must produce byte-identical raw results serially and in parallel, for
+/// both streamed and materialising algorithms.
 #[test]
 fn scenario_batches_are_serial_parallel_identical() {
-    for scenario in Scenario::registry() {
+    for scenario in FaultedScenario::registry() {
         let n = scenario.min_nodes().max(10);
         for spec in [
             AlgorithmSpec::Gathering,
@@ -88,8 +90,51 @@ fn scenario_batches_are_serial_parallel_identical() {
                 "{spec} diverged between serial and parallel on scenario '{scenario}'"
             );
             assert_eq!(serial.len(), 7);
+            // Fault-free entries stay clean; every terminated trial
+            // (faulted or not) conserves its data.
+            if scenario.faults.is_none() {
+                assert!(serial.iter().all(|r| r.faults.is_clean()), "{scenario}");
+            }
+            assert!(
+                serial.iter().all(|r| !r.terminated() || r.data_conserved),
+                "{spec} broke conservation on scenario '{scenario}'"
+            );
         }
     }
+}
+
+/// The fault axis itself is deterministic end to end: re-running a
+/// faulted batch reproduces it, distinct fault seeds (via the batch
+/// seed) change the outcomes, and the fault events genuinely fire.
+#[test]
+fn faulted_batches_are_reproducible_and_seed_sensitive() {
+    let scenario = Scenario::Uniform.with_faults(FaultProfile {
+        loss: 0.1,
+        ..FaultProfile::crash(0.002)
+    });
+    let cfg = BatchConfig {
+        n: 16,
+        trials: 8,
+        horizon: Some(20_000),
+        seed: 0xFA7,
+        parallel: true,
+    };
+    let first = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
+    let second = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
+    assert_eq!(first, second);
+    let other_seed = run_scenario_trials(
+        AlgorithmSpec::Gathering,
+        scenario,
+        &BatchConfig { seed: 0xFA8, ..cfg },
+    );
+    assert_ne!(
+        first, other_seed,
+        "distinct seeds must draw distinct faults"
+    );
+    assert!(
+        first.iter().any(|r| !r.faults.is_clean()),
+        "the fault plan must fire somewhere in the batch"
+    );
 }
 
 /// Adaptive adversaries run through the sharded runner as first-class
@@ -117,4 +162,86 @@ fn adaptive_scenarios_shard_deterministically() {
     assert!(serial
         .iter()
         .all(|r| r.terminated() && r.data_conserved && r.transmissions == 23));
+}
+
+mod isolator_invariant {
+    //! Invariant proptest for the adaptive isolators' cached-pair
+    //! revalidation: against *any* evolution of the ownership bitmap —
+    //! including the abrupt losses a crash plan produces — the emitted
+    //! pair never touches the isolated node (the sink) while isolation
+    //! must hold.
+
+    use doda_adversary::{CrashAwareIsolator, IsolatorAdversary};
+    use doda_core::prelude::*;
+    use doda_graph::NodeId;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Drive both isolators through a random ownership history: at
+        /// each step a random subset instruction may strip ownership from
+        /// a random node (modelling a transmission *or* a fault-driven
+        /// loss — the adversary cannot tell them apart). While at least
+        /// two non-sink owners remain, the plain isolator must keep the
+        /// sink out of every pair; the crash-aware isolator must never
+        /// involve the sink at all.
+        #[test]
+        fn cached_pair_revalidation_never_leaks_the_isolated_node(
+            n in 4usize..16,
+            sink_idx in 0usize..16,
+            kills in prop::collection::vec(0usize..16, 1..40),
+        ) {
+            let sink = NodeId(sink_idx % n);
+            let mut plain = IsolatorAdversary::new(n);
+            let mut aware = CrashAwareIsolator::new(n);
+            let mut owns = vec![true; n];
+            for (t, kill) in kills.iter().enumerate() {
+                let t = t as Time;
+                let view = AdversaryView { owns_data: &owns, sink };
+                let non_sink_owners = owns
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, &o)| o && NodeId(i) != sink)
+                    .count();
+
+                let pair = plain
+                    .next_interaction(t, &view)
+                    .expect("owners remain, the isolator never runs dry");
+                if non_sink_owners >= 2 {
+                    prop_assert!(
+                        !pair.involves(sink),
+                        "plain isolator leaked the sink at t={} with {} owners",
+                        t, non_sink_owners
+                    );
+                    // Isolation pairs always join two data owners.
+                    prop_assert!(view.owns(pair.min()) && view.owns(pair.max()));
+                }
+
+                let aware_pair = aware
+                    .next_interaction(t, &view)
+                    .expect("owners remain, the isolator never runs dry");
+                prop_assert!(
+                    !aware_pair.involves(sink),
+                    "crash-aware isolator touched the sink at t={}",
+                    t
+                );
+
+                // Random ownership loss, sparing the sink (it never
+                // transmits and never dies).
+                let victim = NodeId(kill % n);
+                if victim != sink {
+                    owns[victim.index()] = false;
+                }
+                // Stop once nothing but the sink owns data.
+                if owns
+                    .iter()
+                    .enumerate()
+                    .all(|(i, &o)| !o || NodeId(i) == sink)
+                {
+                    break;
+                }
+            }
+        }
+    }
 }
