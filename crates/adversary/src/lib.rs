@@ -45,9 +45,11 @@ pub mod constructions;
 pub mod nonuniform;
 pub mod oblivious;
 pub mod randomized;
+pub mod round_trap;
 
 pub use adaptive::{AdaptiveAdversary, CrashAwareIsolator, IsolatorAdversary};
 pub use constructions::{AdaptiveTrap, CycleTrap, ObliviousTrap};
 pub use nonuniform::WeightedRandomAdversary;
 pub use oblivious::ObliviousAdversary;
 pub use randomized::RandomizedAdversary;
+pub use round_trap::RoundIsolator;

@@ -12,15 +12,19 @@
 //! doda-bench --smoke                 # tiny grid  -> BENCH_smoke.json (CI)
 //! doda-bench --out-dir perf --smoke  # write into ./perf/
 //! doda-bench --validate FILE.json    # schema-check an artifact
+//! doda-bench --compare RUN BASE --tolerance 40
+//!                                    # perf-regression gate (CI)
 //! doda-bench --compare-runners       # sharded vs mutex runner speedup
 //! doda-bench --stream-guard          # 10^7-interaction streamed sweeps
 //! doda-bench --fault-guard           # 10^6-interaction faulted sweeps
+//! doda-bench --round-guard           # 10^6-interaction round sweeps
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use doda_bench::compare::compare_reports;
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
 use doda_core::fault::FaultProfile;
@@ -33,19 +37,29 @@ struct Args {
     grid: PerfGrid,
     out_dir: PathBuf,
     validate: Vec<PathBuf>,
+    compare: Option<(PathBuf, PathBuf)>,
+    tolerance: Option<f64>,
     compare_runners: bool,
     stream_guard: bool,
     fault_guard: bool,
+    round_guard: bool,
 }
+
+/// The default throughput tolerance of `--compare`, generous enough for
+/// shared-runner noise while still failing a 2x slowdown loudly.
+const DEFAULT_TOLERANCE_PCT: f64 = 40.0;
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         grid: PerfGrid::baseline(),
         out_dir: PathBuf::from("."),
         validate: Vec::new(),
+        compare: None,
+        tolerance: None,
         compare_runners: false,
         stream_guard: false,
         fault_guard: false,
+        round_guard: false,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -67,14 +81,29 @@ fn parse_args() -> Result<Args, String> {
                 let file = argv.next().ok_or("--validate needs a file")?;
                 args.validate.push(PathBuf::from(file));
             }
+            "--compare" => {
+                let run = argv.next().ok_or("--compare needs <run> and <baseline>")?;
+                let base = argv
+                    .next()
+                    .ok_or("--compare needs a <baseline> after <run>")?;
+                args.compare = Some((PathBuf::from(run), PathBuf::from(base)));
+            }
+            "--tolerance" => {
+                let pct = argv.next().ok_or("--tolerance needs a percentage")?;
+                args.tolerance = Some(
+                    pct.parse::<f64>()
+                        .map_err(|e| format!("--tolerance {pct}: {e}"))?,
+                );
+            }
             "--compare-runners" => args.compare_runners = true,
             "--stream-guard" => args.stream_guard = true,
             "--fault-guard" => args.fault_guard = true,
+            "--round-guard" => args.round_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
-                     | --validate FILE... | --compare-runners | --stream-guard \
-                     | --fault-guard"
+                     | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
+                     | --compare-runners | --stream-guard | --fault-guard | --round-guard"
                 );
                 std::process::exit(0);
             }
@@ -85,15 +114,20 @@ fn parse_args() -> Result<Args, String> {
     // a requested grid run.
     let modes = usize::from(grid_requested)
         + usize::from(!args.validate.is_empty())
+        + usize::from(args.compare.is_some())
         + usize::from(args.compare_runners)
         + usize::from(args.stream_guard)
-        + usize::from(args.fault_guard);
+        + usize::from(args.fault_guard)
+        + usize::from(args.round_guard);
     if modes > 1 {
         return Err(
-            "--smoke/--baseline, --validate, --compare-runners, --stream-guard and \
-             --fault-guard are mutually exclusive"
+            "--smoke/--baseline, --validate, --compare, --compare-runners, \
+             --stream-guard, --fault-guard and --round-guard are mutually exclusive"
                 .to_string(),
         );
+    }
+    if args.tolerance.is_some() && args.compare.is_none() {
+        return Err("--tolerance only applies to --compare".to_string());
     }
     Ok(args)
 }
@@ -106,6 +140,52 @@ fn validate_files(files: &[PathBuf]) -> Result<(), String> {
         println!("{}: ok", file.display());
     }
     Ok(())
+}
+
+/// The perf-regression gate: diffs a fresh run against a committed
+/// baseline and fails on regressions beyond the tolerance (see
+/// `doda_bench::compare`). Prints every regression with its cell
+/// identity, so a CI failure names exactly what slowed down.
+fn compare_files(run_path: &PathBuf, base_path: &PathBuf, tolerance: f64) -> Result<(), String> {
+    let load = |path: &PathBuf| -> Result<Json, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+    };
+    let run = load(run_path)?;
+    let baseline = load(base_path)?;
+    let summary = compare_reports(&run, &baseline, tolerance)?;
+    println!(
+        "compared {} cells of {} against {} (throughput tolerance {tolerance}%)",
+        summary.compared,
+        run_path.display(),
+        base_path.display(),
+    );
+    if let Some(ratio) = summary.median_throughput_ratio {
+        println!(
+            "  machine calibration: median run/baseline throughput ratio {ratio:.2} \
+             (far from 1.0 means the baseline was measured on different hardware — \
+             consider regenerating it where the gate runs)"
+        );
+    }
+    for cell in &summary.new_cells {
+        println!("  new cell (not in baseline): {cell}");
+    }
+    for cell in &summary.missing {
+        println!("  MISSING: baseline cell absent from the run: {cell}");
+    }
+    for regression in &summary.regressions {
+        println!("  REGRESSION: {regression}");
+    }
+    if summary.passed() {
+        println!("perf gate passed: no cell regressed beyond {tolerance}%");
+        Ok(())
+    } else {
+        Err(format!(
+            "{} regression(s), {} missing cell(s)",
+            summary.regressions.len(),
+            summary.missing.len()
+        ))
+    }
 }
 
 /// Measures the sharded runner against the retained legacy mutex-funnel
@@ -303,6 +383,72 @@ fn fault_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// Guards the round path's `O(n)`-memory and batched-application claims
+/// with long-horizon round sweeps at `n = 128`:
+///
+/// 1. `Waiting` vs the sink-unmatched round trap at a 10^6-interaction
+///    budget: every round is a 63-pair matching that never touches the
+///    sink, so the engine genuinely batches ~16k rounds through the
+///    native round path without terminating — and without any
+///    horizon-sized buffer;
+/// 2. `Gathering` vs random matchings at the same `n`: every trial must
+///    terminate (a near-perfect random matching reaches the sink fast)
+///    with data conserved.
+fn round_guard() -> Result<(), String> {
+    const HORIZON: usize = 1_000_000;
+    const N: usize = 128;
+
+    let config = BatchConfig {
+        n: N,
+        trials: 1,
+        horizon: Some(HORIZON),
+        seed: 0xD0DA,
+        parallel: false,
+    };
+    let t0 = Instant::now();
+    let starved = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::RoundIsolator, &config);
+    let starved_secs = t0.elapsed().as_secs_f64();
+    let starved = &starved[0];
+    if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
+        return Err(format!(
+            "the round trap should process exactly {HORIZON} interactions without \
+             terminating, got {} (terminated: {})",
+            starved.interactions_processed,
+            starved.terminated()
+        ));
+    }
+    println!(
+        "round-guard: Waiting vs round-isolator, n = {N}, budget = {HORIZON}: \
+         processed {} matched interactions (~{} rounds) in {starved_secs:.2} s \
+         ({:.0} i/s), O(n) memory",
+        starved.interactions_processed,
+        starved.interactions_processed / ((N as u64 - 1) / 2),
+        starved.interactions_processed as f64 / starved_secs.max(1e-9),
+    );
+
+    let config = BatchConfig {
+        n: N,
+        trials: 8,
+        horizon: None,
+        seed: 0xD0DA,
+        parallel: false,
+    };
+    let t1 = Instant::now();
+    let trials = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::RandomMatching, &config);
+    let gather_secs = t1.elapsed().as_secs_f64();
+    if !trials.iter().all(|r| r.terminated() && r.data_conserved) {
+        return Err(
+            "every random-matching Gathering trial must terminate with data conserved".to_string(),
+        );
+    }
+    println!(
+        "round-guard: Gathering vs random-matching, n = {N}, {} trials: all terminated \
+         and conserved data in {gather_secs:.2} s",
+        trials.len(),
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
@@ -317,6 +463,17 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: validation failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if let Some((run, baseline)) = &args.compare {
+        let tolerance = args.tolerance.unwrap_or(DEFAULT_TOLERANCE_PCT);
+        return match compare_files(run, baseline, tolerance) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: perf gate failed: {e}");
                 ExitCode::FAILURE
             }
         };
@@ -347,6 +504,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: fault guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.round_guard {
+        return match round_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: round guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

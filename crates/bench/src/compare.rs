@@ -1,0 +1,348 @@
+//! The perf-regression gate: diff a fresh `BENCH_*.json` run against a
+//! committed baseline.
+//!
+//! CI has run the perf harness on every push since PR 2, but only
+//! schema-checked the artifact — a 2x throughput regression merged green.
+//! [`compare_reports`] closes that gap: it matches the cells of a fresh
+//! run against the committed baseline by identity (algorithm, workload,
+//! fault profile, model, n) and flags
+//!
+//! * **missing cells** — a cell present in the baseline but absent from
+//!   the run (a silently dropped scenario is a regression, not a skip);
+//! * **throughput regressions** — run throughput below `(1 − tolerance)`
+//!   of the baseline's (wall-clock noise is real on shared runners, so
+//!   throughput gets the tolerance band);
+//! * **determinism regressions** — `completion_rate` or
+//!   `mean_interactions` differing at all. These are seeded, parallelism-
+//!   independent simulation outputs: any drift means the simulation now
+//!   computes different numbers, which must be an explicit baseline
+//!   regeneration, never an accident.
+//!
+//! New cells in the run (a grown grid) are reported informationally and
+//! never fail the gate; regenerating the committed baseline is the
+//! sanctioned way to move the trajectory.
+//!
+//! **Hardware caveat.** `throughput_ips` is absolute, so the band is only
+//! as meaningful as the hardware match between the run and the committed
+//! baseline: a faster CI runner inflates every ratio (the gate goes
+//! lenient, never spuriously red), a slower one deflates them. The
+//! [`CompareSummary::median_throughput_ratio`] calibration factor is
+//! computed and printed on every comparison so a drifting hardware gap is
+//! visible, and the committed baseline should be regenerated on hardware
+//! comparable to where the gate runs. The deterministic columns are
+//! hardware-independent and enforced strictly everywhere.
+
+use crate::json::Json;
+use crate::perf::{cell_identity, validate_report};
+
+/// The outcome of one report comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareSummary {
+    /// Number of cells matched between run and baseline.
+    pub compared: usize,
+    /// Baseline cells with no matching run cell.
+    pub missing: Vec<String>,
+    /// Human-readable regression descriptions (empty = gate passes).
+    pub regressions: Vec<String>,
+    /// Run cells with no baseline counterpart (informational).
+    pub new_cells: Vec<String>,
+    /// The median per-cell `run / baseline` throughput ratio — the
+    /// machine-calibration factor. Throughput is absolute and therefore
+    /// hardware-dependent: a ratio far from 1.0 across the board means
+    /// the run and the baseline were measured on different hardware, and
+    /// the throughput band is measuring that gap as much as the code.
+    /// Surfaced so operators notice when the committed baseline should be
+    /// regenerated on hardware comparable to where the gate runs; the
+    /// deterministic columns are hardware-independent and always strict.
+    pub median_throughput_ratio: Option<f64>,
+}
+
+impl CompareSummary {
+    /// `true` iff the gate passes: nothing missing, nothing regressed.
+    pub fn passed(&self) -> bool {
+        self.missing.is_empty() && self.regressions.is_empty()
+    }
+}
+
+/// The identity key a cell is matched under.
+fn key_of(cell: &Json) -> Option<String> {
+    let mut key = String::new();
+    for field in ["algorithm", "workload", "fault_profile", "model"] {
+        key.push_str(cell.get(field)?.as_str()?);
+        key.push('\u{1f}');
+    }
+    key.push_str(&cell.get("n")?.as_f64()?.to_string());
+    Some(key)
+}
+
+fn cells(doc: &Json) -> &[Json] {
+    doc.get("results")
+        .and_then(Json::as_array)
+        .expect("validated reports carry a results array")
+}
+
+/// Compares a fresh `run` report against a `baseline` report with a
+/// throughput tolerance of `tolerance_pct` percent.
+///
+/// Both documents must pass [`validate_report`] first; the comparison is
+/// then per matched cell (see the module docs for the exact rules).
+///
+/// # Errors
+///
+/// Returns an error when either document fails schema validation, when
+/// `tolerance_pct` is not a finite percentage in `[0, 100)`, or when the
+/// two reports share **no** cell at all — a gate that compares nothing
+/// would pass vacuously forever, which is exactly the silent-green
+/// failure mode this exists to kill.
+pub fn compare_reports(
+    run: &Json,
+    baseline: &Json,
+    tolerance_pct: f64,
+) -> Result<CompareSummary, String> {
+    if !tolerance_pct.is_finite() || !(0.0..100.0).contains(&tolerance_pct) {
+        return Err(format!(
+            "tolerance must be a percentage in [0, 100), got {tolerance_pct}"
+        ));
+    }
+    validate_report(run).map_err(|e| format!("run report: {e}"))?;
+    validate_report(baseline).map_err(|e| format!("baseline report: {e}"))?;
+
+    let run_cells = cells(run);
+    let baseline_cells = cells(baseline);
+    let find_run = |key: &str| {
+        run_cells
+            .iter()
+            .find(|cell| key_of(cell).as_deref() == Some(key))
+    };
+
+    let mut summary = CompareSummary {
+        compared: 0,
+        missing: Vec::new(),
+        regressions: Vec::new(),
+        new_cells: Vec::new(),
+        median_throughput_ratio: None,
+    };
+    let mut throughput_ratios = Vec::new();
+    for (i, base) in baseline_cells.iter().enumerate() {
+        let key = key_of(base).expect("validated cells have identity fields");
+        let who = cell_identity(i, base);
+        let Some(fresh) = find_run(&key) else {
+            summary.missing.push(who);
+            continue;
+        };
+        summary.compared += 1;
+        let field = |cell: &Json, name: &str| cell.get(name).and_then(Json::as_f64);
+
+        // Throughput: noisy and hardware-dependent, so it gets the
+        // tolerance band (and the board-wide ratio is reported back as
+        // the calibration factor).
+        if let (Some(was), Some(now)) = (
+            field(base, "throughput_ips"),
+            field(fresh, "throughput_ips"),
+        ) {
+            if was > 0.0 {
+                throughput_ratios.push(now / was);
+            }
+            let floor = was * (1.0 - tolerance_pct / 100.0);
+            if now < floor {
+                summary.regressions.push(format!(
+                    "{who}: throughput {now:.0} i/s is {:.1}% below baseline {was:.0} i/s \
+                     (tolerance {tolerance_pct}%)",
+                    (1.0 - now / was) * 100.0,
+                ));
+            }
+        }
+
+        // Deterministic simulation outputs: any drift is a regression
+        // until the baseline is explicitly regenerated.
+        if field(base, "completion_rate") != field(fresh, "completion_rate") {
+            summary.regressions.push(format!(
+                "{who}: completion_rate changed from {:?} to {:?} — seeded outputs may only \
+                 move with a baseline regeneration",
+                field(base, "completion_rate"),
+                field(fresh, "completion_rate"),
+            ));
+        }
+        let mean = |cell: &Json| field(cell, "mean_interactions");
+        if mean(base) != mean(fresh) {
+            summary.regressions.push(format!(
+                "{who}: mean_interactions changed from {:?} to {:?} — seeded outputs may only \
+                 move with a baseline regeneration",
+                mean(base),
+                mean(fresh),
+            ));
+        }
+    }
+    for (i, fresh) in run_cells.iter().enumerate() {
+        let key = key_of(fresh).expect("validated cells have identity fields");
+        if !baseline_cells
+            .iter()
+            .any(|base| key_of(base).as_deref() == Some(&key))
+        {
+            summary.new_cells.push(cell_identity(i, fresh));
+        }
+    }
+    if summary.compared == 0 {
+        return Err(
+            "the run and the baseline share no cell — the gate would pass vacuously; \
+             compare a run of the same grid (CI runs --baseline against the committed \
+             BENCH_baseline.json)"
+                .to_string(),
+        );
+    }
+    if !throughput_ratios.is_empty() {
+        throughput_ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        summary.median_throughput_ratio = Some(throughput_ratios[throughput_ratios.len() / 2]);
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perf::{run_grid, PerfGrid};
+    use doda_sim::{AlgorithmSpec, Scenario};
+
+    fn tiny_report() -> Json {
+        let json = run_grid(&PerfGrid {
+            name: "tiny".to_string(),
+            ns: vec![8],
+            trials: 2,
+            seed: 1,
+            algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
+            scenarios: vec![Scenario::Uniform.into(), Scenario::RandomMatching.into()],
+            parallel: false,
+        })
+        .to_json();
+        Json::parse(&json).expect("emitted reports parse")
+    }
+
+    /// Multiplies the named numeric field of every cell by `factor`.
+    fn scale_field(doc: &Json, name: &str, factor: f64) -> Json {
+        fn walk(value: &Json, name: &str, factor: f64) -> Json {
+            match value {
+                Json::Object(fields) => Json::Object(
+                    fields
+                        .iter()
+                        .map(|(k, v)| {
+                            if k == name {
+                                let scaled = v.as_f64().expect("numeric field") * factor;
+                                (k.clone(), Json::Num(scaled))
+                            } else {
+                                (k.clone(), walk(v, name, factor))
+                            }
+                        })
+                        .collect(),
+                ),
+                Json::Array(items) => {
+                    Json::Array(items.iter().map(|v| walk(v, name, factor)).collect())
+                }
+                other => other.clone(),
+            }
+        }
+        walk(doc, name, factor)
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let report = tiny_report();
+        let summary = compare_reports(&report, &report, 10.0).unwrap();
+        assert!(summary.passed());
+        assert_eq!(summary.compared, 4);
+        assert!(summary.missing.is_empty());
+        assert!(summary.new_cells.is_empty());
+        // Self-comparison: the machine calibration factor is exactly 1.
+        assert_eq!(summary.median_throughput_ratio, Some(1.0));
+    }
+
+    #[test]
+    fn calibration_factor_reflects_a_board_wide_hardware_gap() {
+        let baseline = tiny_report();
+        let faster_machine = scale_field(&baseline, "throughput_ips", 3.0);
+        let summary = compare_reports(&faster_machine, &baseline, 20.0).unwrap();
+        assert!(summary.passed());
+        let ratio = summary.median_throughput_ratio.unwrap();
+        assert!((ratio - 3.0).abs() < 1e-9, "{ratio}");
+    }
+
+    #[test]
+    fn throughput_noise_within_tolerance_passes_but_a_real_slowdown_fails() {
+        let baseline = tiny_report();
+        let slightly_slower = scale_field(&baseline, "throughput_ips", 0.92);
+        let summary = compare_reports(&slightly_slower, &baseline, 20.0).unwrap();
+        assert!(summary.passed(), "{:?}", summary.regressions);
+
+        let halved = scale_field(&baseline, "throughput_ips", 0.5);
+        let summary = compare_reports(&halved, &baseline, 20.0).unwrap();
+        assert!(!summary.passed());
+        assert_eq!(summary.compared, 4);
+        assert_eq!(summary.regressions.len(), 4);
+        let message = &summary.regressions[0];
+        assert!(message.contains("throughput"), "{message}");
+        assert!(message.contains("algorithm="), "{message}");
+
+        // Faster is never a regression.
+        let doubled = scale_field(&baseline, "throughput_ips", 2.0);
+        assert!(compare_reports(&doubled, &baseline, 20.0).unwrap().passed());
+    }
+
+    #[test]
+    fn deterministic_outputs_must_match_exactly() {
+        let baseline = tiny_report();
+        let drifted = scale_field(&baseline, "mean_interactions", 1.001);
+        let summary = compare_reports(&drifted, &baseline, 50.0).unwrap();
+        assert!(!summary.passed());
+        assert!(summary.regressions[0].contains("mean_interactions"));
+    }
+
+    #[test]
+    fn missing_cells_fail_and_new_cells_inform() {
+        let baseline = tiny_report();
+        // A run of a subset grid: the random-matching cells disappear.
+        let subset = run_grid(&PerfGrid {
+            name: "tiny".to_string(),
+            ns: vec![8],
+            trials: 2,
+            seed: 1,
+            algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
+            scenarios: vec![Scenario::Uniform.into()],
+            parallel: false,
+        })
+        .to_json();
+        let subset = Json::parse(&subset).unwrap();
+        let summary = compare_reports(&subset, &baseline, 50.0).unwrap();
+        assert!(!summary.passed());
+        assert_eq!(summary.compared, 2);
+        assert_eq!(summary.missing.len(), 2);
+        assert!(summary.missing[0].contains("random-matching"));
+
+        // The other direction: a grown run only informs.
+        let summary = compare_reports(&baseline, &subset, 50.0).unwrap();
+        assert!(summary.passed());
+        assert_eq!(summary.new_cells.len(), 2);
+    }
+
+    #[test]
+    fn disjoint_reports_and_bad_tolerances_are_errors() {
+        let baseline = tiny_report();
+        let other = run_grid(&PerfGrid {
+            name: "other".to_string(),
+            ns: vec![16],
+            trials: 2,
+            seed: 1,
+            algorithms: vec![AlgorithmSpec::Gathering],
+            scenarios: vec![Scenario::Uniform.into()],
+            parallel: false,
+        })
+        .to_json();
+        let other = Json::parse(&other).unwrap();
+        let err = compare_reports(&other, &baseline, 10.0).unwrap_err();
+        assert!(err.contains("share no cell"), "{err}");
+
+        for bad in [-1.0, 100.0, f64::NAN] {
+            assert!(compare_reports(&baseline, &baseline, bad).is_err());
+        }
+        let err = compare_reports(&Json::parse("{}").unwrap(), &baseline, 10.0).unwrap_err();
+        assert!(err.starts_with("run report:"), "{err}");
+    }
+}

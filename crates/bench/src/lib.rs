@@ -10,12 +10,15 @@
 //! Besides the criterion targets, the crate hosts the machine-readable
 //! perf harness: [`perf`] runs pinned scenario grids and the `doda-bench`
 //! binary (`src/bin/doda-bench.rs`) emits/validates `BENCH_*.json`
-//! trajectory files; [`json`] is the dependency-free JSON support beneath
-//! it.
+//! trajectory files; [`compare`] is the perf-regression gate that diffs a
+//! fresh run against the committed baseline (CI fails on regressions
+//! beyond tolerance); [`json`] is the dependency-free JSON support
+//! beneath it all.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod json;
 pub mod perf;
 

@@ -28,8 +28,9 @@ use crate::json::{pretty, Json};
 /// with the per-cell `"mode"` (`"streamed" | "materialized"`) field;
 /// 3 = fault-model grids with the per-cell `"fault_profile"` column and
 /// the `"aggregated"` / `"aggregated_survivors"` completion split
-/// (`completed = aggregated + aggregated_survivors`).
-pub const SCHEMA_VERSION: u64 = 3;
+/// (`completed = aggregated + aggregated_survivors`); 4 = round-model
+/// grids with the per-cell `"model"` (`"pairwise" | "rounds"`) column.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// A pinned perf grid: the cells plus the execution parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +67,7 @@ impl PerfGrid {
                 Scenario::Zipf { exponent: 1.2 }.into(),
                 Scenario::AdaptiveIsolator.into(),
                 Scenario::Uniform.with_faults(FaultProfile::crash(0.002)),
+                Scenario::RandomMatching.into(),
             ],
             parallel: true,
         }
@@ -73,9 +75,9 @@ impl PerfGrid {
 
     /// The committed perf-trajectory grid (`doda-bench --baseline`):
     /// online algorithms × {uniform, zipf, vehicular, oblivious-trap,
-    /// adaptive-isolator, uniform+crash, vehicular+churn} ×
-    /// n ∈ {32, 128, 512}. Adaptive cells are skipped for algorithms that
-    /// require materialisation.
+    /// adaptive-isolator, uniform+crash, vehicular+churn, random-matching,
+    /// tournament, round-isolator} × n ∈ {32, 128, 512}. Adaptive cells
+    /// are skipped for algorithms that require materialisation.
     pub fn baseline() -> PerfGrid {
         PerfGrid {
             name: "baseline".to_string(),
@@ -95,6 +97,9 @@ impl PerfGrid {
                 Scenario::AdaptiveIsolator.into(),
                 Scenario::Uniform.with_faults(FaultProfile::crash(0.002)),
                 Scenario::Vehicular.with_faults(FaultProfile::churn(0.002, 0.004)),
+                Scenario::RandomMatching.into(),
+                Scenario::Tournament.into(),
+                Scenario::RoundIsolator.into(),
             ],
             parallel: true,
         }
@@ -139,6 +144,10 @@ pub struct CellResult {
     /// Execution mode: `"streamed"` (knowledge-free, `O(n)` memory) or
     /// `"materialized"` (oracle construction forced sequence generation).
     pub mode: &'static str,
+    /// Interaction model of the cell's scenario: `"pairwise"` (one
+    /// interaction per step, the paper's adversary) or `"rounds"` (one
+    /// matching of disjoint interactions per synchronous round).
+    pub model: &'static str,
     /// Node count.
     pub n: usize,
     /// Trials run.
@@ -199,6 +208,7 @@ impl PerfReport {
                     ("workload".to_string(), Json::str(&cell.workload)),
                     ("fault_profile".to_string(), Json::str(&cell.fault_profile)),
                     ("mode".to_string(), Json::str(cell.mode)),
+                    ("model".to_string(), Json::str(cell.model)),
                     ("n".to_string(), Json::Uint(cell.n as u64)),
                     ("trials".to_string(), Json::Uint(cell.trials as u64)),
                     ("completed".to_string(), Json::Uint(cell.completed as u64)),
@@ -296,6 +306,11 @@ fn run_cell(
         workload: scenario.base.name().to_string(),
         fault_profile: scenario.fault_label(),
         mode: mode_of(spec),
+        model: if scenario.is_round() {
+            "rounds"
+        } else {
+            "pairwise"
+        },
         n,
         trials: raw.len(),
         completed: completions.len(),
@@ -322,14 +337,42 @@ pub fn git_rev() -> String {
         .unwrap_or_else(|| "unknown".to_string())
 }
 
+/// The identity of a grid cell, as rendered in validation and comparison
+/// messages: the index plus whatever identifying columns are readable, so
+/// a failure names the offending cell instead of forcing a by-hand bisect
+/// of the JSON.
+pub(crate) fn cell_identity(i: usize, cell: &Json) -> String {
+    let mut parts = Vec::new();
+    for field in ["algorithm", "workload", "fault_profile", "n"] {
+        if let Some(value) = cell.get(field) {
+            let rendered = match value {
+                Json::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            // Skip the noise column when it carries no information.
+            if field == "fault_profile" && rendered == "none" {
+                continue;
+            }
+            parts.push(format!("{field}={rendered}"));
+        }
+    }
+    if parts.is_empty() {
+        format!("results[{i}]")
+    } else {
+        format!("results[{i}] ({})", parts.join(", "))
+    }
+}
+
 /// Schema-checks a parsed `BENCH_*.json` document.
 ///
 /// # Errors
 ///
-/// Returns a description of the first violation: missing or mistyped
-/// field, wrong schema version, empty results, invalid mode, an
+/// Returns a description of the first violation — missing or mistyped
+/// field, wrong schema version, empty results, invalid mode or model, an
 /// out-of-range rate, or a completion split that does not add up
-/// (`aggregated + aggregated_survivors != completed`).
+/// (`aggregated + aggregated_survivors != completed`) — naming the
+/// offending cell by its identifying columns (algorithm, workload, fault
+/// profile, n), not just its index.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let version = doc
         .get("schema_version")
@@ -358,15 +401,24 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         return Err("results must not be empty".to_string());
     }
     for (i, cell) in results.iter().enumerate() {
-        for field in ["algorithm", "workload", "fault_profile", "mode"] {
+        let who = || cell_identity(i, cell);
+        for field in ["algorithm", "workload", "fault_profile", "mode", "model"] {
             cell.get(field)
                 .and_then(Json::as_str)
-                .ok_or_else(|| format!("results[{i}]: missing string field: {field}"))?;
+                .ok_or_else(|| format!("{}: missing string field: {field}", who()))?;
         }
         let mode = cell.get("mode").and_then(Json::as_str).expect("checked");
         if mode != "streamed" && mode != "materialized" {
             return Err(format!(
-                "results[{i}]: mode '{mode}' must be 'streamed' or 'materialized'"
+                "{}: mode '{mode}' must be 'streamed' or 'materialized'",
+                who()
+            ));
+        }
+        let model = cell.get("model").and_then(Json::as_str).expect("checked");
+        if model != "pairwise" && model != "rounds" {
+            return Err(format!(
+                "{}: model '{model}' must be 'pairwise' or 'rounds'",
+                who()
             ));
         }
         for field in [
@@ -382,12 +434,13 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         ] {
             cell.get(field)
                 .and_then(Json::as_f64)
-                .ok_or_else(|| format!("results[{i}]: missing numeric field: {field}"))?;
+                .ok_or_else(|| format!("{}: missing numeric field: {field}", who()))?;
         }
         let numeric = |field: &str| cell.get(field).and_then(Json::as_f64).expect("checked");
         if numeric("aggregated") + numeric("aggregated_survivors") != numeric("completed") {
             return Err(format!(
-                "results[{i}]: aggregated + aggregated_survivors must equal completed"
+                "{}: aggregated + aggregated_survivors must equal completed",
+                who()
             ));
         }
         let fault_profile = cell
@@ -396,15 +449,17 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .expect("checked");
         if fault_profile == "none" && numeric("aggregated_survivors") != 0.0 {
             return Err(format!(
-                "results[{i}]: a fault-free cell cannot report survivor-only completions"
+                "{}: a fault-free cell cannot report survivor-only completions",
+                who()
             ));
         }
         let mean = cell
             .get("mean_interactions")
-            .ok_or_else(|| format!("results[{i}]: missing field: mean_interactions"))?;
+            .ok_or_else(|| format!("{}: missing field: mean_interactions", who()))?;
         if !mean.is_null() && mean.as_f64().is_none() {
             return Err(format!(
-                "results[{i}]: mean_interactions must be a number or null"
+                "{}: mean_interactions must be a number or null",
+                who()
             ));
         }
         let rate = cell
@@ -412,9 +467,7 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_f64)
             .expect("checked above");
         if !(0.0..=1.0).contains(&rate) {
-            return Err(format!(
-                "results[{i}]: completion_rate {rate} outside [0, 1]"
-            ));
+            return Err(format!("{}: completion_rate {rate} outside [0, 1]", who()));
         }
     }
     Ok(())
@@ -428,10 +481,10 @@ mod tests {
     fn smoke_grid_emits_a_valid_schema() {
         let report = run_grid(&PerfGrid::smoke());
         assert_eq!(report.file_name(), "BENCH_smoke.json");
-        // 2 algorithms x 4 scenarios x 2 node counts, all compatible (both
+        // 2 algorithms x 5 scenarios x 2 node counts, all compatible (both
         // smoke algorithms are knowledge-free).
         assert_eq!(report.results.len(), PerfGrid::smoke().cell_count());
-        assert_eq!(report.results.len(), 2 * 4 * 2);
+        assert_eq!(report.results.len(), 2 * 5 * 2);
         let doc = Json::parse(&report.to_json()).expect("emitted JSON parses");
         validate_report(&doc).expect("emitted JSON passes the schema check");
         // Knowledge-free smoke algorithms all stream.
@@ -442,11 +495,17 @@ mod tests {
             .results
             .iter()
             .any(|c| c.fault_profile == "crash(0.002)"));
+        // The round axis is present, and only round scenarios carry it.
+        assert!(report
+            .results
+            .iter()
+            .any(|c| c.model == "rounds" && c.workload == "random-matching"));
         for cell in &report.results {
             assert_eq!(cell.completed, cell.aggregated + cell.aggregated_survivors);
             if cell.fault_profile == "none" {
                 assert_eq!(cell.aggregated_survivors, 0);
             }
+            assert_eq!(cell.model == "rounds", cell.workload == "random-matching");
         }
     }
 
@@ -470,9 +529,10 @@ mod tests {
     #[test]
     fn baseline_grid_skips_adaptive_cells_for_materializing_specs() {
         let grid = PerfGrid::baseline();
-        // 3 algorithms x 7 scenarios x 3 node counts, minus the
-        // WaitingGreedy x adaptive-isolator column (3 cells).
-        assert_eq!(grid.cell_count(), 3 * 7 * 3 - 3);
+        // 3 algorithms x 10 scenarios x 3 node counts, minus the
+        // WaitingGreedy x adaptive-isolator column (3 cells). The round
+        // scenarios are non-adaptive, so they admit every algorithm.
+        assert_eq!(grid.cell_count(), 3 * 10 * 3 - 3);
     }
 
     #[test]
@@ -523,7 +583,7 @@ mod tests {
         validate_report(&doc).unwrap();
 
         for (breaker, expected) in [
-            (r#"{"schema_version": 3}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 4}"#, "missing string field: scenario"),
             (r#"{"schema_version": 9}"#, "unsupported schema_version"),
             (r#"{}"#, "missing numeric field: schema_version"),
         ] {
@@ -561,5 +621,33 @@ mod tests {
             .replace("\"aggregated_survivors\": 0", "\"aggregated_survivors\": 1");
         let err = validate_report(&Json::parse(&bad_survivors).unwrap()).unwrap_err();
         assert!(err.contains("fault-free cell"), "{err}");
+        // A bogus interaction model is rejected.
+        let bad_model = good.replace("\"pairwise\"", "\"telepathic\"");
+        let err = validate_report(&Json::parse(&bad_model).unwrap()).unwrap_err();
+        assert!(err.contains("must be 'pairwise' or 'rounds'"), "{err}");
+    }
+
+    #[test]
+    fn validator_errors_name_the_offending_cell() {
+        // Cell failures identify the cell by its columns, not just the
+        // index — a 90-cell baseline cannot be bisected by hand.
+        let report = run_grid(&PerfGrid {
+            trials: 2,
+            ns: vec![8],
+            algorithms: vec![AlgorithmSpec::Gathering],
+            scenarios: vec![Scenario::Uniform.into()],
+            ..PerfGrid::smoke()
+        })
+        .to_json();
+        let broken = report.replace("\"completion_rate\": 1.0", "\"completion_rate\": 7.5");
+        assert_ne!(broken, report, "fixture must contain the field");
+        let err = validate_report(&Json::parse(&broken).unwrap()).unwrap_err();
+        assert!(err.contains("results[0]"), "{err}");
+        assert!(err.contains("algorithm=Gathering"), "{err}");
+        assert!(err.contains("workload=uniform"), "{err}");
+        assert!(err.contains("n=8"), "{err}");
+        assert!(err.contains("completion_rate"), "{err}");
+        // The redundant fault_profile=none column is elided.
+        assert!(!err.contains("fault_profile"), "{err}");
     }
 }

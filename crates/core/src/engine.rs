@@ -25,8 +25,9 @@ use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
 use crate::data::Aggregate;
 use crate::error::{EngineError, FaultError};
 use crate::fault::CrashPolicy;
-use crate::interaction::Time;
+use crate::interaction::{Interaction, Time};
 use crate::outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+use crate::round::{Matching, RoundSource, MAX_CONSECUTIVE_EMPTY_ROUNDS};
 use crate::sequence::{AdversaryView, InteractionSource, StepEvent};
 use crate::state::NetworkState;
 
@@ -173,6 +174,22 @@ pub struct Engine<A> {
     /// as non-owners in the adversary view and must never appear in a
     /// presented interaction.
     live: Vec<bool>,
+    /// Scratch matching handed to [`RoundSource::next_round`] by
+    /// [`Engine::run_rounds`]; preallocated alongside the rest of the
+    /// engine scratch so round sweeps allocate nothing per round.
+    round_scratch: Matching,
+}
+
+/// The counters produced by one [`Engine::run_rounds`] execution: the
+/// shared pairwise counters plus the round clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRunStats {
+    /// The interaction-level counters, identical in meaning to the
+    /// pairwise path's ([`RunStats::interactions_processed`] counts the
+    /// individual interactions of every applied matching).
+    pub run: RunStats,
+    /// Number of rounds pulled from the source, including empty ones.
+    pub rounds_processed: u64,
 }
 
 impl<A: Aggregate> Default for Engine<A> {
@@ -190,6 +207,7 @@ impl<A: Aggregate> Engine<A> {
             ownership: Vec::new(),
             owners: 0,
             live: Vec::new(),
+            round_scratch: Matching::default(),
         }
     }
 
@@ -301,68 +319,16 @@ impl<A: Aggregate> Engine<A> {
                 }
             };
 
-            for endpoint in [interaction.min(), interaction.max()] {
-                if !self.live.get(endpoint.index()).copied().unwrap_or(false) {
-                    return Err(EngineError::InvalidFault {
-                        time: t,
-                        cause: FaultError::DeadParticipant {
-                            interaction,
-                            node: endpoint,
-                        },
-                    });
-                }
-            }
-
-            let ctx = InteractionContext {
-                time: t,
+            if let Some(done) = self.apply_interaction(
+                algorithm,
+                t,
                 interaction,
-                min_owns_data: self.owns(interaction.min()),
-                max_owns_data: self.owns(interaction.max()),
                 sink,
-            };
-            match algorithm.decide(&ctx) {
-                Decision::Idle => {}
-                Decision::Transmit { sender, receiver } => {
-                    if !interaction.involves(sender)
-                        || !interaction.involves(receiver)
-                        || sender == receiver
-                    {
-                        return Err(EngineError::DecisionOutsideInteraction {
-                            time: t,
-                            interaction,
-                            sender,
-                            receiver,
-                        });
-                    }
-                    if !ctx.both_own_data() || sender == sink {
-                        // "The output is ignored if the interacting nodes do
-                        // not both have data." A decision asking the sink to
-                        // transmit is likewise ignored rather than fatal: it
-                        // can only come from an algorithm treating the sink
-                        // as a regular node, and the model simply forbids
-                        // the transfer.
-                        ignored += 1;
-                    } else {
-                        self.state
-                            .transmit(sender, receiver)
-                            .map_err(|cause| EngineError::InvalidTransmission { time: t, cause })?;
-                        self.ownership[sender.index()] = false;
-                        self.owners -= 1;
-                        applied += 1;
-                        transmissions.record(Transmission {
-                            time: t,
-                            sender,
-                            receiver,
-                        });
-                        algorithm.on_transmission(t, sender, receiver);
-                        // The sink can never transmit and never dies, so it
-                        // always owns data: a single remaining owner must be
-                        // the sink.
-                        if self.owners == 1 {
-                            termination_time = Some(t);
-                        }
-                    }
-                }
+                transmissions,
+                &mut applied,
+                &mut ignored,
+            )? {
+                termination_time = Some(done);
             }
         }
 
@@ -384,6 +350,237 @@ impl<A: Aggregate> Engine<A> {
             completion,
             faults,
         })
+    }
+
+    /// Runs `algorithm` over the synchronous rounds produced by `rounds`,
+    /// reusing this engine's scratch (including a preallocated scratch
+    /// [`Matching`] — the per-round hot path allocates nothing).
+    ///
+    /// Each round, the source observes the ownership view *as of round
+    /// start* and commits a whole matching; the engine then applies the
+    /// round's interactions as a batch against the preallocated
+    /// [`NetworkState`]. Because a matching's edges are vertex-disjoint,
+    /// no interaction of a round can change the state another one reads —
+    /// batch application *is* the synchronous semantics. Within the batch
+    /// the interaction clock keeps ticking one step per interaction, so
+    /// [`RunStats::interactions_processed`] and `config.max_interactions`
+    /// mean exactly what they mean on the pairwise path; a budget that
+    /// runs out mid-round cuts the round, and termination (the sink
+    /// becoming sole owner) ends the round immediately.
+    ///
+    /// **Singleton anchor:** driving a [`crate::round::SingletonRounds`]
+    /// wrapper through this entry point is byte-identical to driving the
+    /// wrapped source through [`Engine::run`] — the property that anchors
+    /// the round model to the paper's, pinned by
+    /// `tests/round_equivalence.rs`.
+    ///
+    /// Empty rounds are legal (an evolving-graph window may carry no edge)
+    /// but bounded: after [`MAX_CONSECUTIVE_EMPTY_ROUNDS`] consecutive
+    /// empty rounds the source is treated as exhausted, the same rule
+    /// [`crate::round::FlattenedRounds`] applies — which keeps this path
+    /// and the flattened pairwise path equivalent on any round stream.
+    ///
+    /// Fault plans do not plug in here: wrap the *flattened* stream in a
+    /// [`crate::fault::FaultedSource`] and use [`Engine::run`] (see the
+    /// [`crate::round`] module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`EngineError`] if the algorithm produces a structurally
+    /// invalid decision, as on the pairwise path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range for `rounds.node_count()` or the
+    /// node count is zero (propagated from [`NetworkState::reset`]).
+    pub fn run_rounds<F, R, D, T>(
+        &mut self,
+        algorithm: &mut D,
+        rounds: &mut R,
+        sink: NodeId,
+        mut initial_data: F,
+        config: EngineConfig,
+        transmissions: &mut T,
+    ) -> Result<RoundRunStats, EngineError>
+    where
+        F: FnMut(NodeId) -> A,
+        R: RoundSource + ?Sized,
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+    {
+        let n = rounds.node_count();
+        self.state.reset(n, sink, &mut initial_data);
+        self.ownership.clear();
+        self.ownership.resize(n, true);
+        self.live.clear();
+        self.live.resize(n, true);
+        self.owners = n;
+
+        let mut applied = 0u64;
+        let mut ignored = 0u64;
+        let mut processed = 0u64;
+        let mut rounds_processed = 0u64;
+        let mut consecutive_empty = 0u64;
+        let mut termination_time = if self.owners == 1 { Some(0) } else { None };
+
+        while termination_time.is_none() && processed < config.max_interactions {
+            // Split borrows: the view reads `self.ownership` while the
+            // source fills the disjoint `self.round_scratch` field, so the
+            // scratch is moved out for the duration of the round.
+            let mut matching = std::mem::take(&mut self.round_scratch);
+            matching.reset(n);
+            let view = AdversaryView {
+                owns_data: &self.ownership,
+                sink,
+            };
+            let more = rounds.next_round(rounds_processed, &view, &mut matching);
+            if !more {
+                self.round_scratch = matching;
+                break;
+            }
+            rounds_processed += 1;
+            if matching.is_empty() {
+                consecutive_empty += 1;
+                self.round_scratch = matching;
+                if consecutive_empty >= MAX_CONSECUTIVE_EMPTY_ROUNDS {
+                    break;
+                }
+                continue;
+            }
+            consecutive_empty = 0;
+
+            for &interaction in matching.as_slice() {
+                if termination_time.is_some() || processed >= config.max_interactions {
+                    break;
+                }
+                let t = processed;
+                processed += 1;
+                let step = self.apply_interaction(
+                    algorithm,
+                    t,
+                    interaction,
+                    sink,
+                    transmissions,
+                    &mut applied,
+                    &mut ignored,
+                );
+                match step {
+                    Ok(Some(done)) => termination_time = Some(done),
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.round_scratch = matching;
+                        return Err(e);
+                    }
+                }
+            }
+            self.round_scratch = matching;
+        }
+
+        let completion = match termination_time {
+            Some(_) => Completion::Aggregated,
+            None => Completion::Starved,
+        };
+        Ok(RoundRunStats {
+            run: RunStats {
+                node_count: n,
+                sink,
+                termination_time,
+                interactions_processed: processed,
+                transmissions: applied,
+                ignored_decisions: ignored,
+                remaining_owners: self.owners,
+                completion,
+                faults: FaultTally::default(),
+            },
+            rounds_processed,
+        })
+    }
+
+    /// Applies one presented interaction — the step shared verbatim by the
+    /// pairwise path ([`Engine::run`]) and the round path
+    /// ([`Engine::run_rounds`]), which is what makes the two byte-identical
+    /// on singleton rounds: dead-endpoint check, algorithm decision,
+    /// transmission bookkeeping. Returns `Some(t)` when the step completed
+    /// the aggregation.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_interaction<D, T>(
+        &mut self,
+        algorithm: &mut D,
+        t: Time,
+        interaction: Interaction,
+        sink: NodeId,
+        transmissions: &mut T,
+        applied: &mut u64,
+        ignored: &mut u64,
+    ) -> Result<Option<Time>, EngineError>
+    where
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+    {
+        for endpoint in [interaction.min(), interaction.max()] {
+            if !self.live.get(endpoint.index()).copied().unwrap_or(false) {
+                return Err(EngineError::InvalidFault {
+                    time: t,
+                    cause: FaultError::DeadParticipant {
+                        interaction,
+                        node: endpoint,
+                    },
+                });
+            }
+        }
+
+        let ctx = InteractionContext {
+            time: t,
+            interaction,
+            min_owns_data: self.owns(interaction.min()),
+            max_owns_data: self.owns(interaction.max()),
+            sink,
+        };
+        match algorithm.decide(&ctx) {
+            Decision::Idle => {}
+            Decision::Transmit { sender, receiver } => {
+                if !interaction.involves(sender)
+                    || !interaction.involves(receiver)
+                    || sender == receiver
+                {
+                    return Err(EngineError::DecisionOutsideInteraction {
+                        time: t,
+                        interaction,
+                        sender,
+                        receiver,
+                    });
+                }
+                if !ctx.both_own_data() || sender == sink {
+                    // "The output is ignored if the interacting nodes do
+                    // not both have data." A decision asking the sink to
+                    // transmit is likewise ignored rather than fatal: it
+                    // can only come from an algorithm treating the sink
+                    // as a regular node, and the model simply forbids
+                    // the transfer.
+                    *ignored += 1;
+                } else {
+                    self.state
+                        .transmit(sender, receiver)
+                        .map_err(|cause| EngineError::InvalidTransmission { time: t, cause })?;
+                    self.ownership[sender.index()] = false;
+                    self.owners -= 1;
+                    *applied += 1;
+                    transmissions.record(Transmission {
+                        time: t,
+                        sender,
+                        receiver,
+                    });
+                    algorithm.on_transmission(t, sender, receiver);
+                    // The sink can never transmit and never dies, so it
+                    // always owns data: a single remaining owner must be
+                    // the sink.
+                    if self.owners == 1 {
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+        Ok(None)
     }
 
     /// Applies a crash (`policy` set) or departure (`policy` `None`):
@@ -1060,6 +1257,137 @@ mod tests {
         assert_eq!(outcome.completion, Completion::AggregatedSurvivors);
         assert_eq!(outcome.faults.data_lost, 2);
         assert_eq!(outcome.remaining_owners(), 1);
+    }
+
+    #[test]
+    fn round_execution_applies_whole_matchings() {
+        use crate::data::IdSet;
+        use crate::round::MatchingSequence;
+
+        // One round: every pair {0, i} cannot coexist in a matching, so
+        // the star takes n/2-ish rounds — here a 6-node schedule where the
+        // outer nodes pair up first and then drain into the sink.
+        let mut schedule = MatchingSequence::new(6);
+        schedule.push_round([(1, 2), (3, 4)]);
+        schedule.push_round([(0, 1), (3, 5)]);
+        schedule.push_round([(0, 3)]);
+        schedule.push_round([(0, 5)]);
+        let mut engine: Engine<IdSet> = Engine::new();
+        let stats = engine
+            .run_rounds(
+                &mut Gathering::new(),
+                &mut schedule.stream(false),
+                NodeId(0),
+                IdSet::singleton,
+                EngineConfig::sweep(1_000),
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert!(stats.run.terminated());
+        assert_eq!(stats.run.transmissions, 5);
+        // Gathering drains in 3 rounds (2 + 2 + 1 interactions); the
+        // fourth scheduled round is never pulled.
+        assert_eq!(stats.rounds_processed, 3);
+        assert_eq!(stats.run.interactions_processed, 5);
+        assert!(engine.state().data_of(NodeId(0)).unwrap().covers_all(6));
+    }
+
+    #[test]
+    fn singleton_rounds_match_the_pairwise_path() {
+        use crate::data::IdSet;
+        use crate::round::SingletonRounds;
+
+        let seq = star_sequence(7, 2);
+        for budget in [3u64, 9, 1_000] {
+            let config = EngineConfig::sweep(budget);
+            let mut pairwise: Engine<IdSet> = Engine::new();
+            let a = pairwise
+                .run(
+                    &mut Waiting::new(),
+                    &mut seq.stream(false),
+                    NodeId(0),
+                    IdSet::singleton,
+                    config,
+                    &mut DiscardTransmissions,
+                )
+                .unwrap();
+            let mut rounds: Engine<IdSet> = Engine::new();
+            let b = rounds
+                .run_rounds(
+                    &mut Waiting::new(),
+                    &mut SingletonRounds::new(seq.stream(false)),
+                    NodeId(0),
+                    IdSet::singleton,
+                    config,
+                    &mut DiscardTransmissions,
+                )
+                .unwrap();
+            assert_eq!(a, b.run, "budget {budget}");
+            assert_eq!(b.rounds_processed, b.run.interactions_processed);
+            assert_eq!(
+                pairwise.state().ownership_bitmap(),
+                rounds.state().ownership_bitmap()
+            );
+        }
+    }
+
+    #[test]
+    fn round_budget_cuts_a_round_mid_matching() {
+        use crate::data::Count;
+        use crate::round::MatchingSequence;
+
+        let mut schedule = MatchingSequence::new(8);
+        schedule.push_round([(1, 2), (3, 4), (5, 6)]);
+        let mut engine: Engine<Count> = Engine::new();
+        let stats = engine
+            .run_rounds(
+                &mut Waiting::new(),
+                &mut schedule.stream(true),
+                NodeId(0),
+                |_| Count::unit(),
+                EngineConfig::sweep(5),
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert!(!stats.run.terminated());
+        assert_eq!(stats.run.interactions_processed, 5);
+        assert_eq!(stats.rounds_processed, 2);
+    }
+
+    #[test]
+    fn endless_empty_rounds_exhaust_instead_of_hanging() {
+        use crate::data::Count;
+        use crate::round::{Matching, RoundSource, MAX_CONSECUTIVE_EMPTY_ROUNDS};
+        use crate::sequence::AdversaryView;
+
+        struct AlwaysEmpty;
+        impl RoundSource for AlwaysEmpty {
+            fn node_count(&self) -> usize {
+                4
+            }
+            fn next_round(
+                &mut self,
+                _r: Time,
+                _v: &AdversaryView<'_>,
+                _out: &mut Matching,
+            ) -> bool {
+                true
+            }
+        }
+        let mut engine: Engine<Count> = Engine::new();
+        let stats = engine
+            .run_rounds(
+                &mut Waiting::new(),
+                &mut AlwaysEmpty,
+                NodeId(0),
+                |_| Count::unit(),
+                EngineConfig::sweep(1_000),
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert!(!stats.run.terminated());
+        assert_eq!(stats.run.interactions_processed, 0);
+        assert_eq!(stats.rounds_processed, MAX_CONSECUTIVE_EMPTY_ROUNDS);
     }
 
     #[test]

@@ -90,6 +90,58 @@
 //! # Ok::<(), doda_core::error::EngineError>(())
 //! ```
 //!
+//! ## Quick start — rounds
+//!
+//! The paper's adversary schedules **one** interaction per time step, but
+//! the broader dynamic-graph setting is *synchronous rounds* in which a
+//! whole matching of disjoint edges is live at once. The [`round`] module
+//! generalises the streaming model to that setting: a
+//! [`round::RoundSource`] yields one validated [`Matching`] per round, and
+//! [`Engine::run_rounds`] applies each round as a batch against the
+//! preallocated state (disjointness makes batch application *exactly* the
+//! synchronous semantics). The interaction clock still ticks once per
+//! matched pair, so budgets and throughput mean the same thing in both
+//! models — and a stream of singleton rounds is byte-identical to the
+//! pairwise path (pinned by `tests/round_equivalence.rs`).
+//!
+//! ```
+//! use doda_core::prelude::*;
+//! use doda_graph::NodeId;
+//!
+//! // A fixed round schedule: outer pairs aggregate first, then drain
+//! // into the sink. (Streaming round adversaries implement RoundSource
+//! // directly; doda-workloads ships random-matching / tournament /
+//! // interval-connected generators.)
+//! let mut schedule = MatchingSequence::new(6);
+//! schedule.push_round([(1, 2), (3, 4)]); // two disjoint pairs, one round
+//! schedule.push_round([(0, 1), (3, 5)]);
+//! schedule.push_round([(0, 3)]);
+//!
+//! let mut engine: Engine<IdSet> = Engine::new();
+//! let stats = engine.run_rounds(
+//!     &mut Gathering::new(),
+//!     &mut schedule.stream(false),
+//!     NodeId(0),
+//!     IdSet::singleton,
+//!     EngineConfig::sweep(1_000),
+//!     &mut DiscardTransmissions,
+//! )?;
+//! assert!(stats.run.terminated());
+//! assert_eq!(stats.rounds_processed, 3);
+//! assert_eq!(stats.run.interactions_processed, 5); // 2 + 2 + 1
+//! assert!(engine.state().data_of(NodeId(0)).unwrap().covers_all(6));
+//!
+//! // Bridges: SingletonRounds lifts any pairwise source to rounds;
+//! // FlattenedRounds plays any round source as a pairwise stream (the
+//! // view knowledge oracles and fault plans consume).
+//! let flat = InteractionSequence::materialize(
+//!     &mut FlattenedRounds::new(schedule.stream(false)),
+//!     5,
+//! );
+//! assert_eq!(flat.len(), 5);
+//! # Ok::<(), doda_core::error::EngineError>(())
+//! ```
+//!
 //! ## Fault model semantics
 //!
 //! The paper assumes a fixed population and perfectly reliable
@@ -167,14 +219,18 @@ pub mod fault;
 pub mod interaction;
 pub mod knowledge;
 pub mod outcome;
+pub mod round;
 pub mod sequence;
 pub mod state;
 
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
-pub use engine::{DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink};
+pub use engine::{
+    DiscardTransmissions, Engine, EngineConfig, RoundRunStats, RunStats, TransmissionSink,
+};
 pub use fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
 pub use interaction::{Interaction, Time, TimedInteraction};
 pub use outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+pub use round::{FlattenedRounds, Matching, MatchingSequence, RoundSource, SingletonRounds};
 pub use sequence::{InteractionSequence, InteractionSource, StepEvent};
 
 /// Commonly used items, for glob import in examples and benchmarks.
@@ -187,11 +243,14 @@ pub mod prelude {
     pub use crate::cost::{self, Cost};
     pub use crate::data::{Aggregate, Count, IdSet, MaxData, MinData, SumData};
     pub use crate::engine::{
-        self, DiscardTransmissions, Engine, EngineConfig, RunStats, TransmissionSink,
+        self, DiscardTransmissions, Engine, EngineConfig, RoundRunStats, RunStats, TransmissionSink,
     };
     pub use crate::fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
     pub use crate::interaction::{Interaction, Time, TimedInteraction};
     pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
     pub use crate::outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
+    pub use crate::round::{
+        FlattenedRounds, Matching, MatchingSequence, RoundSource, SingletonRounds,
+    };
     pub use crate::sequence::{AdversaryView, InteractionSequence, InteractionSource, StepEvent};
 }

@@ -1,0 +1,126 @@
+//! Matchings of static graphs.
+//!
+//! A *matching* is a set of pairwise vertex-disjoint edges. The round-based
+//! execution model of `doda-core` schedules one matching per synchronous
+//! round (many disjoint interactions at once), and the bridge from an
+//! evolving graph to a round stream extracts one matching per snapshot —
+//! this module provides the static-graph side of that bridge.
+
+use crate::{AdjacencyGraph, Edge};
+
+/// Returns `true` iff `edges` is a matching over `n` nodes: every endpoint
+/// is `< n` and no node appears in more than one edge.
+pub fn is_matching(n: usize, edges: &[Edge]) -> bool {
+    let mut seen = vec![false; n];
+    for e in edges {
+        if e.b.index() >= n {
+            return false;
+        }
+        if seen[e.a.index()] || seen[e.b.index()] {
+            return false;
+        }
+        seen[e.a.index()] = true;
+        seen[e.b.index()] = true;
+    }
+    true
+}
+
+/// A maximal matching of `graph`, extracted greedily over the canonical
+/// edge order (so the result is deterministic for a given graph).
+///
+/// *Maximal* means no edge of the graph can be added without sharing an
+/// endpoint — the greedy guarantee, which is within a factor 2 of the
+/// maximum matching and enough for round scheduling (every uncovered node
+/// has all its neighbours covered).
+///
+/// # Example
+///
+/// ```
+/// use doda_graph::{matching::maximal_matching, AdjacencyGraph, NodeId};
+///
+/// let mut g = AdjacencyGraph::new(4);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(1), NodeId(2));
+/// g.add_edge(NodeId(2), NodeId(3));
+/// let m = maximal_matching(&g);
+/// assert_eq!(m.len(), 2); // {0,1} and {2,3}
+/// ```
+pub fn maximal_matching(graph: &AdjacencyGraph) -> Vec<Edge> {
+    let mut covered = vec![false; graph.node_count()];
+    let mut matching = Vec::new();
+    for e in graph.edges() {
+        if !covered[e.a.index()] && !covered[e.b.index()] {
+            covered[e.a.index()] = true;
+            covered[e.b.index()] = true;
+            matching.push(e);
+        }
+    }
+    matching
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, NodeId};
+
+    #[test]
+    fn maximal_matching_is_a_matching_and_maximal() {
+        for graph in [
+            generators::complete_graph(7),
+            generators::cycle_graph(6),
+            generators::path_graph(9),
+            generators::star_graph(5),
+        ] {
+            let m = maximal_matching(&graph);
+            assert!(is_matching(graph.node_count(), &m));
+            // Maximality: every edge of the graph shares an endpoint with
+            // the matching.
+            let mut covered = vec![false; graph.node_count()];
+            for e in &m {
+                covered[e.a.index()] = true;
+                covered[e.b.index()] = true;
+            }
+            for e in graph.edges() {
+                assert!(
+                    covered[e.a.index()] || covered[e.b.index()],
+                    "edge {e:?} could be added — matching not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_matching_is_deterministic() {
+        let g = generators::complete_graph(9);
+        assert_eq!(maximal_matching(&g), maximal_matching(&g));
+    }
+
+    #[test]
+    fn star_graph_matches_exactly_one_edge() {
+        let g = generators::star_graph(6);
+        assert_eq!(maximal_matching(&g).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_has_empty_matching() {
+        let g = AdjacencyGraph::new(4);
+        assert!(maximal_matching(&g).is_empty());
+        assert!(is_matching(4, &[]));
+    }
+
+    #[test]
+    fn is_matching_rejects_shared_endpoints_and_range() {
+        let shared = [
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(1), NodeId(2)),
+        ];
+        assert!(!is_matching(3, &shared));
+        let out_of_range = [Edge::new(NodeId(0), NodeId(5))];
+        assert!(!is_matching(3, &out_of_range));
+        let fine = [
+            Edge::new(NodeId(0), NodeId(1)),
+            Edge::new(NodeId(2), NodeId(3)),
+        ];
+        assert!(is_matching(4, &fine));
+    }
+}

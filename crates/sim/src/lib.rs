@@ -8,8 +8,10 @@
 //!   it straight off the adversary (`O(n)` memory at any horizon) or must
 //!   materialise the sequence for its oracles;
 //! * [`scenario::Scenario`] is the unified registry of interaction
-//!   processes: synthetic workloads *and* the oblivious / weighted /
-//!   adaptive adversaries, all enumerable by the same sweep;
+//!   processes: synthetic workloads, the oblivious / weighted / adaptive
+//!   adversaries, *and* the round scenarios (random matchings,
+//!   tournaments, interval-connected graphs, the sink-unmatched round
+//!   trap), all enumerable by the same sweep;
 //! * [`scenario::FaultedScenario`] crosses that registry with the fault
 //!   axis of `doda_core::fault` — crash faults, node churn, lossy
 //!   interactions — so every scenario also runs under a seeded,

@@ -218,6 +218,14 @@ where
 /// the committed schedule, not the faults) and the plan is injected at
 /// execution time.
 ///
+/// **Round scenarios** ([`crate::scenario::Scenario::is_round`]) run
+/// their fault-free knowledge-free trials through the engine's native
+/// batched round path ([`TrialRunner::run_rounds`]); faulted and
+/// materialising trials consume the flattened round stream instead (the
+/// fault layer and the oracles are pairwise constructs). The round and
+/// flattened paths are byte-identical on any round stream — pinned by
+/// `tests/round_equivalence.rs` — so the routing never changes a number.
+///
 /// # Panics
 ///
 /// Panics if `spec` requires materialisation and `scenario` is adaptive
@@ -271,13 +279,30 @@ pub fn run_scenario_trials(
             let mut results = Vec::with_capacity(range.len());
             for trial in range {
                 let trial_seed = seeds.seed(trial as u64);
-                let mut source = scenario.base.source(config.n, trial_seed);
                 let trial_config = TrialConfig {
                     max_interactions: Some(horizon as u64),
                     fault: scenario.fault_injection(trial_seed),
                     ..TrialConfig::default()
                 };
-                results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
+                // Fault-free round scenarios run through the engine's
+                // native batched round path; everything else (pairwise
+                // scenarios, and faulted round scenarios — the fault layer
+                // composes over the flattened stream) runs streamed. The
+                // two paths are byte-identical on round streams, pinned by
+                // tests/round_equivalence.rs.
+                let native_rounds = if trial_config.fault.is_none() {
+                    scenario.base.round_source(config.n, trial_seed)
+                } else {
+                    None
+                };
+                let result = match native_rounds {
+                    Some(mut rounds) => runner.run_rounds(spec, rounds.as_mut(), &trial_config),
+                    None => {
+                        let mut source = scenario.base.source(config.n, trial_seed);
+                        runner.run_streamed(spec, source.as_mut(), &trial_config)
+                    }
+                };
+                results.push(result);
             }
             results
         })
@@ -540,6 +565,66 @@ mod tests {
             assert_eq!(serial, parallel, "{spec}");
             assert!(serial.iter().all(|r| r.data_conserved || !r.terminated()));
         }
+    }
+
+    #[test]
+    fn round_scenarios_sweep_serial_parallel_identical() {
+        let cfg = BatchConfig {
+            n: 12,
+            trials: 6,
+            horizon: Some(6_000),
+            seed: 9,
+            parallel: false,
+        };
+        for scenario in [
+            Scenario::RandomMatching,
+            Scenario::Tournament,
+            Scenario::IntervalConnected { t: 8 },
+        ] {
+            let serial = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
+            let parallel = run_scenario_trials(
+                AlgorithmSpec::Gathering,
+                scenario,
+                &BatchConfig {
+                    parallel: true,
+                    ..cfg
+                },
+            );
+            assert_eq!(serial, parallel, "{scenario}");
+            assert!(
+                serial.iter().all(|r| r.terminated() && r.data_conserved),
+                "{scenario}"
+            );
+        }
+        // The sink-unmatched round trap starves even Gathering.
+        let starved = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::RoundIsolator, &cfg);
+        assert!(starved
+            .iter()
+            .all(|r| !r.terminated() && r.interactions_processed == 6_000));
+    }
+
+    #[test]
+    fn faulted_round_scenarios_flow_through_the_flattened_fault_layer() {
+        let cfg = BatchConfig {
+            n: 12,
+            trials: 5,
+            horizon: Some(8_000),
+            seed: 0xFA,
+            parallel: false,
+        };
+        let scenario = Scenario::RandomMatching.with_faults(FaultProfile::lossy(0.2));
+        let serial = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
+        let parallel = run_scenario_trials(
+            AlgorithmSpec::Gathering,
+            scenario,
+            &BatchConfig {
+                parallel: true,
+                ..cfg
+            },
+        );
+        assert_eq!(serial, parallel);
+        assert!(serial.iter().any(|r| r.faults.lost_interactions > 0));
+        assert!(serial.iter().all(|r| !r.terminated() || r.data_conserved));
     }
 
     #[test]

@@ -19,13 +19,15 @@
 //! [`materialize`]: Scenario::materialize
 
 use doda_adversary::{
-    CrashAwareIsolator, IsolatorAdversary, ObliviousTrap, WeightedRandomAdversary,
+    CrashAwareIsolator, IsolatorAdversary, ObliviousTrap, RoundIsolator, WeightedRandomAdversary,
 };
 use doda_core::fault::{FaultConfigError, FaultProfile, FaultedSource};
+use doda_core::round::{FlattenedRounds, RoundSource};
 use doda_core::{InteractionSequence, InteractionSource};
 use doda_stats::rng::SeedSequence;
 use doda_workloads::{
-    BodyAreaWorkload, CommunityWorkload, UniformWorkload, VehicularWorkload, Workload, ZipfWorkload,
+    BodyAreaWorkload, CommunityWorkload, IntervalConnectedWorkload, RandomMatchingWorkload,
+    RoundWorkload, TournamentWorkload, UniformWorkload, VehicularWorkload, Workload, ZipfWorkload,
 };
 
 use crate::spec::AlgorithmSpec;
@@ -71,6 +73,25 @@ pub enum Scenario {
     /// fault plan every datum's fate is decided by faults, not
     /// transmissions (deterministic; the seed is ignored). Adaptive.
     CrashAwareIsolator,
+    /// **Round scenario** — each round a uniformly random near-perfect
+    /// matching: the round-model analogue of the uniform randomized
+    /// adversary.
+    RandomMatching,
+    /// **Round scenario** — the deterministic round-robin tournament
+    /// (circle method): every pair meets once per cycle, each round a
+    /// perfect matching (the seed is ignored).
+    Tournament,
+    /// **Round scenario** — a `T`-interval-connected evolving graph: a
+    /// random spanning path held stable for `t` rounds, served as
+    /// alternating-edge matchings.
+    IntervalConnected {
+        /// The stability window, in rounds (`≥ 2`).
+        t: usize,
+    },
+    /// **Round scenario** — the round-level trap that keeps the sink
+    /// unmatched every round, starving every algorithm (deterministic;
+    /// the seed is ignored).
+    RoundIsolator,
 }
 
 impl Scenario {
@@ -90,6 +111,10 @@ impl Scenario {
             Scenario::ObliviousTrap,
             Scenario::AdaptiveIsolator,
             Scenario::CrashAwareIsolator,
+            Scenario::RandomMatching,
+            Scenario::Tournament,
+            Scenario::IntervalConnected { t: 8 },
+            Scenario::RoundIsolator,
         ]
     }
 
@@ -105,6 +130,10 @@ impl Scenario {
             Scenario::ObliviousTrap => "oblivious-trap",
             Scenario::AdaptiveIsolator => "adaptive-isolator",
             Scenario::CrashAwareIsolator => "crash-aware-isolator",
+            Scenario::RandomMatching => "random-matching",
+            Scenario::Tournament => "tournament",
+            Scenario::IntervalConnected { .. } => "interval-connected",
+            Scenario::RoundIsolator => "round-isolator",
         }
     }
 
@@ -124,11 +153,27 @@ impl Scenario {
         )
     }
 
+    /// `true` iff the scenario is **round-based**: it natively yields a
+    /// matching of disjoint interactions per synchronous round (see
+    /// [`Scenario::round_source`]). Its pairwise [`source`] view is the
+    /// flattened round stream.
+    ///
+    /// [`source`]: Scenario::source
+    pub fn is_round(&self) -> bool {
+        matches!(
+            self,
+            Scenario::RandomMatching
+                | Scenario::Tournament
+                | Scenario::IntervalConnected { .. }
+                | Scenario::RoundIsolator
+        )
+    }
+
     /// The smallest node count the scenario admits.
     pub fn min_nodes(&self) -> usize {
         match self {
             Scenario::Community { communities, .. } => 2 * (*communities).max(1),
-            Scenario::BodyArea | Scenario::CrashAwareIsolator => 3,
+            Scenario::BodyArea | Scenario::CrashAwareIsolator | Scenario::RoundIsolator => 3,
             Scenario::ObliviousTrap => 4,
             _ => 2,
         }
@@ -145,11 +190,18 @@ impl Scenario {
     /// A seeded streaming source over `n` nodes. The adversarial
     /// constructions are deterministic and ignore the seed; everything
     /// else streams the exact interactions its workload would materialise.
+    /// Round scenarios stream their **flattened** round schedule — each
+    /// round's matching, one interaction per step, in matching order (the
+    /// view every pairwise consumer gets: materialisation, oracles, fault
+    /// plans).
     ///
     /// # Panics
     ///
     /// Panics if `n < self.min_nodes()`.
     pub fn source(&self, n: usize, seed: u64) -> Box<dyn InteractionSource + Send> {
+        if let Some(rounds) = self.round_source(n, seed) {
+            return Box::new(FlattenedRounds::new(rounds));
+        }
         match self {
             Scenario::WeightedZipf { exponent } => {
                 Box::new(WeightedRandomAdversary::zipf(n, *exponent, seed))
@@ -163,6 +215,27 @@ impl Scenario {
                 .workload(n)
                 .expect("non-adversary scenarios are workload-backed")
                 .source(seed),
+        }
+    }
+
+    /// A seeded **round** source over `n` nodes, for the round scenarios
+    /// (`None` for the pairwise ones). This is the native view the round
+    /// engine ([`doda_core::Engine::run_rounds`]) consumes; the
+    /// [`source`](Scenario::source) view of the same scenario is the
+    /// flattened equivalent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < self.min_nodes()`.
+    pub fn round_source(&self, n: usize, seed: u64) -> Option<Box<dyn RoundSource + Send>> {
+        match self {
+            Scenario::RandomMatching => Some(RandomMatchingWorkload::new(n).rounds(seed)),
+            Scenario::Tournament => Some(TournamentWorkload::new(n).rounds(seed)),
+            Scenario::IntervalConnected { t } => {
+                Some(IntervalConnectedWorkload::new(n, *t).rounds(seed))
+            }
+            Scenario::RoundIsolator => Some(Box::new(RoundIsolator::new(n))),
+            _ => None,
         }
     }
 
@@ -186,7 +259,11 @@ impl Scenario {
             Scenario::WeightedZipf { .. }
             | Scenario::ObliviousTrap
             | Scenario::AdaptiveIsolator
-            | Scenario::CrashAwareIsolator => None,
+            | Scenario::CrashAwareIsolator
+            | Scenario::RandomMatching
+            | Scenario::Tournament
+            | Scenario::IntervalConnected { .. }
+            | Scenario::RoundIsolator => None,
         }
     }
 
@@ -264,6 +341,11 @@ impl FaultedScenario {
             Scenario::Zipf { exponent: 1.2 }.with_faults(FaultProfile::lossy(0.2)),
             Scenario::Vehicular.with_faults(FaultProfile::churn(0.002, 0.004)),
             Scenario::CrashAwareIsolator.with_faults(FaultProfile::crash(0.005)),
+            // Round scenarios cross the fault axis through their flattened
+            // stream: losses drop matched pairs, crashes decide data fates
+            // under the sink-unmatched trap.
+            Scenario::RandomMatching.with_faults(FaultProfile::lossy(0.2)),
+            Scenario::RoundIsolator.with_faults(FaultProfile::crash(0.005)),
         ]);
         entries
     }
@@ -303,6 +385,12 @@ impl FaultedScenario {
     /// base stream, so the compatibility rule is the base's.
     pub fn supports(&self, spec: AlgorithmSpec) -> bool {
         self.base.supports(spec)
+    }
+
+    /// Delegates to [`Scenario::is_round`]: faults never change whether
+    /// the base schedule is round-based.
+    pub fn is_round(&self) -> bool {
+        self.base.is_round()
     }
 
     /// The smallest node count the entry admits: the base's floor, never
@@ -541,6 +629,39 @@ mod tests {
     }
 
     #[test]
+    fn round_scenarios_expose_round_sources_that_flatten_to_the_stream() {
+        let mut round_scenarios = 0;
+        for s in Scenario::registry() {
+            let n = s.min_nodes().max(8);
+            match s.round_source(n, 5) {
+                None => assert!(!s.is_round(), "{s}"),
+                Some(rounds) => {
+                    round_scenarios += 1;
+                    assert!(s.is_round(), "{s}");
+                    assert!(!s.is_adaptive(), "{s}");
+                    assert_eq!(rounds.node_count(), n, "{s}");
+                    // The pairwise view is exactly the flattened schedule.
+                    let mut flat = doda_core::FlattenedRounds::new(rounds);
+                    let mut source = s.source(n, 5);
+                    let owns = vec![true; n];
+                    let view = AdversaryView {
+                        owns_data: &owns,
+                        sink: NodeId(0),
+                    };
+                    for t in 0..200u64 {
+                        assert_eq!(
+                            source.next_interaction(t, &view),
+                            flat.next_interaction(t, &view),
+                            "{s} diverged at t={t}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(round_scenarios, 4);
+    }
+
+    #[test]
     fn workload_backed_scenarios_expose_their_workload() {
         for s in Scenario::registry() {
             let n = s.min_nodes().max(8);
@@ -553,7 +674,7 @@ mod tests {
                             | Scenario::ObliviousTrap
                             | Scenario::AdaptiveIsolator
                             | Scenario::CrashAwareIsolator
-                    ),
+                    ) || s.is_round(),
                     "{s}"
                 ),
             }

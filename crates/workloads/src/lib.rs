@@ -44,6 +44,7 @@
 pub mod body_area;
 pub mod community;
 pub mod round_robin;
+pub mod rounds;
 pub mod tree_restricted;
 pub mod uniform;
 pub mod vehicular;
@@ -52,6 +53,9 @@ pub mod zipf;
 pub use body_area::BodyAreaWorkload;
 pub use community::CommunityWorkload;
 pub use round_robin::RoundRobinWorkload;
+pub use rounds::{
+    IntervalConnectedWorkload, RandomMatchingWorkload, RoundWorkload, TournamentWorkload,
+};
 pub use tree_restricted::TreeRestrictedWorkload;
 pub use uniform::UniformWorkload;
 pub use vehicular::VehicularWorkload;
