@@ -102,6 +102,12 @@ impl WeightedRandomAdversary {
 }
 
 impl InteractionSource for WeightedRandomAdversary {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.weights.len()
     }

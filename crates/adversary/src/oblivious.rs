@@ -74,6 +74,12 @@ impl ObliviousAdversary {
 }
 
 impl InteractionSource for ObliviousAdversary {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.prefix.node_count()
     }

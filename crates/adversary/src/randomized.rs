@@ -70,6 +70,12 @@ impl RandomizedAdversary {
 }
 
 impl InteractionSource for RandomizedAdversary {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }

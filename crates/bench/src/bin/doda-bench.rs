@@ -1,10 +1,10 @@
 //! `doda-bench` — the machine-readable perf harness.
 //!
 //! Runs a pinned perf grid (algorithms × scenarios × node counts) through
-//! the sharded sweep runner and emits `BENCH_<grid>.json`, the
+//! the sharded [`Sweep`] builder and emits `BENCH_<grid>.json`, the
 //! perf-trajectory artifact CI uploads on every push and PRs extend over
-//! time. Also validates existing artifacts, measures the sharded runner's
-//! speedup over the legacy mutex runner, and guards the streaming path's
+//! time. Also validates existing artifacts, measures the lane tier's
+//! speedup over the scalar reference, and guards the streaming path's
 //! `O(n)`-memory claim with a long-horizon run.
 //!
 //! ```text
@@ -14,7 +14,8 @@
 //! doda-bench --validate FILE.json    # schema-check an artifact
 //! doda-bench --compare RUN BASE --tolerance 40
 //!                                    # perf-regression gate (CI)
-//! doda-bench --compare-runners       # sharded vs mutex runner speedup
+//! doda-bench --compare-runners       # lane tier vs scalar tier speedup
+//! doda-bench --lane-guard            # enforce >= 1.5x lane speedup (CI)
 //! doda-bench --stream-guard          # 10^7-interaction streamed sweeps
 //! doda-bench --fault-guard           # 10^6-interaction faulted sweeps
 //! doda-bench --round-guard           # 10^6-interaction round sweeps
@@ -28,10 +29,8 @@ use doda_bench::compare::compare_reports;
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
 use doda_core::fault::FaultProfile;
-use doda_sim::runner::{
-    run_batch_detailed, run_batch_mutex_detailed, run_scenario_trials, BatchConfig,
-};
-use doda_sim::{AlgorithmSpec, Scenario};
+use doda_sim::runner::{run_scenario_trials, BatchConfig};
+use doda_sim::{AlgorithmSpec, ExecutionTier, Scenario, Sweep};
 
 struct Args {
     grid: PerfGrid,
@@ -40,6 +39,7 @@ struct Args {
     compare: Option<(PathBuf, PathBuf)>,
     tolerance: Option<f64>,
     compare_runners: bool,
+    lane_guard: bool,
     stream_guard: bool,
     fault_guard: bool,
     round_guard: bool,
@@ -57,6 +57,7 @@ fn parse_args() -> Result<Args, String> {
         compare: None,
         tolerance: None,
         compare_runners: false,
+        lane_guard: false,
         stream_guard: false,
         fault_guard: false,
         round_guard: false,
@@ -96,6 +97,7 @@ fn parse_args() -> Result<Args, String> {
                 );
             }
             "--compare-runners" => args.compare_runners = true,
+            "--lane-guard" => args.lane_guard = true,
             "--stream-guard" => args.stream_guard = true,
             "--fault-guard" => args.fault_guard = true,
             "--round-guard" => args.round_guard = true,
@@ -103,7 +105,8 @@ fn parse_args() -> Result<Args, String> {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
                      | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
-                     | --compare-runners | --stream-guard | --fault-guard | --round-guard"
+                     | --compare-runners | --lane-guard | --stream-guard | --fault-guard \
+                     | --round-guard"
                 );
                 std::process::exit(0);
             }
@@ -116,12 +119,13 @@ fn parse_args() -> Result<Args, String> {
         + usize::from(!args.validate.is_empty())
         + usize::from(args.compare.is_some())
         + usize::from(args.compare_runners)
+        + usize::from(args.lane_guard)
         + usize::from(args.stream_guard)
         + usize::from(args.fault_guard)
         + usize::from(args.round_guard);
     if modes > 1 {
         return Err(
-            "--smoke/--baseline, --validate, --compare, --compare-runners, \
+            "--smoke/--baseline, --validate, --compare, --compare-runners, --lane-guard, \
              --stream-guard, --fault-guard and --round-guard are mutually exclusive"
                 .to_string(),
         );
@@ -188,63 +192,149 @@ fn compare_files(run_path: &PathBuf, base_path: &PathBuf, tolerance: f64) -> Res
     }
 }
 
-/// Measures the sharded runner against the retained legacy mutex-funnel
-/// runner on identical parallel batches, and cross-checks that both
-/// produce identical results.
+/// The lane-over-scalar speedup floor `--lane-guard` enforces on the
+/// knowledge-free n = 512 cell: conservative enough for noisy shared CI
+/// runners, but a lane tier that cannot beat the scalar reference by 1.5x
+/// has lost its reason to exist.
+const LANE_GUARD_MIN_SPEEDUP: f64 = 1.5;
+
+/// Times one knowledge-free batch shape on the lane tier and on the
+/// scalar reference, interleaved over `reps` repetitions, cross-checking
+/// per-trial byte-equality of the two tiers on every rep.
+///
+/// Returns `(timings, total_interactions)` with one `(lane_secs,
+/// scalar_secs)` pair per rep. The two measurements of a pair are taken
+/// back to back, so a per-rep speedup ratio cancels the common-mode
+/// machine drift (frequency scaling, noisy co-tenants) that independent
+/// per-tier minima cannot.
+fn time_lane_vs_scalar(
+    spec: AlgorithmSpec,
+    scenario: Scenario,
+    n: usize,
+    trials: usize,
+    reps: usize,
+) -> Result<(Vec<(f64, f64)>, u64), String> {
+    let sweep = |tier| {
+        Sweep::scenario(spec, scenario)
+            .n(n)
+            .trials(trials)
+            .seed(0xD0DA)
+            .parallel(true)
+            .tier(tier)
+    };
+    // Warm-up to populate thread pools and page caches fairly.
+    let _ = sweep(ExecutionTier::Lanes).trials(8).run();
+
+    // Interleave the two tiers so drift (frequency scaling, page cache)
+    // hits both equally, alternating which tier goes first within a rep
+    // to cancel any ordering bias.
+    let mut timings = Vec::with_capacity(reps);
+    let mut interactions = 0u64;
+    for rep in 0..reps {
+        let time_tier = |tier| {
+            let t0 = Instant::now();
+            let results = sweep(tier).run();
+            (t0.elapsed().as_secs_f64(), results)
+        };
+        let (lane_secs, scalar_secs, lanes, scalar) = if rep % 2 == 0 {
+            let (ls, lanes) = time_tier(ExecutionTier::Lanes);
+            let (ss, scalar) = time_tier(ExecutionTier::Scalar);
+            (ls, ss, lanes, scalar)
+        } else {
+            let (ss, scalar) = time_tier(ExecutionTier::Scalar);
+            let (ls, lanes) = time_tier(ExecutionTier::Lanes);
+            (ls, ss, lanes, scalar)
+        };
+        if lanes != scalar {
+            return Err("lane and scalar tiers diverged on identical input".to_string());
+        }
+        interactions = lanes.iter().map(|r| r.interactions_processed).sum();
+        timings.push((lane_secs, scalar_secs));
+    }
+    Ok((timings, interactions))
+}
+
+/// Per-tier minima over the reps: the usual low-noise estimator for
+/// throughput reporting.
+fn min_secs(timings: &[(f64, f64)]) -> (f64, f64) {
+    timings
+        .iter()
+        .fold((f64::INFINITY, f64::INFINITY), |acc, t| {
+            (acc.0.min(t.0), acc.1.min(t.1))
+        })
+}
+
+/// The median of the per-rep `scalar/lane` speedup ratios — each ratio
+/// compares two back-to-back measurements, so sustained machine-wide slow
+/// phases (which skew independent per-tier minima) divide out.
+fn median_speedup(timings: &[(f64, f64)]) -> f64 {
+    let mut ratios: Vec<f64> = timings
+        .iter()
+        .map(|(lane, scalar)| scalar / lane.max(1e-9))
+        .collect();
+    ratios.sort_by(|a, b| a.total_cmp(b));
+    ratios[ratios.len() / 2]
+}
+
+/// Measures the lockstep lane tier against the scalar reference on
+/// identical parallel batches, and cross-checks that both produce
+/// byte-identical per-trial results.
 ///
 /// Two batch shapes are timed: one dominated by per-trial overhead (many
-/// small trials — where the mutex funnel and the per-trial allocations of
-/// the legacy runner hurt most) and one dominated by in-trial work (fewer
-/// large trials).
+/// small trials — where lane batching amortises source setup and engine
+/// dispatch hardest) and one dominated by in-trial work (fewer large
+/// trials at the n = 512 scale the perf grids track).
 fn compare_runners() -> Result<(), String> {
     const REPS: usize = 7;
     let shapes = [
-        ("overhead-bound", 16usize, 2_048usize),
-        ("work-bound", 128, 32),
+        ("overhead-bound", 64usize, 1_024usize),
+        ("work-bound", 512, 64),
     ];
     let spec = AlgorithmSpec::Gathering;
     for (label, n, trials) in shapes {
-        let config = BatchConfig {
-            n,
-            trials,
-            horizon: None,
-            seed: 0xD0DA,
-            parallel: true,
-        };
-        // Warm-up to populate thread pools and page caches fairly.
-        let _ = run_batch_detailed(
-            spec,
-            &BatchConfig {
-                trials: 8,
-                ..config
-            },
-        );
-
-        // Interleave the two runners so drift (frequency scaling, page
-        // cache) hits both equally; report the per-runner minimum, the
-        // usual low-noise estimator for wall-clock microbenchmarks.
-        let mut sharded_secs = f64::INFINITY;
-        let mut mutex_secs = f64::INFINITY;
-        for _ in 0..REPS {
-            let t0 = Instant::now();
-            let sharded = run_batch_detailed(spec, &config);
-            sharded_secs = sharded_secs.min(t0.elapsed().as_secs_f64());
-
-            let t1 = Instant::now();
-            let mutex = run_batch_mutex_detailed(spec, &config);
-            mutex_secs = mutex_secs.min(t1.elapsed().as_secs_f64());
-
-            if sharded != mutex {
-                return Err("sharded and mutex runners diverged on identical input".to_string());
-            }
-        }
-        println!("{label} batch ({spec}, n = {n}, trials = {trials}, best of {REPS}):");
-        println!("  sharded runner : {sharded_secs:.3} s");
-        println!("  mutex runner   : {mutex_secs:.3} s");
+        let (timings, interactions) =
+            time_lane_vs_scalar(spec, Scenario::Uniform, n, trials, REPS)?;
+        let (lane_secs, scalar_secs) = min_secs(&timings);
+        println!("{label} batch ({spec} vs uniform, n = {n}, trials = {trials}, best of {REPS}):");
         println!(
-            "  speedup        : {:.2}x",
-            mutex_secs / sharded_secs.max(1e-9)
+            "  lane tier   : {lane_secs:.3} s ({:.0} i/s)",
+            interactions as f64 / lane_secs.max(1e-9)
         );
+        println!(
+            "  scalar tier : {scalar_secs:.3} s ({:.0} i/s)",
+            interactions as f64 / scalar_secs.max(1e-9)
+        );
+        println!(
+            "  speedup     : {:.2}x median per-rep",
+            median_speedup(&timings)
+        );
+    }
+    Ok(())
+}
+
+/// The CI gate on the lane tier's reason to exist: on the knowledge-free
+/// n = 512 uniform Gathering cell, the lockstep lane path must beat the
+/// scalar reference by at least [`LANE_GUARD_MIN_SPEEDUP`]x — while
+/// producing byte-identical per-trial results (cross-checked every rep).
+fn lane_guard() -> Result<(), String> {
+    const REPS: usize = 9;
+    const N: usize = 512;
+    const TRIALS: usize = 64;
+    let (timings, interactions) =
+        time_lane_vs_scalar(AlgorithmSpec::Gathering, Scenario::Uniform, N, TRIALS, REPS)?;
+    let (lane_secs, scalar_secs) = min_secs(&timings);
+    let speedup = median_speedup(&timings);
+    println!(
+        "lane-guard: Gathering vs uniform, n = {N}, {TRIALS} trials, {REPS} reps: \
+         lanes {lane_secs:.3} s ({:.0} i/s), scalar {scalar_secs:.3} s ({:.0} i/s), \
+         median per-rep speedup {speedup:.2}x (floor {LANE_GUARD_MIN_SPEEDUP}x)",
+        interactions as f64 / lane_secs.max(1e-9),
+        interactions as f64 / scalar_secs.max(1e-9),
+    );
+    if speedup < LANE_GUARD_MIN_SPEEDUP {
+        return Err(format!(
+            "lane tier speedup {speedup:.2}x is below the {LANE_GUARD_MIN_SPEEDUP}x floor"
+        ));
     }
     Ok(())
 }
@@ -484,6 +574,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.lane_guard {
+        return match lane_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: lane guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

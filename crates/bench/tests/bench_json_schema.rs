@@ -22,7 +22,7 @@ fn committed_baseline_matches_the_schema() {
     // The pinned grid: 3 algorithms x 7 scenarios x 3 node counts, minus
     // the skipped WaitingGreedy x adaptive-isolator column.
     assert_eq!(results.len(), PerfGrid::baseline().cell_count());
-    let mut modes_seen = (false, false);
+    let mut modes_seen = [false; 4];
     let mut survivor_completions = 0.0;
     for cell in results {
         let n = cell.get("n").and_then(Json::as_f64).unwrap();
@@ -30,8 +30,10 @@ fn committed_baseline_matches_the_schema() {
         let throughput = cell.get("throughput_ips").and_then(Json::as_f64).unwrap();
         assert!(throughput > 0.0, "throughput must be positive");
         match cell.get("mode").and_then(Json::as_str).unwrap() {
-            "streamed" => modes_seen.0 = true,
-            "materialized" => modes_seen.1 = true,
+            "streamed" => modes_seen[0] = true,
+            "materialized" => modes_seen[1] = true,
+            "lanes" => modes_seen[2] = true,
+            "rounds" => modes_seen[3] = true,
             other => panic!("unexpected mode {other}"),
         }
         // Schema v3: the completion split must add up, and fault-free
@@ -50,8 +52,9 @@ fn committed_baseline_matches_the_schema() {
         survivor_completions += survivors;
     }
     assert!(
-        modes_seen.0 && modes_seen.1,
-        "the baseline must cover both execution modes"
+        modes_seen.iter().all(|&seen| seen),
+        "the baseline must cover all four execution tiers, saw {modes_seen:?} \
+         for (streamed, materialized, lanes, rounds)"
     );
     assert!(
         survivor_completions > 0.0,

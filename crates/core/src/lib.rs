@@ -218,6 +218,7 @@ pub mod error;
 pub mod fault;
 pub mod interaction;
 pub mod knowledge;
+pub mod lane;
 pub mod outcome;
 pub mod round;
 pub mod sequence;
@@ -229,6 +230,7 @@ pub use engine::{
 };
 pub use fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
 pub use interaction::{Interaction, Time, TimedInteraction};
+pub use lane::{LaneAlgorithm, LaneEngine, LaneRunStats, MAX_LANES};
 pub use outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
 pub use round::{FlattenedRounds, Matching, MatchingSequence, RoundSource, SingletonRounds};
 pub use sequence::{InteractionSequence, InteractionSource, StepEvent};
@@ -248,6 +250,7 @@ pub mod prelude {
     pub use crate::fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
     pub use crate::interaction::{Interaction, Time, TimedInteraction};
     pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
+    pub use crate::lane::{LaneAlgorithm, LaneEngine, LaneRunStats, MAX_LANES};
     pub use crate::outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
     pub use crate::round::{
         FlattenedRounds, Matching, MatchingSequence, RoundSource, SingletonRounds,

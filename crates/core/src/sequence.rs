@@ -103,6 +103,60 @@ pub trait InteractionSource {
     fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
         self.next_interaction(t, view).map(StepEvent::Interaction)
     }
+
+    /// `true` iff the source never reads the [`AdversaryView`] — its stream
+    /// is a function of its own state and `t` alone (the paper's
+    /// *oblivious* adversaries, and every synthetic workload generator).
+    ///
+    /// Oblivious sources may be pulled in batches
+    /// ([`next_interaction_batch`]) by the lane engine's fast path, which
+    /// samples the view once per batch. Adaptive adversaries and the fault
+    /// layer must keep the default `false`.
+    ///
+    /// [`next_interaction_batch`]: InteractionSource::next_interaction_batch
+    fn is_oblivious(&self) -> bool {
+        false
+    }
+
+    /// Pulls up to `max` consecutive interactions starting at time `t0`,
+    /// appending them to `out`; fewer than `max` means the source is
+    /// exhausted. Equivalent to `max` successive [`next_event`] calls under
+    /// one view snapshot, so it is only meaningful for
+    /// [`is_oblivious`] sources, where the view cannot influence the
+    /// stream.
+    ///
+    /// The default implementation loops over [`next_event`] — which, called
+    /// through a trait object, runs with the concrete `Self` and therefore
+    /// devirtualises the per-step pulls: batch consumers (the lane engine)
+    /// pay one indirect call per batch instead of one per interaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source emits a fault event: batched pulls are
+    /// fault-free by contract ([`crate::fault::FaultedSource`] keeps
+    /// [`is_oblivious`] `false`, so batch consumers never reach it).
+    ///
+    /// [`next_event`]: InteractionSource::next_event
+    /// [`is_oblivious`]: InteractionSource::is_oblivious
+    fn next_interaction_batch(
+        &mut self,
+        t0: Time,
+        view: &AdversaryView<'_>,
+        out: &mut Vec<Interaction>,
+        max: usize,
+    ) {
+        for offset in 0..max as u64 {
+            match self.next_event(t0 + offset, view) {
+                Some(StepEvent::Interaction(interaction)) => out.push(interaction),
+                Some(event) => panic!(
+                    "batched pulls are fault-free by contract, but the source \
+                     emitted {event:?} at t = {}",
+                    t0 + offset
+                ),
+                None => break,
+            }
+        }
+    }
 }
 
 impl<S: InteractionSource + ?Sized> InteractionSource for &mut S {
@@ -119,6 +173,20 @@ impl<S: InteractionSource + ?Sized> InteractionSource for &mut S {
     fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
         (**self).next_event(t, view)
     }
+
+    fn is_oblivious(&self) -> bool {
+        (**self).is_oblivious()
+    }
+
+    fn next_interaction_batch(
+        &mut self,
+        t0: Time,
+        view: &AdversaryView<'_>,
+        out: &mut Vec<Interaction>,
+        max: usize,
+    ) {
+        (**self).next_interaction_batch(t0, view, out, max)
+    }
 }
 
 impl<S: InteractionSource + ?Sized> InteractionSource for Box<S> {
@@ -132,6 +200,20 @@ impl<S: InteractionSource + ?Sized> InteractionSource for Box<S> {
 
     fn next_event(&mut self, t: Time, view: &AdversaryView<'_>) -> Option<StepEvent> {
         (**self).next_event(t, view)
+    }
+
+    fn is_oblivious(&self) -> bool {
+        (**self).is_oblivious()
+    }
+
+    fn next_interaction_batch(
+        &mut self,
+        t0: Time,
+        view: &AdversaryView<'_>,
+        out: &mut Vec<Interaction>,
+        max: usize,
+    ) {
+        (**self).next_interaction_batch(t0, view, out, max)
     }
 }
 
@@ -458,6 +540,10 @@ impl InteractionSource for SequenceSource {
             self.seq.get(t)
         }
     }
+
+    fn is_oblivious(&self) -> bool {
+        true
+    }
 }
 
 /// Borrowing counterpart of [`SequenceSource`]: replays an
@@ -484,6 +570,10 @@ impl InteractionSource for SequenceStream<'_> {
         } else {
             self.seq.get(t)
         }
+    }
+
+    fn is_oblivious(&self) -> bool {
+        true
     }
 }
 

@@ -18,8 +18,12 @@
 //!   deterministic fault plan;
 //! * [`trial`] runs one algorithm over one stream (or sequence) and
 //!   extracts metrics;
-//! * [`runner`] runs multi-trial batches (optionally in parallel across
-//!   threads) and summarises them;
+//! * [`sweep::Sweep`] is the unified batch builder: scenario or workload ×
+//!   algorithm × trials × seed × parallelism × execution tier
+//!   ([`sweep::ExecutionTier`]: auto / scalar / lockstep **lanes** /
+//!   native rounds);
+//! * [`runner`] keeps the legacy batch entry points as thin wrappers over
+//!   [`sweep::Sweep`] and summarises results;
 //! * [`table`] renders result rows as Markdown/CSV for EXPERIMENTS.md and
 //!   the examples.
 //!
@@ -47,6 +51,7 @@
 pub mod runner;
 pub mod scenario;
 pub mod spec;
+pub mod sweep;
 pub mod table;
 pub mod trial;
 
@@ -55,6 +60,7 @@ pub use runner::{
 };
 pub use scenario::{FaultedScenario, Scenario};
 pub use spec::{AlgorithmSpec, KnowledgeRequirement};
+pub use sweep::{ExecutionTier, Sweep};
 pub use trial::{run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner};
 
 /// Commonly used items for examples and benches.
@@ -64,6 +70,7 @@ pub mod prelude {
     };
     pub use crate::scenario::{FaultedScenario, Scenario};
     pub use crate::spec::{AlgorithmSpec, KnowledgeRequirement};
+    pub use crate::sweep::{ExecutionTier, Sweep};
     pub use crate::table::{markdown_table, Table};
     pub use crate::trial::{
         run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,

@@ -31,17 +31,19 @@
 //! sub-seed `SeedSequence::seed(i)` regardless of which worker executes
 //! it, serial and parallel runs of the same [`BatchConfig`] produce
 //! **identical** [`BatchResult`]s and raw [`TrialResult`]s, byte for byte.
+//!
+//! [`TrialRunner`]: crate::trial::TrialRunner
+//! [`InteractionSequence`]: doda_core::InteractionSequence
 
 use std::ops::Range;
 
-use doda_core::InteractionSequence;
-use doda_stats::rng::SeedSequence;
 use doda_stats::Summary;
 use doda_workloads::{UniformWorkload, Workload};
 
 use crate::scenario::FaultedScenario;
 use crate::spec::AlgorithmSpec;
-use crate::trial::{TrialConfig, TrialResult, TrialRunner};
+use crate::sweep::Sweep;
+use crate::trial::TrialResult;
 
 /// Configuration of a batch of independent randomized-adversary trials.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,7 +108,7 @@ impl BatchResult {
 /// Splits `trials` into contiguous per-worker chunks and concatenates the
 /// chunk results in worker order (the sharded-execution skeleton shared by
 /// every sweep entry point).
-fn shard<F>(trials: usize, parallel: bool, run_chunk: F) -> Vec<TrialResult>
+pub(crate) fn shard<F>(trials: usize, parallel: bool, run_chunk: F) -> Vec<TrialResult>
 where
     F: Fn(Range<usize>) -> Vec<TrialResult> + Sync,
 {
@@ -140,17 +142,11 @@ where
 /// interaction stream drawn from `workload`, and returns the raw per-trial
 /// results in trial-index order.
 ///
-/// Knowledge-free specs are **streamed** — each trial pulls interactions
-/// from [`Workload::source`] with the horizon as the engine budget, never
-/// materialising a sequence. Knowledge-based specs refill a per-worker
-/// scratch sequence via [`Workload::fill`] and build their oracles from
-/// it. The two paths are observationally identical for the same seeds
-/// (workload sources stream exactly what `fill` materialises).
-///
-/// This is the sharded core behind [`run_batch`]; it is exposed so that
-/// sweeps over non-uniform workloads (Zipf, vehicular, …) — notably the
-/// `doda-bench` perf harness — can reuse the same execution machinery and
-/// tolerate batches in which no trial terminates.
+/// **Deprecation note:** this is a thin wrapper over the unified sweep
+/// builder — [`Sweep::workload`] with [`Sweep::config`] — kept so existing
+/// call sites migrate without churn. New code should use [`Sweep`], which
+/// additionally exposes the execution tier
+/// ([`crate::sweep::ExecutionTier`]) and lane width.
 ///
 /// # Panics
 ///
@@ -160,45 +156,7 @@ pub fn run_trials<W>(spec: AlgorithmSpec, workload: &W, config: &BatchConfig) ->
 where
     W: Workload + Sync + ?Sized,
 {
-    assert_eq!(
-        workload.node_count(),
-        config.n,
-        "workload is over {} nodes but the batch asks for {}",
-        workload.node_count(),
-        config.n
-    );
-    let seeds = SeedSequence::new(config.seed);
-    let horizon = config.horizon_len();
-
-    if spec.requires_materialization() {
-        let trial_config = TrialConfig::default();
-        // One invocation per shard: owns its engine scratch and its
-        // sequence buffer for the whole chunk.
-        shard(config.trials, config.parallel, |range| {
-            let mut runner = TrialRunner::new();
-            let mut seq = InteractionSequence::new(config.n);
-            let mut results = Vec::with_capacity(range.len());
-            for trial in range {
-                workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
-                results.push(runner.run(spec, &seq, &trial_config));
-            }
-            results
-        })
-    } else {
-        let trial_config = TrialConfig {
-            max_interactions: Some(horizon as u64),
-            ..TrialConfig::default()
-        };
-        shard(config.trials, config.parallel, |range| {
-            let mut runner = TrialRunner::new();
-            let mut results = Vec::with_capacity(range.len());
-            for trial in range {
-                let mut source = workload.source(seeds.seed(trial as u64));
-                results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
-            }
-            results
-        })
-    }
+    Sweep::workload(spec, &workload).config(config).run()
 }
 
 /// Runs `config.trials` independent trials of `spec` against `scenario` —
@@ -220,11 +178,19 @@ where
 ///
 /// **Round scenarios** ([`crate::scenario::Scenario::is_round`]) run
 /// their fault-free knowledge-free trials through the engine's native
-/// batched round path ([`TrialRunner::run_rounds`]); faulted and
+/// batched round path ([`crate::trial::TrialRunner::run_rounds`]); faulted and
 /// materialising trials consume the flattened round stream instead (the
 /// fault layer and the oracles are pairwise constructs). The round and
 /// flattened paths are byte-identical on any round stream — pinned by
 /// `tests/round_equivalence.rs` — so the routing never changes a number.
+///
+/// **Deprecation note:** this is a thin wrapper over the unified sweep
+/// builder — [`Sweep::scenario`] with [`Sweep::config`] — kept so existing
+/// call sites migrate without churn. New code should use [`Sweep`], which
+/// additionally exposes the execution tier
+/// ([`crate::sweep::ExecutionTier`]) and lane width. The automatic
+/// routing described above is exactly [`Sweep`]'s
+/// [`Auto`](crate::sweep::ExecutionTier::Auto) tier.
 ///
 /// # Panics
 ///
@@ -241,72 +207,7 @@ pub fn run_scenario_trials(
     scenario: impl Into<FaultedScenario>,
     config: &BatchConfig,
 ) -> Vec<TrialResult> {
-    let scenario: FaultedScenario = scenario.into();
-    assert!(
-        scenario.supports(spec),
-        "scenario '{scenario}' is adaptive: {spec} requires {} knowledge, which would \
-         need materialising a stream that depends on the execution itself",
-        spec.knowledge()
-    );
-    // A fault plan that could strand the execution below two live nodes
-    // must be a typed error before any trial runs — never a hang.
-    scenario
-        .validate(config.n)
-        .unwrap_or_else(|e| panic!("invalid fault plan for scenario '{scenario}': {e}"));
-    let seeds = SeedSequence::new(config.seed);
-    let horizon = config.horizon_len();
-
-    if spec.requires_materialization() {
-        shard(config.trials, config.parallel, |range| {
-            let mut runner = TrialRunner::new();
-            let mut seq = InteractionSequence::new(config.n);
-            let mut results = Vec::with_capacity(range.len());
-            for trial in range {
-                let trial_seed = seeds.seed(trial as u64);
-                let mut source = scenario.base.source(config.n, trial_seed);
-                seq.fill_from(source.as_mut(), horizon);
-                let trial_config = TrialConfig {
-                    fault: scenario.fault_injection(trial_seed),
-                    ..TrialConfig::default()
-                };
-                results.push(runner.run(spec, &seq, &trial_config));
-            }
-            results
-        })
-    } else {
-        shard(config.trials, config.parallel, |range| {
-            let mut runner = TrialRunner::new();
-            let mut results = Vec::with_capacity(range.len());
-            for trial in range {
-                let trial_seed = seeds.seed(trial as u64);
-                let trial_config = TrialConfig {
-                    max_interactions: Some(horizon as u64),
-                    fault: scenario.fault_injection(trial_seed),
-                    ..TrialConfig::default()
-                };
-                // Fault-free round scenarios run through the engine's
-                // native batched round path; everything else (pairwise
-                // scenarios, and faulted round scenarios — the fault layer
-                // composes over the flattened stream) runs streamed. The
-                // two paths are byte-identical on round streams, pinned by
-                // tests/round_equivalence.rs.
-                let native_rounds = if trial_config.fault.is_none() {
-                    scenario.base.round_source(config.n, trial_seed)
-                } else {
-                    None
-                };
-                let result = match native_rounds {
-                    Some(mut rounds) => runner.run_rounds(spec, rounds.as_mut(), &trial_config),
-                    None => {
-                        let mut source = scenario.base.source(config.n, trial_seed);
-                        runner.run_streamed(spec, source.as_mut(), &trial_config)
-                    }
-                };
-                results.push(result);
-            }
-            results
-        })
-    }
+    Sweep::scenario(spec, scenario).config(config).run()
 }
 
 /// Summarises raw trial results into a [`BatchResult`].
@@ -315,7 +216,11 @@ pub fn run_scenario_trials(
 ///
 /// Panics if no trial terminated (no summary can be formed); in practice
 /// this means the horizon was far too small for the algorithm.
-fn summarize(spec: AlgorithmSpec, config: &BatchConfig, results: &[TrialResult]) -> BatchResult {
+pub(crate) fn summarize(
+    spec: AlgorithmSpec,
+    config: &BatchConfig,
+    results: &[TrialResult],
+) -> BatchResult {
     let completions: Vec<f64> = results
         .iter()
         .filter_map(|r| r.interactions_to_completion())
@@ -342,6 +247,10 @@ fn summarize(spec: AlgorithmSpec, config: &BatchConfig, results: &[TrialResult])
 /// Runs a batch against the uniform randomized adversary and returns its
 /// summary together with the raw per-trial results.
 ///
+/// **Deprecation note:** prefer [`Sweep::scenario`] with
+/// [`crate::scenario::Scenario::Uniform`] and [`Sweep::run_summarized`];
+/// this wrapper is kept for existing call sites.
+///
 /// # Panics
 ///
 /// Panics if every trial fails to terminate (no summary can be formed); in
@@ -358,63 +267,6 @@ pub fn run_batch_detailed(
 /// Runs a batch and returns only its summary.
 pub fn run_batch(spec: AlgorithmSpec, config: &BatchConfig) -> BatchResult {
     run_batch_detailed(spec, config).0
-}
-
-/// The pre-sharding batch runner, which funnelled every trial result
-/// through a single `parking_lot::Mutex` and allocated fresh engine
-/// scratch and a fresh sequence per trial.
-///
-/// Kept (hidden) solely as the measurement baseline for
-/// `doda-bench --compare-runners`, which reports the sharded runner's
-/// speedup over it; it must produce results identical to [`run_batch_detailed`].
-#[doc(hidden)]
-pub fn run_batch_mutex_detailed(
-    spec: AlgorithmSpec,
-    config: &BatchConfig,
-) -> (BatchResult, Vec<TrialResult>) {
-    use crate::trial::run_trial_on_sequence;
-    use parking_lot::Mutex;
-
-    let seeds = SeedSequence::new(config.seed);
-    let horizon = config.horizon_len();
-    let trial_config = TrialConfig::default();
-
-    let run_one = |trial_idx: usize| -> TrialResult {
-        let seed = seeds.seed(trial_idx as u64);
-        let seq = UniformWorkload::new(config.n).generate(horizon, seed);
-        run_trial_on_sequence(spec, &seq, &trial_config)
-    };
-
-    let results: Vec<TrialResult> = if config.parallel && config.trials > 1 {
-        let collected = Mutex::new(vec![None; config.trials]);
-        let threads = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(2)
-            .min(config.trials);
-        std::thread::scope(|scope| {
-            for worker in 0..threads {
-                let collected = &collected;
-                let run_one = &run_one;
-                scope.spawn(move || {
-                    let mut idx = worker;
-                    while idx < config.trials {
-                        let result = run_one(idx);
-                        collected.lock()[idx] = Some(result);
-                        idx += threads;
-                    }
-                });
-            }
-        });
-        collected
-            .into_inner()
-            .into_iter()
-            .map(|r| r.expect("every trial index is filled by exactly one worker"))
-            .collect()
-    } else {
-        (0..config.trials).map(run_one).collect()
-    };
-
-    (summarize(spec, config, &results), results)
 }
 
 #[cfg(test)]
@@ -452,16 +304,6 @@ mod tests {
         // Same seeds per trial index regardless of sharding, so both the
         // summary and the raw per-trial results are identical.
         assert_eq!(sequential, parallel);
-    }
-
-    #[test]
-    fn sharded_runner_reproduces_the_legacy_mutex_runner() {
-        for parallel in [false, true] {
-            let cfg = config(10, 7, parallel);
-            let sharded = run_batch_detailed(AlgorithmSpec::Gathering, &cfg);
-            let legacy = run_batch_mutex_detailed(AlgorithmSpec::Gathering, &cfg);
-            assert_eq!(sharded, legacy, "parallel = {parallel}");
-        }
     }
 
     #[test]

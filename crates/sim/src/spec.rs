@@ -142,6 +142,21 @@ impl AlgorithmSpec {
         self.knowledge_requirement().label()
     }
 
+    /// The branchless lane kernel of this spec, if it has one.
+    ///
+    /// Exactly the knowledge-free specs have lane kernels: the lane tier
+    /// ([`doda_core::LaneEngine`]) executes `Waiting` and `Gathering` as
+    /// bitset operations, byte-identical per trial to the scalar engine.
+    /// Every other spec needs oracles and returns `None` — sweeps fall
+    /// back to the scalar path.
+    pub fn lane_algorithm(&self) -> Option<doda_core::LaneAlgorithm> {
+        match self {
+            AlgorithmSpec::Waiting => Some(doda_core::LaneAlgorithm::Waiting),
+            AlgorithmSpec::Gathering => Some(doda_core::LaneAlgorithm::Gathering),
+            _ => None,
+        }
+    }
+
     /// Instantiates a knowledge-free algorithm — no sequence, no oracles —
     /// ready to run streamed against any [`doda_core::InteractionSource`],
     /// including adaptive adversaries.

@@ -13,6 +13,7 @@ use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::data::{Aggregate, IdSet};
 use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig, RunStats};
 use doda_core::fault::{FaultProfile, FaultedSource};
+use doda_core::lane::{LaneEngine, LaneRunStats};
 use doda_core::outcome::{Completion, FaultTally};
 use doda_core::round::RoundSource;
 use doda_core::{InteractionSequence, InteractionSource, Time};
@@ -132,6 +133,7 @@ impl TrialResult {
 #[derive(Debug, Default)]
 pub struct TrialRunner {
     engine: Engine<IdSet>,
+    lanes: LaneEngine,
 }
 
 impl TrialRunner {
@@ -139,6 +141,7 @@ impl TrialRunner {
     pub fn new() -> Self {
         TrialRunner {
             engine: Engine::new(),
+            lanes: LaneEngine::new(),
         }
     }
 
@@ -360,6 +363,57 @@ impl TrialRunner {
         self.finish(spec, stats.run, None)
     }
 
+    /// Runs one trial per source through the **lane tier**
+    /// ([`doda_core::LaneEngine`]): up to [`doda_core::MAX_LANES`]
+    /// independent trials of the same knowledge-free spec advance in
+    /// lockstep through bit-lane state, each pulling its own interaction
+    /// stream. Results are returned in source order and are byte-identical
+    /// per trial to [`TrialRunner::run_streamed`] on the same source
+    /// (pinned by `tests/lane_equivalence.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec` has no lane kernel
+    /// ([`AlgorithmSpec::lane_algorithm`] is `None`), if a fault plan or
+    /// cost computation is configured (both are scalar-path features), if
+    /// the batch is empty, oversized, or mixes node counts, or if a source
+    /// emits a fault event.
+    pub fn run_lane_batch<S>(
+        &mut self,
+        spec: AlgorithmSpec,
+        sources: &mut [S],
+        config: &TrialConfig,
+    ) -> Vec<TrialResult>
+    where
+        S: InteractionSource,
+    {
+        assert!(
+            !config.compute_cost,
+            "the paper's cost function needs the materialised sequence; \
+             lane trials cannot compute it"
+        );
+        assert!(
+            config.fault.is_none(),
+            "fault plans run on the scalar path; the lane tier is \
+             fault-free by contract"
+        );
+        let Some(algorithm) = spec.lane_algorithm() else {
+            panic!(
+                "{spec} requires {} knowledge and has no lane kernel; \
+                 materialise the source and use TrialRunner::run",
+                spec.knowledge()
+            );
+        };
+        let max_interactions = config
+            .max_interactions
+            .unwrap_or(EngineConfig::default().max_interactions);
+        self.lanes
+            .run_lanes(algorithm, sources, config.sink, max_interactions)
+            .into_iter()
+            .map(|stats| finish_lane(spec, stats))
+            .collect()
+    }
+
     /// Packages the engine counters (plus the data-conservation check read
     /// off the engine's final state) into a [`TrialResult`].
     ///
@@ -393,6 +447,33 @@ impl TrialRunner {
             faults: stats.faults,
             cost,
         }
+    }
+}
+
+/// Packages one retired lane's counters into a [`TrialResult`].
+///
+/// The lane tier's restrictions make the scalar-only fields constants:
+/// fault-free knowledge-free trials never ignore a decision, and the sink
+/// (which never transmits) holds every origin exactly when it is the sole
+/// owner — so `data_conserved` coincides with termination and completion
+/// is `Aggregated` or `Starved`, never `AggregatedSurvivors`.
+fn finish_lane(spec: AlgorithmSpec, stats: LaneRunStats) -> TrialResult {
+    let terminated = stats.terminated();
+    TrialResult {
+        algorithm: spec.label().to_string(),
+        n: stats.node_count,
+        termination_time: stats.termination_time,
+        interactions_processed: stats.interactions_processed,
+        transmissions: stats.transmissions as usize,
+        ignored_decisions: 0,
+        data_conserved: terminated,
+        completion: if terminated {
+            Completion::Aggregated
+        } else {
+            Completion::Starved
+        },
+        faults: FaultTally::default(),
+        cost: None,
     }
 }
 

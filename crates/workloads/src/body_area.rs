@@ -103,6 +103,12 @@ pub struct BodyAreaSource {
 }
 
 impl InteractionSource for BodyAreaSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }

@@ -92,6 +92,12 @@ pub struct CommunitySource {
 }
 
 impl InteractionSource for CommunitySource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }

@@ -108,6 +108,31 @@ pub trait Workload {
     }
 }
 
+// References delegate everything (including the provided methods, in case
+// an implementor overrides them), so generic consumers can hand any
+// `&W: Workload` to an API that stores `&dyn Workload`.
+impl<W: Workload + ?Sized> Workload for &W {
+    fn node_count(&self) -> usize {
+        (**self).node_count()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn source(&self, seed: u64) -> Box<dyn InteractionSource + Send> {
+        (**self).source(seed)
+    }
+
+    fn generate(&self, len: usize, seed: u64) -> InteractionSequence {
+        (**self).generate(len, seed)
+    }
+
+    fn fill(&self, seq: &mut InteractionSequence, len: usize, seed: u64) {
+        (**self).fill(seq, len, seed)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

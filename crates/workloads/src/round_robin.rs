@@ -85,6 +85,12 @@ pub struct RoundRobinSource {
 }
 
 impl InteractionSource for RoundRobinSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }

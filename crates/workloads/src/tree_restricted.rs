@@ -97,6 +97,12 @@ pub struct TreeRestrictedSource {
 }
 
 impl InteractionSource for TreeRestrictedSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }

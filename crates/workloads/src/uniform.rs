@@ -4,7 +4,7 @@ use doda_core::sequence::AdversaryView;
 use doda_core::{Interaction, InteractionSource, Time};
 use doda_graph::NodeId;
 use doda_stats::rng::{seeded_rng, DodaRng};
-use rand::Rng;
+use rand::{Rng, RngCore};
 
 use crate::Workload;
 
@@ -53,6 +53,12 @@ pub struct UniformSource {
 }
 
 impl InteractionSource for UniformSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.n
     }
@@ -64,6 +70,33 @@ impl InteractionSource for UniformSource {
             b += 1;
         }
         Some(Interaction::new(NodeId(a), NodeId(b)))
+    }
+
+    // Hand-batched fast path for the lane engine. Draws the exact same RNG
+    // stream and applies the exact same pair mapping as `next_interaction`,
+    // but sidesteps the costs that only matter at lane throughput: the
+    // sized `extend` reserves once instead of growth-checking every push,
+    // and sorting the endpoints before `Interaction::new` turns its
+    // normalisation branch (50/50 on random pairs, so mispredicted half
+    // the time) into two branch-free min/max moves plus an always-taken
+    // compare. `tests/lane_equivalence.rs` pins the per-step/batched match.
+    fn next_interaction_batch(
+        &mut self,
+        _t0: Time,
+        _view: &AdversaryView<'_>,
+        out: &mut Vec<Interaction>,
+        max: usize,
+    ) {
+        let n = self.n as u64;
+        let rng = &mut self.rng;
+        out.extend((0..max).map(|_| {
+            let a = rng.next_u64() % n;
+            let raw = rng.next_u64() % (n - 1);
+            let b = raw + u64::from(raw >= a);
+            let lo = a.min(b) as usize;
+            let hi = a.max(b) as usize;
+            Interaction::new(NodeId(lo), NodeId(hi))
+        }));
     }
 }
 

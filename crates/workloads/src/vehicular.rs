@@ -95,6 +95,12 @@ pub struct VehicularSource {
 }
 
 impl InteractionSource for VehicularSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.workload.n
     }

@@ -82,6 +82,12 @@ impl ZipfSource {
 }
 
 impl InteractionSource for ZipfSource {
+    // The stream never reads the view: the lane engine may pull it in
+    // devirtualised batches.
+    fn is_oblivious(&self) -> bool {
+        true
+    }
+
     fn node_count(&self) -> usize {
         self.cumulative.len()
     }

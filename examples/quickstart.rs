@@ -1,90 +1,83 @@
-//! Quickstart: run every algorithm of the paper on the uniform randomized
-//! adversary and print how long each took, together with the paper's cost
-//! measure.
+//! Quickstart: sweep every algorithm of the paper over the uniform
+//! randomized adversary with one [`Sweep`] call each, and print what
+//! happened — including which execution tier each sweep resolved to.
 //!
-//! Streaming is the default execution path: knowledge-free algorithms pull
-//! interactions straight from the seeded scenario source (`O(n)` memory at
-//! any horizon). Only the knowledge-based algorithms materialise the
-//! adversary's sequence — their oracles (`meetTime`, underlying graph,
-//! futures, full sequence) are functions of the future.
+//! [`Sweep`] is the one entry point for running trials. It picks the
+//! fastest admissible engine path per algorithm/scenario pair:
+//!
+//! - **lanes** — knowledge-free, fault-free trials stepped in lockstep
+//!   through `[u64]` bit-lane state, up to 64 per batch;
+//! - **rounds** — native matching-per-round execution for round scenarios;
+//! - **streamed** — the scalar per-trial path, one interaction per step
+//!   (`O(n)` memory at any horizon), required once faults are in play;
+//! - **materialized** — knowledge-based algorithms only: the adversary
+//!   commits to a finite sequence so oracles over the future can be built.
+//!
+//! Tiers are interchangeable where they overlap — per-trial results are
+//! byte-identical — so the resolver is free to chase throughput.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use doda::core::cost::cost_of_duration;
-use doda::graph::NodeId;
 use doda::prelude::*;
 use doda::sim::table::Table;
-use doda::sim::Scenario;
 
 fn main() {
     let n = 32;
-    let sink = NodeId(0);
+    let trials = 8;
     let seed = 2016; // ICDCS 2016
-    let horizon = 8 * n * n;
     let scenario = Scenario::Uniform;
     println!("Distributed online data aggregation over a random dynamic graph");
-    println!("n = {n} nodes, sink = {sink}, scenario = {scenario}, seed = {seed}\n");
-
-    // The bridge for the knowledge-based algorithms: commit the adversary
-    // to a finite sequence so their oracles can be built. The streamed
-    // path below replays the *same* stream without this buffer.
-    let sequence = scenario
-        .materialize(n, horizon, seed)
-        .expect("the uniform scenario is not adaptive");
+    println!("n = {n} nodes, scenario = {scenario}, {trials} trials, seed = {seed}\n");
 
     let mut table = Table::new([
         "algorithm",
         "knowledge",
-        "mode",
+        "tier",
         "terminated",
-        "interactions",
-        "cost (successive convergecasts)",
+        "mean interactions",
     ]);
 
     for spec in AlgorithmSpec::all() {
-        let (mode, outcome) = if let Some(mut algorithm) = spec.instantiate_online() {
-            // Knowledge-free: stream straight off the adversary.
-            let outcome = engine::run_with_id_sets(
-                algorithm.as_mut(),
-                scenario.source(n, seed).as_mut(),
-                sink,
-                EngineConfig::with_max_interactions(horizon as u64),
-            )
-            .expect("algorithms only emit valid decisions");
-            ("streamed", outcome)
-        } else {
-            // Knowledge-based: build the oracles from the committed sequence.
-            let Some(mut algorithm) = spec.instantiate(&sequence, sink) else {
-                continue;
-            };
-            let outcome = engine::run_with_id_sets(
-                algorithm.as_mut(),
-                &mut sequence.stream(false),
-                sink,
-                EngineConfig::default(),
-            )
-            .expect("algorithms only emit valid decisions");
-            ("materialized", outcome)
-        };
-        let cost = cost_of_duration(&sequence, sink, outcome.termination_time, 256);
+        if !scenario.supports(spec) {
+            continue;
+        }
+        let sweep = Sweep::scenario(spec, scenario)
+            .n(n)
+            .trials(trials)
+            .seed(seed);
+        let tier = sweep.path_label();
+        let results = sweep.run();
+        let terminated = results.iter().filter(|r| r.terminated()).count();
+        let mean = results
+            .iter()
+            .map(|r| r.interactions_processed)
+            .sum::<u64>() as f64
+            / trials as f64;
         table.push_row([
             spec.to_string(),
             spec.knowledge().to_string(),
-            mode.to_string(),
-            outcome.terminated().to_string(),
-            outcome
-                .termination_time
-                .map(|t| (t + 1).to_string())
-                .unwrap_or_else(|| "-".to_string()),
-            cost.to_string(),
+            tier.to_string(),
+            format!("{terminated}/{trials}"),
+            format!("{mean:.0}"),
         ]);
     }
 
     println!("{}", table.to_markdown());
-    println!("The offline optimum always has cost 1; online algorithms pay more, and the");
-    println!(
-        "paper's theorems predict the ordering offline < WaitingGreedy < Gathering < Waiting."
-    );
+    println!("The paper's theorems predict the ordering offline < WaitingGreedy < Gathering");
+    println!("< Waiting on expected termination time under the randomized adversary.\n");
+
+    // The tier contract, demonstrated: forcing the lane tier and the scalar
+    // reference produces the same trials, byte for byte.
+    let forced = |tier| {
+        Sweep::scenario(AlgorithmSpec::Gathering, scenario)
+            .n(n)
+            .trials(trials)
+            .seed(seed)
+            .tier(tier)
+            .run()
+    };
+    assert_eq!(forced(ExecutionTier::Lanes), forced(ExecutionTier::Scalar));
+    println!("lane tier == scalar reference on all {trials} Gathering trials, byte for byte");
 }

@@ -15,7 +15,24 @@
 //! | [`sim`] | trial runner, batches, the scenario registry, tables (`doda-sim`) |
 //! | [`analysis`] | scaling studies and the E1–E14 experiment harness (`doda-analysis`) |
 //!
-//! Streaming is the default execution path — the engine pulls one
+//! [`Sweep`](prelude::Sweep) is the one entry point for running trials:
+//! pick an algorithm and an interaction family, set the shape fluently,
+//! and the sweep resolves the fastest admissible execution tier (lanes,
+//! rounds, streamed or materialized — byte-identical wherever they
+//! overlap):
+//!
+//! ```
+//! use doda::prelude::*;
+//!
+//! let results = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+//!     .n(8)
+//!     .trials(4)
+//!     .seed(42)
+//!     .run();
+//! assert!(results.iter().all(|r| r.terminated()));
+//! ```
+//!
+//! The engine layer stays available for single executions — it pulls one
 //! interaction per step from a seeded [`sim::Scenario`] source:
 //!
 //! ```

@@ -153,8 +153,13 @@ macro_rules! impl_int_range {
             #[inline]
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 assert!(self.start < self.end, "cannot sample empty range");
-                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
-                let offset = (rng.next_u64() as u128) % span;
+                // The span of a half-open range over a <= 64-bit type always
+                // fits in u64, so the `x mod span` reduction runs as one
+                // hardware division instead of a software u128 remainder —
+                // the exact same mapping, an order of magnitude cheaper on
+                // the hot sweep paths.
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u64;
+                let offset = rng.next_u64() % span;
                 ((self.start as i128).wrapping_add(offset as i128)) as $t
             }
         }
@@ -163,8 +168,13 @@ macro_rules! impl_int_range {
             fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
                 let (start, end) = (*self.start(), *self.end());
                 assert!(start <= end, "cannot sample empty range");
-                let span = (end as i128).wrapping_sub(start as i128) as u128 + 1;
-                let offset = (rng.next_u64() as u128) % span;
+                let diff = (end as i128).wrapping_sub(start as i128) as u64;
+                // `diff == u64::MAX` means the span is 2^64: every u64 is in
+                // range and `x mod 2^64` is `x` itself.
+                let offset = match diff.checked_add(1) {
+                    Some(span) => rng.next_u64() % span,
+                    None => rng.next_u64(),
+                };
                 ((start as i128).wrapping_add(offset as i128)) as $t
             }
         }

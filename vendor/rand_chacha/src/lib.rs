@@ -106,6 +106,18 @@ impl RngCore for ChaCha8Rng {
 
     #[inline]
     fn next_u64(&mut self) -> u64 {
+        // Fast path: both words are already in the block, so one
+        // predictable branch replaces the two refill checks (and the
+        // `>= 15` bound lets the compiler elide both array bounds
+        // checks). Identical output to two `next_u32` calls — the slow
+        // path below is that exact composition, covering reads that
+        // touch or span a refill.
+        if self.index < 15 {
+            let lo = self.block[self.index] as u64;
+            let hi = self.block[self.index + 1] as u64;
+            self.index += 2;
+            return lo | (hi << 32);
+        }
         let lo = self.next_u32() as u64;
         let hi = self.next_u32() as u64;
         lo | (hi << 32)
