@@ -15,7 +15,7 @@ use doda_adversary::{AdaptiveTrap, CycleTrap};
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::prelude::*;
 use doda_graph::NodeId;
-use doda_sim::{run_batch, run_scenario_trials, AlgorithmSpec, BatchConfig, Scenario};
+use doda_sim::{AlgorithmSpec, BatchConfig, Scenario, Sweep};
 use doda_stats::harmonic;
 use doda_workloads::{TreeRestrictedWorkload, UniformWorkload, Workload};
 
@@ -574,20 +574,18 @@ pub fn e13_adaptive_sweep(effort: Effort) -> ExperimentReport {
         seed: 0xE13,
         parallel: false,
     };
-    let gathering = run_scenario_trials(
-        AlgorithmSpec::Gathering,
-        Scenario::AdaptiveIsolator,
-        &config,
-    );
-    let waiting = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator, &config);
-    let parallel = run_scenario_trials(
-        AlgorithmSpec::Gathering,
-        Scenario::AdaptiveIsolator,
-        &BatchConfig {
+    let gathering = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator)
+        .config(&config)
+        .run();
+    let waiting = Sweep::scenario(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator)
+        .config(&config)
+        .run();
+    let parallel = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator)
+        .config(&BatchConfig {
             parallel: true,
             ..config
-        },
-    );
+        })
+        .run();
     let gathering_all = gathering
         .iter()
         .all(|r| r.terminated() && r.data_conserved && r.transmissions == n - 1);
@@ -647,7 +645,7 @@ pub fn e14_fault_degradation(effort: Effort) -> ExperimentReport {
                 seed: 0xE14,
                 parallel: false,
             };
-            let raw = run_scenario_trials(spec, scenario, &config);
+            let raw = Sweep::scenario(spec, scenario).config(&config).run();
             // Conservation must hold on every terminated trial, faulted
             // or not.
             if raw.iter().any(|r| r.terminated() && !r.data_conserved) {
@@ -732,7 +730,12 @@ pub fn mean_interactions(spec: AlgorithmSpec, n: usize, trials: usize, seed: u64
         seed,
         parallel: false,
     };
-    run_batch(spec, &config).interactions.mean
+    Sweep::scenario(spec, Scenario::Uniform)
+        .config(&config)
+        .run_summarized()
+        .0
+        .interactions
+        .mean
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! Scaling studies across the node count `n`.
 
-use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
+use doda_sim::{AlgorithmSpec, BatchConfig, Scenario, Sweep};
 use doda_stats::regression::{fit_power_law, fit_power_law_with_log_factor, PowerLawFit};
 
 /// One measured point of a scaling study.
@@ -88,7 +88,10 @@ impl ScalingStudy {
                 seed: self.seed ^ ((idx as u64 + 1) << 32),
                 parallel: self.parallel,
             };
-            let batch = run_batch(spec, &config);
+            let batch = Sweep::scenario(spec, Scenario::Uniform)
+                .config(&config)
+                .run_summarized()
+                .0;
             points.push(ScalingPoint {
                 n,
                 mean_interactions: batch.interactions.mean,

@@ -6,7 +6,7 @@
 //! `1 − 1/log n` (the budget from the paper's definition, see
 //! `doda_stats::bounds::whp_failure_budget`).
 
-use doda_sim::{runner::run_batch_detailed, AlgorithmSpec, BatchConfig};
+use doda_sim::{AlgorithmSpec, BatchConfig, Scenario, Sweep};
 use doda_stats::bounds::whp_failure_budget;
 
 /// Result of a w.h.p. check for one node count.
@@ -56,7 +56,9 @@ where
                 seed: seed ^ ((n as u64) << 20),
                 parallel: false,
             };
-            let (_, raw) = run_batch_detailed(spec, &config);
+            let raw = Sweep::scenario(spec, Scenario::Uniform)
+                .config(&config)
+                .run();
             let within = raw
                 .iter()
                 .filter(|r| {

@@ -19,6 +19,7 @@
 //! doda-bench --stream-guard          # 10^7-interaction streamed sweeps
 //! doda-bench --fault-guard           # 10^6-interaction faulted sweeps
 //! doda-bench --round-guard           # 10^6-interaction round sweeps
+//! doda-bench --service-guard         # 1000 sessions over the loopback wire
 //! ```
 
 use std::path::PathBuf;
@@ -29,7 +30,11 @@ use doda_bench::compare::compare_reports;
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
 use doda_core::fault::FaultProfile;
-use doda_sim::runner::{run_scenario_trials, BatchConfig};
+use doda_core::sequence::StepEvent;
+use doda_core::Interaction;
+use doda_graph::NodeId;
+use doda_service::prelude::*;
+use doda_sim::runner::BatchConfig;
 use doda_sim::{AlgorithmSpec, ExecutionTier, Scenario, Sweep};
 
 struct Args {
@@ -43,6 +48,7 @@ struct Args {
     stream_guard: bool,
     fault_guard: bool,
     round_guard: bool,
+    service_guard: bool,
 }
 
 /// The default throughput tolerance of `--compare`, generous enough for
@@ -61,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
         stream_guard: false,
         fault_guard: false,
         round_guard: false,
+        service_guard: false,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -101,12 +108,13 @@ fn parse_args() -> Result<Args, String> {
             "--stream-guard" => args.stream_guard = true,
             "--fault-guard" => args.fault_guard = true,
             "--round-guard" => args.round_guard = true,
+            "--service-guard" => args.service_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
                      | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
                      | --compare-runners | --lane-guard | --stream-guard | --fault-guard \
-                     | --round-guard"
+                     | --round-guard | --service-guard"
                 );
                 std::process::exit(0);
             }
@@ -122,11 +130,13 @@ fn parse_args() -> Result<Args, String> {
         + usize::from(args.lane_guard)
         + usize::from(args.stream_guard)
         + usize::from(args.fault_guard)
-        + usize::from(args.round_guard);
+        + usize::from(args.round_guard)
+        + usize::from(args.service_guard);
     if modes > 1 {
         return Err(
             "--smoke/--baseline, --validate, --compare, --compare-runners, --lane-guard, \
-             --stream-guard, --fault-guard and --round-guard are mutually exclusive"
+             --stream-guard, --fault-guard, --round-guard and --service-guard are mutually \
+             exclusive"
                 .to_string(),
         );
     }
@@ -363,7 +373,9 @@ fn stream_guard() -> Result<(), String> {
     };
 
     let t0 = Instant::now();
-    let starved = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator, &config);
+    let starved = Sweep::scenario(AlgorithmSpec::Waiting, Scenario::AdaptiveIsolator)
+        .config(&config)
+        .run();
     let starved_secs = t0.elapsed().as_secs_f64();
     let starved = &starved[0];
     if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
@@ -382,7 +394,9 @@ fn stream_guard() -> Result<(), String> {
     );
 
     let t1 = Instant::now();
-    let gathered = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::Uniform, &config);
+    let gathered = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .config(&config)
+        .run();
     let gathered_secs = t1.elapsed().as_secs_f64();
     let gathered = &gathered[0];
     if !gathered.terminated() {
@@ -419,7 +433,9 @@ fn fault_guard() -> Result<(), String> {
         parallel: false,
     };
     let t0 = Instant::now();
-    let starved = run_scenario_trials(AlgorithmSpec::Waiting, starvation, &config);
+    let starved = Sweep::scenario(AlgorithmSpec::Waiting, starvation)
+        .config(&config)
+        .run();
     let starved_secs = t0.elapsed().as_secs_f64();
     let starved = &starved[0];
     if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
@@ -450,7 +466,9 @@ fn fault_guard() -> Result<(), String> {
         parallel: false,
     };
     let t1 = Instant::now();
-    let trials = run_scenario_trials(AlgorithmSpec::Gathering, crashing, &config);
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, crashing)
+        .config(&config)
+        .run();
     let crash_secs = t1.elapsed().as_secs_f64();
     if !trials.iter().all(|r| r.terminated() && r.data_conserved) {
         return Err(
@@ -496,7 +514,9 @@ fn round_guard() -> Result<(), String> {
         parallel: false,
     };
     let t0 = Instant::now();
-    let starved = run_scenario_trials(AlgorithmSpec::Waiting, Scenario::RoundIsolator, &config);
+    let starved = Sweep::scenario(AlgorithmSpec::Waiting, Scenario::RoundIsolator)
+        .config(&config)
+        .run();
     let starved_secs = t0.elapsed().as_secs_f64();
     let starved = &starved[0];
     if starved.terminated() || starved.interactions_processed != HORIZON as u64 {
@@ -524,7 +544,9 @@ fn round_guard() -> Result<(), String> {
         parallel: false,
     };
     let t1 = Instant::now();
-    let trials = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::RandomMatching, &config);
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::RandomMatching)
+        .config(&config)
+        .run();
     let gather_secs = t1.elapsed().as_secs_f64();
     if !trials.iter().all(|r| r.terminated() && r.data_conserved) {
         return Err(
@@ -535,6 +557,156 @@ fn round_guard() -> Result<(), String> {
         "round-guard: Gathering vs random-matching, n = {N}, {} trials: all terminated \
          and conserved data in {gather_secs:.2} s",
         trials.len(),
+    );
+    Ok(())
+}
+
+/// The throughput floor `--service-guard` enforces on the multi-tenant
+/// fleet: engine interactions per wall-clock second across the whole
+/// service (wire codec + scheduler + engine). Conservative for shared CI
+/// runners; the release-mode service sustains well over 10x this.
+const SERVICE_GUARD_MIN_IPS: f64 = 100_000.0;
+
+/// Guards the multi-tenant service's claims end-to-end over the wire:
+///
+/// 1. **Scale** — 1000 concurrent scenario sessions opened through a
+///    [`ServiceClient`] over the in-memory loopback, scheduled to
+///    completion in budgeted slices, with every result streaming back as
+///    a wire frame. Aggregate engine throughput must clear
+///    [`SERVICE_GUARD_MIN_IPS`].
+/// 2. **Fidelity** — a sample of the returned results is cross-checked
+///    byte-for-byte against the equivalent standalone single-trial
+///    [`Sweep`] runs.
+/// 3. **Memory** — finished sessions must be retired (the manager ends
+///    empty: `O(live sessions + n)`, not `O(all sessions ever)`), and a
+///    deliberately overfed external session's bounded inbox must shed
+///    instead of grow: its high-water mark never exceeds its capacity.
+fn service_guard() -> Result<(), String> {
+    const SESSIONS: u64 = 1_000;
+    const N: usize = 64;
+    const SPOT_CHECK_EVERY: u64 = 83;
+    let err = |e: ServiceError| e.to_string();
+
+    let (client_end, service_end) = Loopback::pair();
+    let mut client = ServiceClient::new(client_end);
+    let mut service = ServiceEndpoint::new(SessionManager::new(), service_end);
+    let config = SessionConfig {
+        slice_budget: 512,
+        ..SessionConfig::default()
+    };
+
+    let t0 = Instant::now();
+    for tenant in 0..SESSIONS {
+        client
+            .open_scenario(
+                SessionId(tenant),
+                AlgorithmSpec::Gathering,
+                Scenario::Uniform,
+                N,
+                tenant,
+                &config,
+            )
+            .map_err(err)?;
+    }
+    service.run_until_idle().map_err(err)?;
+    let mut results = Vec::new();
+    while let Some(reply) = client.poll_result().map_err(err)? {
+        match reply {
+            WireResult::Result { session, result } => results.push((session, result)),
+            WireResult::Error { session, message } => {
+                return Err(format!("session {session} failed: {message}"))
+            }
+        }
+    }
+    let secs = t0.elapsed().as_secs_f64();
+
+    if results.len() as u64 != SESSIONS {
+        return Err(format!(
+            "expected {SESSIONS} result frames, got {}",
+            results.len()
+        ));
+    }
+    if !service.manager().is_empty() {
+        return Err(format!(
+            "{} finished sessions were not retired — the O(sessions + n) memory claim is broken",
+            service.manager().len()
+        ));
+    }
+    let interactions: u64 = results.iter().map(|(_, r)| r.interactions_processed).sum();
+    let throughput = interactions as f64 / secs.max(1e-9);
+    println!(
+        "service-guard: {SESSIONS} sessions (Gathering vs uniform, n = {N}) over loopback: \
+         {interactions} interactions in {secs:.2} s ({throughput:.0} i/s, {} workers), \
+         all sessions retired",
+        service.manager().workers(),
+    );
+    if throughput < SERVICE_GUARD_MIN_IPS {
+        return Err(format!(
+            "service throughput {throughput:.0} i/s is below the {SERVICE_GUARD_MIN_IPS:.0} i/s floor"
+        ));
+    }
+
+    let mut spot_checked = 0;
+    for (session, result) in &results {
+        if session.0 % SPOT_CHECK_EVERY != 0 {
+            continue;
+        }
+        let reference = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+            .n(N)
+            .trials(1)
+            .seed(session.0)
+            .run()
+            .remove(0);
+        if result != &reference {
+            return Err(format!(
+                "session {session} diverged from its standalone sweep"
+            ));
+        }
+        spot_checked += 1;
+    }
+    println!(
+        "service-guard: {spot_checked} sessions spot-checked byte-identical to standalone sweeps"
+    );
+
+    // Backpressure leg: overfeed one bounded external session without
+    // letting the scheduler keep up — interactions never touch the sink,
+    // so the session cannot finish early and free its inbox.
+    const CAPACITY: usize = 64;
+    let id = SessionId(SESSIONS + 1);
+    let bp_config = SessionConfig {
+        inbox_capacity: CAPACITY,
+        overflow: OverflowPolicy::Shed,
+        ..SessionConfig::default()
+    };
+    client
+        .open_external(id, AlgorithmSpec::Gathering, N, &bp_config)
+        .map_err(err)?;
+    for k in 0..5_000usize {
+        let a = NodeId(1 + (k % 31));
+        let b = NodeId(33 + (k % 31));
+        client
+            .send_event(id, StepEvent::Interaction(Interaction::new(a, b)))
+            .map_err(err)?;
+        if k % 512 == 0 {
+            service.pump().map_err(err)?;
+        }
+    }
+    service.pump().map_err(err)?;
+    let high_water = service.manager().inbox_high_water(id).unwrap_or(0);
+    if high_water > CAPACITY {
+        return Err(format!(
+            "inbox high-water {high_water} exceeded its capacity {CAPACITY}"
+        ));
+    }
+    client.close(id).map_err(err)?;
+    service.run_until_idle().map_err(err)?;
+    let shed = service.manager().shed_count();
+    if shed == 0 {
+        return Err("overfeeding a bounded inbox must shed events".to_string());
+    }
+    println!(
+        "service-guard: overfed inbox stayed bounded (high-water {high_water}/{CAPACITY}, \
+         {shed} events shed)"
     );
     Ok(())
 }
@@ -614,6 +786,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: round guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.service_guard {
+        return match service_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: service guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

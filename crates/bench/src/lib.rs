@@ -22,7 +22,7 @@ pub mod compare;
 pub mod json;
 pub mod perf;
 
-use doda_sim::{run_batch, AlgorithmSpec, BatchConfig};
+use doda_sim::{AlgorithmSpec, BatchConfig, Scenario, Sweep};
 
 /// The node counts used by the printed reproduction tables.
 pub const REPORT_NS: &[usize] = &[16, 32, 64, 128];
@@ -49,7 +49,12 @@ pub fn mean_interactions(spec: AlgorithmSpec, n: usize, trials: usize, seed: u64
         seed,
         parallel: true,
     };
-    run_batch(spec, &config).interactions.mean
+    Sweep::scenario(spec, Scenario::Uniform)
+        .config(&config)
+        .run_summarized()
+        .0
+        .interactions
+        .mean
 }
 
 /// Prints a `label: value` line of the reproduction table to stderr.

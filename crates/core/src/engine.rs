@@ -155,6 +155,129 @@ impl RunStats {
     }
 }
 
+/// The loop-carried state of a resumable execution: every counter
+/// [`Engine::run`] used to keep on its stack, packaged so a run can pause
+/// between [`Engine::step_for`] slices (and be checkpointed via
+/// [`Engine::checkpoint`]).
+///
+/// A `RunProgress` is only meaningful together with the engine that
+/// produced it (the engine scratch holds the network state); it is `Copy`
+/// so schedulers can store it inline per session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunProgress {
+    node_count: usize,
+    sink: NodeId,
+    max_interactions: u64,
+    processed: u64,
+    applied: u64,
+    ignored: u64,
+    faults: FaultTally,
+    termination_time: Option<Time>,
+}
+
+impl RunProgress {
+    /// Returns `true` if the aggregation completed (sink is the sole
+    /// owner).
+    pub fn terminated(&self) -> bool {
+        self.termination_time.is_some()
+    }
+
+    /// `Some(t)` if the aggregation completed at interaction index `t`.
+    pub fn termination_time(&self) -> Option<Time> {
+        self.termination_time
+    }
+
+    /// Number of interactions processed so far.
+    pub fn interactions_processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of transmissions applied so far.
+    pub fn transmissions(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of `Transmit` decisions ignored so far.
+    pub fn ignored_decisions(&self) -> u64 {
+        self.ignored
+    }
+
+    /// The fault events applied so far.
+    pub fn faults(&self) -> FaultTally {
+        self.faults
+    }
+
+    /// The run's interaction horizon ([`EngineConfig::max_interactions`]).
+    pub fn max_interactions(&self) -> u64 {
+        self.max_interactions
+    }
+
+    /// The sink node of this run.
+    pub fn sink(&self) -> NodeId {
+        self.sink
+    }
+
+    /// The node count of this run.
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+}
+
+/// Why one [`Engine::step_for`] slice stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The aggregation completed (or had already completed): the sink is
+    /// the sole owner. Call [`Engine::finish_run`] to package the stats.
+    Completed,
+    /// The source returned `None`. A streamed scenario source is
+    /// exhausted for good; an incrementally fed source (a session inbox)
+    /// may simply be empty — the run can resume when more events arrive.
+    SourceExhausted,
+    /// The run's interaction horizon was reached; the execution is over
+    /// and ended starved.
+    HorizonReached,
+    /// The per-call budget was spent with the run still live; call
+    /// [`Engine::step_for`] again to continue.
+    BudgetSpent,
+}
+
+impl StepOutcome {
+    /// `true` when the run can take another slice from the same source
+    /// (budget spent — not completed, exhausted, or out of horizon).
+    pub fn can_continue(&self) -> bool {
+        matches!(self, StepOutcome::BudgetSpent)
+    }
+}
+
+/// A point-in-time snapshot of one resumable run: the engine-side state
+/// (network, ownership, liveness) plus the [`RunProgress`] counters.
+///
+/// Restoring a checkpoint into any [`Engine`] (via [`Engine::restore`])
+/// and continuing with the same algorithm and a source positioned at the
+/// checkpointed time reproduces the uninterrupted run byte for byte —
+/// pinned by `tests/checkpoint_resume.rs`. The snapshot does **not**
+/// capture the algorithm or the source; the caller owns their continuity.
+#[derive(Debug, Clone)]
+pub struct EngineCheckpoint<A> {
+    state: NetworkState<A>,
+    ownership: Vec<bool>,
+    owners: usize,
+    live: Vec<bool>,
+    progress: RunProgress,
+}
+
+impl<A> EngineCheckpoint<A> {
+    /// The run counters as of the snapshot.
+    pub fn progress(&self) -> RunProgress {
+        self.progress
+    }
+
+    /// The network state as of the snapshot.
+    pub fn state(&self) -> &NetworkState<A> {
+        &self.state
+    }
+}
+
 /// The reusable, zero-allocation stepping core.
 ///
 /// An `Engine` owns the scratch an execution needs — the
@@ -266,54 +389,138 @@ impl<A: Aggregate> Engine<A> {
         T: TransmissionSink + ?Sized,
     {
         let n = source.node_count();
-        self.state.reset(n, sink, &mut initial_data);
+        let mut run = self.begin_run(n, sink, &mut initial_data, config);
+        while self
+            .step_for(
+                &mut run,
+                algorithm,
+                source,
+                &mut initial_data,
+                u64::MAX,
+                transmissions,
+            )?
+            .can_continue()
+        {}
+        Ok(self.finish_run(&run))
+    }
+
+    /// Starts a resumable run: resets the engine scratch for `node_count`
+    /// nodes and returns the [`RunProgress`] that [`Engine::step_for`]
+    /// advances. Run-to-completion ([`Engine::run`]) is exactly a loop
+    /// over [`Engine::step_for`] after this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sink` is out of range for `node_count` or the node count
+    /// is zero (propagated from [`NetworkState::reset`]).
+    pub fn begin_run<F>(
+        &mut self,
+        node_count: usize,
+        sink: NodeId,
+        mut initial_data: F,
+        config: EngineConfig,
+    ) -> RunProgress
+    where
+        F: FnMut(NodeId) -> A,
+    {
+        self.state.reset(node_count, sink, &mut initial_data);
         self.ownership.clear();
-        self.ownership.resize(n, true);
+        self.ownership.resize(node_count, true);
         self.live.clear();
-        self.live.resize(n, true);
-        self.owners = n;
+        self.live.resize(node_count, true);
+        self.owners = node_count;
+        RunProgress {
+            node_count,
+            sink,
+            max_interactions: config.max_interactions,
+            processed: 0,
+            applied: 0,
+            ignored: 0,
+            faults: FaultTally::default(),
+            termination_time: if self.owners == 1 { Some(0) } else { None },
+        }
+    }
 
-        let mut applied = 0u64;
-        let mut ignored = 0u64;
-        let mut processed = 0u64;
-        let mut faults = FaultTally::default();
-        let mut termination_time = if self.owners == 1 { Some(0) } else { None };
-
-        while termination_time.is_none() && processed < config.max_interactions {
-            let t = processed;
+    /// Advances a resumable run by at most `budget` events and reports why
+    /// the slice stopped.
+    ///
+    /// The slice pulls events from `source` exactly as [`Engine::run`]
+    /// does — same event handling, same completion detection, same error
+    /// surface — so a run advanced in arbitrary slices is byte-identical
+    /// to an uninterrupted one (pinned by `tests/checkpoint_resume.rs`).
+    /// A [`StepOutcome::SourceExhausted`] slice is resumable: if the
+    /// source later yields more events (an incrementally fed session
+    /// inbox), calling `step_for` again continues the run where it
+    /// paused.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run`]: a structurally invalid decision or an
+    /// inconsistent fault event is a typed [`EngineError`].
+    pub fn step_for<F, S, D, T>(
+        &mut self,
+        run: &mut RunProgress,
+        algorithm: &mut D,
+        source: &mut S,
+        mut initial_data: F,
+        budget: u64,
+        transmissions: &mut T,
+    ) -> Result<StepOutcome, EngineError>
+    where
+        F: FnMut(NodeId) -> A,
+        S: InteractionSource + ?Sized,
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+    {
+        let sink = run.sink;
+        let slice_end = run
+            .processed
+            .saturating_add(budget)
+            .min(run.max_interactions);
+        loop {
+            if run.termination_time.is_some() {
+                return Ok(StepOutcome::Completed);
+            }
+            if run.processed >= run.max_interactions {
+                return Ok(StepOutcome::HorizonReached);
+            }
+            if run.processed >= slice_end {
+                return Ok(StepOutcome::BudgetSpent);
+            }
+            let t = run.processed;
             let view = AdversaryView {
                 owns_data: &self.ownership,
                 sink,
             };
             let Some(event) = source.next_event(t, &view) else {
-                break;
+                return Ok(StepOutcome::SourceExhausted);
             };
-            processed += 1;
+            run.processed += 1;
 
             let interaction = match event {
                 StepEvent::Interaction(interaction) => interaction,
                 StepEvent::Lost(_) => {
-                    faults.lost_interactions += 1;
+                    run.faults.lost_interactions += 1;
                     continue;
                 }
                 StepEvent::Crash { node, policy } => {
-                    faults.crashes += 1;
-                    self.remove_node(node, sink, Some(policy), t, &mut faults)?;
+                    run.faults.crashes += 1;
+                    self.remove_node(node, sink, Some(policy), t, &mut run.faults)?;
                     if self.owners == 1 {
-                        termination_time = Some(t);
+                        run.termination_time = Some(t);
                     }
                     continue;
                 }
                 StepEvent::Departure(node) => {
-                    faults.departures += 1;
-                    self.remove_node(node, sink, None, t, &mut faults)?;
+                    run.faults.departures += 1;
+                    self.remove_node(node, sink, None, t, &mut run.faults)?;
                     if self.owners == 1 {
-                        termination_time = Some(t);
+                        run.termination_time = Some(t);
                     }
                     continue;
                 }
                 StepEvent::Arrival(node) => {
-                    faults.arrivals += 1;
+                    run.faults.arrivals += 1;
                     self.admit_node(node, sink, &mut initial_data, t)?;
                     continue;
                 }
@@ -325,31 +532,60 @@ impl<A: Aggregate> Engine<A> {
                 interaction,
                 sink,
                 transmissions,
-                &mut applied,
-                &mut ignored,
+                &mut run.applied,
+                &mut run.ignored,
             )? {
-                termination_time = Some(done);
+                run.termination_time = Some(done);
             }
         }
+    }
 
-        let completion = match termination_time {
-            Some(_) if faults.data_lost == 0 && faults.data_recovered == 0 => {
+    /// Packages a resumable run's counters into the same [`RunStats`] a
+    /// run-to-completion call would have returned. Valid at any pause
+    /// point; a run finished early simply reports `Starved`.
+    pub fn finish_run(&self, run: &RunProgress) -> RunStats {
+        let completion = match run.termination_time {
+            Some(_) if run.faults.data_lost == 0 && run.faults.data_recovered == 0 => {
                 Completion::Aggregated
             }
             Some(_) => Completion::AggregatedSurvivors,
             None => Completion::Starved,
         };
-        Ok(RunStats {
-            node_count: n,
-            sink,
-            termination_time,
-            interactions_processed: processed,
-            transmissions: applied,
-            ignored_decisions: ignored,
+        RunStats {
+            node_count: run.node_count,
+            sink: run.sink,
+            termination_time: run.termination_time,
+            interactions_processed: run.processed,
+            transmissions: run.applied,
+            ignored_decisions: run.ignored,
             remaining_owners: self.owners,
             completion,
-            faults,
-        })
+            faults: run.faults,
+        }
+    }
+
+    /// Snapshots a paused resumable run: the engine-side state plus the
+    /// run counters, cloneable and independent of this engine's lifetime.
+    pub fn checkpoint(&self, run: &RunProgress) -> EngineCheckpoint<A> {
+        EngineCheckpoint {
+            state: self.state.clone(),
+            ownership: self.ownership.clone(),
+            owners: self.owners,
+            live: self.live.clone(),
+            progress: *run,
+        }
+    }
+
+    /// Restores a checkpoint into this engine (reusing its scratch
+    /// allocations) and returns the [`RunProgress`] to continue stepping
+    /// from. Continuing with the same algorithm and a source positioned at
+    /// the checkpointed time reproduces the uninterrupted run exactly.
+    pub fn restore(&mut self, checkpoint: &EngineCheckpoint<A>) -> RunProgress {
+        self.state.clone_from(&checkpoint.state);
+        self.ownership.clone_from(&checkpoint.ownership);
+        self.owners = checkpoint.owners;
+        self.live.clone_from(&checkpoint.live);
+        checkpoint.progress
     }
 
     /// Runs `algorithm` over the synchronous rounds produced by `rounds`,
@@ -973,6 +1209,184 @@ mod tests {
             );
             assert_eq!(engine.state().ownership_bitmap(), outcome.final_ownership);
         }
+    }
+
+    #[test]
+    fn step_for_slices_reproduce_run_to_completion() {
+        use crate::data::IdSet;
+
+        let seq = star_sequence(9, 2);
+        let config = EngineConfig::sweep(1_000);
+        let mut reference: Engine<IdSet> = Engine::new();
+        let expected = reference
+            .run(
+                &mut Waiting::new(),
+                &mut seq.stream(false),
+                NodeId(0),
+                IdSet::singleton,
+                config,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+
+        for budget in [1u64, 3, 7, 1_000] {
+            let mut engine: Engine<IdSet> = Engine::new();
+            let mut algo = Waiting::new();
+            let mut source = seq.stream(false);
+            let mut run = engine.begin_run(9, NodeId(0), IdSet::singleton, config);
+            let mut slices = 0u64;
+            loop {
+                let outcome = engine
+                    .step_for(
+                        &mut run,
+                        &mut algo,
+                        &mut source,
+                        IdSet::singleton,
+                        budget,
+                        &mut DiscardTransmissions,
+                    )
+                    .unwrap();
+                slices += 1;
+                match outcome {
+                    StepOutcome::BudgetSpent => continue,
+                    StepOutcome::Completed => break,
+                    other => panic!("a star stream completes; got {other:?}"),
+                }
+            }
+            assert_eq!(engine.finish_run(&run), expected, "budget {budget}");
+            assert!(slices >= expected.interactions_processed / budget.max(1));
+            assert_eq!(
+                engine.state().ownership_bitmap(),
+                reference.state().ownership_bitmap()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_continues_byte_identically() {
+        use crate::data::IdSet;
+
+        let seq = star_sequence(8, 2);
+        let config = EngineConfig::sweep(1_000);
+        let mut reference: Engine<IdSet> = Engine::new();
+        let expected = reference
+            .run(
+                &mut Waiting::new(),
+                &mut seq.stream(false),
+                NodeId(0),
+                IdSet::singleton,
+                config,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+
+        // Pause after 3 interactions, snapshot, then continue the run in a
+        // brand-new engine restored from the snapshot.
+        let mut engine: Engine<IdSet> = Engine::new();
+        let mut algo = Waiting::new();
+        let mut source = seq.stream(false);
+        let mut run = engine.begin_run(8, NodeId(0), IdSet::singleton, config);
+        let outcome = engine
+            .step_for(
+                &mut run,
+                &mut algo,
+                &mut source,
+                IdSet::singleton,
+                3,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert_eq!(outcome, StepOutcome::BudgetSpent);
+        let snapshot = engine.checkpoint(&run);
+        assert_eq!(snapshot.progress().interactions_processed(), 3);
+
+        let mut resumed: Engine<IdSet> = Engine::new();
+        let mut run = resumed.restore(&snapshot);
+        while resumed
+            .step_for(
+                &mut run,
+                &mut algo,
+                &mut source,
+                IdSet::singleton,
+                2,
+                &mut DiscardTransmissions,
+            )
+            .unwrap()
+            .can_continue()
+        {}
+        assert_eq!(resumed.finish_run(&run), expected);
+        assert_eq!(
+            resumed.state().ownership_bitmap(),
+            reference.state().ownership_bitmap()
+        );
+    }
+
+    #[test]
+    fn empty_source_pauses_as_exhausted_and_resumes() {
+        use crate::data::Count;
+        use crate::sequence::{AdversaryView, StepEvent};
+
+        // A source backed by a queue the test refills between slices —
+        // the session-inbox shape: exhaustion is a pause, not an end.
+        struct Queue(std::collections::VecDeque<StepEvent>);
+        impl InteractionSource for Queue {
+            fn node_count(&self) -> usize {
+                3
+            }
+            fn next_interaction(
+                &mut self,
+                t: Time,
+                view: &AdversaryView<'_>,
+            ) -> Option<Interaction> {
+                self.next_event(t, view).and_then(|e| match e {
+                    StepEvent::Interaction(i) => Some(i),
+                    _ => None,
+                })
+            }
+            fn next_event(&mut self, _t: Time, _v: &AdversaryView<'_>) -> Option<StepEvent> {
+                self.0.pop_front()
+            }
+        }
+
+        let mut engine: Engine<Count> = Engine::new();
+        let mut algo = Waiting::new();
+        let mut queue = Queue(std::collections::VecDeque::new());
+        let mut run = engine.begin_run(3, NodeId(0), |_| Count::unit(), EngineConfig::sweep(100));
+        let paused = engine
+            .step_for(
+                &mut run,
+                &mut algo,
+                &mut queue,
+                |_| Count::unit(),
+                10,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert_eq!(paused, StepOutcome::SourceExhausted);
+        assert_eq!(run.interactions_processed(), 0);
+
+        queue.0.push_back(StepEvent::Interaction(Interaction::new(
+            NodeId(0),
+            NodeId(1),
+        )));
+        queue.0.push_back(StepEvent::Interaction(Interaction::new(
+            NodeId(0),
+            NodeId(2),
+        )));
+        let done = engine
+            .step_for(
+                &mut run,
+                &mut algo,
+                &mut queue,
+                |_| Count::unit(),
+                10,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+        assert_eq!(done, StepOutcome::Completed);
+        let stats = engine.finish_run(&run);
+        assert!(stats.terminated());
+        assert_eq!(stats.transmissions, 2);
     }
 
     #[test]

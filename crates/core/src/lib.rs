@@ -226,7 +226,8 @@ pub mod state;
 
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
 pub use engine::{
-    DiscardTransmissions, Engine, EngineConfig, RoundRunStats, RunStats, TransmissionSink,
+    DiscardTransmissions, Engine, EngineCheckpoint, EngineConfig, RoundRunStats, RunProgress,
+    RunStats, StepOutcome, TransmissionSink,
 };
 pub use fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
 pub use interaction::{Interaction, Time, TimedInteraction};
@@ -245,7 +246,8 @@ pub mod prelude {
     pub use crate::cost::{self, Cost};
     pub use crate::data::{Aggregate, Count, IdSet, MaxData, MinData, SumData};
     pub use crate::engine::{
-        self, DiscardTransmissions, Engine, EngineConfig, RoundRunStats, RunStats, TransmissionSink,
+        self, DiscardTransmissions, Engine, EngineCheckpoint, EngineConfig, RoundRunStats,
+        RunProgress, RunStats, StepOutcome, TransmissionSink,
     };
     pub use crate::fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
     pub use crate::interaction::{Interaction, Time, TimedInteraction};

@@ -1,0 +1,142 @@
+//! The service-boundary error surface.
+//!
+//! Everything that can go wrong between a client and the
+//! [`SessionManager`](crate::SessionManager) is a [`ServiceError`];
+//! malformed bytes on the wire are the dedicated [`WireError`] (wrapped
+//! as [`ServiceError::Wire`] when they surface at the service boundary).
+//! Both are `#[non_exhaustive]` — new failure modes must not be breaking
+//! changes — and chain their causes through
+//! [`std::error::Error::source`].
+
+use doda_core::error::EngineError;
+use doda_core::fault::FaultConfigError;
+
+use crate::session::SessionId;
+
+/// A malformed or unsupported wire frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame ended before its declared payload did.
+    Truncated,
+    /// The version byte is not a version this decoder speaks.
+    UnknownVersion(u8),
+    /// The kind byte names no known frame kind.
+    UnknownKind(u8),
+    /// An enum tag inside the payload is out of range.
+    UnknownTag {
+        /// Which encoded enum carried the bad tag.
+        what: &'static str,
+        /// The offending tag byte.
+        tag: u8,
+    },
+    /// The payload decoded cleanly but bytes were left over.
+    TrailingBytes,
+    /// A length-prefixed string is not valid UTF-8.
+    BadUtf8,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "frame truncated before the payload ended"),
+            WireError::UnknownVersion(v) => write!(f, "unknown wire version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind 0x{k:02x}"),
+            WireError::UnknownTag { what, tag } => {
+                write!(f, "unknown {what} tag 0x{tag:02x}")
+            }
+            WireError::TrailingBytes => write!(f, "trailing bytes after the payload"),
+            WireError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Everything that can go wrong at the service boundary.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The session id names no live session.
+    UnknownSession(SessionId),
+    /// The session id is already taken by a live session.
+    DuplicateSession(SessionId),
+    /// The session's bounded inbox is full and its overflow policy is
+    /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block): the caller
+    /// must drain the scheduler (or wait) before retrying.
+    Backpressure {
+        /// The session whose inbox is full.
+        session: SessionId,
+        /// The inbox bound that was hit.
+        capacity: usize,
+    },
+    /// The session's event feed was closed; no further events are
+    /// accepted.
+    SessionClosed(SessionId),
+    /// The algorithm spec cannot run incrementally: it requires knowledge
+    /// of the future, so no streaming session can serve it.
+    UnsupportedSpec {
+        /// The spec's display label.
+        spec: String,
+    },
+    /// The scenario/population combination is invalid (e.g. `n` below the
+    /// scenario's node floor).
+    InvalidScenario(String),
+    /// The scenario's fault plan is invalid for the requested population.
+    FaultConfig(FaultConfigError),
+    /// The engine rejected an algorithm decision mid-session.
+    Engine(EngineError),
+    /// A frame failed to decode.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownSession(id) => write!(f, "unknown session {id}"),
+            ServiceError::DuplicateSession(id) => write!(f, "session {id} already exists"),
+            ServiceError::Backpressure { session, capacity } => write!(
+                f,
+                "session {session} inbox is full (capacity {capacity}); drain before retrying"
+            ),
+            ServiceError::SessionClosed(id) => write!(f, "session {id} is closed"),
+            ServiceError::UnsupportedSpec { spec } => write!(
+                f,
+                "{spec} requires knowledge of the future and cannot run as a streaming session"
+            ),
+            ServiceError::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            ServiceError::FaultConfig(e) => write!(f, "invalid fault plan: {e}"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::FaultConfig(e) => Some(e),
+            ServiceError::Engine(e) => Some(e),
+            ServiceError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FaultConfigError> for ServiceError {
+    fn from(e: FaultConfigError) -> Self {
+        ServiceError::FaultConfig(e)
+    }
+}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}

@@ -1,0 +1,284 @@
+//! The multi-tenant scheduler: thousands of sessions, one worker pool.
+//!
+//! [`SessionManager`] owns every live [`Session`](crate::session) and
+//! steps the runnable ones in *slices* — each slice grants each session
+//! up to its per-session interaction budget on a shared pool of worker
+//! threads, then parks it again. Completions stream out through
+//! [`SessionManager::poll_result`] **as they happen**, not at a join:
+//! a finished session is retired from the map (keeping live memory
+//! `O(active sessions + n)`) and its result queued immediately, while
+//! the rest of the fleet keeps running.
+//!
+//! Determinism: sessions are independent (each owns its engine, RNG
+//! stream, and feed), so the worker count and chunking never change any
+//! result — only wall-clock time. Results are queued in session-id order
+//! within a slice.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use doda_core::sequence::StepEvent;
+use doda_sim::{AlgorithmSpec, FaultedScenario, TrialResult};
+
+use crate::error::ServiceError;
+use crate::session::{Session, SessionConfig, SessionId, SessionStatus, SliceOutcome};
+
+/// Owns and schedules every live aggregation session.
+///
+/// See the [module docs](self) for the scheduling model and the crate
+/// docs for a quickstart.
+#[derive(Debug)]
+pub struct SessionManager {
+    sessions: BTreeMap<SessionId, Session>,
+    completed: VecDeque<(SessionId, TrialResult)>,
+    shed_total: u64,
+    workers: usize,
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionManager {
+    /// A manager whose worker pool matches the machine's parallelism.
+    pub fn new() -> Self {
+        let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+        Self::with_workers(workers)
+    }
+
+    /// A manager with an explicit worker-pool size (1 = serial). The
+    /// worker count never changes results, only wall-clock time.
+    pub fn with_workers(workers: usize) -> Self {
+        SessionManager {
+            sessions: BTreeMap::new(),
+            completed: VecDeque::new(),
+            shed_total: 0,
+            workers: workers.max(1),
+        }
+    }
+
+    /// Opens a scenario-fed session: `scenario` streams the interactions,
+    /// seeded exactly like trial 0 of a
+    /// [`Sweep`](doda_sim::Sweep) with the same `(spec, scenario, n,
+    /// seed)` — the finished result is byte-identical to that sweep's.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateSession`] if `id` is taken,
+    /// [`ServiceError::UnsupportedSpec`] if `spec` needs knowledge of the
+    /// future, [`ServiceError::InvalidScenario`] /
+    /// [`ServiceError::FaultConfig`] if the scenario rejects `n`.
+    pub fn open_scenario(
+        &mut self,
+        id: SessionId,
+        spec: AlgorithmSpec,
+        scenario: impl Into<FaultedScenario>,
+        n: usize,
+        seed: u64,
+        config: &SessionConfig,
+    ) -> Result<(), ServiceError> {
+        if self.sessions.contains_key(&id) {
+            return Err(ServiceError::DuplicateSession(id));
+        }
+        let session = Session::open_scenario(id, spec, scenario.into(), n, seed, config)?;
+        self.sessions.insert(id, session);
+        Ok(())
+    }
+
+    /// Opens an externally-fed session: the tenant pushes
+    /// [`StepEvent`]s via [`SessionManager::push_event`] into a bounded
+    /// inbox (capacity and overflow policy from `config`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::DuplicateSession`] if `id` is taken,
+    /// [`ServiceError::UnsupportedSpec`] if `spec` needs knowledge of the
+    /// future.
+    pub fn open_external(
+        &mut self,
+        id: SessionId,
+        spec: AlgorithmSpec,
+        n: usize,
+        config: &SessionConfig,
+    ) -> Result<(), ServiceError> {
+        if self.sessions.contains_key(&id) {
+            return Err(ServiceError::DuplicateSession(id));
+        }
+        let session = Session::open_external(id, spec, n, config)?;
+        self.sessions.insert(id, session);
+        Ok(())
+    }
+
+    /// Feeds one event into an externally-fed session's bounded inbox.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if no such session is live,
+    /// [`ServiceError::SessionClosed`] if its feed was closed (or it is
+    /// scenario-fed), and — when the inbox is full —
+    /// [`ServiceError::Backpressure`] under
+    /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block). Under
+    /// [`OverflowPolicy::Shed`](crate::OverflowPolicy::Shed) a full inbox
+    /// drops the event, counts it, and reports success.
+    pub fn push_event(&mut self, id: SessionId, event: StepEvent) -> Result<(), ServiceError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        session.push_event(event)
+    }
+
+    /// Closes an externally-fed session's feed: it finishes (and reports)
+    /// once its inbox drains, instead of idling for more events.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownSession`] if no such session is live.
+    pub fn close(&mut self, id: SessionId) -> Result<(), ServiceError> {
+        let session = self
+            .sessions
+            .get_mut(&id)
+            .ok_or(ServiceError::UnknownSession(id))?;
+        session.close();
+        Ok(())
+    }
+
+    /// Runs one scheduler slice: every runnable session advances by up to
+    /// its per-session budget, in parallel over the worker pool. Finished
+    /// sessions are retired and their results queued (in session-id
+    /// order) for [`SessionManager::poll_result`].
+    ///
+    /// Returns the number of sessions that were stepped.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Engine`] if an algorithm produced a structurally
+    /// invalid decision (a bug in the algorithm, not the input).
+    pub fn run_slice(&mut self) -> Result<usize, ServiceError> {
+        let mut runnable: Vec<&mut Session> = self
+            .sessions
+            .values_mut()
+            .filter(|s| s.status() == SessionStatus::Runnable)
+            .collect();
+        let stepped = runnable.len();
+        if stepped == 0 {
+            return Ok(0);
+        }
+
+        // One outcome slot per runnable session, still in session-id
+        // order after the parallel phase — the id-ordered retire loop
+        // below is what keeps result order worker-count-independent.
+        let mut outcomes: Vec<Option<Result<SliceOutcome, ServiceError>>> = Vec::new();
+        let workers = self.workers.min(stepped);
+        if workers <= 1 {
+            outcomes.extend(runnable.iter_mut().map(|s| Some(s.run_slice())));
+        } else {
+            outcomes.resize_with(stepped, || None);
+            let chunk = stepped.div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (sessions, slots) in runnable.chunks_mut(chunk).zip(outcomes.chunks_mut(chunk))
+                {
+                    scope.spawn(move || {
+                        for (session, slot) in sessions.iter_mut().zip(slots.iter_mut()) {
+                            *slot = Some(session.run_slice());
+                        }
+                    });
+                }
+            });
+        }
+
+        let mut retire = Vec::new();
+        for (session, outcome) in runnable.iter().zip(outcomes) {
+            match outcome.expect("every runnable session was stepped") {
+                Ok(SliceOutcome::Finished(result)) => retire.push((session.id(), result)),
+                Ok(SliceOutcome::Runnable | SliceOutcome::AwaitingEvents) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        for (id, result) in retire {
+            if let Some(session) = self.sessions.remove(&id) {
+                self.shed_total += session.shed_count();
+            }
+            self.completed.push_back((id, result));
+        }
+        Ok(stepped)
+    }
+
+    /// Runs scheduler slices until no session is runnable (all finished
+    /// or awaiting external events).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`ServiceError::Engine`] error (see
+    /// [`SessionManager::run_slice`]).
+    pub fn run_until_idle(&mut self) -> Result<(), ServiceError> {
+        while self.run_slice()? > 0 {}
+        Ok(())
+    }
+
+    /// Pops the next completed session's result, in completion order.
+    /// Results stream out as sessions finish — polling mid-run is the
+    /// intended use, not just at the end.
+    pub fn poll_result(&mut self) -> Option<(SessionId, TrialResult)> {
+        self.completed.pop_front()
+    }
+
+    /// `true` when no session is runnable: every remaining session is
+    /// waiting on external events (or the manager is empty).
+    pub fn is_idle(&self) -> bool {
+        self.sessions
+            .values()
+            .all(|s| s.status() != SessionStatus::Runnable)
+    }
+
+    /// Number of live (unfinished) sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// `true` when no session is live.
+    pub fn is_empty(&self) -> bool {
+        self.sessions.is_empty()
+    }
+
+    /// Number of queued completed results not yet polled.
+    pub fn pending_results(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// The session's lifecycle status, or `None` once it finished (its
+    /// result is in the completion queue) or was never opened.
+    pub fn status(&self, id: SessionId) -> Option<SessionStatus> {
+        self.sessions.get(&id).map(|s| s.status())
+    }
+
+    /// Current inbox length of an externally-fed session (0 for
+    /// scenario-fed ones).
+    pub fn inbox_len(&self, id: SessionId) -> Option<usize> {
+        self.sessions.get(&id).map(|s| s.inbox_len())
+    }
+
+    /// Highest inbox length the session ever reached — the observable
+    /// bound witness: never exceeds the configured capacity.
+    pub fn inbox_high_water(&self, id: SessionId) -> Option<usize> {
+        self.sessions.get(&id).map(|s| s.inbox_high_water())
+    }
+
+    /// Events shed so far by one live session's full inbox under
+    /// [`OverflowPolicy::Shed`](crate::OverflowPolicy::Shed).
+    pub fn session_shed_count(&self, id: SessionId) -> Option<u64> {
+        self.sessions.get(&id).map(|s| s.shed_count())
+    }
+
+    /// Total events shed across all sessions, including retired ones.
+    pub fn shed_count(&self) -> u64 {
+        self.shed_total + self.sessions.values().map(|s| s.shed_count()).sum::<u64>()
+    }
+
+    /// The worker-pool size slices run on.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+}

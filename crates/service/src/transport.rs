@@ -1,0 +1,333 @@
+//! Pluggable byte transports and the endpoint/client pair that speak the
+//! wire format over them.
+//!
+//! [`Transport`] is the minimal contract: deliver whole frames, in
+//! order, without blocking. [`Loopback`] is the in-memory reference
+//! implementation (two crossed bounded-by-nothing queues) that the
+//! end-to-end tests and the `--service-guard` benchmark drive;
+//! a socket-backed transport would implement the same two methods.
+//!
+//! [`ServiceEndpoint`] is the service side: it drains incoming frames,
+//! applies them to its [`SessionManager`], runs scheduler slices, and
+//! streams completed results back as [`WireResult::Result`] frames the
+//! moment sessions finish. [`ServiceClient`] is the tenant side: typed
+//! open/event/close calls that encode to frames, and a typed
+//! [`poll_result`](ServiceClient::poll_result) that decodes replies.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use doda_core::sequence::StepEvent;
+use doda_sim::{AlgorithmSpec, FaultedScenario};
+
+use crate::error::ServiceError;
+use crate::manager::SessionManager;
+use crate::session::{SessionConfig, SessionId};
+use crate::wire::{
+    decode_event, decode_result, encode_event, encode_result, WireEvent, WireResult,
+};
+
+/// A non-blocking, ordered, frame-preserving byte transport.
+///
+/// Implementations carry each frame (length prefix included) intact —
+/// the wire format's framing makes reassembly trivial for stream
+/// transports, but this trait deals in whole frames.
+pub trait Transport {
+    /// Queues one frame for the peer.
+    ///
+    /// # Errors
+    ///
+    /// Transport-specific delivery failures (the in-memory [`Loopback`]
+    /// never fails).
+    fn send(&mut self, frame: &[u8]) -> Result<(), ServiceError>;
+
+    /// Takes the next frame from the peer, if one has arrived. Never
+    /// blocks.
+    fn try_recv(&mut self) -> Option<Vec<u8>>;
+}
+
+type FrameQueue = Arc<Mutex<VecDeque<Vec<u8>>>>;
+
+/// In-memory transport: two endpoints over crossed frame queues.
+#[derive(Debug)]
+pub struct Loopback {
+    outgoing: FrameQueue,
+    incoming: FrameQueue,
+}
+
+impl Loopback {
+    /// A connected pair of endpoints: whatever one sends, the other
+    /// receives, in order.
+    pub fn pair() -> (Loopback, Loopback) {
+        let a: FrameQueue = Arc::default();
+        let b: FrameQueue = Arc::default();
+        (
+            Loopback {
+                outgoing: Arc::clone(&a),
+                incoming: Arc::clone(&b),
+            },
+            Loopback {
+                outgoing: b,
+                incoming: a,
+            },
+        )
+    }
+}
+
+impl Transport for Loopback {
+    fn send(&mut self, frame: &[u8]) -> Result<(), ServiceError> {
+        self.outgoing
+            .lock()
+            .expect("loopback queue poisoned")
+            .push_back(frame.to_vec());
+        Ok(())
+    }
+
+    fn try_recv(&mut self) -> Option<Vec<u8>> {
+        self.incoming
+            .lock()
+            .expect("loopback queue poisoned")
+            .pop_front()
+    }
+}
+
+/// The service side of a connection: a [`SessionManager`] driven by
+/// frames from a [`Transport`].
+#[derive(Debug)]
+pub struct ServiceEndpoint<T: Transport> {
+    manager: SessionManager,
+    transport: T,
+}
+
+impl<T: Transport> ServiceEndpoint<T> {
+    /// Wraps a manager and a transport into an endpoint.
+    pub fn new(manager: SessionManager, transport: T) -> Self {
+        ServiceEndpoint { manager, transport }
+    }
+
+    /// One service turn: drain and apply every pending client frame, run
+    /// one scheduler slice, and stream out any completions. Returns the
+    /// number of sessions stepped (0 = idle).
+    ///
+    /// Per-session application failures (unknown session, backpressure
+    /// under [`OverflowPolicy::Block`](crate::OverflowPolicy::Block),
+    /// invalid opens) are *replied*, not returned: the client sees a
+    /// [`WireResult::Error`] frame and the endpoint keeps serving its
+    /// other tenants.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] if a frame fails to decode (a broken peer,
+    /// not a tenant mistake) and [`ServiceError::Engine`] if an algorithm
+    /// produced a structurally invalid decision.
+    pub fn pump(&mut self) -> Result<usize, ServiceError> {
+        while let Some(frame) = self.transport.try_recv() {
+            let event = decode_event(&frame)?;
+            let (session, outcome) = self.apply(event);
+            if let Err(error) = outcome {
+                match error {
+                    // Engine faults are service bugs, not tenant input.
+                    ServiceError::Engine(_) => return Err(error),
+                    error => self.transport.send(&encode_result(&WireResult::Error {
+                        session,
+                        message: error.to_string(),
+                    }))?,
+                }
+            }
+        }
+        let stepped = self.manager.run_slice()?;
+        while let Some((session, result)) = self.manager.poll_result() {
+            self.transport
+                .send(&encode_result(&WireResult::Result { session, result }))?;
+        }
+        Ok(stepped)
+    }
+
+    fn apply(&mut self, event: WireEvent) -> (SessionId, Result<(), ServiceError>) {
+        match event {
+            WireEvent::OpenScenario {
+                session,
+                spec,
+                scenario,
+                n,
+                seed,
+                horizon,
+                slice_budget,
+            } => {
+                let mut config = SessionConfig {
+                    horizon,
+                    ..SessionConfig::default()
+                };
+                if let Some(budget) = slice_budget {
+                    config.slice_budget = budget;
+                }
+                (
+                    session,
+                    self.manager
+                        .open_scenario(session, spec, scenario, n, seed, &config),
+                )
+            }
+            WireEvent::OpenExternal {
+                session,
+                spec,
+                n,
+                horizon,
+                slice_budget,
+                inbox_capacity,
+                overflow,
+            } => {
+                let mut config = SessionConfig {
+                    horizon,
+                    overflow,
+                    ..SessionConfig::default()
+                };
+                if let Some(budget) = slice_budget {
+                    config.slice_budget = budget;
+                }
+                if let Some(capacity) = inbox_capacity {
+                    config.inbox_capacity = capacity;
+                }
+                (
+                    session,
+                    self.manager.open_external(session, spec, n, &config),
+                )
+            }
+            WireEvent::Event { session, event } => {
+                (session, self.manager.push_event(session, event))
+            }
+            WireEvent::Close { session } => (session, self.manager.close(session)),
+        }
+    }
+
+    /// Pumps until the manager is idle: every session finished (result
+    /// frames sent) or awaiting external events.
+    ///
+    /// # Errors
+    ///
+    /// See [`ServiceEndpoint::pump`].
+    pub fn run_until_idle(&mut self) -> Result<(), ServiceError> {
+        while self.pump()? > 0 {}
+        Ok(())
+    }
+
+    /// The underlying manager (for status probes).
+    pub fn manager(&self) -> &SessionManager {
+        &self.manager
+    }
+
+    /// Mutable access to the underlying manager.
+    pub fn manager_mut(&mut self) -> &mut SessionManager {
+        &mut self.manager
+    }
+
+    /// Tears down the endpoint, returning its manager.
+    pub fn into_manager(self) -> SessionManager {
+        self.manager
+    }
+}
+
+/// The tenant side of a connection: typed calls encoded to frames.
+#[derive(Debug)]
+pub struct ServiceClient<T: Transport> {
+    transport: T,
+}
+
+impl<T: Transport> ServiceClient<T> {
+    /// Wraps a transport into a client.
+    pub fn new(transport: T) -> Self {
+        ServiceClient { transport }
+    }
+
+    /// Requests a scenario-fed session (wire form of
+    /// [`SessionManager::open_scenario`](crate::SessionManager::open_scenario)).
+    ///
+    /// # Errors
+    ///
+    /// Transport delivery failures only; service-side rejections arrive
+    /// later as [`WireResult::Error`] frames.
+    pub fn open_scenario(
+        &mut self,
+        session: SessionId,
+        spec: AlgorithmSpec,
+        scenario: impl Into<FaultedScenario>,
+        n: usize,
+        seed: u64,
+        config: &SessionConfig,
+    ) -> Result<(), ServiceError> {
+        self.transport.send(&encode_event(&WireEvent::OpenScenario {
+            session,
+            spec,
+            scenario: scenario.into(),
+            n,
+            seed,
+            horizon: config.horizon,
+            slice_budget: Some(config.slice_budget),
+        }))
+    }
+
+    /// Requests an externally-fed session (wire form of
+    /// [`SessionManager::open_external`](crate::SessionManager::open_external)).
+    ///
+    /// # Errors
+    ///
+    /// Transport delivery failures only (see
+    /// [`ServiceClient::open_scenario`]).
+    pub fn open_external(
+        &mut self,
+        session: SessionId,
+        spec: AlgorithmSpec,
+        n: usize,
+        config: &SessionConfig,
+    ) -> Result<(), ServiceError> {
+        self.transport.send(&encode_event(&WireEvent::OpenExternal {
+            session,
+            spec,
+            n,
+            horizon: config.horizon,
+            slice_budget: Some(config.slice_budget),
+            inbox_capacity: Some(config.inbox_capacity),
+            overflow: config.overflow,
+        }))
+    }
+
+    /// Feeds one event to an externally-fed session.
+    ///
+    /// # Errors
+    ///
+    /// Transport delivery failures only; a full inbox under
+    /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block) comes back
+    /// as a [`WireResult::Error`] frame.
+    pub fn send_event(&mut self, session: SessionId, event: StepEvent) -> Result<(), ServiceError> {
+        self.transport
+            .send(&encode_event(&WireEvent::Event { session, event }))
+    }
+
+    /// Closes an externally-fed session's feed so it finishes once its
+    /// inbox drains.
+    ///
+    /// # Errors
+    ///
+    /// Transport delivery failures only.
+    pub fn close(&mut self, session: SessionId) -> Result<(), ServiceError> {
+        self.transport
+            .send(&encode_event(&WireEvent::Close { session }))
+    }
+
+    /// Takes the next service reply, if one has arrived: a completed
+    /// session's result or a per-session error.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Wire`] if the frame fails to decode.
+    pub fn poll_result(&mut self) -> Result<Option<WireResult>, ServiceError> {
+        match self.transport.try_recv() {
+            None => Ok(None),
+            Some(frame) => Ok(Some(decode_result(&frame)?)),
+        }
+    }
+
+    /// The underlying transport (e.g. to inspect or tear down).
+    pub fn into_transport(self) -> T {
+        self.transport
+    }
+}

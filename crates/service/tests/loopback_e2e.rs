@@ -1,0 +1,391 @@
+//! End-to-end over the in-memory loopback: the ISSUE's demo criterion.
+//!
+//! * ≥1000 concurrent scenario sessions driven over the wire produce
+//!   results **byte-identical** to the equivalent standalone
+//!   [`Sweep`] run per session;
+//! * externally-fed sessions replayed over the wire match the same
+//!   events replayed directly against the engine;
+//! * backpressure is observable — the bounded inbox's high-water mark
+//!   never exceeds its capacity, shed counts surface, and
+//!   [`OverflowPolicy::Block`] refuses (then accepts after draining).
+
+use doda_core::data::IdSet;
+use doda_core::engine::{Engine, EngineConfig};
+use doda_core::sequence::StepEvent;
+use doda_core::{DiscardTransmissions, Interaction};
+use doda_graph::NodeId;
+use doda_service::prelude::*;
+use doda_sim::{finish_trial, AlgorithmSpec, Scenario, Sweep, TrialResult};
+
+/// The fleet: cycle specs and scenarios per tenant, vary seed and size.
+fn fleet_shape(tenant: u64) -> (AlgorithmSpec, Scenario, usize, u64) {
+    // Only the truly online specs can run as sessions; the rest need
+    // knowledge of the future and are refused at open.
+    let spec = if tenant % 2 == 0 {
+        AlgorithmSpec::Waiting
+    } else {
+        AlgorithmSpec::Gathering
+    };
+    let scenario = match tenant % 4 {
+        0 => Scenario::Uniform,
+        1 => Scenario::Zipf { exponent: 1.2 },
+        2 => Scenario::RandomMatching,
+        _ => Scenario::Tournament,
+    };
+    let n = 8 + (tenant % 5) as usize;
+    (spec, scenario, n, 1_000 + tenant)
+}
+
+fn reference_sweep(spec: AlgorithmSpec, scenario: Scenario, n: usize, seed: u64) -> TrialResult {
+    let mut results = Sweep::scenario(spec, scenario)
+        .n(n)
+        .trials(1)
+        .seed(seed)
+        .run();
+    assert_eq!(results.len(), 1);
+    results.remove(0)
+}
+
+#[test]
+fn thousand_sessions_over_loopback_match_standalone_sweeps() {
+    const SESSIONS: u64 = 1_000;
+
+    let (client_end, service_end) = Loopback::pair();
+    let mut client = ServiceClient::new(client_end);
+    let mut service = ServiceEndpoint::new(SessionManager::with_workers(4), service_end);
+
+    // Small slice budget so sessions genuinely interleave: every session
+    // is paused and resumed many times before it resolves.
+    let config = SessionConfig {
+        slice_budget: 64,
+        ..SessionConfig::default()
+    };
+    for tenant in 0..SESSIONS {
+        let (spec, scenario, n, seed) = fleet_shape(tenant);
+        client
+            .open_scenario(SessionId(tenant), spec, scenario, n, seed, &config)
+            .expect("loopback send");
+    }
+
+    service.run_until_idle().expect("service run");
+    assert!(service.manager().is_empty(), "every session retired");
+
+    let mut seen = 0;
+    while let Some(reply) = client.poll_result().expect("decode reply") {
+        let (session, result) = match reply {
+            WireResult::Result { session, result } => (session, result),
+            WireResult::Error { session, message } => {
+                panic!("session {session} failed: {message}")
+            }
+        };
+        let (spec, scenario, n, seed) = fleet_shape(session.0);
+        let reference = reference_sweep(spec, scenario, n, seed);
+        assert_eq!(
+            result, reference,
+            "session {session} diverged from its standalone sweep"
+        );
+        seen += 1;
+    }
+    assert_eq!(seen, SESSIONS);
+}
+
+#[test]
+fn worker_count_never_changes_results() {
+    const SESSIONS: u64 = 40;
+    let mut per_pool: Vec<Vec<(SessionId, TrialResult)>> = Vec::new();
+    for workers in [1, 3, 8] {
+        let mut manager = SessionManager::with_workers(workers);
+        let config = SessionConfig {
+            slice_budget: 32,
+            ..SessionConfig::default()
+        };
+        for tenant in 0..SESSIONS {
+            let (spec, scenario, n, seed) = fleet_shape(tenant);
+            manager
+                .open_scenario(SessionId(tenant), spec, scenario, n, seed, &config)
+                .expect("open");
+        }
+        manager.run_until_idle().expect("run");
+        let mut results = Vec::new();
+        while let Some(done) = manager.poll_result() {
+            results.push(done);
+        }
+        per_pool.push(results);
+    }
+    assert_eq!(per_pool[0], per_pool[1]);
+    assert_eq!(per_pool[0], per_pool[2]);
+}
+
+/// A deterministic little event script for externally-fed sessions.
+fn event_script(n: usize, rounds: usize) -> Vec<StepEvent> {
+    let mut events = Vec::new();
+    for round in 0..rounds {
+        for i in 1..n {
+            let peer = (i + round) % n;
+            if peer != i {
+                events.push(StepEvent::Interaction(Interaction::new(
+                    NodeId(i),
+                    NodeId(peer),
+                )));
+            }
+        }
+    }
+    events
+}
+
+#[test]
+fn external_sessions_match_a_direct_engine_replay() {
+    let n = 10;
+    let spec = AlgorithmSpec::Gathering;
+    let events = event_script(n, 6);
+
+    // Reference: the same events straight through the engine, one run.
+    let reference = {
+        struct Replay(std::collections::VecDeque<StepEvent>);
+        impl doda_core::sequence::InteractionSource for Replay {
+            fn node_count(&self) -> usize {
+                10
+            }
+            fn next_interaction(
+                &mut self,
+                t: doda_core::Time,
+                view: &doda_core::sequence::AdversaryView<'_>,
+            ) -> Option<Interaction> {
+                while let Some(event) = self.next_event(t, view) {
+                    if let StepEvent::Interaction(i) = event {
+                        return Some(i);
+                    }
+                }
+                None
+            }
+            fn next_event(
+                &mut self,
+                _t: doda_core::Time,
+                _view: &doda_core::sequence::AdversaryView<'_>,
+            ) -> Option<StepEvent> {
+                self.0.pop_front()
+            }
+        }
+        let horizon = doda_adversary::RandomizedAdversary::default_horizon(n) as u64;
+        let mut engine = Engine::new();
+        let mut algorithm = spec.instantiate_online().expect("online");
+        let mut run =
+            engine.begin_run(n, NodeId(0), IdSet::singleton, EngineConfig::sweep(horizon));
+        let mut source = Replay(events.iter().copied().collect());
+        while engine
+            .step_for(
+                &mut run,
+                algorithm.as_mut(),
+                &mut source,
+                IdSet::singleton,
+                u64::MAX,
+                &mut DiscardTransmissions,
+            )
+            .expect("step")
+            .can_continue()
+        {}
+        finish_trial(spec, &engine, engine.finish_run(&run), None)
+    };
+
+    // Same events over the wire, drip-fed in small bursts so the session
+    // repeatedly drains, parks as AwaitingEvents, and resumes.
+    let (client_end, service_end) = Loopback::pair();
+    let mut client = ServiceClient::new(client_end);
+    let mut service = ServiceEndpoint::new(SessionManager::with_workers(2), service_end);
+    let id = SessionId(77);
+    let config = SessionConfig {
+        slice_budget: 4,
+        inbox_capacity: 1_024,
+        ..SessionConfig::default()
+    };
+    client
+        .open_external(id, spec, n, &config)
+        .expect("loopback send");
+    for burst in events.chunks(7) {
+        for event in burst {
+            client.send_event(id, *event).expect("loopback send");
+        }
+        service.run_until_idle().expect("service run");
+    }
+    client.close(id).expect("loopback send");
+    service.run_until_idle().expect("service run");
+
+    let reply = client
+        .poll_result()
+        .expect("decode reply")
+        .expect("one result frame");
+    match reply {
+        WireResult::Result { session, result } => {
+            assert_eq!(session, id);
+            assert_eq!(result, reference, "wire replay diverged from direct replay");
+        }
+        WireResult::Error { message, .. } => panic!("session failed: {message}"),
+    }
+}
+
+#[test]
+fn shed_policy_bounds_the_inbox_and_counts_drops() {
+    let mut manager = SessionManager::with_workers(1);
+    let id = SessionId(1);
+    let config = SessionConfig {
+        inbox_capacity: 8,
+        overflow: OverflowPolicy::Shed,
+        ..SessionConfig::default()
+    };
+    manager
+        .open_external(id, AlgorithmSpec::Gathering, 6, &config)
+        .expect("open");
+
+    // Overfill without ever draining: pushes keep succeeding, the
+    // overflow is shed and counted, and the bound is never exceeded.
+    for k in 0..50u64 {
+        let a = 1 + (k % 5) as usize;
+        let event = StepEvent::Interaction(Interaction::new(NodeId(0), NodeId(a)));
+        manager.push_event(id, event).expect("shed push succeeds");
+        assert!(manager.inbox_len(id).unwrap() <= 8);
+    }
+    assert_eq!(manager.inbox_high_water(id), Some(8));
+    assert_eq!(manager.session_shed_count(id), Some(42));
+    assert_eq!(manager.shed_count(), 42);
+}
+
+#[test]
+fn block_policy_refuses_until_the_scheduler_drains() {
+    let mut manager = SessionManager::with_workers(1);
+    let id = SessionId(2);
+    let config = SessionConfig {
+        inbox_capacity: 4,
+        overflow: OverflowPolicy::Block,
+        ..SessionConfig::default()
+    };
+    manager
+        .open_external(id, AlgorithmSpec::Gathering, 6, &config)
+        .expect("open");
+
+    let event = |k: u64| {
+        let a = 1 + (k % 5) as usize;
+        StepEvent::Interaction(Interaction::new(NodeId(0), NodeId(a)))
+    };
+    for k in 0..4 {
+        manager.push_event(id, event(k)).expect("below capacity");
+    }
+    let refused = manager.push_event(id, event(4));
+    assert!(
+        matches!(
+            refused,
+            Err(ServiceError::Backpressure {
+                session,
+                capacity: 4
+            }) if session == id
+        ),
+        "full Block inbox must refuse, got {refused:?}"
+    );
+
+    // Draining the scheduler frees capacity; the retry lands.
+    manager.run_slice().expect("slice");
+    manager.push_event(id, event(4)).expect("after drain");
+    assert!(manager.inbox_high_water(id).unwrap() <= 4);
+}
+
+#[test]
+fn tenant_mistakes_come_back_as_error_frames_not_poison() {
+    let (client_end, service_end) = Loopback::pair();
+    let mut client = ServiceClient::new(client_end);
+    let mut service = ServiceEndpoint::new(SessionManager::with_workers(1), service_end);
+    let config = SessionConfig::default();
+
+    // An offline-optimal spec needs the whole sequence up front; the
+    // session tier must refuse it.
+    client
+        .open_scenario(
+            SessionId(1),
+            AlgorithmSpec::OfflineOptimal,
+            Scenario::Uniform,
+            8,
+            1,
+            &config,
+        )
+        .expect("send");
+    // An event for a session that was never opened.
+    client
+        .send_event(
+            SessionId(9),
+            StepEvent::Interaction(Interaction::new(NodeId(0), NodeId(1))),
+        )
+        .expect("send");
+    // A healthy session alongside the mistakes.
+    client
+        .open_scenario(
+            SessionId(2),
+            AlgorithmSpec::Gathering,
+            Scenario::Uniform,
+            8,
+            5,
+            &config,
+        )
+        .expect("send");
+
+    service.run_until_idle().expect("mistakes must not poison");
+
+    let mut errors = 0;
+    let mut results = 0;
+    while let Some(reply) = client.poll_result().expect("decode") {
+        match reply {
+            WireResult::Error { session, .. } => {
+                assert!(session == SessionId(1) || session == SessionId(9));
+                errors += 1;
+            }
+            WireResult::Result { session, .. } => {
+                assert_eq!(session, SessionId(2));
+                results += 1;
+            }
+        }
+    }
+    assert_eq!((errors, results), (2, 1));
+}
+
+#[test]
+fn results_stream_out_before_the_fleet_finishes() {
+    // One tiny session and one huge one: the tiny session's result must
+    // be pollable while the huge one is still running.
+    let mut manager = SessionManager::with_workers(2);
+    let config = SessionConfig {
+        slice_budget: 16,
+        ..SessionConfig::default()
+    };
+    manager
+        .open_scenario(
+            SessionId(1),
+            AlgorithmSpec::Gathering,
+            Scenario::Uniform,
+            8,
+            3,
+            &config,
+        )
+        .expect("open small");
+    manager
+        .open_scenario(
+            SessionId(2),
+            AlgorithmSpec::Waiting,
+            Scenario::Uniform,
+            256,
+            3,
+            &config,
+        )
+        .expect("open large");
+
+    let mut small_done_while_large_live = false;
+    while !manager.is_idle() {
+        manager.run_slice().expect("slice");
+        if manager.pending_results() > 0 && !manager.is_empty() {
+            small_done_while_large_live = true;
+            break;
+        }
+    }
+    assert!(
+        small_done_while_large_live,
+        "completion must stream out while other sessions still run"
+    );
+    let (id, _) = manager.poll_result().expect("the small session's result");
+    assert_eq!(id, SessionId(1));
+}

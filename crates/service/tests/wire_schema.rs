@@ -1,0 +1,270 @@
+//! Pins the v1 wire format byte-for-byte against a committed golden
+//! file, the way `bench_json_schema.rs` pins `BENCH_baseline.json`.
+//!
+//! A fixed corpus of frames — every kind, every enum arm — is encoded
+//! and compared (as hex lines) to `tests/golden/wire_v1.hex`. Any codec
+//! change that moves a byte fails here; intentional format changes must
+//! bump `WIRE_VERSION` and regenerate the golden file by running this
+//! test with `UPDATE_WIRE_GOLDEN=1`.
+
+use doda_core::fault::{CrashPolicy, FaultProfile};
+use doda_core::outcome::{Completion, FaultTally};
+use doda_core::sequence::StepEvent;
+use doda_core::Interaction;
+use doda_graph::NodeId;
+use doda_service::{
+    decode_event, decode_result, encode_event, encode_result, OverflowPolicy, SessionId, WireError,
+    WireEvent, WireResult, WIRE_VERSION,
+};
+use doda_sim::{AlgorithmSpec, FaultedScenario, Scenario, TrialResult};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v1.hex");
+
+fn sample_result() -> TrialResult {
+    TrialResult {
+        algorithm: "gathering".to_string(),
+        n: 16,
+        termination_time: Some(123),
+        interactions_processed: 456,
+        transmissions: 15,
+        ignored_decisions: 3,
+        data_conserved: true,
+        completion: Completion::Aggregated,
+        faults: FaultTally {
+            crashes: 1,
+            departures: 2,
+            arrivals: 3,
+            lost_interactions: 4,
+            data_lost: 5,
+            data_recovered: 6,
+        },
+        cost: None,
+    }
+}
+
+/// The pinned corpus: one frame per kind, collectively covering every
+/// enum arm the codec can emit.
+fn corpus() -> (Vec<WireEvent>, Vec<WireResult>) {
+    let events = vec![
+        WireEvent::OpenScenario {
+            session: SessionId(1),
+            spec: AlgorithmSpec::Waiting,
+            scenario: Scenario::Uniform.into(),
+            n: 16,
+            seed: 42,
+            horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(2),
+            spec: AlgorithmSpec::WaitingGreedy { tau: Some(77) },
+            scenario: FaultedScenario {
+                base: Scenario::Zipf { exponent: 1.2 },
+                faults: Some(FaultProfile {
+                    crash: 0.001,
+                    departure: 0.002,
+                    arrival: 0.003,
+                    loss: 0.05,
+                    crash_policy: CrashPolicy::DatumRecoverable,
+                    min_live: 4,
+                }),
+            },
+            n: 32,
+            seed: 7,
+            horizon: Some(10_000),
+            slice_budget: Some(512),
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(3),
+            spec: AlgorithmSpec::WaitingGreedy { tau: None },
+            scenario: Scenario::Community {
+                communities: 4,
+                p_intra: 0.9,
+            }
+            .into(),
+            n: 64,
+            seed: 9,
+            horizon: None,
+            slice_budget: Some(128),
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(4),
+            spec: AlgorithmSpec::SpanningTree,
+            scenario: Scenario::IntervalConnected { t: 8 }.into(),
+            n: 24,
+            seed: 11,
+            horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(5),
+            spec: AlgorithmSpec::FutureBroadcast,
+            scenario: Scenario::WeightedZipf { exponent: 1.2 }.into(),
+            n: 12,
+            seed: 13,
+            horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(6),
+            spec: AlgorithmSpec::OfflineOptimal,
+            scenario: Scenario::RoundIsolator.into(),
+            n: 10,
+            seed: 17,
+            horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenExternal {
+            session: SessionId(7),
+            spec: AlgorithmSpec::Gathering,
+            n: 8,
+            horizon: None,
+            slice_budget: Some(64),
+            inbox_capacity: Some(16),
+            overflow: OverflowPolicy::Block,
+        },
+        WireEvent::OpenExternal {
+            session: SessionId(8),
+            spec: AlgorithmSpec::Waiting,
+            n: 6,
+            horizon: Some(500),
+            slice_budget: None,
+            inbox_capacity: None,
+            overflow: OverflowPolicy::Shed,
+        },
+        WireEvent::Event {
+            session: SessionId(7),
+            event: StepEvent::Interaction(Interaction::new(NodeId(1), NodeId(2))),
+        },
+        WireEvent::Event {
+            session: SessionId(7),
+            event: StepEvent::Lost(Interaction::new(NodeId(3), NodeId(4))),
+        },
+        WireEvent::Event {
+            session: SessionId(7),
+            event: StepEvent::Crash {
+                node: NodeId(5),
+                policy: CrashPolicy::DatumLost,
+            },
+        },
+        WireEvent::Event {
+            session: SessionId(7),
+            event: StepEvent::Departure(NodeId(6)),
+        },
+        WireEvent::Event {
+            session: SessionId(7),
+            event: StepEvent::Arrival(NodeId(7)),
+        },
+        WireEvent::Close {
+            session: SessionId(7),
+        },
+    ];
+    let results = vec![
+        WireResult::Result {
+            session: SessionId(1),
+            result: sample_result(),
+        },
+        WireResult::Error {
+            session: SessionId(9),
+            message: "unknown session #9".to_string(),
+        },
+    ];
+    (events, results)
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn corpus_hex() -> String {
+    let (events, results) = corpus();
+    let mut lines: Vec<String> = events.iter().map(|e| hex(&encode_event(e))).collect();
+    lines.extend(results.iter().map(|r| hex(&encode_result(r))));
+    let mut joined = lines.join("\n");
+    joined.push('\n');
+    joined
+}
+
+#[test]
+fn wire_v1_bytes_match_the_golden_file() {
+    let actual = corpus_hex();
+    if std::env::var_os("UPDATE_WIRE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect(
+        "golden file missing — run with UPDATE_WIRE_GOLDEN=1 to generate it, then commit it",
+    );
+    assert_eq!(
+        actual, golden,
+        "wire bytes changed: bump WIRE_VERSION and regenerate with UPDATE_WIRE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn every_corpus_frame_round_trips() {
+    let (events, results) = corpus();
+    for event in &events {
+        let decoded = decode_event(&encode_event(event)).expect("decode event");
+        assert_eq!(&decoded, event);
+    }
+    for result in &results {
+        let decoded = decode_result(&encode_result(result)).expect("decode result");
+        assert_eq!(&decoded, result);
+    }
+}
+
+#[test]
+fn frames_carry_the_pinned_version_and_length_prefix() {
+    let frame = encode_event(&WireEvent::Close {
+        session: SessionId(3),
+    });
+    let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
+    assert_eq!(declared, frame.len() - 4);
+    assert_eq!(frame[4], WIRE_VERSION);
+    assert_eq!(frame[5], 0x04);
+}
+
+#[test]
+fn malformed_frames_decode_to_precise_errors() {
+    let frame = encode_event(&WireEvent::Close {
+        session: SessionId(3),
+    });
+
+    // Truncated mid-payload.
+    assert_eq!(
+        decode_event(&frame[..frame.len() - 1]),
+        Err(WireError::Truncated)
+    );
+    // Declared length exceeds the buffer.
+    assert_eq!(decode_event(&frame[..5]), Err(WireError::Truncated));
+    // Bytes past the declared payload.
+    let mut long = frame.clone();
+    long.push(0);
+    assert_eq!(decode_event(&long), Err(WireError::TrailingBytes));
+    // A future version is refused, not misread.
+    let mut vnext = frame.clone();
+    vnext[4] = WIRE_VERSION + 1;
+    assert_eq!(
+        decode_event(&vnext),
+        Err(WireError::UnknownVersion(WIRE_VERSION + 1))
+    );
+    // Result kinds are not client events and vice versa.
+    let mut wrong_kind = frame.clone();
+    wrong_kind[5] = 0x81;
+    assert_eq!(decode_event(&wrong_kind), Err(WireError::UnknownKind(0x81)));
+    assert_eq!(decode_result(&frame), Err(WireError::UnknownKind(0x04)));
+    // An out-of-range enum tag inside the payload.
+    let mut bad_tag = encode_event(&WireEvent::Event {
+        session: SessionId(7),
+        event: StepEvent::Departure(NodeId(6)),
+    });
+    let tag_at = bad_tag.len() - 5;
+    bad_tag[tag_at] = 0xee;
+    assert_eq!(
+        decode_event(&bad_tag),
+        Err(WireError::UnknownTag {
+            what: "step event",
+            tag: 0xee
+        })
+    );
+}

@@ -32,16 +32,13 @@
 //! ```
 //! use doda_sim::prelude::*;
 //!
-//! let batch = BatchConfig {
-//!     n: 16,
-//!     trials: 5,
-//!     horizon: None,
-//!     seed: 7,
-//!     parallel: false,
-//! };
-//! let result = run_batch(AlgorithmSpec::Gathering, &batch);
-//! assert_eq!(result.completed, 5);
-//! assert!(result.interactions.mean > 0.0);
+//! let results = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+//!     .n(16)
+//!     .trials(5)
+//!     .seed(7)
+//!     .run();
+//! assert_eq!(results.len(), 5);
+//! assert!(results.iter().all(|r| r.completion.terminated()));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -55,16 +52,20 @@ pub mod sweep;
 pub mod table;
 pub mod trial;
 
+#[allow(deprecated)]
 pub use runner::{
     run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
 };
 pub use scenario::{FaultedScenario, Scenario};
 pub use spec::{AlgorithmSpec, KnowledgeRequirement};
 pub use sweep::{ExecutionTier, Sweep};
-pub use trial::{run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner};
+pub use trial::{
+    finish_trial, run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
+};
 
 /// Commonly used items for examples and benches.
 pub mod prelude {
+    #[allow(deprecated)]
     pub use crate::runner::{
         run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
     };
@@ -73,6 +74,6 @@ pub mod prelude {
     pub use crate::sweep::{ExecutionTier, Sweep};
     pub use crate::table::{markdown_table, Table};
     pub use crate::trial::{
-        run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
+        finish_trial, run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
     };
 }

@@ -165,7 +165,7 @@ impl AlgorithmSpec {
     /// (check with [`AlgorithmSpec::requires_materialization`]); such specs
     /// must go through [`AlgorithmSpec::instantiate`] with a materialised
     /// sequence.
-    pub fn instantiate_online(&self) -> Option<Box<dyn DodaAlgorithm>> {
+    pub fn instantiate_online(&self) -> Option<Box<dyn DodaAlgorithm + Send>> {
         match self {
             AlgorithmSpec::Waiting => Some(Box::new(Waiting::new())),
             AlgorithmSpec::Gathering => Some(Box::new(Gathering::new())),

@@ -652,6 +652,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
     fn summaries_match_the_legacy_runner() {
         let config = BatchConfig {
             n: 12,

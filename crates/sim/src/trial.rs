@@ -414,39 +414,55 @@ impl TrialRunner {
             .collect()
     }
 
-    /// Packages the engine counters (plus the data-conservation check read
-    /// off the engine's final state) into a [`TrialResult`].
-    ///
-    /// Conservation under faults: at termination, the union of the sink's
-    /// origin set with the lost and recovered bins must be exactly the
-    /// full origin set — a datum may be aggregated or destroyed by a
-    /// fault, but never silently dropped. Fault-free trials reduce to the
-    /// classic "sink covers every origin".
+    /// Packages the engine counters into a [`TrialResult`]; see
+    /// [`finish_trial`].
     fn finish(&self, spec: AlgorithmSpec, stats: RunStats, cost: Option<Cost>) -> TrialResult {
-        let state = self.engine.state();
-        let data_conserved = stats.terminated()
-            && state.data_of(stats.sink).is_some_and(|data| {
-                let mut accounted = data.clone();
-                if let Some(lost) = state.lost_data() {
-                    accounted.merge(lost.clone());
-                }
-                if let Some(recovered) = state.recovered_data() {
-                    accounted.merge(recovered.clone());
-                }
-                accounted.covers_all(stats.node_count)
-            });
-        TrialResult {
-            algorithm: spec.label().to_string(),
-            n: stats.node_count,
-            termination_time: stats.termination_time,
-            interactions_processed: stats.interactions_processed,
-            transmissions: stats.transmissions as usize,
-            ignored_decisions: stats.ignored_decisions,
-            data_conserved,
-            completion: stats.completion,
-            faults: stats.faults,
-            cost,
-        }
+        finish_trial(spec, &self.engine, stats, cost)
+    }
+}
+
+/// Packages the engine counters (plus the data-conservation check read
+/// off the engine's final state) into a [`TrialResult`].
+///
+/// Conservation under faults: at termination, the union of the sink's
+/// origin set with the lost and recovered bins must be exactly the
+/// full origin set — a datum may be aggregated or destroyed by a
+/// fault, but never silently dropped. Fault-free trials reduce to the
+/// classic "sink covers every origin".
+///
+/// Public so external drivers of the resumable engine surface (notably
+/// `doda-service` sessions finalising a [`doda_core::RunStats`] from
+/// [`doda_core::Engine::finish_run`]) construct results byte-identical to
+/// the ones [`TrialRunner`] and [`crate::Sweep`] produce.
+pub fn finish_trial(
+    spec: AlgorithmSpec,
+    engine: &Engine<IdSet>,
+    stats: RunStats,
+    cost: Option<Cost>,
+) -> TrialResult {
+    let state = engine.state();
+    let data_conserved = stats.terminated()
+        && state.data_of(stats.sink).is_some_and(|data| {
+            let mut accounted = data.clone();
+            if let Some(lost) = state.lost_data() {
+                accounted.merge(lost.clone());
+            }
+            if let Some(recovered) = state.recovered_data() {
+                accounted.merge(recovered.clone());
+            }
+            accounted.covers_all(stats.node_count)
+        });
+    TrialResult {
+        algorithm: spec.label().to_string(),
+        n: stats.node_count,
+        termination_time: stats.termination_time,
+        interactions_processed: stats.interactions_processed,
+        transmissions: stats.transmissions as usize,
+        ignored_decisions: stats.ignored_decisions,
+        data_conserved,
+        completion: stats.completion,
+        faults: stats.faults,
+        cost,
     }
 }
 

@@ -114,7 +114,9 @@ fn main() {
         seed: 7,
         parallel: true,
     };
-    let raw = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator, &batch);
+    let raw = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator)
+        .config(&batch)
+        .run();
     let completed = raw.iter().filter(|r| r.terminated()).count();
     println!(
         "\nSweeping the adaptive isolator (n = {}, {} trials, sharded + streamed):",

@@ -1,0 +1,98 @@
+//! The workspace-level error surface.
+//!
+//! Each layer of the workspace keeps its own precise error type
+//! ([`EngineError`] for the engine, [`FaultConfigError`] for fault
+//! plans, [`ServiceError`] / [`WireError`] for the service boundary).
+//! Applications that mix layers can funnel them all into one
+//! [`enum@Error`] — every layer error converts with `?` — and still
+//! recover the original through [`std::error::Error::source`].
+
+use doda_core::error::EngineError;
+use doda_core::fault::FaultConfigError;
+use doda_service::{ServiceError, WireError};
+
+/// Any error the workspace can produce, one `?`-friendly funnel.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// The engine rejected an algorithm decision ([`EngineError`]).
+    Engine(EngineError),
+    /// A fault plan failed validation ([`FaultConfigError`]).
+    FaultConfig(FaultConfigError),
+    /// The aggregation service refused a request ([`ServiceError`]).
+    Service(ServiceError),
+    /// A wire frame failed to decode ([`WireError`]).
+    Wire(WireError),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Engine(e) => write!(f, "engine error: {e}"),
+            Error::FaultConfig(e) => write!(f, "fault configuration error: {e}"),
+            Error::Service(e) => write!(f, "service error: {e}"),
+            Error::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Engine(e) => Some(e),
+            Error::FaultConfig(e) => Some(e),
+            Error::Service(e) => Some(e),
+            Error::Wire(e) => Some(e),
+        }
+    }
+}
+
+impl From<EngineError> for Error {
+    fn from(e: EngineError) -> Self {
+        Error::Engine(e)
+    }
+}
+
+impl From<FaultConfigError> for Error {
+    fn from(e: FaultConfigError) -> Self {
+        Error::FaultConfig(e)
+    }
+}
+
+impl From<ServiceError> for Error {
+    fn from(e: ServiceError) -> Self {
+        Error::Service(e)
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(e: WireError) -> Self {
+        Error::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doda_service::SessionId;
+    use std::error::Error as _;
+
+    #[test]
+    fn layer_errors_funnel_in_and_keep_their_source() {
+        fn faulty() -> Result<(), Error> {
+            Err(ServiceError::UnknownSession(SessionId(7)))?
+        }
+        let err = faulty().unwrap_err();
+        assert!(matches!(err, Error::Service(_)));
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("#7"));
+    }
+
+    #[test]
+    fn wire_errors_chain_through_service_to_the_root() {
+        let err: Error = ServiceError::from(WireError::Truncated).into();
+        let service = err.source().expect("service layer");
+        let wire = service.source().expect("wire layer");
+        assert_eq!(wire.to_string(), WireError::Truncated.to_string());
+    }
+}

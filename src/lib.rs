@@ -14,6 +14,7 @@
 //! | [`workloads`] | synthetic interaction-sequence generators (`doda-workloads`) |
 //! | [`sim`] | trial runner, batches, the scenario registry, tables (`doda-sim`) |
 //! | [`analysis`] | scaling studies and the E1–E14 experiment harness (`doda-analysis`) |
+//! | [`service`] | multi-tenant session service: scheduler, wire format, transports (`doda-service`) |
 //!
 //! [`Sweep`](prelude::Sweep) is the one entry point for running trials:
 //! pick an algorithm and an interaction family, set the shape fluently,
@@ -57,13 +58,21 @@ pub use doda_adversary as adversary;
 pub use doda_analysis as analysis;
 pub use doda_core as core;
 pub use doda_graph as graph;
+pub use doda_service as service;
 pub use doda_sim as sim;
 pub use doda_stats as stats;
 pub use doda_workloads as workloads;
 
-/// One-stop prelude: the core prelude plus the most used simulation types.
+mod error;
+
+pub use error::Error;
+
+/// One-stop prelude: the core prelude plus the most used simulation and
+/// service types.
 pub mod prelude {
+    pub use crate::Error;
     pub use doda_core::prelude::*;
+    pub use doda_service::prelude::*;
     pub use doda_sim::prelude::*;
     pub use doda_workloads::Workload;
 }

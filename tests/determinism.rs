@@ -28,8 +28,12 @@ fn parallel_and_serial_batches_are_byte_identical() {
         AlgorithmSpec::OfflineOptimal,
     ] {
         for seed in [1u64, 0xD0DA] {
-            let serial = run_batch_detailed(spec, &config(12, 9, seed, false));
-            let parallel = run_batch_detailed(spec, &config(12, 9, seed, true));
+            let serial = Sweep::scenario(spec, Scenario::Uniform)
+                .config(&config(12, 9, seed, false))
+                .run_summarized();
+            let parallel = Sweep::scenario(spec, Scenario::Uniform)
+                .config(&config(12, 9, seed, true))
+                .run_summarized();
             assert_eq!(
                 serial, parallel,
                 "{spec} diverged between serial and parallel for seed {seed}"
@@ -41,15 +45,23 @@ fn parallel_and_serial_batches_are_byte_identical() {
 #[test]
 fn batches_are_reproducible_across_runs() {
     let cfg = config(10, 6, 7, true);
-    let first = run_batch_detailed(AlgorithmSpec::Gathering, &cfg);
-    let second = run_batch_detailed(AlgorithmSpec::Gathering, &cfg);
+    let first = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .config(&cfg)
+        .run_summarized();
+    let second = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .config(&cfg)
+        .run_summarized();
     assert_eq!(first, second);
 }
 
 #[test]
 fn different_seeds_produce_different_batches() {
-    let a = run_batch_detailed(AlgorithmSpec::Gathering, &config(10, 6, 1, true));
-    let b = run_batch_detailed(AlgorithmSpec::Gathering, &config(10, 6, 2, true));
+    let a = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .config(&config(10, 6, 1, true))
+        .run_summarized();
+    let b = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .config(&config(10, 6, 2, true))
+        .run_summarized();
     assert_ne!(a.1, b.1, "distinct seeds must draw distinct sequences");
 }
 
@@ -76,15 +88,13 @@ fn scenario_batches_are_serial_parallel_identical() {
                 seed: 0xD0DA,
                 parallel: false,
             };
-            let serial = run_scenario_trials(spec, scenario, &cfg);
-            let parallel = run_scenario_trials(
-                spec,
-                scenario,
-                &BatchConfig {
+            let serial = Sweep::scenario(spec, scenario).config(&cfg).run();
+            let parallel = Sweep::scenario(spec, scenario)
+                .config(&BatchConfig {
                     parallel: true,
                     ..cfg
-                },
-            );
+                })
+                .run();
             assert_eq!(
                 serial, parallel,
                 "{spec} diverged between serial and parallel on scenario '{scenario}'"
@@ -119,14 +129,16 @@ fn faulted_batches_are_reproducible_and_seed_sensitive() {
         seed: 0xFA7,
         parallel: true,
     };
-    let first = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
-    let second = run_scenario_trials(AlgorithmSpec::Gathering, scenario, &cfg);
+    let first = Sweep::scenario(AlgorithmSpec::Gathering, scenario)
+        .config(&cfg)
+        .run();
+    let second = Sweep::scenario(AlgorithmSpec::Gathering, scenario)
+        .config(&cfg)
+        .run();
     assert_eq!(first, second);
-    let other_seed = run_scenario_trials(
-        AlgorithmSpec::Gathering,
-        scenario,
-        &BatchConfig { seed: 0xFA8, ..cfg },
-    );
+    let other_seed = Sweep::scenario(AlgorithmSpec::Gathering, scenario)
+        .config(&BatchConfig { seed: 0xFA8, ..cfg })
+        .run();
     assert_ne!(
         first, other_seed,
         "distinct seeds must draw distinct faults"
@@ -149,15 +161,15 @@ fn adaptive_scenarios_shard_deterministically() {
         seed: 3,
         parallel: false,
     };
-    let serial = run_scenario_trials(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator, &cfg);
-    let parallel = run_scenario_trials(
-        AlgorithmSpec::Gathering,
-        Scenario::AdaptiveIsolator,
-        &BatchConfig {
+    let serial = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator)
+        .config(&cfg)
+        .run();
+    let parallel = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::AdaptiveIsolator)
+        .config(&BatchConfig {
             parallel: true,
             ..cfg
-        },
-    );
+        })
+        .run();
     assert_eq!(serial, parallel);
     assert!(serial
         .iter()

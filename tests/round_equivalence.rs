@@ -17,7 +17,7 @@
 //!
 //! Plus the sweep-level guarantee: round scenarios (fault-free and
 //! faulted) are serial/parallel byte-identical through
-//! [`run_scenario_trials`].
+//! [`Sweep`].
 
 use doda::core::engine;
 use doda::core::fault::FaultProfile;
@@ -195,15 +195,13 @@ proptest! {
                     seed,
                     parallel: false,
                 };
-                let serial = run_scenario_trials(spec, scenario, &cfg);
-                let parallel = run_scenario_trials(
-                    spec,
-                    scenario,
-                    &BatchConfig {
+                let serial = Sweep::scenario(spec, scenario).config(&cfg).run();
+                let parallel = Sweep::scenario(spec, scenario)
+                    .config(&BatchConfig {
                         parallel: true,
                         ..cfg
-                    },
-                );
+                    })
+                    .run();
                 prop_assert_eq!(
                     &serial,
                     &parallel,
@@ -232,7 +230,7 @@ fn round_isolator_starves_every_supported_algorithm() {
         if !scenario.supports(spec) {
             continue;
         }
-        let results = run_scenario_trials(spec, scenario, &cfg);
+        let results = Sweep::scenario(spec, scenario).config(&cfg).run();
         assert!(
             results.iter().all(|r| !r.terminated()),
             "{spec} escaped the sink-unmatched trap"

@@ -62,8 +62,9 @@ proptest! {
         }
     }
 
-    /// The same invariant at the batch level: `run_trials` (which streams
-    /// knowledge-free specs) must reproduce a hand-materialised batch.
+    /// The same invariant at the batch level: a workload `Sweep` (which
+    /// streams knowledge-free specs) must reproduce a hand-materialised
+    /// batch.
     #[test]
     fn batch_streaming_equals_manual_materialization(seed in 0u64..1_000_000) {
         let n = 10;
@@ -76,7 +77,7 @@ proptest! {
         };
         let workload = UniformWorkload::new(n);
         for spec in STREAMABLE {
-            let via_runner = run_trials(spec, &workload, &config);
+            let via_runner = Sweep::workload(spec, &workload).config(&config).run();
             let manual: Vec<TrialResult> = (0..config.trials)
                 .map(|trial| {
                     let trial_seed =
