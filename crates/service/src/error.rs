@@ -8,7 +8,7 @@
 //! changes — and chain their causes through
 //! [`std::error::Error::source`].
 
-use doda_core::error::EngineError;
+use doda_core::error::{EngineError, FaultError};
 use doda_core::fault::FaultConfigError;
 
 use crate::session::SessionId;
@@ -34,6 +34,13 @@ pub enum WireError {
     TrailingBytes,
     /// A length-prefixed string is not valid UTF-8.
     BadUtf8,
+    /// A value to encode does not fit its fixed-width wire field (e.g. a
+    /// node id or population size above `u32::MAX`). Raised at encode
+    /// time instead of silently wrapping on the wire.
+    OutOfRange {
+        /// Which encoded field overflowed.
+        what: &'static str,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -47,6 +54,9 @@ impl std::fmt::Display for WireError {
             }
             WireError::TrailingBytes => write!(f, "trailing bytes after the payload"),
             WireError::BadUtf8 => write!(f, "length-prefixed string is not valid UTF-8"),
+            WireError::OutOfRange { what } => {
+                write!(f, "{what} does not fit its fixed-width wire field")
+            }
         }
     }
 }
@@ -73,6 +83,30 @@ pub enum ServiceError {
     /// The session's event feed was closed; no further events are
     /// accepted.
     SessionClosed(SessionId),
+    /// An event was pushed to a scenario-fed session: its interaction
+    /// process streams from the registry scenario, so tenant-pushed
+    /// events have nowhere to go.
+    NotExternallyFed(SessionId),
+    /// A pushed event is structurally invalid for the session's
+    /// population — a node outside `0..n`, or a fault event targeting the
+    /// sink — and was refused at push time, before it could reach the
+    /// engine.
+    InvalidEvent {
+        /// The session the event was pushed to.
+        session: SessionId,
+        /// The model invariant the event violates.
+        cause: FaultError,
+    },
+    /// The session was killed mid-run: its event feed produced a state
+    /// the engine rejected (e.g. a crash of an already-dead node, which
+    /// only liveness history — not push-time validation — can catch).
+    /// The session is retired; other sessions are unaffected.
+    SessionFault {
+        /// The session that was killed.
+        session: SessionId,
+        /// The engine's rejection.
+        cause: EngineError,
+    },
     /// The algorithm spec cannot run incrementally: it requires knowledge
     /// of the future, so no streaming session can serve it.
     UnsupportedSpec {
@@ -100,6 +134,16 @@ impl std::fmt::Display for ServiceError {
                 "session {session} inbox is full (capacity {capacity}); drain before retrying"
             ),
             ServiceError::SessionClosed(id) => write!(f, "session {id} is closed"),
+            ServiceError::NotExternallyFed(id) => write!(
+                f,
+                "session {id} is scenario-fed and does not accept pushed events"
+            ),
+            ServiceError::InvalidEvent { session, cause } => {
+                write!(f, "invalid event for session {session}: {cause}")
+            }
+            ServiceError::SessionFault { session, cause } => {
+                write!(f, "session {session} killed by its event feed: {cause}")
+            }
             ServiceError::UnsupportedSpec { spec } => write!(
                 f,
                 "{spec} requires knowledge of the future and cannot run as a streaming session"
@@ -118,6 +162,8 @@ impl std::error::Error for ServiceError {
             ServiceError::FaultConfig(e) => Some(e),
             ServiceError::Engine(e) => Some(e),
             ServiceError::Wire(e) => Some(e),
+            ServiceError::InvalidEvent { cause, .. } => Some(cause),
+            ServiceError::SessionFault { cause, .. } => Some(cause),
             _ => None,
         }
     }

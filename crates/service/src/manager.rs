@@ -7,7 +7,10 @@
 //! [`SessionManager::poll_result`] **as they happen**, not at a join:
 //! a finished session is retired from the map (keeping live memory
 //! `O(active sessions + n)`) and its result queued immediately, while
-//! the rest of the fleet keeps running.
+//! the rest of the fleet keeps running. Failures are isolated the same
+//! way: a session whose feed drives the engine into an invalid state is
+//! killed and its error queued for [`SessionManager::poll_failure`] —
+//! one tenant's bad input never wedges the scheduler.
 //!
 //! Determinism: sessions are independent (each owns its engine, RNG
 //! stream, and feed), so the worker count and chunking never change any
@@ -31,6 +34,7 @@ use crate::session::{Session, SessionConfig, SessionId, SessionStatus, SliceOutc
 pub struct SessionManager {
     sessions: BTreeMap<SessionId, Session>,
     completed: VecDeque<(SessionId, TrialResult)>,
+    faulted: VecDeque<(SessionId, ServiceError)>,
     shed_total: u64,
     workers: usize,
 }
@@ -54,6 +58,7 @@ impl SessionManager {
         SessionManager {
             sessions: BTreeMap::new(),
             completed: VecDeque::new(),
+            faulted: VecDeque::new(),
             shed_total: 0,
             workers: workers.max(1),
         }
@@ -116,9 +121,11 @@ impl SessionManager {
     /// # Errors
     ///
     /// [`ServiceError::UnknownSession`] if no such session is live,
-    /// [`ServiceError::SessionClosed`] if its feed was closed (or it is
-    /// scenario-fed), and — when the inbox is full —
-    /// [`ServiceError::Backpressure`] under
+    /// [`ServiceError::NotExternallyFed`] if it is scenario-fed,
+    /// [`ServiceError::SessionClosed`] if its feed was closed,
+    /// [`ServiceError::InvalidEvent`] if the event names a node outside
+    /// the session's population or a fault targets the sink, and — when
+    /// the inbox is full — [`ServiceError::Backpressure`] under
     /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block). Under
     /// [`OverflowPolicy::Shed`](crate::OverflowPolicy::Shed) a full inbox
     /// drops the event, counts it, and reports success.
@@ -150,13 +157,14 @@ impl SessionManager {
     /// sessions are retired and their results queued (in session-id
     /// order) for [`SessionManager::poll_result`].
     ///
+    /// A session whose slice errors — its event feed drove the engine
+    /// into a state it rejects, e.g. a tenant-pushed crash of an
+    /// already-dead node — is killed and retired the same way, its error
+    /// queued for [`SessionManager::poll_failure`]. One misbehaving
+    /// tenant never stalls the scheduler or the other sessions' results.
+    ///
     /// Returns the number of sessions that were stepped.
-    ///
-    /// # Errors
-    ///
-    /// [`ServiceError::Engine`] if an algorithm produced a structurally
-    /// invalid decision (a bug in the algorithm, not the input).
-    pub fn run_slice(&mut self) -> Result<usize, ServiceError> {
+    pub fn run_slice(&mut self) -> usize {
         let mut runnable: Vec<&mut Session> = self
             .sessions
             .values_mut()
@@ -164,7 +172,7 @@ impl SessionManager {
             .collect();
         let stepped = runnable.len();
         if stepped == 0 {
-            return Ok(0);
+            return 0;
         }
 
         // One outcome slot per runnable session, still in session-id
@@ -192,30 +200,32 @@ impl SessionManager {
         let mut retire = Vec::new();
         for (session, outcome) in runnable.iter().zip(outcomes) {
             match outcome.expect("every runnable session was stepped") {
-                Ok(SliceOutcome::Finished(result)) => retire.push((session.id(), result)),
+                Ok(SliceOutcome::Finished(result)) => retire.push((session.id(), Ok(result))),
                 Ok(SliceOutcome::Runnable | SliceOutcome::AwaitingEvents) => {}
-                Err(e) => return Err(e),
+                Err(error) => retire.push((session.id(), Err(error))),
             }
         }
-        for (id, result) in retire {
+        for (id, outcome) in retire {
             if let Some(session) = self.sessions.remove(&id) {
                 self.shed_total += session.shed_count();
             }
-            self.completed.push_back((id, result));
+            match outcome {
+                Ok(result) => self.completed.push_back((id, result)),
+                // Attribute the engine's rejection to the session whose
+                // feed caused it; the session is gone, the fleet is not.
+                Err(ServiceError::Engine(cause)) => self
+                    .faulted
+                    .push_back((id, ServiceError::SessionFault { session: id, cause })),
+                Err(error) => self.faulted.push_back((id, error)),
+            }
         }
-        Ok(stepped)
+        stepped
     }
 
-    /// Runs scheduler slices until no session is runnable (all finished
-    /// or awaiting external events).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first [`ServiceError::Engine`] error (see
-    /// [`SessionManager::run_slice`]).
-    pub fn run_until_idle(&mut self) -> Result<(), ServiceError> {
-        while self.run_slice()? > 0 {}
-        Ok(())
+    /// Runs scheduler slices until no session is runnable (all finished,
+    /// killed, or awaiting external events).
+    pub fn run_until_idle(&mut self) {
+        while self.run_slice() > 0 {}
     }
 
     /// Pops the next completed session's result, in completion order.
@@ -223,6 +233,14 @@ impl SessionManager {
     /// intended use, not just at the end.
     pub fn poll_result(&mut self) -> Option<(SessionId, TrialResult)> {
         self.completed.pop_front()
+    }
+
+    /// Pops the next killed session's error, in kill order. A session
+    /// lands here when its slice errored (see
+    /// [`SessionManager::run_slice`]); by the time its error is polled
+    /// the session is already retired.
+    pub fn poll_failure(&mut self) -> Option<(SessionId, ServiceError)> {
+        self.faulted.pop_front()
     }
 
     /// `true` when no session is runnable: every remaining session is
@@ -246,6 +264,11 @@ impl SessionManager {
     /// Number of queued completed results not yet polled.
     pub fn pending_results(&self) -> usize {
         self.completed.len()
+    }
+
+    /// Number of queued killed-session errors not yet polled.
+    pub fn pending_failures(&self) -> usize {
+        self.faulted.len()
     }
 
     /// The session's lifecycle status, or `None` once it finished (its

@@ -15,11 +15,17 @@
 //!   *bounded* inbox over the wire; a full inbox sheds or blocks per
 //!   [`OverflowPolicy`]. The bound is what keeps the whole service at
 //!   `O(sessions + n)` memory no matter how fast tenants produce events.
+//!   Pushed events are validated on arrival (nodes in range, no fault
+//!   targeting the sink); violations only liveness history can reveal
+//!   surface at drain time, where they kill *that* session — never the
+//!   scheduler (see
+//!   [`SessionManager::poll_failure`](crate::SessionManager::poll_failure)).
 
 use std::collections::VecDeque;
 
 use doda_core::data::IdSet;
 use doda_core::engine::{Engine, EngineConfig, RunProgress, StepOutcome};
+use doda_core::error::FaultError;
 use doda_core::sequence::{AdversaryView, InteractionSource, StepEvent};
 use doda_core::{DiscardTransmissions, DodaAlgorithm, Interaction, Time};
 use doda_graph::NodeId;
@@ -119,10 +125,45 @@ impl Inbox {
         }
     }
 
+    /// Checks the structural invariants push-time can see: every node the
+    /// event names exists, and fault events never target the sink
+    /// ([`Session::SINK`]). Liveness-dependent violations (crashing a
+    /// dead node, reviving a live one, an interaction with a dead
+    /// participant) depend on where the engine is in the queue and are
+    /// caught at drain time instead — see
+    /// [`SessionManager::poll_failure`](crate::SessionManager::poll_failure).
+    fn validate(&self, id: SessionId, event: StepEvent) -> Result<(), ServiceError> {
+        let invalid = |cause| ServiceError::InvalidEvent { session: id, cause };
+        let in_range = |node: NodeId| {
+            if node.index() < self.node_count {
+                Ok(())
+            } else {
+                Err(invalid(FaultError::UnknownNode { node }))
+            }
+        };
+        match event {
+            StepEvent::Interaction(interaction) | StepEvent::Lost(interaction) => {
+                let (a, b) = interaction.pair();
+                in_range(a)?;
+                in_range(b)
+            }
+            StepEvent::Crash { node, .. }
+            | StepEvent::Departure(node)
+            | StepEvent::Arrival(node) => {
+                in_range(node)?;
+                if node == Session::SINK {
+                    return Err(invalid(FaultError::TargetsSink { node }));
+                }
+                Ok(())
+            }
+        }
+    }
+
     fn push(&mut self, id: SessionId, event: StepEvent) -> Result<(), ServiceError> {
         if self.closed {
             return Err(ServiceError::SessionClosed(id));
         }
+        self.validate(id, event)?;
         if self.queue.len() >= self.capacity {
             return match self.overflow {
                 OverflowPolicy::Shed => {
@@ -215,6 +256,9 @@ impl std::fmt::Debug for Session {
 }
 
 impl Session {
+    /// Every session's sink: node 0, same as a sweep trial's.
+    pub(crate) const SINK: NodeId = NodeId(0);
+
     /// Opens a scenario-fed session, seeded exactly like trial 0 of
     /// `Sweep::scenario(spec, scenario).n(n).seed(seed)` so the eventual
     /// result is byte-identical to that standalone sweep's.
@@ -300,8 +344,12 @@ impl Session {
             .horizon
             .unwrap_or(doda_adversary::RandomizedAdversary::default_horizon(n) as u64);
         let mut engine = Engine::new();
-        let progress =
-            engine.begin_run(n, NodeId(0), IdSet::singleton, EngineConfig::sweep(horizon));
+        let progress = engine.begin_run(
+            n,
+            Session::SINK,
+            IdSet::singleton,
+            EngineConfig::sweep(horizon),
+        );
         Session {
             id,
             spec,
@@ -331,7 +379,7 @@ impl Session {
             Feed::External(inbox) => inbox.push(self.id, event),
             // A scenario feed generates its own events; tenant pushes
             // make no sense there.
-            Feed::Scenario(_) => Err(ServiceError::SessionClosed(self.id)),
+            Feed::Scenario(_) => Err(ServiceError::NotExternallyFed(self.id)),
         }
     }
 

@@ -109,38 +109,46 @@ impl<T: Transport> ServiceEndpoint<T> {
     /// one scheduler slice, and stream out any completions. Returns the
     /// number of sessions stepped (0 = idle).
     ///
-    /// Per-session application failures (unknown session, backpressure
-    /// under [`OverflowPolicy::Block`](crate::OverflowPolicy::Block),
-    /// invalid opens) are *replied*, not returned: the client sees a
-    /// [`WireResult::Error`] frame and the endpoint keeps serving its
+    /// Per-session failures are *replied*, not returned: invalid opens,
+    /// unknown sessions, refused events, backpressure under
+    /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block), and
+    /// sessions killed mid-run by their own event feed (see
+    /// [`SessionManager::poll_failure`]) all come back as
+    /// [`WireResult::Error`] frames, and the endpoint keeps serving its
     /// other tenants.
     ///
     /// # Errors
     ///
     /// [`ServiceError::Wire`] if a frame fails to decode (a broken peer,
-    /// not a tenant mistake) and [`ServiceError::Engine`] if an algorithm
-    /// produced a structurally invalid decision.
+    /// not a tenant mistake), plus transport delivery failures.
     pub fn pump(&mut self) -> Result<usize, ServiceError> {
         while let Some(frame) = self.transport.try_recv() {
             let event = decode_event(&frame)?;
             let (session, outcome) = self.apply(event);
             if let Err(error) = outcome {
-                match error {
-                    // Engine faults are service bugs, not tenant input.
-                    ServiceError::Engine(_) => return Err(error),
-                    error => self.transport.send(&encode_result(&WireResult::Error {
-                        session,
-                        message: error.to_string(),
-                    }))?,
-                }
+                self.reply_error(session, &error)?;
             }
         }
-        let stepped = self.manager.run_slice()?;
+        let stepped = self.manager.run_slice();
+        while let Some((session, error)) = self.manager.poll_failure() {
+            self.reply_error(session, &error)?;
+        }
         while let Some((session, result)) = self.manager.poll_result() {
             self.transport
-                .send(&encode_result(&WireResult::Result { session, result }))?;
+                .send(&encode_result(&WireResult::Result { session, result })?)?;
         }
         Ok(stepped)
+    }
+
+    fn reply_error(
+        &mut self,
+        session: SessionId,
+        error: &ServiceError,
+    ) -> Result<(), ServiceError> {
+        self.transport.send(&encode_result(&WireResult::Error {
+            session,
+            message: error.to_string(),
+        })?)
     }
 
     fn apply(&mut self, event: WireEvent) -> (SessionId, Result<(), ServiceError>) {
@@ -243,8 +251,9 @@ impl<T: Transport> ServiceClient<T> {
     ///
     /// # Errors
     ///
-    /// Transport delivery failures only; service-side rejections arrive
-    /// later as [`WireResult::Error`] frames.
+    /// Encode failures ([`WireError::OutOfRange`](crate::WireError::OutOfRange)
+    /// for oversized fields) and transport delivery failures; service-side
+    /// rejections arrive later as [`WireResult::Error`] frames.
     pub fn open_scenario(
         &mut self,
         session: SessionId,
@@ -262,7 +271,7 @@ impl<T: Transport> ServiceClient<T> {
             seed,
             horizon: config.horizon,
             slice_budget: Some(config.slice_budget),
-        }))
+        })?)
     }
 
     /// Requests an externally-fed session (wire form of
@@ -270,7 +279,7 @@ impl<T: Transport> ServiceClient<T> {
     ///
     /// # Errors
     ///
-    /// Transport delivery failures only (see
+    /// Encode and transport delivery failures (see
     /// [`ServiceClient::open_scenario`]).
     pub fn open_external(
         &mut self,
@@ -287,19 +296,19 @@ impl<T: Transport> ServiceClient<T> {
             slice_budget: Some(config.slice_budget),
             inbox_capacity: Some(config.inbox_capacity),
             overflow: config.overflow,
-        }))
+        })?)
     }
 
     /// Feeds one event to an externally-fed session.
     ///
     /// # Errors
     ///
-    /// Transport delivery failures only; a full inbox under
+    /// Encode and transport delivery failures; a full inbox under
     /// [`OverflowPolicy::Block`](crate::OverflowPolicy::Block) comes back
     /// as a [`WireResult::Error`] frame.
     pub fn send_event(&mut self, session: SessionId, event: StepEvent) -> Result<(), ServiceError> {
         self.transport
-            .send(&encode_event(&WireEvent::Event { session, event }))
+            .send(&encode_event(&WireEvent::Event { session, event })?)
     }
 
     /// Closes an externally-fed session's feed so it finishes once its
@@ -310,7 +319,7 @@ impl<T: Transport> ServiceClient<T> {
     /// Transport delivery failures only.
     pub fn close(&mut self, session: SessionId) -> Result<(), ServiceError> {
         self.transport
-            .send(&encode_event(&WireEvent::Close { session }))
+            .send(&encode_event(&WireEvent::Close { session })?)
     }
 
     /// Takes the next service reply, if one has arrived: a completed

@@ -22,7 +22,11 @@
 //! Scalars are little-endian; `opt u64` is a presence byte followed by
 //! the value when present; `str16` is a `u16` length followed by UTF-8
 //! bytes; enums are one tag byte (in declaration order) followed by
-//! their fields. A trial result is: algorithm `str16`, `n: u32`,
+//! their fields. `u32` fields carrying `usize` values (node ids, `n`,
+//! scenario parameters) are checked at encode time — a value above
+//! `u32::MAX` is a typed [`WireError::OutOfRange`], never a silent
+//! wrap — while `str16` text is advisory and truncates at a char
+//! boundary to fit its length field. A trial result is: algorithm `str16`, `n: u32`,
 //! termination time `opt u64`, interactions `u64`, transmissions `u64`,
 //! ignored decisions `u64`, data conserved `u8`, completion `u8`, the
 //! six fault-tally counters as `u64`s, and a reserved cost byte (`0`;
@@ -163,14 +167,29 @@ impl Writer {
         }
     }
 
+    /// Writes a length-prefixed string. Strings are advisory text
+    /// (algorithm labels, error messages); anything past the `u16`
+    /// length field is truncated at a char boundary rather than
+    /// failing the frame.
     fn str16(&mut self, s: &str) {
-        let len = u16::try_from(s.len()).expect("wire strings stay under 64 KiB");
-        self.u16(len);
-        self.0.extend_from_slice(s.as_bytes());
+        let mut end = s.len().min(usize::from(u16::MAX));
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        self.u16(end as u16);
+        self.0.extend_from_slice(&s.as_bytes()[..end]);
     }
 
-    fn node(&mut self, node: NodeId) {
-        self.u32(node.0 as u32);
+    /// Writes a `usize` into a `u32` field, refusing values that would
+    /// silently wrap on the wire.
+    fn usize32(&mut self, v: usize, what: &'static str) -> Result<(), WireError> {
+        let v = u32::try_from(v).map_err(|_| WireError::OutOfRange { what })?;
+        self.u32(v);
+        Ok(())
+    }
+
+    fn node(&mut self, node: NodeId) -> Result<(), WireError> {
+        self.usize32(node.0, "node id")
     }
 
     fn finish(mut self) -> Vec<u8> {
@@ -194,7 +213,7 @@ fn put_spec(w: &mut Writer, spec: AlgorithmSpec) {
     }
 }
 
-fn put_scenario(w: &mut Writer, scenario: Scenario) {
+fn put_scenario(w: &mut Writer, scenario: Scenario) -> Result<(), WireError> {
     match scenario {
         Scenario::Uniform => w.u8(0),
         Scenario::Zipf { exponent } => {
@@ -206,7 +225,7 @@ fn put_scenario(w: &mut Writer, scenario: Scenario) {
             p_intra,
         } => {
             w.u8(2);
-            w.u32(communities as u32);
+            w.usize32(communities, "community count")?;
             w.f64(p_intra);
         }
         Scenario::BodyArea => w.u8(3),
@@ -222,10 +241,11 @@ fn put_scenario(w: &mut Writer, scenario: Scenario) {
         Scenario::Tournament => w.u8(10),
         Scenario::IntervalConnected { t } => {
             w.u8(11);
-            w.u32(t as u32);
+            w.usize32(t, "connectivity window")?;
         }
         Scenario::RoundIsolator => w.u8(12),
     }
+    Ok(())
 }
 
 fn put_crash_policy(w: &mut Writer, policy: CrashPolicy) {
@@ -235,8 +255,8 @@ fn put_crash_policy(w: &mut Writer, policy: CrashPolicy) {
     });
 }
 
-fn put_faulted_scenario(w: &mut Writer, scenario: &FaultedScenario) {
-    put_scenario(w, scenario.base);
+fn put_faulted_scenario(w: &mut Writer, scenario: &FaultedScenario) -> Result<(), WireError> {
+    put_scenario(w, scenario.base)?;
     match scenario.faults {
         None => w.u8(0),
         Some(profile) => {
@@ -246,44 +266,46 @@ fn put_faulted_scenario(w: &mut Writer, scenario: &FaultedScenario) {
             w.f64(profile.arrival);
             w.f64(profile.loss);
             put_crash_policy(w, profile.crash_policy);
-            w.u32(profile.min_live as u32);
+            w.usize32(profile.min_live, "live floor")?;
         }
     }
+    Ok(())
 }
 
-fn put_step_event(w: &mut Writer, event: StepEvent) {
+fn put_step_event(w: &mut Writer, event: StepEvent) -> Result<(), WireError> {
     match event {
         StepEvent::Interaction(interaction) => {
             w.u8(0);
             let (a, b) = interaction.pair();
-            w.node(a);
-            w.node(b);
+            w.node(a)?;
+            w.node(b)?;
         }
         StepEvent::Lost(interaction) => {
             w.u8(1);
             let (a, b) = interaction.pair();
-            w.node(a);
-            w.node(b);
+            w.node(a)?;
+            w.node(b)?;
         }
         StepEvent::Crash { node, policy } => {
             w.u8(2);
-            w.node(node);
+            w.node(node)?;
             put_crash_policy(w, policy);
         }
         StepEvent::Departure(node) => {
             w.u8(3);
-            w.node(node);
+            w.node(node)?;
         }
         StepEvent::Arrival(node) => {
             w.u8(4);
-            w.node(node);
+            w.node(node)?;
         }
     }
+    Ok(())
 }
 
-fn put_trial_result(w: &mut Writer, result: &TrialResult) {
+fn put_trial_result(w: &mut Writer, result: &TrialResult) -> Result<(), WireError> {
     w.str16(&result.algorithm);
-    w.u32(result.n as u32);
+    w.usize32(result.n, "population size")?;
     w.opt_u64(result.termination_time);
     w.u64(result.interactions_processed);
     w.u64(result.transmissions as u64);
@@ -303,11 +325,17 @@ fn put_trial_result(w: &mut Writer, result: &TrialResult) {
     // Reserved: the service path never computes the sequence-cost
     // analysis (it needs a materialised sequence).
     w.u8(0);
+    Ok(())
 }
 
 /// Encodes a client→service message as one length-prefixed frame.
-pub fn encode_event(event: &WireEvent) -> Vec<u8> {
-    match event {
+///
+/// # Errors
+///
+/// [`WireError::OutOfRange`] if a node id or other `usize` field does
+/// not fit its fixed-width `u32` wire field.
+pub fn encode_event(event: &WireEvent) -> Result<Vec<u8>, WireError> {
+    Ok(match event {
         WireEvent::OpenScenario {
             session,
             spec,
@@ -320,8 +348,8 @@ pub fn encode_event(event: &WireEvent) -> Vec<u8> {
             let mut w = Writer::new(KIND_OPEN_SCENARIO);
             w.u64(session.0);
             put_spec(&mut w, *spec);
-            put_faulted_scenario(&mut w, scenario);
-            w.u32(*n as u32);
+            put_faulted_scenario(&mut w, scenario)?;
+            w.usize32(*n, "population size")?;
             w.u64(*seed);
             w.opt_u64(*horizon);
             w.opt_u64(*slice_budget);
@@ -339,7 +367,7 @@ pub fn encode_event(event: &WireEvent) -> Vec<u8> {
             let mut w = Writer::new(KIND_OPEN_EXTERNAL);
             w.u64(session.0);
             put_spec(&mut w, *spec);
-            w.u32(*n as u32);
+            w.usize32(*n, "population size")?;
             w.opt_u64(*horizon);
             w.opt_u64(*slice_budget);
             w.opt_u64(inbox_capacity.map(|c| c as u64));
@@ -352,7 +380,7 @@ pub fn encode_event(event: &WireEvent) -> Vec<u8> {
         WireEvent::Event { session, event } => {
             let mut w = Writer::new(KIND_EVENT);
             w.u64(session.0);
-            put_step_event(&mut w, *event);
+            put_step_event(&mut w, *event)?;
             w.finish()
         }
         WireEvent::Close { session } => {
@@ -360,16 +388,22 @@ pub fn encode_event(event: &WireEvent) -> Vec<u8> {
             w.u64(session.0);
             w.finish()
         }
-    }
+    })
 }
 
 /// Encodes a service→client message as one length-prefixed frame.
-pub fn encode_result(result: &WireResult) -> Vec<u8> {
-    match result {
+///
+/// # Errors
+///
+/// [`WireError::OutOfRange`] if a `usize` field does not fit its
+/// fixed-width `u32` wire field (strings never fail: they truncate, see
+/// the module docs).
+pub fn encode_result(result: &WireResult) -> Result<Vec<u8>, WireError> {
+    Ok(match result {
         WireResult::Result { session, result } => {
             let mut w = Writer::new(KIND_RESULT);
             w.u64(session.0);
-            put_trial_result(&mut w, result);
+            put_trial_result(&mut w, result)?;
             w.finish()
         }
         WireResult::Error { session, message } => {
@@ -378,7 +412,7 @@ pub fn encode_result(result: &WireResult) -> Vec<u8> {
             w.str16(message);
             w.finish()
         }
-    }
+    })
 }
 
 // ---------------------------------------------------------------------

@@ -105,7 +105,7 @@ fn worker_count_never_changes_results() {
                 .open_scenario(SessionId(tenant), spec, scenario, n, seed, &config)
                 .expect("open");
         }
-        manager.run_until_idle().expect("run");
+        manager.run_until_idle();
         let mut results = Vec::new();
         while let Some(done) = manager.poll_result() {
             results.push(done);
@@ -282,7 +282,7 @@ fn block_policy_refuses_until_the_scheduler_drains() {
     );
 
     // Draining the scheduler frees capacity; the retry lands.
-    manager.run_slice().expect("slice");
+    manager.run_slice();
     manager.push_event(id, event(4)).expect("after drain");
     assert!(manager.inbox_high_water(id).unwrap() <= 4);
 }
@@ -376,7 +376,7 @@ fn results_stream_out_before_the_fleet_finishes() {
 
     let mut small_done_while_large_live = false;
     while !manager.is_idle() {
-        manager.run_slice().expect("slice");
+        manager.run_slice();
         if manager.pending_results() > 0 && !manager.is_empty() {
             small_done_while_large_live = true;
             break;
@@ -388,4 +388,171 @@ fn results_stream_out_before_the_fleet_finishes() {
     );
     let (id, _) = manager.poll_result().expect("the small session's result");
     assert_eq!(id, SessionId(1));
+}
+
+#[test]
+fn a_faulted_session_in_a_slice_never_discards_other_sessions_results() {
+    use doda_core::fault::CrashPolicy;
+
+    // Session 1's feed is inconsistent (a second crash of the same node);
+    // session 2 finishes in the same slice. The faulted session must be
+    // killed and queued as a failure while session 2's result is queued —
+    // not discarded.
+    let mut manager = SessionManager::with_workers(1);
+    let external = SessionId(1);
+    let scenario = SessionId(2);
+    manager
+        .open_external(
+            external,
+            AlgorithmSpec::Gathering,
+            8,
+            &SessionConfig::default(),
+        )
+        .expect("open external");
+    manager
+        .open_scenario(
+            scenario,
+            AlgorithmSpec::Gathering,
+            Scenario::Uniform,
+            8,
+            3,
+            &SessionConfig {
+                slice_budget: u64::MAX,
+                ..SessionConfig::default()
+            },
+        )
+        .expect("open scenario");
+
+    let crash = StepEvent::Crash {
+        node: NodeId(3),
+        policy: CrashPolicy::DatumLost,
+    };
+    manager
+        .push_event(external, crash)
+        .expect("first crash is valid");
+    manager
+        .push_event(external, crash)
+        .expect("push-time checks cannot see liveness; the engine catches this at drain");
+
+    let stepped = manager.run_slice();
+    assert_eq!(stepped, 2);
+    assert!(manager.is_empty(), "both sessions retired in one slice");
+
+    let (failed, error) = manager.poll_failure().expect("the faulted session's error");
+    assert_eq!(failed, external);
+    assert!(
+        matches!(error, ServiceError::SessionFault { session, .. } if session == external),
+        "engine rejection must be attributed to its session, got {error:?}"
+    );
+    let (done, result) = manager.poll_result().expect("the healthy session's result");
+    assert_eq!(done, scenario);
+    assert!(result.completion.terminated());
+    assert!(manager.poll_failure().is_none());
+    assert!(manager.poll_result().is_none());
+}
+
+#[test]
+fn a_poisonous_tenant_cannot_wedge_the_endpoint() {
+    use doda_core::fault::CrashPolicy;
+
+    let (client_end, service_end) = Loopback::pair();
+    let mut client = ServiceClient::new(client_end);
+    let mut service = ServiceEndpoint::new(SessionManager::with_workers(2), service_end);
+    let config = SessionConfig::default();
+
+    let attacker = SessionId(7);
+    let victim = SessionId(8);
+    client
+        .open_external(attacker, AlgorithmSpec::Gathering, 8, &config)
+        .expect("send");
+    client
+        .open_scenario(
+            victim,
+            AlgorithmSpec::Gathering,
+            Scenario::Uniform,
+            8,
+            5,
+            &config,
+        )
+        .expect("send");
+
+    // Well-formed frames, hostile content: a crash of the sink and a
+    // crash of a node outside the population are refused at push time...
+    client
+        .send_event(
+            attacker,
+            StepEvent::Crash {
+                node: NodeId(0),
+                policy: CrashPolicy::DatumLost,
+            },
+        )
+        .expect("send");
+    client
+        .send_event(
+            attacker,
+            StepEvent::Crash {
+                node: NodeId(99),
+                policy: CrashPolicy::DatumLost,
+            },
+        )
+        .expect("send");
+    // ...while a double crash only liveness history can catch reaches the
+    // engine, which kills the attacker's session — and nothing else.
+    for _ in 0..2 {
+        client
+            .send_event(
+                attacker,
+                StepEvent::Crash {
+                    node: NodeId(3),
+                    policy: CrashPolicy::DatumLost,
+                },
+            )
+            .expect("send");
+    }
+
+    service
+        .run_until_idle()
+        .expect("a tenant's bad events must never error the endpoint");
+    assert!(
+        service.manager().is_empty(),
+        "attacker killed, victim finished — nothing left running"
+    );
+
+    let mut errors = Vec::new();
+    let mut results = Vec::new();
+    while let Some(reply) = client.poll_result().expect("decode") {
+        match reply {
+            WireResult::Error { session, message } => errors.push((session, message)),
+            WireResult::Result { session, .. } => results.push(session),
+        }
+    }
+    assert_eq!(
+        results,
+        vec![victim],
+        "the victim's result still streams out"
+    );
+    assert_eq!(errors.len(), 3, "two refused pushes + one killed session");
+    assert!(errors.iter().all(|(session, _)| *session == attacker));
+    assert!(
+        errors.iter().any(|(_, m)| m.contains("killed")),
+        "the kill must be reported to the tenant: {errors:?}"
+    );
+
+    // The endpoint keeps serving new tenants afterwards.
+    let late = SessionId(9);
+    client
+        .open_scenario(
+            late,
+            AlgorithmSpec::Waiting,
+            Scenario::Uniform,
+            8,
+            11,
+            &config,
+        )
+        .expect("send");
+    service.run_until_idle().expect("service still serves");
+    match client.poll_result().expect("decode").expect("late result") {
+        WireResult::Result { session, .. } => assert_eq!(session, late),
+        WireResult::Error { message, .. } => panic!("late session failed: {message}"),
+    }
 }

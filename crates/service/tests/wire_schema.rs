@@ -178,8 +178,15 @@ fn hex(bytes: &[u8]) -> String {
 
 fn corpus_hex() -> String {
     let (events, results) = corpus();
-    let mut lines: Vec<String> = events.iter().map(|e| hex(&encode_event(e))).collect();
-    lines.extend(results.iter().map(|r| hex(&encode_result(r))));
+    let mut lines: Vec<String> = events
+        .iter()
+        .map(|e| hex(&encode_event(e).expect("encode event")))
+        .collect();
+    lines.extend(
+        results
+            .iter()
+            .map(|r| hex(&encode_result(r).expect("encode result"))),
+    );
     let mut joined = lines.join("\n");
     joined.push('\n');
     joined
@@ -204,11 +211,13 @@ fn wire_v1_bytes_match_the_golden_file() {
 fn every_corpus_frame_round_trips() {
     let (events, results) = corpus();
     for event in &events {
-        let decoded = decode_event(&encode_event(event)).expect("decode event");
+        let decoded =
+            decode_event(&encode_event(event).expect("encode event")).expect("decode event");
         assert_eq!(&decoded, event);
     }
     for result in &results {
-        let decoded = decode_result(&encode_result(result)).expect("decode result");
+        let decoded =
+            decode_result(&encode_result(result).expect("encode result")).expect("decode result");
         assert_eq!(&decoded, result);
     }
 }
@@ -217,7 +226,8 @@ fn every_corpus_frame_round_trips() {
 fn frames_carry_the_pinned_version_and_length_prefix() {
     let frame = encode_event(&WireEvent::Close {
         session: SessionId(3),
-    });
+    })
+    .expect("encode");
     let declared = u32::from_le_bytes(frame[..4].try_into().unwrap()) as usize;
     assert_eq!(declared, frame.len() - 4);
     assert_eq!(frame[4], WIRE_VERSION);
@@ -228,7 +238,8 @@ fn frames_carry_the_pinned_version_and_length_prefix() {
 fn malformed_frames_decode_to_precise_errors() {
     let frame = encode_event(&WireEvent::Close {
         session: SessionId(3),
-    });
+    })
+    .expect("encode");
 
     // Truncated mid-payload.
     assert_eq!(
@@ -257,7 +268,8 @@ fn malformed_frames_decode_to_precise_errors() {
     let mut bad_tag = encode_event(&WireEvent::Event {
         session: SessionId(7),
         event: StepEvent::Departure(NodeId(6)),
-    });
+    })
+    .expect("encode");
     let tag_at = bad_tag.len() - 5;
     bad_tag[tag_at] = 0xee;
     assert_eq!(
@@ -267,4 +279,57 @@ fn malformed_frames_decode_to_precise_errors() {
             tag: 0xee
         })
     );
+}
+
+#[test]
+#[cfg(target_pointer_width = "64")]
+fn oversized_usize_fields_are_typed_errors_not_silent_wraps() {
+    // A node id above u32::MAX must refuse to encode instead of wrapping
+    // to a different node on the wire.
+    let oversized = NodeId((u32::MAX as usize) + 1);
+    let refused = encode_event(&WireEvent::Event {
+        session: SessionId(1),
+        event: StepEvent::Departure(oversized),
+    });
+    assert_eq!(refused, Err(WireError::OutOfRange { what: "node id" }));
+
+    let refused = encode_event(&WireEvent::OpenExternal {
+        session: SessionId(1),
+        spec: AlgorithmSpec::Gathering,
+        n: (u32::MAX as usize) + 2,
+        horizon: None,
+        slice_budget: None,
+        inbox_capacity: None,
+        overflow: OverflowPolicy::Shed,
+    });
+    assert_eq!(
+        refused,
+        Err(WireError::OutOfRange {
+            what: "population size"
+        })
+    );
+}
+
+#[test]
+fn oversized_error_messages_truncate_instead_of_panicking() {
+    // Error text is advisory: a message past the str16 length field is
+    // truncated at a char boundary, never a panic or a failed frame.
+    let long = "é".repeat(40_000); // 80_000 bytes of two-byte chars
+    let frame = encode_result(&WireResult::Error {
+        session: SessionId(5),
+        message: long.clone(),
+    })
+    .expect("long messages still encode");
+    match decode_result(&frame).expect("decode truncated message") {
+        WireResult::Error { session, message } => {
+            assert_eq!(session, SessionId(5));
+            assert!(message.len() <= usize::from(u16::MAX));
+            assert!(!message.is_empty());
+            assert!(
+                long.starts_with(&message),
+                "prefix survives, intact chars only"
+            );
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
 }
