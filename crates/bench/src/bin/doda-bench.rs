@@ -20,8 +20,15 @@
 //! doda-bench --fault-guard           # 10^6-interaction faulted sweeps
 //! doda-bench --round-guard           # 10^6-interaction round sweeps
 //! doda-bench --service-guard         # 1000 sessions over the loopback wire
+//! doda-bench --scale-guard           # O(n) memory + throughput at n = 10^6
 //! ```
 
+// The one unsafe block of the workspace: the tracking global allocator
+// below wraps `System` to feed the `doda_bench::memory` counters behind
+// the `peak_mem_bytes` column and the `--scale-guard` memory gate.
+#![allow(unsafe_code)]
+
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,6 +44,50 @@ use doda_service::prelude::*;
 use doda_sim::runner::BatchConfig;
 use doda_sim::{AlgorithmSpec, ExecutionTier, Scenario, Sweep};
 
+/// A thin [`System`] wrapper that reports every allocation event to
+/// [`doda_bench::memory`], so every grid cell carries a real
+/// `peak_mem_bytes` and `--scale-guard` can assert the `O(n)` memory
+/// claim on actual heap high-water marks.
+struct TrackingAllocator;
+
+// SAFETY: every method delegates directly to `System` and only adds
+// bookkeeping on the reported sizes; the allocation contract is exactly
+// `System`'s.
+unsafe impl GlobalAlloc for TrackingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc(layout);
+        if !ptr.is_null() {
+            doda_bench::memory::record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+        doda_bench::memory::record_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = System.alloc_zeroed(layout);
+        if !ptr.is_null() {
+            doda_bench::memory::record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = System.realloc(ptr, layout, new_size);
+        if !new_ptr.is_null() {
+            doda_bench::memory::record_dealloc(layout.size());
+            doda_bench::memory::record_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: TrackingAllocator = TrackingAllocator;
+
 struct Args {
     grid: PerfGrid,
     out_dir: PathBuf,
@@ -49,6 +100,7 @@ struct Args {
     fault_guard: bool,
     round_guard: bool,
     service_guard: bool,
+    scale_guard: bool,
 }
 
 /// The default throughput tolerance of `--compare`, generous enough for
@@ -68,6 +120,7 @@ fn parse_args() -> Result<Args, String> {
         fault_guard: false,
         round_guard: false,
         service_guard: false,
+        scale_guard: false,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -109,12 +162,13 @@ fn parse_args() -> Result<Args, String> {
             "--fault-guard" => args.fault_guard = true,
             "--round-guard" => args.round_guard = true,
             "--service-guard" => args.service_guard = true,
+            "--scale-guard" => args.scale_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
                      | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
                      | --compare-runners | --lane-guard | --stream-guard | --fault-guard \
-                     | --round-guard | --service-guard"
+                     | --round-guard | --service-guard | --scale-guard"
                 );
                 std::process::exit(0);
             }
@@ -131,12 +185,13 @@ fn parse_args() -> Result<Args, String> {
         + usize::from(args.stream_guard)
         + usize::from(args.fault_guard)
         + usize::from(args.round_guard)
-        + usize::from(args.service_guard);
+        + usize::from(args.service_guard)
+        + usize::from(args.scale_guard);
     if modes > 1 {
         return Err(
             "--smoke/--baseline, --validate, --compare, --compare-runners, --lane-guard, \
-             --stream-guard, --fault-guard, --round-guard and --service-guard are mutually \
-             exclusive"
+             --stream-guard, --fault-guard, --round-guard, --service-guard and --scale-guard \
+             are mutually exclusive"
                 .to_string(),
         );
     }
@@ -711,7 +766,134 @@ fn service_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// The memory-scaling ceiling `--scale-guard` enforces: growing the node
+/// count 10x (10^5 → 10^6) may grow the peak heap by at most this factor.
+/// An `O(n)` engine lands near 10x; any super-linear structure on the
+/// trial path (a per-node `Vec<Vec<_>>`, a materialised horizon buffer)
+/// blows far past it.
+const SCALE_GUARD_MAX_MEM_RATIO: f64 = 12.0;
+
+/// The throughput floor on the n = 10^6 streamed run, in interactions per
+/// second. At a million nodes the engine is cache-miss bound near 10^6
+/// i/s; the floor sits 4x under that — low enough for noisy shared CI
+/// runners, high enough that any accidental per-interaction `O(n)` work
+/// (a scan, a clone, a rebuild) fails it by orders of magnitude.
+const SCALE_GUARD_MIN_IPS: f64 = 250_000.0;
+
+/// Runs one budgeted streamed Gathering-vs-uniform trial at `n` and
+/// returns `(peak heap growth in bytes, interactions, seconds)`.
+fn scale_run(n: usize, budget: usize) -> Result<(u64, u64, f64), String> {
+    let floor = doda_bench::memory::reset_peak();
+    let t0 = Instant::now();
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .n(n)
+        .trials(1)
+        .seed(0xD0DA)
+        .horizon(Some(budget))
+        .parallel(false)
+        .tier(ExecutionTier::Scalar)
+        .run();
+    let secs = t0.elapsed().as_secs_f64();
+    let peak = doda_bench::memory::peak_bytes().saturating_sub(floor) as u64;
+    let trial = &trials[0];
+    if trial.terminated() || trial.interactions_processed != budget as u64 {
+        return Err(format!(
+            "the n = {n} streamed run should exhaust its {budget}-interaction budget \
+             (flat completion needs ~n^2), got {} (terminated: {})",
+            trial.interactions_processed,
+            trial.terminated()
+        ));
+    }
+    Ok((peak, trial.interactions_processed, secs))
+}
+
+/// Guards the million-node regime end to end:
+///
+/// 1. **Memory** — a streamed Gathering-vs-uniform trial at n = 10^6 may
+///    use at most [`SCALE_GUARD_MAX_MEM_RATIO`]x the peak heap of the
+///    identical n = 10^5 trial (both budgeted to the same horizon, so
+///    any `O(horizon)` buffer cancels out and the ratio isolates the
+///    per-node structures).
+/// 2. **Throughput** — the n = 10^6 run must clear
+///    [`SCALE_GUARD_MIN_IPS`]: a million-node state that thrashes is as
+///    broken as one that bloats.
+/// 3. **Hierarchical completion** — a clustered sweep at n = 10^5 must
+///    actually finish with every origin at the sink: `O(n^{3/2})`
+///    interactions make completion feasible where flat aggregation
+///    starves at any practical budget.
+fn scale_guard() -> Result<(), String> {
+    const REFERENCE_N: usize = 100_000;
+    const TARGET_N: usize = 1_000_000;
+    const BUDGET: usize = 2_000_000;
+    const HIER_N: usize = 100_000;
+    const HIER_BUDGET: usize = 80_000_000;
+
+    if !doda_bench::memory::tracking() {
+        return Err("the tracking allocator is not installed".to_string());
+    }
+    let (ref_peak, _, ref_secs) = scale_run(REFERENCE_N, BUDGET)?;
+    let (big_peak, big_interactions, big_secs) = scale_run(TARGET_N, BUDGET)?;
+    let ratio = big_peak as f64 / (ref_peak as f64).max(1.0);
+    let throughput = big_interactions as f64 / big_secs.max(1e-9);
+    println!(
+        "scale-guard: streamed Gathering vs uniform, budget = {BUDGET}: \
+         n = {REFERENCE_N}: peak {:.1} MiB in {ref_secs:.2} s; \
+         n = {TARGET_N}: peak {:.1} MiB in {big_secs:.2} s ({throughput:.0} i/s)",
+        ref_peak as f64 / (1 << 20) as f64,
+        big_peak as f64 / (1 << 20) as f64,
+    );
+    println!(
+        "scale-guard: 10x nodes grew peak memory {ratio:.1}x \
+         (ceiling {SCALE_GUARD_MAX_MEM_RATIO}x)"
+    );
+    if ratio > SCALE_GUARD_MAX_MEM_RATIO {
+        return Err(format!(
+            "peak memory grew {ratio:.1}x for 10x nodes — super-linear state on the \
+             trial path (ceiling {SCALE_GUARD_MAX_MEM_RATIO}x)"
+        ));
+    }
+    if throughput < SCALE_GUARD_MIN_IPS {
+        return Err(format!(
+            "n = {TARGET_N} throughput {throughput:.0} i/s is below the \
+             {SCALE_GUARD_MIN_IPS:.0} i/s floor"
+        ));
+    }
+
+    let floor = doda_bench::memory::reset_peak();
+    let t0 = Instant::now();
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .n(HIER_N)
+        .trials(1)
+        .seed(0xD0DA)
+        .horizon(Some(HIER_BUDGET))
+        .parallel(false)
+        .tier(ExecutionTier::Hierarchical)
+        .run();
+    let hier_secs = t0.elapsed().as_secs_f64();
+    let hier_peak = doda_bench::memory::peak_bytes().saturating_sub(floor) as u64;
+    let trial = &trials[0];
+    if !trial.terminated() || !trial.fully_aggregated() {
+        return Err(format!(
+            "the hierarchical n = {HIER_N} sweep must aggregate every origin at the sink \
+             within its {HIER_BUDGET}-interaction budget, got {} interactions \
+             (terminated: {}, fully aggregated: {})",
+            trial.interactions_processed,
+            trial.terminated(),
+            trial.fully_aggregated()
+        ));
+    }
+    println!(
+        "scale-guard: hierarchical Gathering vs uniform, n = {HIER_N}: fully aggregated \
+         after {} interactions in {hier_secs:.2} s, peak {:.1} MiB — completion at a node \
+         count where the flat tiers starve",
+        trial.interactions_processed,
+        hier_peak as f64 / (1 << 20) as f64,
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
+    doda_bench::memory::mark_installed();
     let args = match parse_args() {
         Ok(args) => args,
         Err(e) => {
@@ -796,6 +978,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: service guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.scale_guard {
+        return match scale_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: scale guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -212,6 +212,7 @@ mod tests {
             algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
             scenarios: vec![Scenario::Uniform.into(), Scenario::RandomMatching.into()],
             parallel: false,
+            scale_cells: Vec::new(),
         })
         .to_json();
         Json::parse(&json).expect("emitted reports parse")
@@ -307,6 +308,7 @@ mod tests {
             algorithms: vec![AlgorithmSpec::Gathering, AlgorithmSpec::Waiting],
             scenarios: vec![Scenario::Uniform.into()],
             parallel: false,
+            scale_cells: Vec::new(),
         })
         .to_json();
         let subset = Json::parse(&subset).unwrap();
@@ -333,6 +335,7 @@ mod tests {
             algorithms: vec![AlgorithmSpec::Gathering],
             scenarios: vec![Scenario::Uniform.into()],
             parallel: false,
+            scale_cells: Vec::new(),
         })
         .to_json();
         let other = Json::parse(&other).unwrap();

@@ -20,6 +20,7 @@
 
 pub mod compare;
 pub mod json;
+pub mod memory;
 pub mod perf;
 
 use doda_sim::{AlgorithmSpec, BatchConfig, Scenario, Sweep};

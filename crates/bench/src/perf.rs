@@ -21,7 +21,7 @@ use std::time::Instant;
 
 use doda_core::fault::FaultProfile;
 use doda_sim::runner::BatchConfig;
-use doda_sim::{AlgorithmSpec, FaultedScenario, Scenario, Sweep};
+use doda_sim::{AlgorithmSpec, ExecutionTier, FaultedScenario, Scenario, Sweep};
 use doda_stats::Summary;
 
 use crate::json::{pretty, Json};
@@ -37,8 +37,15 @@ use crate::json::{pretty, Json};
 /// 5 = execution-tier grids: `"mode"` now names the tier the sweep
 /// actually ran (`"streamed" | "materialized" | "lanes" | "rounds"`), so
 /// knowledge-free fault-free pairwise cells report `"lanes"` and round
-/// cells report `"rounds"` instead of overloading `"streamed"`.
-pub const SCHEMA_VERSION: u64 = 5;
+/// cells report `"rounds"` instead of overloading `"streamed"`;
+/// 6 = scale grids: explicitly pinned large-n [`ScaleCell`]s join the
+/// cross product, every cell carries `"peak_mem_bytes"` (the process
+/// heap high-water growth while the cell ran; 0 when no tracking
+/// allocator is installed), the envelope declares the full node-count
+/// grid under `"ns"` (validation rejects cells at undeclared `n`), and
+/// `"mode"` admits `"hierarchical"` (seeded aggregator election,
+/// per-cluster aggregation, then an aggregator-only final phase).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// A pinned perf grid: the cells plus the execution parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -59,6 +66,33 @@ pub struct PerfGrid {
     pub scenarios: Vec<FaultedScenario>,
     /// Whether cells run their trials through the sharded parallel runner.
     pub parallel: bool,
+    /// Explicitly pinned large-n cells run in addition to the cross
+    /// product. Million-node cells cannot inherit the unbounded-horizon
+    /// defaults of the small-n grid, so each pins its own interaction
+    /// budget, execution tier and trial count.
+    pub scale_cells: Vec<ScaleCell>,
+}
+
+/// One explicitly pinned large-n grid cell (see [`PerfGrid::scale_cells`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleCell {
+    /// Algorithm of the cell.
+    pub spec: AlgorithmSpec,
+    /// Scenario of the cell (fault-free: the scale regime tracks the
+    /// engine's O(n) claims, not the fault layer's).
+    pub scenario: Scenario,
+    /// Node count.
+    pub n: usize,
+    /// Interaction budget per trial — flat aggregation at these node
+    /// counts needs `Θ(n²)` interactions, so large-n flat cells are
+    /// throughput/memory cells that deliberately starve at the budget.
+    pub horizon: usize,
+    /// Execution tier the cell pins (the cross-product cells always use
+    /// [`ExecutionTier::Auto`]; the hierarchical tier is never
+    /// auto-selected, so its cells must pin it here).
+    pub tier: ExecutionTier,
+    /// Trials for the cell.
+    pub trials: usize,
 }
 
 impl PerfGrid {
@@ -78,6 +112,14 @@ impl PerfGrid {
                 Scenario::RandomMatching.into(),
             ],
             parallel: true,
+            scale_cells: vec![ScaleCell {
+                spec: AlgorithmSpec::Gathering,
+                scenario: Scenario::Uniform,
+                n: 2_048,
+                horizon: 2_000_000,
+                tier: ExecutionTier::Hierarchical,
+                trials: 1,
+            }],
         }
     }
 
@@ -110,6 +152,38 @@ impl PerfGrid {
                 Scenario::RoundIsolator.into(),
             ],
             parallel: true,
+            scale_cells: vec![
+                // Flat pairwise at n = 10^5: a budgeted throughput/memory
+                // cell (flat completion needs Θ(n²) interactions).
+                ScaleCell {
+                    spec: AlgorithmSpec::Gathering,
+                    scenario: Scenario::Uniform,
+                    n: 100_000,
+                    horizon: 2_000_000,
+                    tier: ExecutionTier::Auto,
+                    trials: 1,
+                },
+                // CSR-backed round matchings at n = 10^5: the O(n)-per-round
+                // torus contact process, equally budgeted.
+                ScaleCell {
+                    spec: AlgorithmSpec::Gathering,
+                    scenario: Scenario::TorusContact,
+                    n: 100_000,
+                    horizon: 2_000_000,
+                    tier: ExecutionTier::Auto,
+                    trials: 1,
+                },
+                // Hierarchical at n = 10^4: O(n^{3/2}) interactions make
+                // completion feasible where flat aggregation starves.
+                ScaleCell {
+                    spec: AlgorithmSpec::Gathering,
+                    scenario: Scenario::Uniform,
+                    n: 10_000,
+                    horizon: 8_000_000,
+                    tier: ExecutionTier::Hierarchical,
+                    trials: 1,
+                },
+            ],
         }
     }
 
@@ -126,6 +200,19 @@ impl PerfGrid {
             })
             .sum::<usize>()
             * self.ns.len()
+            + self.scale_cells.len()
+    }
+
+    /// The full declared node-count grid: the cross-product `ns` plus the
+    /// scale-cell node counts, sorted and deduplicated. This is what the
+    /// emitted report declares under `"ns"`, and validation rejects any
+    /// cell whose `n` falls outside it.
+    pub fn declared_ns(&self) -> Vec<usize> {
+        let mut ns = self.ns.clone();
+        ns.extend(self.scale_cells.iter().map(|cell| cell.n));
+        ns.sort_unstable();
+        ns.dedup();
+        ns
     }
 }
 
@@ -142,8 +229,10 @@ pub struct CellResult {
     pub fault_profile: String,
     /// The execution tier the sweep resolved for the cell: `"lanes"`
     /// (lockstep bit-lane batches), `"rounds"` (native batched rounds),
-    /// `"streamed"` (scalar pull loop, `O(n)` memory) or `"materialized"`
-    /// (oracle construction forced sequence generation).
+    /// `"streamed"` (scalar pull loop, `O(n)` memory), `"materialized"`
+    /// (oracle construction forced sequence generation) or
+    /// `"hierarchical"` (clustered two-phase aggregation, pinned by a
+    /// [`ScaleCell`] — never auto-selected).
     pub mode: &'static str,
     /// Interaction model of the cell's scenario: `"pairwise"` (one
     /// interaction per step, the paper's adversary) or `"rounds"` (one
@@ -174,6 +263,11 @@ pub struct CellResult {
     pub elapsed_secs: f64,
     /// Engine throughput: `total_interactions / elapsed_secs`.
     pub throughput_ips: f64,
+    /// Growth of the process heap high-water mark while the cell ran, in
+    /// bytes — 0 when no tracking allocator is installed (library tests);
+    /// the `doda-bench` binary always installs one (see
+    /// [`crate::memory`]).
+    pub peak_mem_bytes: u64,
 }
 
 /// A full perf report, serialisable to `BENCH_<grid>.json`.
@@ -186,6 +280,9 @@ pub struct PerfReport {
     pub git_rev: String,
     /// The grid's root seed.
     pub seed: u64,
+    /// The declared node-count grid (see [`PerfGrid::declared_ns`]): a
+    /// cell at an `n` outside this list fails validation.
+    pub ns: Vec<usize>,
     /// Wall-clock of the whole grid, in seconds.
     pub wall_clock_secs: f64,
     /// One record per runnable grid cell.
@@ -232,6 +329,10 @@ impl PerfReport {
                     ),
                     ("elapsed_secs".to_string(), Json::Num(cell.elapsed_secs)),
                     ("throughput_ips".to_string(), Json::Num(cell.throughput_ips)),
+                    (
+                        "peak_mem_bytes".to_string(),
+                        Json::Uint(cell.peak_mem_bytes),
+                    ),
                 ])
             })
             .collect();
@@ -240,6 +341,10 @@ impl PerfReport {
             ("scenario".to_string(), Json::str(&self.scenario)),
             ("git_rev".to_string(), Json::str(&self.git_rev)),
             ("seed".to_string(), Json::Uint(self.seed)),
+            (
+                "ns".to_string(),
+                Json::Array(self.ns.iter().map(|&n| Json::Uint(n as u64)).collect()),
+            ),
             (
                 "wall_clock_secs".to_string(),
                 Json::Num(self.wall_clock_secs),
@@ -263,38 +368,76 @@ pub fn run_grid(grid: &PerfGrid) -> PerfReport {
                     // the cell is skipped rather than faked.
                     continue;
                 }
-                results.push(run_cell(grid, spec, *scenario, n, cell_index));
+                let shape = CellShape {
+                    spec,
+                    scenario: *scenario,
+                    n,
+                    trials: grid.trials,
+                    horizon: None,
+                    tier: ExecutionTier::Auto,
+                };
+                results.push(run_cell(grid, shape, cell_index));
                 cell_index += 1;
             }
         }
+    }
+    for cell in &grid.scale_cells {
+        let shape = CellShape {
+            spec: cell.spec,
+            scenario: cell.scenario.into(),
+            n: cell.n,
+            trials: cell.trials,
+            horizon: Some(cell.horizon),
+            tier: cell.tier,
+        };
+        results.push(run_cell(grid, shape, cell_index));
+        cell_index += 1;
     }
     PerfReport {
         scenario: grid.name.clone(),
         git_rev: git_rev(),
         seed: grid.seed,
+        ns: grid.declared_ns(),
         wall_clock_secs: started.elapsed().as_secs_f64(),
         results,
     }
 }
 
-fn run_cell(
-    grid: &PerfGrid,
+/// The resolved execution shape of one cell — the cross-product cells
+/// and the pinned [`ScaleCell`]s flow through the same measurement path.
+struct CellShape {
     spec: AlgorithmSpec,
     scenario: FaultedScenario,
     n: usize,
-    cell_index: u64,
-) -> CellResult {
+    trials: usize,
+    horizon: Option<usize>,
+    tier: ExecutionTier,
+}
+
+fn run_cell(grid: &PerfGrid, shape: CellShape, cell_index: u64) -> CellResult {
+    let CellShape {
+        spec,
+        scenario,
+        n,
+        trials,
+        horizon,
+        tier,
+    } = shape;
     let config = BatchConfig {
         n,
-        trials: grid.trials,
-        horizon: None,
+        trials,
+        horizon,
         seed: doda_stats::rng::SeedSequence::new(grid.seed)
             .child(cell_index)
             .seed(0),
         parallel: grid.parallel,
     };
-    let sweep = Sweep::scenario(spec, scenario).config(&config);
+    let sweep = Sweep::scenario(spec, scenario).config(&config).tier(tier);
     let mode = sweep.path_label();
+    // Bracket the cell's heap growth when a tracking allocator is
+    // installed; without one the counters never move and the column
+    // degrades to 0 instead of lying.
+    let mem_floor = crate::memory::tracking().then(crate::memory::reset_peak);
     let cell_start = Instant::now();
     let raw = sweep.run();
     let mut elapsed_secs = cell_start.elapsed().as_secs_f64();
@@ -317,6 +460,9 @@ fn run_cell(
         spent += rep_secs;
         reps += 1;
     }
+    let peak_mem_bytes = mem_floor
+        .map(|floor| crate::memory::peak_bytes().saturating_sub(floor) as u64)
+        .unwrap_or(0);
     let completions: Vec<f64> = raw
         .iter()
         .filter_map(|r| r.interactions_to_completion())
@@ -343,6 +489,7 @@ fn run_cell(
         total_interactions,
         elapsed_secs,
         throughput_ips: total_interactions as f64 / elapsed_secs.max(1e-9),
+        peak_mem_bytes,
     }
 }
 
@@ -415,6 +562,16 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_f64)
             .ok_or_else(|| format!("missing numeric field: {field}"))?;
     }
+    let declared_ns: Vec<f64> = doc
+        .get("ns")
+        .and_then(Json::as_array)
+        .ok_or("missing array field: ns")?
+        .iter()
+        .map(|n| n.as_f64().ok_or("ns entries must be numeric"))
+        .collect::<Result<_, _>>()?;
+    if declared_ns.is_empty() {
+        return Err("the declared node-count grid 'ns' must not be empty".to_string());
+    }
     let results = doc
         .get("results")
         .and_then(Json::as_array)
@@ -430,9 +587,18 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 .ok_or_else(|| format!("{}: missing string field: {field}", who()))?;
         }
         let mode = cell.get("mode").and_then(Json::as_str).expect("checked");
-        if !["streamed", "materialized", "lanes", "rounds"].contains(&mode) {
+        if ![
+            "streamed",
+            "materialized",
+            "lanes",
+            "rounds",
+            "hierarchical",
+        ]
+        .contains(&mode)
+        {
             return Err(format!(
-                "{}: mode '{mode}' must be 'streamed', 'materialized', 'lanes' or 'rounds'",
+                "{}: mode '{mode}' must be 'streamed', 'materialized', 'lanes', 'rounds' \
+                 or 'hierarchical'",
                 who()
             ));
         }
@@ -462,6 +628,15 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 who()
             ));
         }
+        // The hierarchical tier re-instantiates the scenario family at
+        // cluster size and is fault-free by contract; only pairwise
+        // fault-free cells can have run on it.
+        if mode == "hierarchical" && (fault_label != "none" || model != "pairwise") {
+            return Err(format!(
+                "{}: a hierarchical cell must be fault-free and pairwise",
+                who()
+            ));
+        }
         for field in [
             "n",
             "trials",
@@ -472,12 +647,20 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             "total_interactions",
             "elapsed_secs",
             "throughput_ips",
+            "peak_mem_bytes",
         ] {
             cell.get(field)
                 .and_then(Json::as_f64)
                 .ok_or_else(|| format!("{}: missing numeric field: {field}", who()))?;
         }
         let numeric = |field: &str| cell.get(field).and_then(Json::as_f64).expect("checked");
+        if !declared_ns.contains(&numeric("n")) {
+            return Err(format!(
+                "{}: n={} is not in the declared node-count grid",
+                who(),
+                numeric("n")
+            ));
+        }
         if numeric("aggregated") + numeric("aggregated_survivors") != numeric("completed") {
             return Err(format!(
                 "{}: aggregated + aggregated_survivors must equal completed",
@@ -523,17 +706,21 @@ mod tests {
         let report = run_grid(&PerfGrid::smoke());
         assert_eq!(report.file_name(), "BENCH_smoke.json");
         // 2 algorithms x 5 scenarios x 2 node counts, all compatible (both
-        // smoke algorithms are knowledge-free).
+        // smoke algorithms are knowledge-free), plus one pinned
+        // hierarchical scale cell.
         assert_eq!(report.results.len(), PerfGrid::smoke().cell_count());
-        assert_eq!(report.results.len(), 2 * 5 * 2);
+        assert_eq!(report.results.len(), 2 * 5 * 2 + 1);
         let doc = Json::parse(&report.to_json()).expect("emitted JSON parses");
         validate_report(&doc).expect("emitted JSON passes the schema check");
         // The mode column names the resolved execution tier: fault-free
         // pairwise cells of the lane-kernel algorithms run on lanes, round
-        // scenarios on the native round path, and faulted cells fall back
-        // to the scalar streamed reference.
+        // scenarios on the native round path, faulted cells fall back to
+        // the scalar streamed reference, and the pinned scale cell reports
+        // the hierarchical tier it requested.
         for cell in &report.results {
-            let expected = if cell.fault_profile != "none" {
+            let expected = if cell.n == 2_048 {
+                "hierarchical"
+            } else if cell.fault_profile != "none" {
                 "streamed"
             } else if cell.model == "rounds" {
                 "rounds"
@@ -546,6 +733,14 @@ mod tests {
                 cell.algorithm, cell.workload
             );
         }
+        // The hierarchical scale cell genuinely completes: clustered
+        // aggregation needs O(n^{3/2}) interactions, well inside its
+        // budget at n = 2048.
+        let scale = report.results.last().expect("scale cell present");
+        assert_eq!(scale.mode, "hierarchical");
+        assert_eq!(scale.completion_rate, 1.0);
+        // The declared grid covers the cross product and the scale cell.
+        assert_eq!(report.ns, vec![8, 16, 2_048]);
         // The fault axis is present: fault-free cells say "none", the
         // faulted cells carry the plan label and a consistent split.
         assert!(report
@@ -587,9 +782,11 @@ mod tests {
     fn baseline_grid_skips_adaptive_cells_for_materializing_specs() {
         let grid = PerfGrid::baseline();
         // 3 algorithms x 10 scenarios x 3 node counts, minus the
-        // WaitingGreedy x adaptive-isolator column (3 cells). The round
-        // scenarios are non-adaptive, so they admit every algorithm.
-        assert_eq!(grid.cell_count(), 3 * 10 * 3 - 3);
+        // WaitingGreedy x adaptive-isolator column (3 cells), plus the
+        // three pinned scale cells. The round scenarios are non-adaptive,
+        // so they admit every algorithm.
+        assert_eq!(grid.cell_count(), 3 * 10 * 3 - 3 + 3);
+        assert_eq!(grid.declared_ns(), vec![32, 128, 512, 10_000, 100_000]);
     }
 
     #[test]
@@ -605,6 +802,7 @@ mod tests {
             ],
             scenarios: vec![Scenario::Uniform.into(), Scenario::AdaptiveIsolator.into()],
             parallel: false,
+            scale_cells: Vec::new(),
         });
         // uniform admits both; adaptive-isolator only Gathering.
         assert_eq!(report.results.len(), 3);
@@ -635,6 +833,7 @@ mod tests {
             ns: vec![8],
             algorithms: vec![AlgorithmSpec::Gathering],
             scenarios: vec![Scenario::Uniform.into()],
+            scale_cells: Vec::new(),
             ..PerfGrid::smoke()
         })
         .to_json();
@@ -642,9 +841,9 @@ mod tests {
         validate_report(&doc).unwrap();
 
         for (breaker, expected) in [
-            (r#"{"schema_version": 5}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 6}"#, "missing string field: scenario"),
             (r#"{"schema_version": 9}"#, "unsupported schema_version"),
-            (r#"{"schema_version": 4}"#, "unsupported schema_version"),
+            (r#"{"schema_version": 5}"#, "unsupported schema_version"),
             (r#"{}"#, "missing numeric field: schema_version"),
         ] {
             let err = validate_report(&Json::parse(breaker).unwrap()).unwrap_err();
@@ -667,7 +866,24 @@ mod tests {
         assert_ne!(bad_mode, good, "fixture must contain a lane cell");
         let err = validate_report(&Json::parse(&bad_mode).unwrap()).unwrap_err();
         assert!(
-            err.contains("must be 'streamed', 'materialized', 'lanes' or 'rounds'"),
+            err.contains("must be 'streamed', 'materialized', 'lanes', 'rounds' or 'hierarchical'"),
+            "{err}"
+        );
+        // A cell at a node count the envelope never declared is rejected
+        // (the cell key is "n"; the declared grid array is "ns").
+        let off_grid = good.replace("\"n\": 8", "\"n\": 9");
+        assert_ne!(off_grid, good, "fixture must contain the field");
+        let err = validate_report(&Json::parse(&off_grid).unwrap()).unwrap_err();
+        assert!(err.contains("not in the declared node-count grid"), "{err}");
+        // A hierarchical cell claiming a fault plan or the rounds model
+        // contradicts the hierarchical tier's contract.
+        let faulted_hier = good.replace("\"lanes\"", "\"hierarchical\"").replace(
+            "\"fault_profile\": \"none\"",
+            "\"fault_profile\": \"crash(0.1)\"",
+        );
+        let err = validate_report(&Json::parse(&faulted_hier).unwrap()).unwrap_err();
+        assert!(
+            err.contains("hierarchical cell must be fault-free"),
             "{err}"
         );
         // A lane cell claiming a fault plan contradicts the lane tier's
@@ -711,6 +927,7 @@ mod tests {
             ns: vec![8],
             algorithms: vec![AlgorithmSpec::Gathering],
             scenarios: vec![Scenario::Uniform.into()],
+            scale_cells: Vec::new(),
             ..PerfGrid::smoke()
         })
         .to_json();

@@ -19,21 +19,33 @@ fn committed_baseline_matches_the_schema() {
     );
     assert_eq!(doc.get("scenario").and_then(Json::as_str), Some("baseline"));
     let results = doc.get("results").and_then(Json::as_array).unwrap();
-    // The pinned grid: 3 algorithms x 7 scenarios x 3 node counts, minus
-    // the skipped WaitingGreedy x adaptive-isolator column.
+    // The pinned grid: 3 algorithms x 10 scenarios x 3 node counts, minus
+    // the skipped WaitingGreedy x adaptive columns, plus the 3 large-n
+    // scale cells (schema v6).
     assert_eq!(results.len(), PerfGrid::baseline().cell_count());
-    let mut modes_seen = [false; 4];
+    let declared: Vec<f64> = PerfGrid::baseline()
+        .declared_ns()
+        .into_iter()
+        .map(|n| n as f64)
+        .collect();
+    let mut modes_seen = [false; 5];
     let mut survivor_completions = 0.0;
     for cell in results {
         let n = cell.get("n").and_then(Json::as_f64).unwrap();
-        assert!([32.0, 128.0, 512.0].contains(&n), "unexpected n = {n}");
+        assert!(declared.contains(&n), "unexpected n = {n}");
         let throughput = cell.get("throughput_ips").and_then(Json::as_f64).unwrap();
         assert!(throughput > 0.0, "throughput must be positive");
+        // Schema v6: the peak-heap column must be present; the committed
+        // baseline is emitted by doda-bench, whose tracking allocator
+        // reports real (positive) peaks.
+        let peak = cell.get("peak_mem_bytes").and_then(Json::as_f64).unwrap();
+        assert!(peak > 0.0, "peak_mem_bytes must be positive, got {peak}");
         match cell.get("mode").and_then(Json::as_str).unwrap() {
             "streamed" => modes_seen[0] = true,
             "materialized" => modes_seen[1] = true,
             "lanes" => modes_seen[2] = true,
             "rounds" => modes_seen[3] = true,
+            "hierarchical" => modes_seen[4] = true,
             other => panic!("unexpected mode {other}"),
         }
         // Schema v3: the completion split must add up, and fault-free
@@ -53,8 +65,8 @@ fn committed_baseline_matches_the_schema() {
     }
     assert!(
         modes_seen.iter().all(|&seen| seen),
-        "the baseline must cover all four execution tiers, saw {modes_seen:?} \
-         for (streamed, materialized, lanes, rounds)"
+        "the baseline must cover all five execution tiers, saw {modes_seen:?} \
+         for (streamed, materialized, lanes, rounds, hierarchical)"
     );
     assert!(
         survivor_completions > 0.0,

@@ -82,20 +82,45 @@ impl Ord for MeetTime {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MeetTimeOracle {
     sink: NodeId,
-    /// For each node, the sorted times of its interactions with the sink.
-    meetings: Vec<Vec<Time>>,
+    /// Flat arena of meeting times: node `u`'s sorted meeting times with
+    /// the sink live at `times[offsets[u] .. offsets[u + 1]]`. Two
+    /// allocations total, independent of `n` — the naive
+    /// Vec-of-Vecs layout did one heap allocation per node, which at
+    /// n = 10^6 dominated oracle construction.
+    offsets: Vec<usize>,
+    times: Vec<Time>,
 }
 
 impl MeetTimeOracle {
     /// Builds the oracle for `sink` from the full interaction sequence.
+    ///
+    /// Two passes over the sequence: count each node's sink meetings,
+    /// prefix-sum the counts into offsets, then scatter the times. The
+    /// sequence is time-ordered, so per-node times land sorted.
     pub fn new(seq: &InteractionSequence, sink: NodeId) -> Self {
-        let mut meetings = vec![Vec::new(); seq.node_count()];
+        let n = seq.node_count();
+        let mut offsets = vec![0usize; n + 1];
         for ti in seq.iter() {
             if let Some(partner) = ti.interaction.partner_of(sink) {
-                meetings[partner.index()].push(ti.time);
+                offsets[partner.index() + 1] += 1;
             }
         }
-        MeetTimeOracle { sink, meetings }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut times = vec![0; offsets[n]];
+        let mut cursor = offsets.clone();
+        for ti in seq.iter() {
+            if let Some(partner) = ti.interaction.partner_of(sink) {
+                times[cursor[partner.index()]] = ti.time;
+                cursor[partner.index()] += 1;
+            }
+        }
+        MeetTimeOracle {
+            sink,
+            offsets,
+            times,
+        }
     }
 
     /// The sink this oracle was built for.
@@ -111,9 +136,7 @@ impl MeetTimeOracle {
         if u == self.sink {
             return MeetTime::At(t);
         }
-        let Some(times) = self.meetings.get(u.index()) else {
-            return MeetTime::Never;
-        };
+        let times = self.all_meetings(u);
         let idx = times.partition_point(|&x| x <= t);
         match times.get(idx) {
             Some(&t2) => MeetTime::At(t2),
@@ -123,10 +146,10 @@ impl MeetTimeOracle {
 
     /// All meeting times of `u` with the sink (sorted, full horizon).
     pub fn all_meetings(&self, u: NodeId) -> &[Time] {
-        self.meetings
-            .get(u.index())
-            .map(|v| v.as_slice())
-            .unwrap_or(&[])
+        let Some(&start) = self.offsets.get(u.index()) else {
+            return &[];
+        };
+        &self.times[start..self.offsets[u.index() + 1]]
     }
 }
 

@@ -216,6 +216,7 @@ pub mod data;
 pub mod engine;
 pub mod error;
 pub mod fault;
+pub mod hierarchy;
 pub mod interaction;
 pub mod knowledge;
 pub mod lane;
@@ -230,6 +231,7 @@ pub use engine::{
     RunStats, StepOutcome, TransmissionSink,
 };
 pub use fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
+pub use hierarchy::ClusterPlan;
 pub use interaction::{Interaction, Time, TimedInteraction};
 pub use lane::{LaneAlgorithm, LaneEngine, LaneRunStats, MAX_LANES};
 pub use outcome::{Completion, ExecutionOutcome, FaultTally, Transmission};
@@ -250,6 +252,7 @@ pub mod prelude {
         RunProgress, RunStats, StepOutcome, TransmissionSink,
     };
     pub use crate::fault::{CrashPolicy, FaultConfigError, FaultProfile, FaultedSource};
+    pub use crate::hierarchy::ClusterPlan;
     pub use crate::interaction::{Interaction, Time, TimedInteraction};
     pub use crate::knowledge::{FullKnowledge, MeetTime, MeetTimeOracle, OwnFuture};
     pub use crate::lane::{LaneAlgorithm, LaneEngine, LaneRunStats, MAX_LANES};

@@ -140,11 +140,25 @@ impl EvolvingGraph {
     ///
     /// Panics if `window == 0`.
     pub fn window_matchings(&self, window: usize) -> Vec<Vec<Edge>> {
+        self.window_matching_rounds(window).collect()
+    }
+
+    /// Streaming variant of [`window_matchings`]: yields one matching per
+    /// window lazily, so consuming a long evolving graph round by round
+    /// holds only the current window's `O(n + window)` scratch in memory —
+    /// never the `O(n · horizon)` of the materialised round list. This is
+    /// the bridge large-n round sweeps use.
+    ///
+    /// [`window_matchings`]: EvolvingGraph::window_matchings
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn window_matching_rounds(&self, window: usize) -> impl Iterator<Item = Vec<Edge>> + '_ {
         assert!(window > 0, "the matching window must be at least 1 step");
-        (0..self.snapshots.len())
-            .step_by(window)
-            .map(|from| crate::matching::maximal_matching(&self.window_graph(from, from + window)))
-            .collect()
+        (0..self.snapshots.len()).step_by(window).map(move |from| {
+            crate::matching::maximal_matching(&self.window_graph(from, from + window))
+        })
     }
 }
 
@@ -255,5 +269,17 @@ mod tests {
     #[should_panic(expected = "at least 1 step")]
     fn zero_window_is_rejected() {
         let _ = sample().window_matchings(0);
+    }
+
+    #[test]
+    fn streaming_window_matchings_match_the_materialized_list() {
+        let eg = sample();
+        for window in [1, 2, 3, 100] {
+            let streamed: Vec<_> = eg.window_matching_rounds(window).collect();
+            assert_eq!(streamed, eg.window_matchings(window), "window {window}");
+        }
+        // The iterator is lazy: pulling one round never builds the rest.
+        let mut rounds = eg.window_matching_rounds(2);
+        assert_eq!(rounds.next().unwrap().len(), 1);
     }
 }

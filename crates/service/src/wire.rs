@@ -244,6 +244,7 @@ fn put_scenario(w: &mut Writer, scenario: Scenario) -> Result<(), WireError> {
             w.usize32(t, "connectivity window")?;
         }
         Scenario::RoundIsolator => w.u8(12),
+        Scenario::TorusContact => w.u8(13),
     }
     Ok(())
 }
@@ -568,6 +569,7 @@ fn get_faulted_scenario(r: &mut Reader<'_>) -> Result<FaultedScenario, WireError
             t: r.u32()? as usize,
         },
         12 => Scenario::RoundIsolator,
+        13 => Scenario::TorusContact,
         tag => {
             return Err(WireError::UnknownTag {
                 what: "scenario",

@@ -27,7 +27,8 @@ use doda_core::{InteractionSequence, InteractionSource};
 use doda_stats::rng::SeedSequence;
 use doda_workloads::{
     BodyAreaWorkload, CommunityWorkload, IntervalConnectedWorkload, RandomMatchingWorkload,
-    RoundWorkload, TournamentWorkload, UniformWorkload, VehicularWorkload, Workload, ZipfWorkload,
+    RoundWorkload, TorusContactWorkload, TournamentWorkload, UniformWorkload, VehicularWorkload,
+    Workload, ZipfWorkload,
 };
 
 use crate::spec::AlgorithmSpec;
@@ -92,6 +93,11 @@ pub enum Scenario {
     /// unmatched every round, starving every algorithm (deterministic;
     /// the seed is ignored).
     RoundIsolator,
+    /// **Round scenario** — a CSR-backed contact process on a `⌈√n⌉`-side
+    /// torus grid: the sparse underlying graph is compiled once, and each
+    /// round greedily matches the edges active with probability 1/2. The
+    /// large-n round scenario: `O(n)` memory, `O(n)` work per round.
+    TorusContact,
 }
 
 impl Scenario {
@@ -115,6 +121,7 @@ impl Scenario {
             Scenario::Tournament,
             Scenario::IntervalConnected { t: 8 },
             Scenario::RoundIsolator,
+            Scenario::TorusContact,
         ]
     }
 
@@ -134,6 +141,7 @@ impl Scenario {
             Scenario::Tournament => "tournament",
             Scenario::IntervalConnected { .. } => "interval-connected",
             Scenario::RoundIsolator => "round-isolator",
+            Scenario::TorusContact => "torus-contact",
         }
     }
 
@@ -166,6 +174,7 @@ impl Scenario {
                 | Scenario::Tournament
                 | Scenario::IntervalConnected { .. }
                 | Scenario::RoundIsolator
+                | Scenario::TorusContact
         )
     }
 
@@ -235,6 +244,7 @@ impl Scenario {
                 Some(IntervalConnectedWorkload::new(n, *t).rounds(seed))
             }
             Scenario::RoundIsolator => Some(Box::new(RoundIsolator::new(n))),
+            Scenario::TorusContact => Some(TorusContactWorkload::new(n).rounds(seed)),
             _ => None,
         }
     }
@@ -263,7 +273,8 @@ impl Scenario {
             | Scenario::RandomMatching
             | Scenario::Tournament
             | Scenario::IntervalConnected { .. }
-            | Scenario::RoundIsolator => None,
+            | Scenario::RoundIsolator
+            | Scenario::TorusContact => None,
         }
     }
 
@@ -658,7 +669,7 @@ mod tests {
                 }
             }
         }
-        assert_eq!(round_scenarios, 4);
+        assert_eq!(round_scenarios, 5);
     }
 
     #[test]

@@ -33,14 +33,22 @@
 //! | streamed scalar | [`TrialRunner::run_streamed`], `O(n)` memory | a fault plan is present (faults are a scalar-path feature), or no faster tier applies |
 //! | native rounds | [`TrialRunner::run_rounds`], one matching per round | the scenario is round-based, fault-free, spec knowledge-free |
 //! | **lanes** | [`TrialRunner::run_lane_batch`]: up to 64 trials in lockstep through bit-lane state | the spec has a lane kernel ([`AlgorithmSpec::lane_algorithm`]) and the trials are fault-free and pairwise |
+//! | **hierarchical** | [`TrialRunner::run_hierarchical`]: cluster election, intra-cluster aggregation, then an aggregator-only phase | never — opt in with [`Sweep::tier`] |
 //!
-//! Every tier is byte-identical per trial to the scalar reference on the
-//! same seeds — pinned by `tests/lane_equivalence.rs` and
+//! Every flat tier is byte-identical per trial to the scalar reference on
+//! the same seeds — pinned by `tests/lane_equivalence.rs` and
 //! `tests/round_equivalence.rs` — so [`ExecutionTier::Auto`] (the
 //! default) is purely a performance decision, never a semantic one. Trial
 //! `i` always draws sub-seed `i` of the sweep seed regardless of worker
 //! count or lane grouping, so serial and parallel runs of any tier are
 //! byte-identical too.
+//!
+//! The hierarchical tier is the exception: it runs a genuinely different
+//! interaction process (clusters aggregate locally before aggregators
+//! aggregate globally, `O(n^{3/2})` interactions instead of `Θ(n²)`), so
+//! it is **never** auto-selected and is equivalent to flat aggregation
+//! only on count-style outcomes — completion classification and the
+//! conserved origin set — pinned by `tests/hierarchical_equivalence.rs`.
 
 use doda_core::lane::MAX_LANES;
 use doda_core::{InteractionSequence, InteractionSource};
@@ -83,6 +91,22 @@ pub enum ExecutionTier {
     /// is knowledge-free. Workload sweeps (pairwise by construction) panic
     /// too.
     Rounds,
+    /// Force hierarchical aggregation: a seeded
+    /// [`doda_core::hierarchy::ClusterPlan`] election partitions the
+    /// non-sink nodes into clusters of [`Sweep::cluster_size`] (default
+    /// `⌈√n⌉`), each cluster aggregates toward its aggregator on the
+    /// streamed path, then the aggregators aggregate toward the sink —
+    /// `O(n^{3/2})` interactions at the default cluster size, which is
+    /// what makes aggregation *complete* feasible at `n = 10^5` and
+    /// beyond.
+    ///
+    /// Never auto-selected: the tier changes the interaction process, so
+    /// it matches flat aggregation on completion classification and
+    /// conserved origins but not interaction-level traces. Sweeps panic
+    /// for knowledge-based specs, fault plans, and workload families
+    /// (workloads fix one node count; the tier re-instantiates the
+    /// scenario family at cluster size).
+    Hierarchical,
 }
 
 /// The interaction family a sweep draws its per-trial streams from.
@@ -110,6 +134,7 @@ enum Path {
     Streamed,
     Lanes,
     Rounds,
+    Hierarchical,
 }
 
 /// A batch of independent trials: one algorithm against one interaction
@@ -127,6 +152,7 @@ pub struct Sweep<'a> {
     parallel: bool,
     tier: ExecutionTier,
     lane_width: usize,
+    cluster_size: Option<usize>,
 }
 
 impl<'a> Sweep<'a> {
@@ -155,6 +181,7 @@ impl<'a> Sweep<'a> {
             parallel: false,
             tier: ExecutionTier::Auto,
             lane_width: MAX_LANES,
+            cluster_size: None,
         }
     }
 
@@ -218,6 +245,21 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Sets the target cluster size `k` of the hierarchical tier: the
+    /// non-sink nodes are partitioned into `⌊(n − 1)/k⌋` near-equal
+    /// clusters. Defaults to `⌈√n⌉`, which balances the intra-cluster and
+    /// aggregator phases at `O(n^{3/2})` total interactions. Ignored by
+    /// every other tier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn cluster_size(mut self, k: usize) -> Self {
+        assert!(k >= 1, "cluster size must be at least 1, got {k}");
+        self.cluster_size = Some(k);
+        self
+    }
+
     /// Copies the batch shape (`n`, `trials`, `horizon`, `seed`,
     /// `parallel`) from a legacy [`BatchConfig`].
     pub fn config(self, config: &BatchConfig) -> Self {
@@ -229,10 +271,10 @@ impl<'a> Sweep<'a> {
     }
 
     /// The label of the execution path this sweep will actually run —
-    /// `"materialized"`, `"streamed"`, `"rounds"` or `"lanes"` — resolved
-    /// from the tier, the spec and the interaction family exactly as
-    /// [`Sweep::run`] resolves it. `doda-bench` stamps this into each grid
-    /// cell's `mode` column.
+    /// `"materialized"`, `"streamed"`, `"rounds"`, `"lanes"` or
+    /// `"hierarchical"` — resolved from the tier, the spec and the
+    /// interaction family exactly as [`Sweep::run`] resolves it.
+    /// `doda-bench` stamps this into each grid cell's `mode` column.
     ///
     /// # Panics
     ///
@@ -248,6 +290,7 @@ impl<'a> Sweep<'a> {
             Path::Streamed => "streamed",
             Path::Rounds => "rounds",
             Path::Lanes => "lanes",
+            Path::Hierarchical => "hierarchical",
         }
     }
 
@@ -370,6 +413,22 @@ impl<'a> Sweep<'a> {
                 );
                 Path::Rounds
             }
+            ExecutionTier::Hierarchical => {
+                assert!(
+                    !self.spec.requires_materialization(),
+                    "{} requires {} knowledge and cannot run hierarchically: \
+                     its oracles describe one flat committed schedule, not \
+                     per-cluster sub-streams",
+                    self.spec,
+                    self.spec.knowledge()
+                );
+                assert!(
+                    scenario.faults.is_none(),
+                    "the hierarchical tier is fault-free by contract; scenario \
+                     '{scenario}' carries a fault plan"
+                );
+                Path::Hierarchical
+            }
         }
     }
 
@@ -404,6 +463,13 @@ impl<'a> Sweep<'a> {
             }
             ExecutionTier::Rounds => {
                 panic!("workloads are pairwise streams; the round tier needs a round scenario")
+            }
+            ExecutionTier::Hierarchical => {
+                panic!(
+                    "workloads fix one node count; the hierarchical tier \
+                     re-instantiates the scenario family at cluster size — \
+                     use Sweep::scenario"
+                )
             }
         }
     }
@@ -478,6 +544,32 @@ impl<'a> Sweep<'a> {
             Path::Lanes => {
                 self.run_lanes_sharded(horizon, |trial_seed| scenario.base.source(n, trial_seed))
             }
+            Path::Hierarchical => {
+                let k = self
+                    .cluster_size
+                    .unwrap_or_else(|| (n as f64).sqrt().ceil() as usize)
+                    .max(1);
+                shard(self.trials, self.parallel, |range| {
+                    let mut runner = TrialRunner::new();
+                    let mut results = Vec::with_capacity(range.len());
+                    let trial_config = TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        ..TrialConfig::default()
+                    };
+                    for trial in range {
+                        let trial_seed = seeds.seed(trial as u64);
+                        results.push(runner.run_hierarchical(
+                            spec,
+                            &scenario.base,
+                            n,
+                            k,
+                            trial_seed,
+                            &trial_config,
+                        ));
+                    }
+                    results
+                })
+            }
         }
     }
 
@@ -520,6 +612,9 @@ impl<'a> Sweep<'a> {
                 self.run_lanes_sharded(horizon, |trial_seed| workload.source(trial_seed))
             }
             Path::Rounds => unreachable!("resolve_workload_path rejects the round tier"),
+            Path::Hierarchical => {
+                unreachable!("resolve_workload_path rejects the hierarchical tier")
+            }
         }
     }
 

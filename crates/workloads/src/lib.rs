@@ -54,7 +54,8 @@ pub use body_area::BodyAreaWorkload;
 pub use community::CommunityWorkload;
 pub use round_robin::RoundRobinWorkload;
 pub use rounds::{
-    IntervalConnectedWorkload, RandomMatchingWorkload, RoundWorkload, TournamentWorkload,
+    IntervalConnectedWorkload, RandomMatchingWorkload, RoundWorkload, TorusContactWorkload,
+    TournamentWorkload,
 };
 pub use tree_restricted::TreeRestrictedWorkload;
 pub use uniform::UniformWorkload;

@@ -16,7 +16,13 @@
 //!   graph: a random Hamiltonian path is held stable for `T` rounds (one
 //!   connected spanning subgraph underlying every round of the window),
 //!   and each round schedules alternating path edges, so every edge of
-//!   the stable path is live within any two consecutive rounds.
+//!   the stable path is live within any two consecutive rounds;
+//! * [`TorusContactWorkload`] — a CSR-backed contact process on a torus
+//!   grid: the sparse underlying graph (`O(n)` edges) is built **once**
+//!   into a [`CsrGraph`], and each round greedily matches the edges that
+//!   happen to be active, in `O(n)` work and memory per round — the
+//!   large-n round generator (nothing it does ever materialises
+//!   `O(n · horizon)` state).
 //!
 //! Like the pairwise workloads, every generator is deterministic per seed
 //! and resets itself when asked for round 0, so one source instance can be
@@ -25,7 +31,7 @@
 use doda_core::round::{Matching, RoundSource};
 use doda_core::sequence::AdversaryView;
 use doda_core::{Interaction, Time};
-use doda_graph::NodeId;
+use doda_graph::{CsrGraph, Edge, NodeId};
 use doda_stats::rng::{seeded_rng, DodaRng};
 use rand::Rng;
 
@@ -297,6 +303,109 @@ impl RoundSource for IntervalConnectedRounds {
     }
 }
 
+/// A CSR-backed contact process on a `⌈√n⌉ × ⌈√n⌉` torus grid.
+///
+/// The underlying graph is fixed and sparse — every node is wired to its
+/// right and down torus neighbours (grid cells beyond `n − 1` are simply
+/// absent), giving `O(n)` edges — and is compiled **once** per source
+/// into a [`CsrGraph`]. Each round, every edge is independently *active*
+/// with probability 1/2 (seeded, memoryless across rounds like the
+/// uniform adversary), and the round's matching is the greedy maximal
+/// matching over the active edges in CSR order. Per round that is one
+/// `O(n)` pass with an `O(n)` scratch bitmap: the workload streams
+/// indefinitely without ever holding more than the graph itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TorusContactWorkload {
+    n: usize,
+}
+
+impl TorusContactWorkload {
+    /// The per-round probability that an edge of the torus is active.
+    pub const ACTIVATION: f64 = 0.5;
+
+    /// Creates the workload over `n ≥ 2` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "need at least 2 nodes, got {n}");
+        TorusContactWorkload { n }
+    }
+
+    /// The torus side length `⌈√n⌉`.
+    pub fn side(&self) -> usize {
+        (self.n as f64).sqrt().ceil() as usize
+    }
+
+    /// Compiles the underlying torus into a CSR graph: right and down
+    /// neighbours per cell, wrap-around included, cells `≥ n` skipped,
+    /// duplicates (a side-2 torus wraps onto itself) collapsed by the
+    /// CSR constructor.
+    fn compile(&self) -> CsrGraph {
+        let side = self.side();
+        let mut edges = Vec::with_capacity(2 * self.n);
+        for i in 0..self.n {
+            let (r, c) = (i / side, i % side);
+            for j in [r * side + (c + 1) % side, ((r + 1) % side) * side + c] {
+                if j < self.n && j != i {
+                    edges.push(Edge::new(NodeId(i), NodeId(j)));
+                }
+            }
+        }
+        CsrGraph::from_edges(self.n, edges)
+    }
+}
+
+impl RoundWorkload for TorusContactWorkload {
+    fn node_count(&self) -> usize {
+        self.n
+    }
+
+    fn name(&self) -> &str {
+        "torus-contact"
+    }
+
+    fn rounds(&self, seed: u64) -> Box<dyn RoundSource + Send> {
+        Box::new(TorusContactRounds {
+            csr: self.compile(),
+            seed,
+            rng: seeded_rng(seed),
+        })
+    }
+}
+
+/// Streaming source behind [`TorusContactWorkload`].
+#[derive(Debug, Clone)]
+pub struct TorusContactRounds {
+    csr: CsrGraph,
+    seed: u64,
+    rng: DodaRng,
+}
+
+impl RoundSource for TorusContactRounds {
+    fn node_count(&self) -> usize {
+        self.csr.node_count()
+    }
+
+    fn next_round(&mut self, round: Time, _view: &AdversaryView<'_>, out: &mut Matching) -> bool {
+        if round == 0 {
+            self.rng = seeded_rng(self.seed);
+        }
+        for edge in self.csr.edges() {
+            // One draw per edge every round, independent of the matching
+            // state, so the activation stream is a pure function of the
+            // seed and round index; `try_push` then greedily keeps the
+            // active edges that are still vertex-disjoint.
+            let active = self.rng.gen_bool(TorusContactWorkload::ACTIVATION);
+            if active {
+                out.try_push(Interaction::new(edge.a, edge.b));
+            }
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -308,6 +417,7 @@ mod tests {
             Box::new(RandomMatchingWorkload::new(n)),
             Box::new(TournamentWorkload::new(n)),
             Box::new(IntervalConnectedWorkload::new(n, 4)),
+            Box::new(TorusContactWorkload::new(n)),
         ]
     }
 
@@ -423,6 +533,39 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn torus_contact_graph_is_sparse_and_in_range() {
+        // Perfect square, ragged, and degenerate node counts.
+        for n in [2usize, 7, 9, 16, 61] {
+            let w = TorusContactWorkload::new(n);
+            let g = w.compile();
+            assert_eq!(g.node_count(), n, "n={n}");
+            assert!(g.edge_count() <= 2 * n, "n={n}: O(n) edges, not O(n²)");
+            assert!(g.edge_count() >= n / 2, "n={n}: the torus is not empty");
+            for round in drain_rounds(w.rounds(9).as_mut(), 50, n) {
+                for &i in &round {
+                    assert!(i.max().index() < n, "n={n}: endpoint out of range");
+                    assert!(
+                        g.has_edge(i.min(), i.max()),
+                        "n={n}: matched a non-torus edge"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn torus_contact_rounds_activate_about_half_the_torus() {
+        let n = 100; // 10×10 torus: 200 edges, no ragged boundary.
+        let w = TorusContactWorkload::new(n);
+        assert_eq!(w.side(), 10);
+        let rounds = drain_rounds(w.rounds(4).as_mut(), 200, n);
+        let mean = rounds.iter().map(Vec::len).sum::<usize>() as f64 / 200.0;
+        // p = 1/2 activation thinned by greedy matching: well above a
+        // vanishing matching, well below the 50-edge perfect matching.
+        assert!((20.0..50.0).contains(&mean), "mean matching size {mean}");
     }
 
     #[test]

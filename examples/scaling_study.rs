@@ -1,13 +1,21 @@
 //! Scaling study: the headline comparison of the paper's Section 4, on a
-//! small sweep (use `--full` for the benchmark-sized sweep).
+//! small sweep (use `--full` for the benchmark-sized sweep, `--large` for
+//! the million-node streamed regime).
 //!
 //! Reproduces the shapes of Theorems 7–11 against the uniform randomized
 //! adversary: the offline optimum grows like `n log n`, Waiting Greedy like
 //! `n^{3/2}√log n`, Gathering like `n²` and Waiting like `n² log n`, with
 //! the ordering offline < WaitingGreedy < Gathering < Waiting at every `n`.
 //!
+//! `--large` skips the curve fits and instead demonstrates the large-n
+//! regime directly: streamed Gathering trials at n = 10^5 and 10^6 under a
+//! fixed interaction budget (peak state is O(n), so both fit comfortably in
+//! memory), then a hierarchical sweep at n = 10^5 that *completes* — its
+//! O(n^{3/2}) interaction count makes full aggregation feasible at node
+//! counts where the flat O(n²) tiers starve on any practical budget.
+//!
 //! ```text
-//! cargo run --release --example scaling_study [-- --full]
+//! cargo run --release --example scaling_study [-- --full | -- --large]
 //! ```
 
 use doda::analysis::report::{exponents_to_markdown, scaling_to_markdown};
@@ -15,7 +23,71 @@ use doda::analysis::ScalingStudy;
 use doda::prelude::*;
 use doda::stats::harmonic;
 
+/// One streamed Gathering trial at `n` under a fixed interaction budget:
+/// prints wall-clock throughput and returns the interactions processed.
+fn streamed_point(n: usize, budget: usize) -> u64 {
+    let t0 = std::time::Instant::now();
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .n(n)
+        .trials(1)
+        .seed(0xD0DA)
+        .horizon(Some(budget))
+        .parallel(false)
+        .run();
+    let secs = t0.elapsed().as_secs_f64();
+    let processed = trials[0].interactions_processed;
+    println!(
+        "  n = {n:>9}: {processed} interactions streamed in {secs:5.2} s \
+         ({:.0} i/s), terminated: {}",
+        processed as f64 / secs.max(1e-9),
+        trials[0].terminated(),
+    );
+    processed
+}
+
+/// The `--large` mode: the million-node streamed regime plus hierarchical
+/// completion at a node count where flat aggregation starves.
+fn large_regime() {
+    const BUDGET: usize = 2_000_000;
+    const HIER_N: usize = 100_000;
+    const HIER_BUDGET: usize = 80_000_000;
+
+    println!("Large-n regime: streamed Gathering vs the uniform adversary, budget = {BUDGET}\n");
+    for n in [100_000, 1_000_000] {
+        streamed_point(n, BUDGET);
+    }
+    println!(
+        "\nFlat completion at these n needs ~(n-1)^2 interactions \
+         (10^10 at n = 10^5), so both runs starve: the point is that the \
+         streamed engine sustains them in O(n) memory.\n"
+    );
+
+    println!("Hierarchical tier at n = {HIER_N} (clusters of ~√n, budget = {HIER_BUDGET}):");
+    let t0 = std::time::Instant::now();
+    let trials = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .n(HIER_N)
+        .trials(1)
+        .seed(0xD0DA)
+        .horizon(Some(HIER_BUDGET))
+        .parallel(false)
+        .tier(ExecutionTier::Hierarchical)
+        .run();
+    let secs = t0.elapsed().as_secs_f64();
+    let trial = &trials[0];
+    println!(
+        "  fully aggregated: {} after {} interactions in {secs:.2} s \
+         — O(n^{{3/2}}) beats the flat tiers' O(n^2) by ~{:.0}x here",
+        trial.fully_aggregated(),
+        trial.interactions_processed,
+        (HIER_N as f64 - 1.0).powi(2) / trial.interactions_processed.max(1) as f64,
+    );
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--large") {
+        large_regime();
+        return;
+    }
     let full = std::env::args().any(|a| a == "--full");
     let study = if full {
         ScalingStudy::benchmark()
