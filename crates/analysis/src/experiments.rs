@@ -1,4 +1,4 @@
-//! The per-theorem experiment index (E1–E14).
+//! The per-theorem experiment index (E1–E15).
 //!
 //! Each function reproduces one result of the paper as a finite-`n`
 //! experiment and returns an [`ExperimentReport`] comparing the paper's
@@ -699,8 +699,109 @@ pub fn e14_fault_degradation(effort: Effort) -> ExperimentReport {
     )
 }
 
+/// E15 — beyond the paper: exact vs approximate aggregation. The
+/// aggregation algebra makes the carried value orthogonal to the
+/// trajectory: switching [`doda_sim::AggregateKind`] changes *what* the
+/// sink knows at termination, never *how* the run unfolds. Measured
+/// here on Gathering vs uniform:
+///
+/// * **trajectory invariance** — every aggregate kind reproduces the
+///   exact run's interactions, transmissions and termination time
+///   trial-for-trial (decisions read algorithm state, not datum values);
+/// * **exactness** — the `Count` summary equals `n` on every fully
+///   aggregated trial, like the `IdSet` reference;
+/// * **accuracy** — the fixed-size `Distinct` sketch estimates `n`
+///   within a register-bound relative error, and the fixed-bin
+///   `Quantile` sketch pins the median and p95 of the uniform `[0, 1)`
+///   readings within bin-plus-sampling tolerance — both with `O(1)`
+///   state per node where `IdSet` pays `O(n)` at the sink (the memory
+///   side is asserted on real heap marks by `doda-bench
+///   --algebra-guard`).
+pub fn e15_exact_vs_sketch(effort: Effort) -> ExperimentReport {
+    use doda_core::algebra::AggregateSummary;
+    use doda_sim::AggregateKind;
+
+    let (n, trials, distinct_tol, quantile_tol) = match effort {
+        Effort::Quick => (32usize, 4usize, 0.25, 0.25),
+        Effort::Full => (512, 8, 0.15, 0.08),
+    };
+    let sweep = |kind| {
+        Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+            .n(n)
+            .trials(trials)
+            .seed(0xE15)
+            .aggregate(kind)
+            .run()
+    };
+    let exact = sweep(AggregateKind::IdSet);
+    let counted = sweep(AggregateKind::Count);
+    let distinct = sweep(AggregateKind::Distinct);
+    let quantile = sweep(AggregateKind::Quantile);
+
+    let mut passed = exact.iter().all(|r| r.fully_aggregated());
+
+    // Same trajectory under every aggregate kind, trial for trial.
+    let same_trajectory = |approx: &[doda_sim::TrialResult]| {
+        exact.iter().zip(approx).all(|(e, a)| {
+            e.interactions_processed == a.interactions_processed
+                && e.transmissions == a.transmissions
+                && e.termination_time == a.termination_time
+        })
+    };
+    let trajectories_match =
+        same_trajectory(&counted) && same_trajectory(&distinct) && same_trajectory(&quantile);
+    passed &= trajectories_match;
+
+    // Counting is exact.
+    passed &= counted.iter().all(
+        |r| matches!(r.aggregate, Some(AggregateSummary::Count { value }) if value == n as u64),
+    );
+
+    // The distinct sketch tracks the true cardinality.
+    let mut distinct_err: f64 = 0.0;
+    for r in &distinct {
+        match r.aggregate {
+            Some(AggregateSummary::Distinct { estimate }) => {
+                distinct_err = distinct_err.max((estimate - n as f64).abs() / n as f64);
+            }
+            _ => passed = false,
+        }
+    }
+    passed &= distinct_err <= distinct_tol;
+
+    // The quantile sketch counts everything and pins the uniform
+    // readings' median and p95.
+    let mut median_err: f64 = 0.0;
+    let mut p95_err: f64 = 0.0;
+    for r in &quantile {
+        match r.aggregate {
+            Some(AggregateSummary::Quantile { count, median, p95 }) if count == n as u64 => {
+                median_err = median_err.max((median - 0.5).abs());
+                p95_err = p95_err.max((p95 - 0.95).abs());
+            }
+            _ => passed = false,
+        }
+    }
+    passed &= median_err <= quantile_tol && p95_err <= quantile_tol;
+
+    report(
+        "E15",
+        "Exact vs sketch aggregation: same trajectory, bounded error",
+        "Beyond the paper: the aggregation algebra swaps the carried value under the same runs — exact counts stay exact, fixed-size sketches trade bounded error for O(1) per-node state",
+        format!(
+            "n = {n}, {trials} trials of Gathering vs uniform per kind: trajectories identical \
+             across id-set/count/distinct/quantile: {trajectories_match}; distinct worst error \
+             {:.1}% (tol {:.0}%); quantile worst |median−0.5| {median_err:.3}, |p95−0.95| \
+             {p95_err:.3} (tol {quantile_tol})",
+            distinct_err * 100.0,
+            distinct_tol * 100.0,
+        ),
+        passed,
+    )
+}
+
 /// Runs every experiment at the given effort and returns the reports in
-/// order E1–E14.
+/// order E1–E15.
 pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
     vec![
         e1_adaptive_adversary(effort),
@@ -717,6 +818,7 @@ pub fn run_all(effort: Effort) -> Vec<ExperimentReport> {
         e12_cost_function(effort),
         e13_adaptive_sweep(effort),
         e14_fault_degradation(effort),
+        e15_exact_vs_sketch(effort),
     ]
 }
 
@@ -801,6 +903,12 @@ mod tests {
     fn fault_degradation_experiment_passes() {
         let e14 = e14_fault_degradation(Effort::Quick);
         assert!(e14.passed, "{e14:?}");
+    }
+
+    #[test]
+    fn exact_vs_sketch_experiment_passes() {
+        let e15 = e15_exact_vs_sketch(Effort::Quick);
+        assert!(e15.passed, "{e15:?}");
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! doda-bench --round-guard           # 10^6-interaction round sweeps
 //! doda-bench --service-guard         # 1000 sessions over the loopback wire
 //! doda-bench --scale-guard           # O(n) memory + throughput at n = 10^6
+//! doda-bench --algebra-guard         # sketch aggregates: less memory, bounded error
 //! ```
 
 // The one unsafe block of the workspace: the tracking global allocator
@@ -36,13 +37,14 @@ use std::time::Instant;
 use doda_bench::compare::compare_reports;
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
+use doda_core::algebra::AggregateSummary;
 use doda_core::fault::FaultProfile;
 use doda_core::sequence::StepEvent;
 use doda_core::Interaction;
 use doda_graph::NodeId;
 use doda_service::prelude::*;
 use doda_sim::runner::BatchConfig;
-use doda_sim::{AlgorithmSpec, ExecutionTier, Scenario, Sweep};
+use doda_sim::{AggregateKind, AlgorithmSpec, ExecutionTier, Scenario, Sweep};
 
 /// A thin [`System`] wrapper that reports every allocation event to
 /// [`doda_bench::memory`], so every grid cell carries a real
@@ -101,6 +103,7 @@ struct Args {
     round_guard: bool,
     service_guard: bool,
     scale_guard: bool,
+    algebra_guard: bool,
 }
 
 /// The default throughput tolerance of `--compare`, generous enough for
@@ -121,6 +124,7 @@ fn parse_args() -> Result<Args, String> {
         round_guard: false,
         service_guard: false,
         scale_guard: false,
+        algebra_guard: false,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -163,12 +167,13 @@ fn parse_args() -> Result<Args, String> {
             "--round-guard" => args.round_guard = true,
             "--service-guard" => args.service_guard = true,
             "--scale-guard" => args.scale_guard = true,
+            "--algebra-guard" => args.algebra_guard = true,
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
                      | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
                      | --compare-runners | --lane-guard | --stream-guard | --fault-guard \
-                     | --round-guard | --service-guard | --scale-guard"
+                     | --round-guard | --service-guard | --scale-guard | --algebra-guard"
                 );
                 std::process::exit(0);
             }
@@ -186,12 +191,13 @@ fn parse_args() -> Result<Args, String> {
         + usize::from(args.fault_guard)
         + usize::from(args.round_guard)
         + usize::from(args.service_guard)
-        + usize::from(args.scale_guard);
+        + usize::from(args.scale_guard)
+        + usize::from(args.algebra_guard);
     if modes > 1 {
         return Err(
             "--smoke/--baseline, --validate, --compare, --compare-runners, --lane-guard, \
-             --stream-guard, --fault-guard, --round-guard, --service-guard and --scale-guard \
-             are mutually exclusive"
+             --stream-guard, --fault-guard, --round-guard, --service-guard, --scale-guard \
+             and --algebra-guard are mutually exclusive"
                 .to_string(),
         );
     }
@@ -892,6 +898,101 @@ fn scale_guard() -> Result<(), String> {
     Ok(())
 }
 
+/// The relative-error ceiling `--algebra-guard` allows the distinct
+/// sketch at n = 10^5. With 256 8-bit registers the standard error is
+/// ~6.5%; the ceiling sits 3x above it so the gate only fires on a
+/// broken estimator, not an unlucky seed.
+const ALGEBRA_GUARD_MAX_DISTINCT_ERR: f64 = 0.20;
+
+/// Runs one hierarchical Gathering-vs-uniform trial at `n` under the
+/// given aggregate kind and returns `(peak heap growth, the trial)`.
+fn algebra_run(n: usize, budget: usize, kind: AggregateKind) -> (u64, doda_sim::TrialResult) {
+    let floor = doda_bench::memory::reset_peak();
+    let trial = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .n(n)
+        .trials(1)
+        .seed(0xD0DA)
+        .horizon(Some(budget))
+        .parallel(false)
+        .tier(ExecutionTier::Hierarchical)
+        .aggregate(kind)
+        .run()
+        .remove(0);
+    let peak = doda_bench::memory::peak_bytes().saturating_sub(floor) as u64;
+    (peak, trial)
+}
+
+/// Guards the sketch aggregates' reason to exist at n = 10^5, on real
+/// heap high-water marks:
+///
+/// 1. **Memory** — the distinct-sketch run must peak *strictly below*
+///    the `IdSet` reference on the identical hierarchical sweep: the
+///    sketch carries `O(1)` state per node where the exact origin set
+///    pays `O(n)` at the sink.
+/// 2. **Accuracy** — the estimate it buys with that memory must land
+///    within [`ALGEBRA_GUARD_MAX_DISTINCT_ERR`] of the true cardinality.
+/// 3. **Trajectory invariance** — both runs process identical
+///    interaction counts: the aggregate changes what the sink knows,
+///    never how the run unfolds.
+fn algebra_guard() -> Result<(), String> {
+    const N: usize = 100_000;
+    const BUDGET: usize = 80_000_000;
+
+    if !doda_bench::memory::tracking() {
+        return Err("the tracking allocator is not installed".to_string());
+    }
+    let (exact_peak, exact) = algebra_run(N, BUDGET, AggregateKind::IdSet);
+    if !exact.terminated() || !exact.fully_aggregated() {
+        return Err(format!(
+            "the IdSet reference must aggregate every origin within its budget, got {} \
+             interactions (terminated: {})",
+            exact.interactions_processed,
+            exact.terminated()
+        ));
+    }
+    let (sketch_peak, sketch) = algebra_run(N, BUDGET, AggregateKind::Distinct);
+    if !sketch.terminated() || !sketch.data_conserved {
+        return Err("the distinct-sketch run must terminate with data conserved".to_string());
+    }
+    if sketch.interactions_processed != exact.interactions_processed {
+        return Err(format!(
+            "the aggregate kind changed the trajectory: {} interactions under the sketch \
+             vs {} under IdSet",
+            sketch.interactions_processed, exact.interactions_processed
+        ));
+    }
+    let estimate = match sketch.aggregate {
+        Some(AggregateSummary::Distinct { estimate }) => estimate,
+        other => return Err(format!("expected a distinct estimate, got {other:?}")),
+    };
+    let error = (estimate - N as f64).abs() / N as f64;
+    println!(
+        "algebra-guard: hierarchical Gathering vs uniform, n = {N}: id-set peak {:.1} MiB, \
+         distinct-sketch peak {:.1} MiB, estimate {estimate:.0} ({:.2}% error, ceiling \
+         {:.0}%), {} interactions either way",
+        exact_peak as f64 / (1 << 20) as f64,
+        sketch_peak as f64 / (1 << 20) as f64,
+        error * 100.0,
+        ALGEBRA_GUARD_MAX_DISTINCT_ERR * 100.0,
+        exact.interactions_processed,
+    );
+    if sketch_peak >= exact_peak {
+        return Err(format!(
+            "the distinct sketch peaked at {sketch_peak} bytes, not strictly below the \
+             IdSet reference's {exact_peak} — the O(1)-per-node claim is broken"
+        ));
+    }
+    if error > ALGEBRA_GUARD_MAX_DISTINCT_ERR {
+        return Err(format!(
+            "distinct estimate {estimate:.0} is off the true {N} by {:.2}% \
+             (ceiling {:.0}%)",
+            error * 100.0,
+            ALGEBRA_GUARD_MAX_DISTINCT_ERR * 100.0,
+        ));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     doda_bench::memory::mark_installed();
     let args = match parse_args() {
@@ -988,6 +1089,16 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
                 eprintln!("doda-bench: scale guard failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    if args.algebra_guard {
+        return match algebra_guard() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("doda-bench: algebra guard failed: {e}");
                 ExitCode::FAILURE
             }
         };

@@ -3,28 +3,28 @@
 //! Each node initially owns a datum; when a node transmits, the receiver
 //! applies an *aggregation function* that combines two data into one whose
 //! size is that of a single input ("such functions include min, max,
-//! etc."). The [`Aggregate`] trait captures that operation; the provided
-//! implementations cover the functions mentioned by the paper plus two
-//! that make testing invariants easy:
+//! etc."). The [`Aggregate`] trait — defined in [`crate::algebra`], where
+//! the full commutative-monoid contract is documented — captures that
+//! operation; this module provides the fixed-size implementations covering
+//! the functions mentioned by the paper plus two that make testing
+//! invariants easy:
 //!
 //! * [`Count`] — number of original data aggregated so far;
-//! * [`SumData`] / [`MinData`] / [`MaxData`] — numeric folds;
+//! * [`SumData`] / [`MinData`] / [`MaxData`] — numeric folds (min/max in
+//!   [`f64::total_cmp`] order, so the contract holds even on NaN);
 //! * [`IdSet`] — the set of origin nodes (constant size is waived for the
 //!   benefit of exact data-conservation checks in tests).
+//!
+//! The constant-size *sketch* aggregates ([`crate::algebra::DistinctSketch`]
+//! and [`crate::algebra::QuantileSketch`]) live in [`crate::algebra`].
 
 use std::collections::BTreeSet;
 
 use doda_graph::NodeId;
 
-/// An aggregation function together with the aggregated value it carries.
-///
-/// `merge` must be commutative and associative so that the final value at
-/// the sink does not depend on the aggregation order — all provided
-/// implementations satisfy this, and the property-based tests check it.
-pub trait Aggregate: Clone + std::fmt::Debug {
-    /// Merges another aggregated value into this one.
-    fn merge(&mut self, other: Self);
-}
+use crate::algebra::{total_max, total_min};
+
+pub use crate::algebra::Aggregate;
 
 /// Counts how many original data have been aggregated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +34,12 @@ impl Count {
     /// The initial datum of a single node.
     pub fn unit() -> Self {
         Count(1)
+    }
+
+    /// `true` when exactly `n` original data have been counted — the
+    /// count-family analogue of [`IdSet::covers_all`].
+    pub fn covers_exactly(&self, n: usize) -> bool {
+        self.0 == n as u64
     }
 }
 
@@ -53,23 +59,36 @@ impl Aggregate for SumData {
     }
 }
 
-/// Minimum of numeric readings.
+/// Minimum of numeric readings, in [`f64::total_cmp`] order.
+///
+/// Total-order semantics (rather than [`f64::min`]) keep `merge`
+/// commutative and idempotent even when a reading is NaN: NaN sorts above
+/// every number in the total order, so `min(NaN, x) == min(x, NaN) == x`
+/// bit-for-bit, whereas `f64::min` returns the non-NaN operand and made
+/// the result depend on argument order.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MinData(pub f64);
 
 impl Aggregate for MinData {
+    const IDEMPOTENT: bool = true;
+    const DUPLICATE_INSENSITIVE: bool = true;
+
     fn merge(&mut self, other: Self) {
-        self.0 = self.0.min(other.0);
+        self.0 = total_min(self.0, other.0);
     }
 }
 
-/// Maximum of numeric readings.
+/// Maximum of numeric readings, in [`f64::total_cmp`] order; see
+/// [`MinData`] for why total order rather than [`f64::max`].
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MaxData(pub f64);
 
 impl Aggregate for MaxData {
+    const IDEMPOTENT: bool = true;
+    const DUPLICATE_INSENSITIVE: bool = true;
+
     fn merge(&mut self, other: Self) {
-        self.0 = self.0.max(other.0);
+        self.0 = total_max(self.0, other.0);
     }
 }
 
@@ -106,6 +125,9 @@ impl IdSet {
 }
 
 impl Aggregate for IdSet {
+    const IDEMPOTENT: bool = true;
+    const DUPLICATE_INSENSITIVE: bool = true;
+
     fn merge(&mut self, other: Self) {
         self.0.extend(other.0);
     }
@@ -155,6 +177,33 @@ mod tests {
         let mut a = IdSet::singleton(NodeId(1));
         a.merge(IdSet::singleton(NodeId(1)));
         assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn min_max_merge_is_commutative_on_nan() {
+        // With f64::min/max these four merges all discarded the NaN and
+        // the result depended on operand order; total order is symmetric.
+        let mut a = MinData(f64::NAN);
+        a.merge(MinData(1.0));
+        let mut b = MinData(1.0);
+        b.merge(MinData(f64::NAN));
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert_eq!(a.0, 1.0);
+
+        let mut a = MaxData(f64::NAN);
+        a.merge(MaxData(1.0));
+        let mut b = MaxData(1.0);
+        b.merge(MaxData(f64::NAN));
+        assert_eq!(a.0.to_bits(), b.0.to_bits());
+        assert!(a.0.is_nan(), "NaN sorts above every number in total order");
+    }
+
+    #[test]
+    fn count_covers_exactly() {
+        let mut c = Count::unit();
+        c.merge(Count(2));
+        assert!(c.covers_exactly(3));
+        assert!(!c.covers_exactly(4));
     }
 
     #[test]

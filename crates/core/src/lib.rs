@@ -208,6 +208,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod algebra;
 pub mod algorithm;
 pub mod algorithms;
 pub mod convergecast;
@@ -225,6 +226,7 @@ pub mod round;
 pub mod sequence;
 pub mod state;
 
+pub use algebra::{Aggregate, AggregateSummary, DistinctSketch, QuantileSketch};
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
 pub use engine::{
     DiscardTransmissions, Engine, EngineCheckpoint, EngineConfig, RoundRunStats, RunProgress,
@@ -240,6 +242,7 @@ pub use sequence::{InteractionSequence, InteractionSource, StepEvent};
 
 /// Commonly used items, for glob import in examples and benchmarks.
 pub mod prelude {
+    pub use crate::algebra::{AggregateSummary, DistinctSketch, QuantileSketch};
     pub use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
     pub use crate::algorithms::{
         FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting, WaitingGreedy,

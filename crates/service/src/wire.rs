@@ -1,12 +1,14 @@
-//! Wire format v1: compact, versioned, length-prefixed binary frames.
+//! Wire format v2: compact, versioned, length-prefixed binary frames.
 //!
 //! Every frame is `[payload_len: u32 LE][payload]`, and every payload
 //! starts `[version: u8][kind: u8]`. Client→service payloads decode to
 //! [`WireEvent`]; service→client payloads decode to [`WireResult`]. The
 //! byte layout is **pinned by a golden file**
-//! (`tests/golden/wire_v1.hex`, checked by `tests/wire_schema.rs` the
+//! (`tests/golden/wire_v2.hex`, checked by `tests/wire_schema.rs` the
 //! way `BENCH_baseline.json`'s schema is) — changing any encoding below
 //! requires bumping [`WIRE_VERSION`] and regenerating the golden file.
+//! (v1 → v2 appended the aggregate summary to the trial result; see
+//! below.)
 //!
 //! ## Payload kinds
 //!
@@ -29,9 +31,14 @@
 //! boundary to fit its length field. A trial result is: algorithm `str16`, `n: u32`,
 //! termination time `opt u64`, interactions `u64`, transmissions `u64`,
 //! ignored decisions `u64`, data conserved `u8`, completion `u8`, the
-//! six fault-tally counters as `u64`s, and a reserved cost byte (`0`;
-//! service results never carry the paper's sequence-cost analysis).
+//! six fault-tally counters as `u64`s, a reserved cost byte (`0`;
+//! service results never carry the paper's sequence-cost analysis), and
+//! the aggregate summary: one tag byte — `0` none, `1` count (`u64`),
+//! `2` sum (`f64`), `3` min (`f64`), `4` max (`f64`), `5` distinct
+//! estimate (`f64`), `6` quantile (`count: u64`, `median: f64`,
+//! `p95: f64`) — followed by the tagged fields.
 
+use doda_core::algebra::AggregateSummary;
 use doda_core::fault::{CrashPolicy, FaultProfile};
 use doda_core::outcome::{Completion, FaultTally};
 use doda_core::sequence::StepEvent;
@@ -43,7 +50,7 @@ use crate::error::WireError;
 use crate::session::{OverflowPolicy, SessionId};
 
 /// The wire format version this module encodes and decodes.
-pub const WIRE_VERSION: u8 = 1;
+pub const WIRE_VERSION: u8 = 2;
 
 const KIND_OPEN_SCENARIO: u8 = 0x01;
 const KIND_OPEN_EXTERNAL: u8 = 0x02;
@@ -176,7 +183,8 @@ impl Writer {
         while !s.is_char_boundary(end) {
             end -= 1;
         }
-        self.u16(end as u16);
+        let len = u16::try_from(end).expect("end is clamped to u16::MAX above");
+        self.u16(len);
         self.0.extend_from_slice(&s.as_bytes()[..end]);
     }
 
@@ -192,10 +200,15 @@ impl Writer {
         self.usize32(node.0, "node id")
     }
 
-    fn finish(mut self) -> Vec<u8> {
-        let payload_len = (self.0.len() - 4) as u32;
+    /// Patches the length prefix and returns the finished frame,
+    /// refusing payloads whose length would silently wrap the `u32`
+    /// prefix (a ≥ 4 GiB frame would otherwise decode as garbage).
+    fn finish(mut self) -> Result<Vec<u8>, WireError> {
+        let payload_len = u32::try_from(self.0.len() - 4).map_err(|_| WireError::OutOfRange {
+            what: "frame length",
+        })?;
         self.0[..4].copy_from_slice(&payload_len.to_le_bytes());
-        self.0
+        Ok(self.0)
     }
 }
 
@@ -326,7 +339,40 @@ fn put_trial_result(w: &mut Writer, result: &TrialResult) -> Result<(), WireErro
     // Reserved: the service path never computes the sequence-cost
     // analysis (it needs a materialised sequence).
     w.u8(0);
+    put_aggregate_summary(w, result.aggregate);
     Ok(())
+}
+
+fn put_aggregate_summary(w: &mut Writer, summary: Option<AggregateSummary>) {
+    match summary {
+        None => w.u8(0),
+        Some(AggregateSummary::Count { value }) => {
+            w.u8(1);
+            w.u64(value);
+        }
+        Some(AggregateSummary::Sum { value }) => {
+            w.u8(2);
+            w.f64(value);
+        }
+        Some(AggregateSummary::Min { value }) => {
+            w.u8(3);
+            w.f64(value);
+        }
+        Some(AggregateSummary::Max { value }) => {
+            w.u8(4);
+            w.f64(value);
+        }
+        Some(AggregateSummary::Distinct { estimate }) => {
+            w.u8(5);
+            w.f64(estimate);
+        }
+        Some(AggregateSummary::Quantile { count, median, p95 }) => {
+            w.u8(6);
+            w.u64(count);
+            w.f64(median);
+            w.f64(p95);
+        }
+    }
 }
 
 /// Encodes a client→service message as one length-prefixed frame.
@@ -354,7 +400,7 @@ pub fn encode_event(event: &WireEvent) -> Result<Vec<u8>, WireError> {
             w.u64(*seed);
             w.opt_u64(*horizon);
             w.opt_u64(*slice_budget);
-            w.finish()
+            w.finish()?
         }
         WireEvent::OpenExternal {
             session,
@@ -376,18 +422,18 @@ pub fn encode_event(event: &WireEvent) -> Result<Vec<u8>, WireError> {
                 OverflowPolicy::Shed => 0,
                 OverflowPolicy::Block => 1,
             });
-            w.finish()
+            w.finish()?
         }
         WireEvent::Event { session, event } => {
             let mut w = Writer::new(KIND_EVENT);
             w.u64(session.0);
             put_step_event(&mut w, *event)?;
-            w.finish()
+            w.finish()?
         }
         WireEvent::Close { session } => {
             let mut w = Writer::new(KIND_CLOSE);
             w.u64(session.0);
-            w.finish()
+            w.finish()?
         }
     })
 }
@@ -405,13 +451,13 @@ pub fn encode_result(result: &WireResult) -> Result<Vec<u8>, WireError> {
             let mut w = Writer::new(KIND_RESULT);
             w.u64(session.0);
             put_trial_result(&mut w, result)?;
-            w.finish()
+            w.finish()?
         }
         WireResult::Error { session, message } => {
             let mut w = Writer::new(KIND_ERROR);
             w.u64(session.0);
             w.str16(message);
-            w.finish()
+            w.finish()?
         }
     })
 }
@@ -616,12 +662,18 @@ fn get_step_event(r: &mut Reader<'_>) -> Result<StepEvent, WireError> {
     })
 }
 
+/// Narrows a decoded `u64` into a host `usize`, refusing values that do
+/// not fit (only reachable on 32-bit hosts decoding 64-bit frames).
+fn usize_from(v: u64, what: &'static str) -> Result<usize, WireError> {
+    usize::try_from(v).map_err(|_| WireError::OutOfRange { what })
+}
+
 fn get_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, WireError> {
     let algorithm = r.str16()?;
     let n = r.u32()? as usize;
     let termination_time = r.opt_u64()?;
     let interactions_processed = r.u64()?;
-    let transmissions = r.u64()? as usize;
+    let transmissions = usize_from(r.u64()?, "transmissions")?;
     let ignored_decisions = r.u64()?;
     let data_conserved = r.u8()? != 0;
     let completion = match r.u8()? {
@@ -647,6 +699,7 @@ fn get_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, WireError> {
         0 => {}
         tag => return Err(WireError::UnknownTag { what: "cost", tag }),
     }
+    let aggregate = get_aggregate_summary(r)?;
     Ok(TrialResult {
         algorithm,
         n,
@@ -658,6 +711,29 @@ fn get_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, WireError> {
         completion,
         faults,
         cost: None,
+        aggregate,
+    })
+}
+
+fn get_aggregate_summary(r: &mut Reader<'_>) -> Result<Option<AggregateSummary>, WireError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(AggregateSummary::Count { value: r.u64()? }),
+        2 => Some(AggregateSummary::Sum { value: r.f64()? }),
+        3 => Some(AggregateSummary::Min { value: r.f64()? }),
+        4 => Some(AggregateSummary::Max { value: r.f64()? }),
+        5 => Some(AggregateSummary::Distinct { estimate: r.f64()? }),
+        6 => Some(AggregateSummary::Quantile {
+            count: r.u64()?,
+            median: r.f64()?,
+            p95: r.f64()?,
+        }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "aggregate summary",
+                tag,
+            })
+        }
     })
 }
 
@@ -685,7 +761,10 @@ pub fn decode_event(frame: &[u8]) -> Result<WireEvent, WireError> {
             n: r.u32()? as usize,
             horizon: r.opt_u64()?,
             slice_budget: r.opt_u64()?,
-            inbox_capacity: r.opt_u64()?.map(|c| c as usize),
+            inbox_capacity: match r.opt_u64()? {
+                None => None,
+                Some(c) => Some(usize_from(c, "inbox capacity")?),
+            },
             overflow: match r.u8()? {
                 0 => OverflowPolicy::Shed,
                 1 => OverflowPolicy::Block,

@@ -1,12 +1,13 @@
-//! Pins the v1 wire format byte-for-byte against a committed golden
+//! Pins the v2 wire format byte-for-byte against a committed golden
 //! file, the way `bench_json_schema.rs` pins `BENCH_baseline.json`.
 //!
 //! A fixed corpus of frames — every kind, every enum arm — is encoded
-//! and compared (as hex lines) to `tests/golden/wire_v1.hex`. Any codec
+//! and compared (as hex lines) to `tests/golden/wire_v2.hex`. Any codec
 //! change that moves a byte fails here; intentional format changes must
 //! bump `WIRE_VERSION` and regenerate the golden file by running this
 //! test with `UPDATE_WIRE_GOLDEN=1`.
 
+use doda_core::algebra::AggregateSummary;
 use doda_core::fault::{CrashPolicy, FaultProfile};
 use doda_core::outcome::{Completion, FaultTally};
 use doda_core::sequence::StepEvent;
@@ -18,9 +19,13 @@ use doda_service::{
 };
 use doda_sim::{AlgorithmSpec, FaultedScenario, Scenario, TrialResult};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v1.hex");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v2.hex");
 
 fn sample_result() -> TrialResult {
+    sample_result_with(None)
+}
+
+fn sample_result_with(aggregate: Option<AggregateSummary>) -> TrialResult {
     TrialResult {
         algorithm: "gathering".to_string(),
         n: 16,
@@ -39,6 +44,7 @@ fn sample_result() -> TrialResult {
             data_recovered: 6,
         },
         cost: None,
+        aggregate,
     }
 }
 
@@ -164,6 +170,34 @@ fn corpus() -> (Vec<WireEvent>, Vec<WireResult>) {
             session: SessionId(1),
             result: sample_result(),
         },
+        WireResult::Result {
+            session: SessionId(2),
+            result: sample_result_with(Some(AggregateSummary::Count { value: 16 })),
+        },
+        WireResult::Result {
+            session: SessionId(3),
+            result: sample_result_with(Some(AggregateSummary::Sum { value: 8.125 })),
+        },
+        WireResult::Result {
+            session: SessionId(4),
+            result: sample_result_with(Some(AggregateSummary::Min { value: 0.0625 })),
+        },
+        WireResult::Result {
+            session: SessionId(5),
+            result: sample_result_with(Some(AggregateSummary::Max { value: 0.9375 })),
+        },
+        WireResult::Result {
+            session: SessionId(6),
+            result: sample_result_with(Some(AggregateSummary::Distinct { estimate: 15.5 })),
+        },
+        WireResult::Result {
+            session: SessionId(7),
+            result: sample_result_with(Some(AggregateSummary::Quantile {
+                count: 16,
+                median: 0.5,
+                p95: 0.875,
+            })),
+        },
         WireResult::Error {
             session: SessionId(9),
             message: "unknown session #9".to_string(),
@@ -193,7 +227,7 @@ fn corpus_hex() -> String {
 }
 
 #[test]
-fn wire_v1_bytes_match_the_golden_file() {
+fn wire_v2_bytes_match_the_golden_file() {
     let actual = corpus_hex();
     if std::env::var_os("UPDATE_WIRE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");

@@ -1,0 +1,370 @@
+//! Datum families: what each node's initial datum is, and how a finished
+//! trial is judged and summarised — the bridge between the engine's
+//! compile-time [`Aggregate`] generic and a sweep's runtime-selected
+//! [`AggregateKind`].
+//!
+//! A [`DatumFamily`] bundles the three decisions a sweep must make once it
+//! is generic over the aggregate:
+//!
+//! 1. **Seeding** — the initial datum of node `v` ([`DatumFamily::initial`]):
+//!    the origin singleton for [`IdSet`], `1` for [`Count`], a
+//!    seed-derived sensor reading in `[0, 1)` for the numeric folds and
+//!    the quantile sketch, the hashed node id for the distinct sketch.
+//! 2. **Conservation** — what "every datum is accounted for" means for
+//!    this family ([`DatumFamily::conserved`]). Only the families whose
+//!    aggregate determines the input multiset can check it exactly
+//!    (`IdSet`: the origin set is `{0..n}`; `Count`/`Quantile`: the count
+//!    is `n`); the lossy folds (`Sum`, `Min`, `Max`, `Distinct`) cannot
+//!    distinguish a dropped datum from an unlucky one, so they report
+//!    `true` and exact conservation checking remains the
+//!    [`ExactOrigins`] family's job.
+//! 3. **Summary** — the constant-size [`AggregateSummary`] stamped on the
+//!    [`crate::TrialResult`] ([`DatumFamily::summary`]). `None` for
+//!    [`ExactOrigins`], keeping default sweeps structurally identical to
+//!    every result produced before aggregates were selectable.
+//!
+//! Sensor readings are a pure function of `(family seed, node id)` —
+//! trial index and worker count never enter — so serial and parallel
+//! sweeps of any family stay byte-identical, the same determinism
+//! contract the interaction streams obey.
+
+use doda_core::algebra::{AggregateSummary, DistinctSketch, QuantileSketch};
+use doda_core::data::{Aggregate, Count, IdSet, MaxData, MinData, SumData};
+use doda_graph::NodeId;
+use doda_stats::rng::SeedSequence;
+
+/// Label of the sensor-reading seed stream within a family seed (keeps
+/// readings independent of the trial interaction streams, which draw
+/// sub-seeds of the same sweep seed).
+const READING_LABEL: u64 = 0xDA;
+
+/// A family of initial data for a trial: how nodes are seeded, how
+/// conservation is judged, and how the sink's final aggregate is
+/// summarised. See the [module docs](self).
+pub trait DatumFamily: Sync {
+    /// The aggregate type carried by every node.
+    type Agg: Aggregate;
+
+    /// The initial datum of node `v`.
+    fn initial(&self, v: NodeId) -> Self::Agg;
+
+    /// Whether `agg` — the sink's data merged with the fault-model's
+    /// lost/recovered bins — accounts for all `n` origins, as far as this
+    /// family can tell.
+    fn conserved(&self, agg: &Self::Agg, n: usize) -> bool;
+
+    /// The constant-size summary of the sink's final aggregate; `None`
+    /// when the family has nothing to report ([`ExactOrigins`]).
+    fn summary(&self, agg: &Self::Agg) -> Option<AggregateSummary>;
+}
+
+/// A sensor reading in `[0, 1)`: a pure function of the family seed and
+/// the node id (53 mantissa bits of the node's sub-seed).
+fn reading(seed: u64, v: NodeId) -> f64 {
+    let h = SeedSequence::new(seed)
+        .child(READING_LABEL)
+        .seed(v.index() as u64);
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The exact-conservation family: every node starts with its origin
+/// singleton and the sink must end with `{0, …, n−1}`. The default of
+/// every sweep, and the only family whose conservation check is exact at
+/// the origin granularity.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactOrigins;
+
+impl DatumFamily for ExactOrigins {
+    type Agg = IdSet;
+
+    fn initial(&self, v: NodeId) -> IdSet {
+        IdSet::singleton(v)
+    }
+
+    fn conserved(&self, agg: &IdSet, n: usize) -> bool {
+        agg.covers_all(n)
+    }
+
+    fn summary(&self, _agg: &IdSet) -> Option<AggregateSummary> {
+        None
+    }
+}
+
+/// The counting family: every node starts with `1`; the sink must end
+/// with exactly `n`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountFamily;
+
+impl DatumFamily for CountFamily {
+    type Agg = Count;
+
+    fn initial(&self, _v: NodeId) -> Count {
+        Count::unit()
+    }
+
+    fn conserved(&self, agg: &Count, n: usize) -> bool {
+        agg.covers_exactly(n)
+    }
+
+    fn summary(&self, agg: &Count) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Count { value: agg.0 })
+    }
+}
+
+/// The summing family: node `v` starts with its seed-derived reading.
+/// Sums cannot verify conservation (a lost reading is indistinguishable
+/// from a small one), so [`DatumFamily::conserved`] is trivially `true`.
+#[derive(Debug, Clone, Copy)]
+pub struct SumFamily {
+    seed: u64,
+}
+
+impl SumFamily {
+    /// A summing family whose readings derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        SumFamily { seed }
+    }
+}
+
+impl DatumFamily for SumFamily {
+    type Agg = SumData;
+
+    fn initial(&self, v: NodeId) -> SumData {
+        SumData(reading(self.seed, v))
+    }
+
+    fn conserved(&self, _agg: &SumData, _n: usize) -> bool {
+        true
+    }
+
+    fn summary(&self, agg: &SumData) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Sum { value: agg.0 })
+    }
+}
+
+/// The minimum family; conservation is trivially `true` (see
+/// [`SumFamily`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MinFamily {
+    seed: u64,
+}
+
+impl MinFamily {
+    /// A minimum family whose readings derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        MinFamily { seed }
+    }
+}
+
+impl DatumFamily for MinFamily {
+    type Agg = MinData;
+
+    fn initial(&self, v: NodeId) -> MinData {
+        MinData(reading(self.seed, v))
+    }
+
+    fn conserved(&self, _agg: &MinData, _n: usize) -> bool {
+        true
+    }
+
+    fn summary(&self, agg: &MinData) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Min { value: agg.0 })
+    }
+}
+
+/// The maximum family; conservation is trivially `true` (see
+/// [`SumFamily`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MaxFamily {
+    seed: u64,
+}
+
+impl MaxFamily {
+    /// A maximum family whose readings derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        MaxFamily { seed }
+    }
+}
+
+impl DatumFamily for MaxFamily {
+    type Agg = MaxData;
+
+    fn initial(&self, v: NodeId) -> MaxData {
+        MaxData(reading(self.seed, v))
+    }
+
+    fn conserved(&self, _agg: &MaxData, _n: usize) -> bool {
+        true
+    }
+
+    fn summary(&self, agg: &MaxData) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Max { value: agg.0 })
+    }
+}
+
+/// The distinct-count family: node `v` starts with the sketch of its own
+/// id, so the sink's estimate approximates the number of distinct origins
+/// aggregated — the constant-per-node-state stand-in for [`ExactOrigins`].
+/// The estimate is approximate by construction, so conservation is
+/// trivially `true`.
+#[derive(Debug, Clone, Copy)]
+pub struct DistinctFamily {
+    seed: u64,
+}
+
+impl DistinctFamily {
+    /// A distinct-count family whose sketch hashes derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        DistinctFamily { seed }
+    }
+}
+
+impl DatumFamily for DistinctFamily {
+    type Agg = DistinctSketch;
+
+    fn initial(&self, v: NodeId) -> DistinctSketch {
+        DistinctSketch::singleton(self.seed, v.index() as u64)
+    }
+
+    fn conserved(&self, _agg: &DistinctSketch, _n: usize) -> bool {
+        true
+    }
+
+    fn summary(&self, agg: &DistinctSketch) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Distinct {
+            estimate: agg.estimate(),
+        })
+    }
+}
+
+/// The quantile family: node `v` starts with the sketch of its reading
+/// (readings live in `[0, 1)`, the sketch's bin range). The sketch counts
+/// exactly, so conservation — all `n` readings aggregated — is checkable.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantileFamily {
+    seed: u64,
+}
+
+impl QuantileFamily {
+    /// A quantile family whose readings derive from `seed`.
+    pub fn new(seed: u64) -> Self {
+        QuantileFamily { seed }
+    }
+}
+
+impl DatumFamily for QuantileFamily {
+    type Agg = QuantileSketch;
+
+    fn initial(&self, v: NodeId) -> QuantileSketch {
+        QuantileSketch::singleton(0.0, 1.0, reading(self.seed, v))
+    }
+
+    fn conserved(&self, agg: &QuantileSketch, n: usize) -> bool {
+        agg.count() == n as u64
+    }
+
+    fn summary(&self, agg: &QuantileSketch) -> Option<AggregateSummary> {
+        Some(AggregateSummary::Quantile {
+            count: agg.count(),
+            median: agg.quantile(0.5),
+            p95: agg.quantile(0.95),
+        })
+    }
+}
+
+/// The runtime-selected aggregate of a sweep ([`crate::Sweep::aggregate`]):
+/// which [`DatumFamily`] seeds the trials. Defaults to [`IdSet`] — the
+/// exact-conservation family every existing sweep runs — so selecting
+/// nothing changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AggregateKind {
+    /// [`ExactOrigins`]: exact origin sets, `O(n)` state at the sink.
+    #[default]
+    IdSet,
+    /// [`CountFamily`]: exact population count, `O(1)` state.
+    Count,
+    /// [`SumFamily`]: sum of seed-derived readings, `O(1)` state.
+    Sum,
+    /// [`MinFamily`]: minimum reading (total order), `O(1)` state.
+    Min,
+    /// [`MaxFamily`]: maximum reading (total order), `O(1)` state.
+    Max,
+    /// [`DistinctFamily`]: approximate distinct-origin count, `O(1)`
+    /// state per node.
+    Distinct,
+    /// [`QuantileFamily`]: approximate reading quantiles plus an exact
+    /// count, `O(1)` state per node.
+    Quantile,
+}
+
+impl AggregateKind {
+    /// The sweep-facing label (the `aggregate` column of bench grids).
+    pub fn label(self) -> &'static str {
+        match self {
+            AggregateKind::IdSet => "id-set",
+            AggregateKind::Count => "count",
+            AggregateKind::Sum => "sum",
+            AggregateKind::Min => "min",
+            AggregateKind::Max => "max",
+            AggregateKind::Distinct => "distinct",
+            AggregateKind::Quantile => "quantile",
+        }
+    }
+}
+
+impl std::fmt::Display for AggregateKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn readings_are_deterministic_in_range_and_seed_sensitive() {
+        for v in 0..64 {
+            let r = reading(7, NodeId(v));
+            assert!((0.0..1.0).contains(&r));
+            assert_eq!(r, reading(7, NodeId(v)));
+            assert_ne!(r, reading(8, NodeId(v)));
+        }
+    }
+
+    #[test]
+    fn exact_families_check_conservation_exactly() {
+        let origins = ExactOrigins;
+        let mut set = origins.initial(NodeId(0));
+        set.merge(origins.initial(NodeId(1)));
+        assert!(origins.conserved(&set, 2));
+        assert!(!origins.conserved(&set, 3));
+
+        let counts = CountFamily;
+        let mut count = counts.initial(NodeId(0));
+        count.merge(counts.initial(NodeId(1)));
+        assert!(counts.conserved(&count, 2));
+        assert!(!counts.conserved(&count, 3));
+
+        let quantiles = QuantileFamily::new(1);
+        let mut q = quantiles.initial(NodeId(0));
+        q.merge(quantiles.initial(NodeId(1)));
+        assert!(quantiles.conserved(&q, 2));
+        assert!(!quantiles.conserved(&q, 3));
+    }
+
+    #[test]
+    fn summaries_report_the_aggregated_value() {
+        let family = DistinctFamily::new(3);
+        let mut sketch = family.initial(NodeId(0));
+        for v in 1..50 {
+            sketch.merge(family.initial(NodeId(v)));
+        }
+        let Some(AggregateSummary::Distinct { estimate }) = family.summary(&sketch) else {
+            panic!("distinct family must summarise");
+        };
+        assert!((estimate - 50.0).abs() / 50.0 < 0.25);
+
+        assert_eq!(ExactOrigins.summary(&IdSet::singleton(NodeId(0))), None);
+    }
+}

@@ -45,6 +45,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod datum;
 pub mod runner;
 pub mod scenario;
 pub mod spec;
@@ -52,6 +53,10 @@ pub mod sweep;
 pub mod table;
 pub mod trial;
 
+pub use datum::{
+    AggregateKind, CountFamily, DatumFamily, DistinctFamily, ExactOrigins, MaxFamily, MinFamily,
+    QuantileFamily, SumFamily,
+};
 #[allow(deprecated)]
 pub use runner::{
     run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
@@ -60,11 +65,13 @@ pub use scenario::{FaultedScenario, Scenario};
 pub use spec::{AlgorithmSpec, KnowledgeRequirement};
 pub use sweep::{ExecutionTier, Sweep};
 pub use trial::{
-    finish_trial, run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
+    finish_trial, finish_trial_with, run_trial_on_sequence, FaultInjection, TrialConfig,
+    TrialResult, TrialRunner,
 };
 
 /// Commonly used items for examples and benches.
 pub mod prelude {
+    pub use crate::datum::{AggregateKind, DatumFamily, ExactOrigins};
     #[allow(deprecated)]
     pub use crate::runner::{
         run_batch, run_batch_detailed, run_scenario_trials, run_trials, BatchConfig, BatchResult,
@@ -74,6 +81,7 @@ pub mod prelude {
     pub use crate::sweep::{ExecutionTier, Sweep};
     pub use crate::table::{markdown_table, Table};
     pub use crate::trial::{
-        finish_trial, run_trial_on_sequence, FaultInjection, TrialConfig, TrialResult, TrialRunner,
+        finish_trial, finish_trial_with, run_trial_on_sequence, FaultInjection, TrialConfig,
+        TrialResult, TrialRunner,
     };
 }

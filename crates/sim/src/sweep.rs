@@ -55,6 +55,10 @@ use doda_core::{InteractionSequence, InteractionSource};
 use doda_stats::rng::SeedSequence;
 use doda_workloads::Workload;
 
+use crate::datum::{
+    AggregateKind, CountFamily, DatumFamily, DistinctFamily, MaxFamily, MinFamily, QuantileFamily,
+    SumFamily,
+};
 use crate::runner::{shard, summarize, BatchConfig, BatchResult};
 use crate::scenario::FaultedScenario;
 use crate::spec::AlgorithmSpec;
@@ -153,6 +157,7 @@ pub struct Sweep<'a> {
     tier: ExecutionTier,
     lane_width: usize,
     cluster_size: Option<usize>,
+    aggregate: AggregateKind,
 }
 
 impl<'a> Sweep<'a> {
@@ -182,6 +187,7 @@ impl<'a> Sweep<'a> {
             tier: ExecutionTier::Auto,
             lane_width: MAX_LANES,
             cluster_size: None,
+            aggregate: AggregateKind::IdSet,
         }
     }
 
@@ -260,6 +266,22 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Selects the aggregate the trials carry (default
+    /// [`AggregateKind::IdSet`], the exact-conservation datum — selecting
+    /// nothing keeps every sweep byte-identical to the pre-algebra
+    /// behaviour). Non-default kinds seed each node from the matching
+    /// [`DatumFamily`] (readings derive from [`Sweep::seed`]) and stamp an
+    /// [`doda_core::algebra::AggregateSummary`] on every result.
+    ///
+    /// The lane tier tracks ownership bits only, never aggregates, so
+    /// non-default kinds run the scalar tiers: [`ExecutionTier::Auto`]
+    /// resolves what would be a lane sweep to the streamed path instead,
+    /// and forcing [`ExecutionTier::Lanes`] panics at [`Sweep::run`].
+    pub fn aggregate(mut self, kind: AggregateKind) -> Self {
+        self.aggregate = kind;
+        self
+    }
+
     /// Copies the batch shape (`n`, `trials`, `horizon`, `seed`,
     /// `parallel`) from a legacy [`BatchConfig`].
     pub fn config(self, config: &BatchConfig) -> Self {
@@ -281,10 +303,10 @@ impl<'a> Sweep<'a> {
     /// Panics when a forced tier is inadmissible, with the same message
     /// [`Sweep::run`] would produce.
     pub fn path_label(&self) -> &'static str {
-        let path = match &self.family {
+        let path = self.demote_lanes(match &self.family {
             Family::Scenario(scenario) => self.resolve_scenario_path(scenario),
             Family::Workload(_) => self.resolve_workload_path(),
-        };
+        });
         match path {
             Path::Materialized => "materialized",
             Path::Streamed => "streamed",
@@ -301,14 +323,51 @@ impl<'a> Sweep<'a> {
     ///
     /// Panics on inadmissible combinations — an adaptive scenario with a
     /// knowledge-based spec, an invalid fault plan, a forced tier the
-    /// family or spec cannot take (see [`ExecutionTier`]), a scenario
-    /// sweep without [`Sweep::n`], or a workload sweep whose explicit `n`
-    /// mismatches the workload — and if a worker thread panics.
+    /// family, spec or [`Sweep::aggregate`] cannot take (see
+    /// [`ExecutionTier`]), a scenario sweep without [`Sweep::n`], or a
+    /// workload sweep whose explicit `n` mismatches the workload — and if
+    /// a worker thread panics.
     pub fn run(&self) -> Vec<TrialResult> {
-        match self.family {
-            Family::Scenario(scenario) => self.run_scenario(scenario),
-            Family::Workload(workload) => self.run_workload(workload),
+        // The default kind keeps the original monomorphic path: existing
+        // sweeps compile to exactly the code they ran before aggregates
+        // became selectable.
+        match self.aggregate {
+            AggregateKind::IdSet => match self.family {
+                Family::Scenario(scenario) => self.run_scenario(scenario),
+                Family::Workload(workload) => self.run_workload(workload),
+            },
+            AggregateKind::Count => self.run_family(&CountFamily),
+            AggregateKind::Sum => self.run_family(&SumFamily::new(self.seed)),
+            AggregateKind::Min => self.run_family(&MinFamily::new(self.seed)),
+            AggregateKind::Max => self.run_family(&MaxFamily::new(self.seed)),
+            AggregateKind::Distinct => self.run_family(&DistinctFamily::new(self.seed)),
+            AggregateKind::Quantile => self.run_family(&QuantileFamily::new(self.seed)),
         }
+    }
+
+    /// Runs a non-default datum family through the generic trial surface.
+    fn run_family<D: DatumFamily>(&self, datum: &D) -> Vec<TrialResult> {
+        match self.family {
+            Family::Scenario(scenario) => self.run_scenario_with(scenario, datum),
+            Family::Workload(workload) => self.run_workload_with(workload, datum),
+        }
+    }
+
+    /// Applies the aggregate-kind constraint to a resolved path: the lane
+    /// tier steps ownership bits only — no aggregate state exists in its
+    /// SoA lanes — so non-default kinds run the streamed path instead
+    /// (under [`ExecutionTier::Auto`]) or refuse a forced lane tier.
+    fn demote_lanes(&self, path: Path) -> Path {
+        if path != Path::Lanes || self.aggregate == AggregateKind::IdSet {
+            return path;
+        }
+        assert!(
+            self.tier != ExecutionTier::Lanes,
+            "the lane tier tracks no aggregates; aggregate '{}' sweeps run \
+             the scalar tiers",
+            self.aggregate
+        );
+        Path::Streamed
     }
 
     /// Runs the sweep and summarises it, returning the summary together
@@ -610,6 +669,178 @@ impl<'a> Sweep<'a> {
             }
             Path::Lanes => {
                 self.run_lanes_sharded(horizon, |trial_seed| workload.source(trial_seed))
+            }
+            Path::Rounds => unreachable!("resolve_workload_path rejects the round tier"),
+            Path::Hierarchical => {
+                unreachable!("resolve_workload_path rejects the hierarchical tier")
+            }
+        }
+    }
+
+    /// [`Sweep::run_scenario`] for a non-default datum family: identical
+    /// resolution and seeding, with the lane path demoted to streamed
+    /// ([`Sweep::demote_lanes`]) and every trial routed through the
+    /// generic `_with` surface of [`TrialRunner`].
+    fn run_scenario_with<D: DatumFamily>(
+        &self,
+        scenario: FaultedScenario,
+        datum: &D,
+    ) -> Vec<TrialResult> {
+        assert!(
+            scenario.supports(self.spec),
+            "scenario '{scenario}' is adaptive: {} requires {} knowledge, which would \
+             need materialising a stream that depends on the execution itself",
+            self.spec,
+            self.spec.knowledge()
+        );
+        let n = self.resolved_n();
+        scenario
+            .validate(n)
+            .unwrap_or_else(|e| panic!("invalid fault plan for scenario '{scenario}': {e}"));
+        let seeds = SeedSequence::new(self.seed);
+        let horizon = self.horizon_len(n);
+        let spec = self.spec;
+
+        match self.demote_lanes(self.resolve_scenario_path(&scenario)) {
+            Path::Materialized => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut seq = InteractionSequence::new(n);
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    let mut source = scenario.base.source(n, trial_seed);
+                    seq.fill_from(source.as_mut(), horizon);
+                    let trial_config = TrialConfig {
+                        fault: scenario.fault_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    results.push(runner.run_with(spec, &seq, &trial_config, datum));
+                }
+                results
+            }),
+            Path::Streamed => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    let trial_config = TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        fault: scenario.fault_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    let mut source = scenario.base.source(n, trial_seed);
+                    results.push(runner.run_streamed_with(
+                        spec,
+                        source.as_mut(),
+                        &trial_config,
+                        datum,
+                    ));
+                }
+                results
+            }),
+            Path::Rounds => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut results = Vec::with_capacity(range.len());
+                let trial_config = TrialConfig {
+                    max_interactions: Some(horizon as u64),
+                    ..TrialConfig::default()
+                };
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    let mut rounds = scenario
+                        .base
+                        .round_source(n, trial_seed)
+                        .expect("the round path only resolves for round scenarios");
+                    results.push(runner.run_rounds_with(
+                        spec,
+                        rounds.as_mut(),
+                        &trial_config,
+                        datum,
+                    ));
+                }
+                results
+            }),
+            Path::Lanes => {
+                unreachable!("demote_lanes rejects the lane tier for non-default aggregates")
+            }
+            Path::Hierarchical => {
+                let k = self
+                    .cluster_size
+                    .unwrap_or_else(|| (n as f64).sqrt().ceil() as usize)
+                    .max(1);
+                shard(self.trials, self.parallel, |range| {
+                    let mut runner = TrialRunner::new();
+                    let mut results = Vec::with_capacity(range.len());
+                    let trial_config = TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        ..TrialConfig::default()
+                    };
+                    for trial in range {
+                        let trial_seed = seeds.seed(trial as u64);
+                        results.push(runner.run_hierarchical_with(
+                            spec,
+                            &scenario.base,
+                            n,
+                            k,
+                            trial_seed,
+                            &trial_config,
+                            datum,
+                        ));
+                    }
+                    results
+                })
+            }
+        }
+    }
+
+    /// [`Sweep::run_workload`] for a non-default datum family; see
+    /// [`Sweep::run_scenario_with`].
+    fn run_workload_with<D: DatumFamily>(
+        &self,
+        workload: &(dyn Workload + Sync),
+        datum: &D,
+    ) -> Vec<TrialResult> {
+        let n = self.resolved_n();
+        let seeds = SeedSequence::new(self.seed);
+        let horizon = self.horizon_len(n);
+        let spec = self.spec;
+
+        match self.demote_lanes(self.resolve_workload_path()) {
+            Path::Materialized => {
+                let trial_config = TrialConfig::default();
+                shard(self.trials, self.parallel, |range| {
+                    let mut runner = TrialRunner::new();
+                    let mut seq = InteractionSequence::new(n);
+                    let mut results = Vec::with_capacity(range.len());
+                    for trial in range {
+                        workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
+                        results.push(runner.run_with(spec, &seq, &trial_config, datum));
+                    }
+                    results
+                })
+            }
+            Path::Streamed => {
+                let trial_config = TrialConfig {
+                    max_interactions: Some(horizon as u64),
+                    ..TrialConfig::default()
+                };
+                shard(self.trials, self.parallel, |range| {
+                    let mut runner = TrialRunner::new();
+                    let mut results = Vec::with_capacity(range.len());
+                    for trial in range {
+                        let mut source = workload.source(seeds.seed(trial as u64));
+                        results.push(runner.run_streamed_with(
+                            spec,
+                            source.as_mut(),
+                            &trial_config,
+                            datum,
+                        ));
+                    }
+                    results
+                })
+            }
+            Path::Lanes => {
+                unreachable!("demote_lanes rejects the lane tier for non-default aggregates")
             }
             Path::Rounds => unreachable!("resolve_workload_path rejects the round tier"),
             Path::Hierarchical => {

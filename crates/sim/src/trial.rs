@@ -9,6 +9,7 @@
 //! future. [`run_trial_on_sequence`] remains as a stateless convenience
 //! for one-off trials.
 
+use doda_core::algebra::AggregateSummary;
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::data::{Aggregate, IdSet};
 use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig, RunStats};
@@ -21,6 +22,7 @@ use doda_core::{InteractionSequence, InteractionSource, Time};
 use doda_graph::NodeId;
 use doda_stats::rng::SeedSequence;
 
+use crate::datum::{DatumFamily, ExactOrigins};
 use crate::scenario::Scenario;
 use crate::spec::AlgorithmSpec;
 
@@ -118,6 +120,12 @@ pub struct TrialResult {
     pub faults: FaultTally,
     /// The paper's cost, when requested.
     pub cost: Option<Cost>,
+    /// The constant-size summary of the sink's final aggregate, for
+    /// sweeps running a real aggregation function
+    /// ([`crate::AggregateKind`] other than the default). `None` on the
+    /// default exact-origins family, so existing sweeps are structurally
+    /// unchanged.
+    pub aggregate: Option<AggregateSummary>,
 }
 
 impl TrialResult {
@@ -145,13 +153,26 @@ impl TrialResult {
 /// Holds the zero-allocation [`Engine`] scratch so that consecutive trials
 /// (the Monte-Carlo sweeps of Sections 4–5) reuse one set of allocations.
 /// The sharded batch runner keeps one `TrialRunner` per worker thread.
-#[derive(Debug, Default)]
-pub struct TrialRunner {
-    engine: Engine<IdSet>,
+///
+/// The runner is generic over the [`Aggregate`] the nodes carry,
+/// defaulting to [`IdSet`] — the exact-conservation datum every
+/// pre-algebra sweep ran. The inherent methods without a `_with` suffix
+/// live on `TrialRunner<IdSet>` and behave exactly as before; the
+/// `_with` methods take a [`DatumFamily`] and run any aggregate
+/// ([`crate::Sweep::aggregate`] is the sweep-facing selector).
+#[derive(Debug)]
+pub struct TrialRunner<A: Aggregate = IdSet> {
+    engine: Engine<A>,
     lanes: LaneEngine,
 }
 
-impl TrialRunner {
+impl<A: Aggregate> Default for TrialRunner<A> {
+    fn default() -> Self {
+        TrialRunner::new()
+    }
+}
+
+impl<A: Aggregate> TrialRunner<A> {
     /// Creates a runner with empty scratch.
     pub fn new() -> Self {
         TrialRunner {
@@ -160,6 +181,192 @@ impl TrialRunner {
         }
     }
 
+    /// Runs `spec` over a concrete, pre-materialised sequence with the
+    /// given datum family, reusing this runner's scratch. The generic
+    /// form of [`TrialRunner::run`], which documents the fault/oracle
+    /// staleness semantics and the panic conditions.
+    pub fn run_with<D>(
+        &mut self,
+        spec: AlgorithmSpec,
+        seq: &InteractionSequence,
+        config: &TrialConfig,
+        family: &D,
+    ) -> TrialResult
+    where
+        D: DatumFamily<Agg = A>,
+    {
+        assert!(
+            !(config.compute_cost && config.fault.is_some()),
+            "the paper's cost function is defined over the committed fault-free \
+             sequence; a faulted execution's termination time indexes the engine \
+             clock (schedule + fault events), so its cost is undefined"
+        );
+        let n = seq.node_count();
+        let sink = config.sink;
+        let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
+        let engine_config = EngineConfig::sweep(max_interactions);
+        let Some(mut algorithm) = spec.instantiate(seq, sink) else {
+            // Spanning tree over a disconnected underlying graph: no
+            // algorithm could aggregate on this sequence; report a
+            // non-terminated trial.
+            return TrialResult {
+                algorithm: spec.label().to_string(),
+                n,
+                termination_time: None,
+                interactions_processed: 0,
+                transmissions: 0,
+                ignored_decisions: 0,
+                data_conserved: false,
+                completion: Completion::Starved,
+                faults: FaultTally::default(),
+                cost: None,
+                aggregate: None,
+            };
+        };
+        let stats = match config.fault {
+            None => self.engine.run(
+                algorithm.as_mut(),
+                &mut seq.stream(false),
+                sink,
+                |v| family.initial(v),
+                engine_config,
+                &mut DiscardTransmissions,
+            ),
+            Some(injection) => {
+                // The oracles above were built from the base sequence (the
+                // committed schedule); only execution sees the faults.
+                let mut faulted =
+                    FaultedSource::new(seq.stream(false), injection.profile, injection.seed)
+                        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                self.engine.run(
+                    algorithm.as_mut(),
+                    &mut faulted,
+                    sink,
+                    |v| family.initial(v),
+                    engine_config,
+                    &mut DiscardTransmissions,
+                )
+            }
+        }
+        .expect("the provided algorithms never emit structurally invalid decisions");
+        let cost = config
+            .compute_cost
+            .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
+        self.finish_with(spec, family, stats, cost)
+    }
+
+    /// Runs `spec` **streamed** with the given datum family. The generic
+    /// form of [`TrialRunner::run_streamed`], which documents the
+    /// budget/cost semantics and the panic conditions.
+    pub fn run_streamed_with<S, D>(
+        &mut self,
+        spec: AlgorithmSpec,
+        source: &mut S,
+        config: &TrialConfig,
+        family: &D,
+    ) -> TrialResult
+    where
+        S: InteractionSource + ?Sized,
+        D: DatumFamily<Agg = A>,
+    {
+        assert!(
+            !config.compute_cost,
+            "the paper's cost function needs the materialised sequence; \
+             streamed trials cannot compute it"
+        );
+        let sink = config.sink;
+        let max_interactions = config
+            .max_interactions
+            .unwrap_or(EngineConfig::default().max_interactions);
+        let Some(mut algorithm) = spec.instantiate_online() else {
+            panic!(
+                "{spec} requires {} knowledge and cannot run streamed; \
+                 materialise the source and use TrialRunner::run",
+                spec.knowledge()
+            );
+        };
+        let engine_config = EngineConfig::sweep(max_interactions);
+        let stats = match config.fault {
+            None => self.engine.run(
+                algorithm.as_mut(),
+                source,
+                sink,
+                |v| family.initial(v),
+                engine_config,
+                &mut DiscardTransmissions,
+            ),
+            Some(injection) => {
+                let mut faulted = FaultedSource::new(source, injection.profile, injection.seed)
+                    .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                self.engine.run(
+                    algorithm.as_mut(),
+                    &mut faulted,
+                    sink,
+                    |v| family.initial(v),
+                    engine_config,
+                    &mut DiscardTransmissions,
+                )
+            }
+        }
+        .expect("the provided algorithms never emit structurally invalid decisions");
+        self.finish_with(spec, family, stats, None)
+    }
+
+    /// Runs `spec` over a **round** stream with the given datum family.
+    /// The generic form of [`TrialRunner::run_rounds`], which documents
+    /// the budget semantics and the panic conditions.
+    pub fn run_rounds_with<R, D>(
+        &mut self,
+        spec: AlgorithmSpec,
+        rounds: &mut R,
+        config: &TrialConfig,
+        family: &D,
+    ) -> TrialResult
+    where
+        R: RoundSource + ?Sized,
+        D: DatumFamily<Agg = A>,
+    {
+        assert!(
+            !config.compute_cost,
+            "the paper's cost function needs a materialised sequence; \
+             round trials cannot compute it"
+        );
+        assert!(
+            config.fault.is_none(),
+            "fault plans compose over the flattened round stream \
+             (FaultedSource over FlattenedRounds, via run_streamed), not \
+             over the batched round path"
+        );
+        let sink = config.sink;
+        let max_interactions = config
+            .max_interactions
+            .unwrap_or(EngineConfig::default().max_interactions);
+        let Some(mut algorithm) = spec.instantiate_online() else {
+            panic!(
+                "{spec} requires {} knowledge and cannot run round-streamed; \
+                 materialise the flattened stream and use TrialRunner::run",
+                spec.knowledge()
+            );
+        };
+        let stats = self
+            .engine
+            .run_rounds(
+                algorithm.as_mut(),
+                rounds,
+                sink,
+                |v| family.initial(v),
+                EngineConfig::sweep(max_interactions),
+                &mut DiscardTransmissions,
+            )
+            .expect("the provided algorithms never emit structurally invalid decisions");
+        self.finish_with(spec, family, stats.run, None)
+    }
+}
+
+/// The default exact-origins surface: every method behaves exactly as it
+/// did before the runner became generic — nodes carry [`IdSet`]s, results
+/// carry no [`AggregateSummary`].
+impl TrialRunner {
     /// Runs `spec` over a concrete, pre-materialised sequence, reusing
     /// this runner's scratch.
     ///
@@ -187,63 +394,7 @@ impl TrialRunner {
         seq: &InteractionSequence,
         config: &TrialConfig,
     ) -> TrialResult {
-        assert!(
-            !(config.compute_cost && config.fault.is_some()),
-            "the paper's cost function is defined over the committed fault-free \
-             sequence; a faulted execution's termination time indexes the engine \
-             clock (schedule + fault events), so its cost is undefined"
-        );
-        let n = seq.node_count();
-        let sink = config.sink;
-        let max_interactions = config.max_interactions.unwrap_or(seq.len() as u64);
-        let engine_config = EngineConfig::sweep(max_interactions);
-        let Some(mut algorithm) = spec.instantiate(seq, sink) else {
-            // Spanning tree over a disconnected underlying graph: no
-            // algorithm could aggregate on this sequence; report a
-            // non-terminated trial.
-            return TrialResult {
-                algorithm: spec.label().to_string(),
-                n,
-                termination_time: None,
-                interactions_processed: 0,
-                transmissions: 0,
-                ignored_decisions: 0,
-                data_conserved: false,
-                completion: Completion::Starved,
-                faults: FaultTally::default(),
-                cost: None,
-            };
-        };
-        let stats = match config.fault {
-            None => self.engine.run(
-                algorithm.as_mut(),
-                &mut seq.stream(false),
-                sink,
-                IdSet::singleton,
-                engine_config,
-                &mut DiscardTransmissions,
-            ),
-            Some(injection) => {
-                // The oracles above were built from the base sequence (the
-                // committed schedule); only execution sees the faults.
-                let mut faulted =
-                    FaultedSource::new(seq.stream(false), injection.profile, injection.seed)
-                        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
-                self.engine.run(
-                    algorithm.as_mut(),
-                    &mut faulted,
-                    sink,
-                    IdSet::singleton,
-                    engine_config,
-                    &mut DiscardTransmissions,
-                )
-            }
-        }
-        .expect("the provided algorithms never emit structurally invalid decisions");
-        let cost = config
-            .compute_cost
-            .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
-        self.finish(spec, stats, cost)
+        self.run_with(spec, seq, config, &ExactOrigins)
     }
 
     /// Runs `spec` **streamed**: the engine pulls interactions straight
@@ -271,47 +422,7 @@ impl TrialRunner {
     where
         S: InteractionSource + ?Sized,
     {
-        assert!(
-            !config.compute_cost,
-            "the paper's cost function needs the materialised sequence; \
-             streamed trials cannot compute it"
-        );
-        let sink = config.sink;
-        let max_interactions = config
-            .max_interactions
-            .unwrap_or(EngineConfig::default().max_interactions);
-        let Some(mut algorithm) = spec.instantiate_online() else {
-            panic!(
-                "{spec} requires {} knowledge and cannot run streamed; \
-                 materialise the source and use TrialRunner::run",
-                spec.knowledge()
-            );
-        };
-        let engine_config = EngineConfig::sweep(max_interactions);
-        let stats = match config.fault {
-            None => self.engine.run(
-                algorithm.as_mut(),
-                source,
-                sink,
-                IdSet::singleton,
-                engine_config,
-                &mut DiscardTransmissions,
-            ),
-            Some(injection) => {
-                let mut faulted = FaultedSource::new(source, injection.profile, injection.seed)
-                    .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
-                self.engine.run(
-                    algorithm.as_mut(),
-                    &mut faulted,
-                    sink,
-                    IdSet::singleton,
-                    engine_config,
-                    &mut DiscardTransmissions,
-                )
-            }
-        }
-        .expect("the provided algorithms never emit structurally invalid decisions");
-        self.finish(spec, stats, None)
+        self.run_streamed_with(spec, source, config, &ExactOrigins)
     }
 
     /// Runs `spec` over a **round** stream: the engine pulls one matching
@@ -342,40 +453,31 @@ impl TrialRunner {
     where
         R: RoundSource + ?Sized,
     {
-        assert!(
-            !config.compute_cost,
-            "the paper's cost function needs a materialised sequence; \
-             round trials cannot compute it"
-        );
-        assert!(
-            config.fault.is_none(),
-            "fault plans compose over the flattened round stream \
-             (FaultedSource over FlattenedRounds, via run_streamed), not \
-             over the batched round path"
-        );
-        let sink = config.sink;
-        let max_interactions = config
-            .max_interactions
-            .unwrap_or(EngineConfig::default().max_interactions);
-        let Some(mut algorithm) = spec.instantiate_online() else {
-            panic!(
-                "{spec} requires {} knowledge and cannot run round-streamed; \
-                 materialise the flattened stream and use TrialRunner::run",
-                spec.knowledge()
-            );
-        };
-        let stats = self
-            .engine
-            .run_rounds(
-                algorithm.as_mut(),
-                rounds,
-                sink,
-                IdSet::singleton,
-                EngineConfig::sweep(max_interactions),
-                &mut DiscardTransmissions,
-            )
-            .expect("the provided algorithms never emit structurally invalid decisions");
-        self.finish(spec, stats.run, None)
+        self.run_rounds_with(spec, rounds, config, &ExactOrigins)
+    }
+
+    /// Runs one **hierarchical** trial with exact origin sets; the
+    /// [`IdSet`] form of [`TrialRunner::run_hierarchical_with`], which
+    /// documents the phase structure and the panic conditions.
+    pub fn run_hierarchical(
+        &mut self,
+        spec: AlgorithmSpec,
+        scenario: &Scenario,
+        n: usize,
+        target_cluster_size: usize,
+        trial_seed: u64,
+        config: &TrialConfig,
+    ) -> TrialResult {
+        let family = ExactOrigins;
+        self.run_hierarchical_with(
+            spec,
+            scenario,
+            n,
+            target_cluster_size,
+            trial_seed,
+            config,
+            &family,
+        )
     }
 
     /// Runs one trial per source through the **lane tier**
@@ -428,7 +530,9 @@ impl TrialRunner {
             .map(|stats| finish_lane(spec, stats))
             .collect()
     }
+}
 
+impl<A: Aggregate> TrialRunner<A> {
     /// Runs one **hierarchical** trial: a seeded [`ClusterPlan`] election
     /// partitions the non-sink nodes into clusters of
     /// `target_cluster_size`, each cluster aggregates toward its elected
@@ -447,8 +551,8 @@ impl TrialRunner {
     /// a fresh single-transmission allowance. All phases share one
     /// interaction budget ([`TrialConfig::max_interactions`]); the trial
     /// terminates iff every phase terminated within it, and
-    /// `data_conserved` checks that the sink's final origin set covers all
-    /// `n` global origins.
+    /// `data_conserved` checks the family's conservation criterion on the
+    /// sink's final aggregate (the exact origin cover for [`IdSet`]).
     ///
     /// # Panics
     ///
@@ -456,7 +560,8 @@ impl TrialRunner {
     /// fault plan or requests the cost function, or if
     /// `target_cluster_size` (or the aggregator count) is below the
     /// scenario's minimum node count.
-    pub fn run_hierarchical(
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_hierarchical_with<D>(
         &mut self,
         spec: AlgorithmSpec,
         scenario: &Scenario,
@@ -464,7 +569,11 @@ impl TrialRunner {
         target_cluster_size: usize,
         trial_seed: u64,
         config: &TrialConfig,
-    ) -> TrialResult {
+        family: &D,
+    ) -> TrialResult
+    where
+        D: DatumFamily<Agg = A>,
+    {
         assert!(
             !config.compute_cost,
             "the paper's cost function needs the materialised sequence; \
@@ -506,17 +615,17 @@ impl TrialRunner {
         let mut ignored = 0u64;
         let mut all_terminated = true;
         let cluster_seeds = seeds.child(HIER_CLUSTER_LABEL);
-        let mut aggregates: Vec<IdSet> = Vec::with_capacity(plan.cluster_count());
+        let mut aggregates: Vec<A> = Vec::with_capacity(plan.cluster_count());
         for c in 0..plan.cluster_count() {
             let members = plan.cluster(c);
             if members.len() == 1 {
                 // A lone aggregator has nothing to gather locally.
-                aggregates.push(IdSet::singleton(members[0]));
+                aggregates.push(family.initial(members[0]));
                 continue;
             }
             let mut source = scenario.source(members.len(), cluster_seeds.seed(c as u64));
             let stats = self.run_phase(spec, source.as_mut(), members.len(), remaining, |v| {
-                IdSet::singleton(members[v.index()])
+                family.initial(members[v.index()])
             });
             remaining = remaining.saturating_sub(stats.interactions_processed);
             interactions += stats.interactions_processed;
@@ -538,7 +647,7 @@ impl TrialRunner {
         let mut source = scenario.source(final_n, seeds.seed(HIER_FINAL_LABEL));
         let stats = self.run_phase(spec, source.as_mut(), final_n, remaining, |v| {
             if v.index() == 0 {
-                IdSet::singleton(sink)
+                family.initial(sink)
             } else {
                 aggregates[v.index() - 1].clone()
             }
@@ -548,12 +657,10 @@ impl TrialRunner {
         ignored += stats.ignored_decisions;
         all_terminated &= stats.terminated();
 
-        let data_conserved = all_terminated
-            && self
-                .engine
-                .state()
-                .data_of(NodeId(0))
-                .is_some_and(|data| data.covers_all(n));
+        let sink_data = self.engine.state().data_of(NodeId(0));
+        let data_conserved =
+            all_terminated && sink_data.is_some_and(|data| family.conserved(data, n));
+        let aggregate = sink_data.and_then(|data| family.summary(data));
         TrialResult {
             algorithm: spec.label().to_string(),
             n,
@@ -574,6 +681,7 @@ impl TrialRunner {
             },
             faults: FaultTally::default(),
             cost: None,
+            aggregate,
         }
     }
 
@@ -590,7 +698,7 @@ impl TrialRunner {
     ) -> RunStats
     where
         S: InteractionSource + ?Sized,
-        F: FnMut(NodeId) -> IdSet,
+        F: FnMut(NodeId) -> A,
     {
         debug_assert!(local_n >= 2);
         let mut algorithm = spec
@@ -609,20 +717,24 @@ impl TrialRunner {
     }
 
     /// Packages the engine counters into a [`TrialResult`]; see
-    /// [`finish_trial`].
-    fn finish(&self, spec: AlgorithmSpec, stats: RunStats, cost: Option<Cost>) -> TrialResult {
-        finish_trial(spec, &self.engine, stats, cost)
+    /// [`finish_trial_with`].
+    fn finish_with<D>(
+        &self,
+        spec: AlgorithmSpec,
+        family: &D,
+        stats: RunStats,
+        cost: Option<Cost>,
+    ) -> TrialResult
+    where
+        D: DatumFamily<Agg = A>,
+    {
+        finish_trial_with(spec, &self.engine, family, stats, cost)
     }
 }
 
 /// Packages the engine counters (plus the data-conservation check read
-/// off the engine's final state) into a [`TrialResult`].
-///
-/// Conservation under faults: at termination, the union of the sink's
-/// origin set with the lost and recovered bins must be exactly the
-/// full origin set — a datum may be aggregated or destroyed by a
-/// fault, but never silently dropped. Fault-free trials reduce to the
-/// classic "sink covers every origin".
+/// off the engine's final state) into a [`TrialResult`], for the default
+/// exact-origins family; see [`finish_trial_with`].
 ///
 /// Public so external drivers of the resumable engine surface (notably
 /// `doda-service` sessions finalising a [`doda_core::RunStats`] from
@@ -634,6 +746,29 @@ pub fn finish_trial(
     stats: RunStats,
     cost: Option<Cost>,
 ) -> TrialResult {
+    finish_trial_with(spec, engine, &ExactOrigins, stats, cost)
+}
+
+/// Packages the engine counters (plus the family's data-conservation
+/// check read off the engine's final state) into a [`TrialResult`]. The
+/// generic form of [`finish_trial`].
+///
+/// Conservation under faults: at termination, the sink's aggregate merged
+/// with the lost and recovered bins must account for every origin, as far
+/// as the family can tell ([`DatumFamily::conserved`]) — a datum may be
+/// aggregated or destroyed by a fault, but never silently dropped. The
+/// exact-origins family reduces to the classic "sink covers every
+/// origin"; fault-free trials have empty bins.
+pub fn finish_trial_with<D>(
+    spec: AlgorithmSpec,
+    engine: &Engine<D::Agg>,
+    family: &D,
+    stats: RunStats,
+    cost: Option<Cost>,
+) -> TrialResult
+where
+    D: DatumFamily,
+{
     let state = engine.state();
     let data_conserved = stats.terminated()
         && state.data_of(stats.sink).is_some_and(|data| {
@@ -644,8 +779,11 @@ pub fn finish_trial(
             if let Some(recovered) = state.recovered_data() {
                 accounted.merge(recovered.clone());
             }
-            accounted.covers_all(stats.node_count)
+            family.conserved(&accounted, stats.node_count)
         });
+    let aggregate = state
+        .data_of(stats.sink)
+        .and_then(|data| family.summary(data));
     TrialResult {
         algorithm: spec.label().to_string(),
         n: stats.node_count,
@@ -657,6 +795,7 @@ pub fn finish_trial(
         completion: stats.completion,
         faults: stats.faults,
         cost,
+        aggregate,
     }
 }
 
@@ -684,6 +823,7 @@ fn finish_lane(spec: AlgorithmSpec, stats: LaneRunStats) -> TrialResult {
         },
         faults: FaultTally::default(),
         cost: None,
+        aggregate: None,
     }
 }
 

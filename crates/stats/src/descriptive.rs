@@ -30,7 +30,11 @@ impl Descriptive {
             return None;
         }
         let mut sorted = values.to_vec();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+        // `total_cmp` instead of `partial_cmp(..).expect(..)`: the
+        // finiteness check above makes the two equivalent today, but a
+        // sort used on measurement data must stay panic-free even if
+        // that guard ever loosens.
+        sorted.sort_by(f64::total_cmp);
         let n = sorted.len() as f64;
         let mean = sorted.iter().sum::<f64>() / n;
         let variance = if sorted.len() > 1 {

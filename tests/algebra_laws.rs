@@ -1,0 +1,293 @@
+//! Property-based suite pinning the [`Aggregate`] contract for every
+//! implementation in the workspace: `merge` must be commutative and
+//! associative, and the `IDEMPOTENT` / `DUPLICATE_INSENSITIVE` markers
+//! must describe behaviour the type actually has — the laws that make a
+//! value safe to aggregate in whatever order a dynamic graph delivers it.
+//!
+//! NaN is in scope on purpose. `MinData`/`MaxData` used to be built on
+//! `f64::min`/`max`, which return the non-NaN operand and therefore make
+//! `merge(NaN, x) != merge(x, NaN)` — a silent commutativity violation
+//! the total-order semantics ([`f64::total_cmp`]) repair. The strategies
+//! here draw raw bit patterns, both NaN signs, infinities and signed
+//! zeros so that regression cannot reopen. The vendored proptest has no
+//! floating-point strategies, so every float is derived from integer
+//! draws via `prop_map` (the `fault_model_properties.rs` idiom).
+
+use doda::core::algebra::{Aggregate, DistinctSketch, QuantileSketch};
+use doda::core::data::{Count, IdSet, MaxData, MinData, SumData};
+use doda::graph::NodeId;
+use doda::stats::rng::SeedSequence;
+use proptest::prelude::*;
+
+/// Out-of-place `merge`, so laws read as equations.
+fn merged<A: Aggregate>(mut a: A, b: A) -> A {
+    a.merge(b);
+    a
+}
+
+/// Every f64, not just the friendly ones: raw bit patterns plus extra
+/// weight on the values that break naive float code — both NaN signs,
+/// both infinities, both zeros.
+fn full_f64() -> impl Strategy<Value = f64> {
+    (0u8..12, 0u64..u64::MAX).prop_map(|(kind, bits)| match kind {
+        0 => f64::NAN,
+        1 => -f64::NAN,
+        2 => f64::INFINITY,
+        3 => f64::NEG_INFINITY,
+        4 => 0.0,
+        5 => -0.0,
+        _ => f64::from_bits(bits),
+    })
+}
+
+/// Dyadic rationals (multiples of 1/64 below 2^20): exactly
+/// representable, with exactly representable sums, so the `SumData` laws
+/// can be asserted bit-for-bit. On arbitrary floats `+` associates only
+/// up to rounding, and on two NaN operands it is not even
+/// bit-commutative (the result inherits one operand's payload) — which
+/// is why the sensor families only ever feed `SumData` finite readings.
+fn dyadic_f64() -> impl Strategy<Value = f64> {
+    (-67_108_864i64..67_108_864).prop_map(|v| v as f64 / 64.0)
+}
+
+/// Sensor-style readings in `[0, 1)`.
+fn unit_reading() -> impl Strategy<Value = f64> {
+    (0u32..1_000_000).prop_map(|v| f64::from(v) / 1_000_000.0)
+}
+
+/// Readings including the hostile cases a [`QuantileSketch`] must absorb
+/// into its edge bins: NaN, infinities, values outside `[lo, hi)`.
+fn hostile_reading() -> impl Strategy<Value = f64> {
+    (0u8..12, 0u32..1_000_000).prop_map(|(kind, v)| match kind {
+        0 => f64::NAN,
+        1 => f64::INFINITY,
+        2 => f64::NEG_INFINITY,
+        3 => 42.0,
+        4 => -42.0,
+        _ => f64::from(v) / 1_000_000.0,
+    })
+}
+
+/// Folds items into one [`DistinctSketch`] in slice order.
+fn distinct_of(seed: u64, items: &[u64]) -> DistinctSketch {
+    let mut sketch = DistinctSketch::singleton(seed, items[0]);
+    for &item in &items[1..] {
+        sketch.merge(DistinctSketch::singleton(seed, item));
+    }
+    sketch
+}
+
+/// Folds readings into one [`QuantileSketch`] over `[0, 1)` in slice order.
+fn quantile_of(readings: &[f64]) -> QuantileSketch {
+    let mut sketch = QuantileSketch::singleton(0.0, 1.0, readings[0]);
+    for &reading in &readings[1..] {
+        sketch.merge(QuantileSketch::singleton(0.0, 1.0, reading));
+    }
+    sketch
+}
+
+/// Deterministic Fisher–Yates permutation driven by [`SeedSequence`] —
+/// the merge orders a dynamic graph could deliver, reproducibly.
+fn shuffled<T: Clone>(items: &[T], seed: u64) -> Vec<T> {
+    let seq = SeedSequence::new(seed);
+    let mut out = items.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (seq.seed(i as u64) as usize) % (i + 1);
+        out.swap(i, j);
+    }
+    out
+}
+
+#[test]
+// The whole point is pinning compile-time constants: a PR flipping a
+// marker must fail this test, not silently change delivery semantics.
+#[allow(clippy::assertions_on_constants)]
+fn marker_claims_match_the_type_semantics() {
+    // Order-like aggregates absorb both re-merges and re-deliveries.
+    assert!(MinData::IDEMPOTENT && MinData::DUPLICATE_INSENSITIVE);
+    assert!(MaxData::IDEMPOTENT && MaxData::DUPLICATE_INSENSITIVE);
+    assert!(IdSet::IDEMPOTENT && IdSet::DUPLICATE_INSENSITIVE);
+    assert!(DistinctSketch::IDEMPOTENT && DistinctSketch::DUPLICATE_INSENSITIVE);
+    // Additive aggregates double-count by construction and must not
+    // claim otherwise — the service relies on these being `false` to
+    // refuse at-least-once transports for them.
+    assert!(!Count::IDEMPOTENT && !Count::DUPLICATE_INSENSITIVE);
+    assert!(!SumData::IDEMPOTENT && !SumData::DUPLICATE_INSENSITIVE);
+    assert!(!QuantileSketch::IDEMPOTENT && !QuantileSketch::DUPLICATE_INSENSITIVE);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `Count` is the free commutative monoid on one generator: merge
+    /// is exactly `+` on `u64`.
+    #[test]
+    fn count_merge_is_commutative_and_associative(
+        a in 0u64..1 << 32,
+        b in 0u64..1 << 32,
+        c in 0u64..1 << 32,
+    ) {
+        let (a, b, c) = (Count(a), Count(b), Count(c));
+        prop_assert_eq!(merged(a, b), merged(b, a));
+        prop_assert_eq!(merged(merged(a, b), c), merged(a, merged(b, c)));
+    }
+
+    /// On dyadic readings `SumData` is exact, so the laws hold
+    /// bit-for-bit (see [`dyadic_f64`] for why not arbitrary floats).
+    #[test]
+    fn sum_merge_is_commutative_and_associative_on_exact_readings(
+        a in dyadic_f64(),
+        b in dyadic_f64(),
+        c in dyadic_f64(),
+    ) {
+        let (a, b, c) = (SumData(a), SumData(b), SumData(c));
+        prop_assert_eq!(merged(a, b).0.to_bits(), merged(b, a).0.to_bits());
+        prop_assert_eq!(
+            merged(merged(a, b), c).0.to_bits(),
+            merged(a, merged(b, c)).0.to_bits()
+        );
+    }
+
+    /// The total-order min/max laws hold for *every* bit pattern — the
+    /// regression this PR exists for. Under `f64::min`-based merge the
+    /// commutativity case fails the moment one operand is NaN.
+    #[test]
+    fn min_max_merge_laws_hold_for_every_bit_pattern(
+        a in full_f64(),
+        b in full_f64(),
+        c in full_f64(),
+    ) {
+        let (ma, mb, mc) = (MinData(a), MinData(b), MinData(c));
+        prop_assert_eq!(merged(ma, mb).0.to_bits(), merged(mb, ma).0.to_bits());
+        prop_assert_eq!(
+            merged(merged(ma, mb), mc).0.to_bits(),
+            merged(ma, merged(mb, mc)).0.to_bits()
+        );
+        prop_assert_eq!(merged(ma, ma).0.to_bits(), ma.0.to_bits());
+
+        let (xa, xb, xc) = (MaxData(a), MaxData(b), MaxData(c));
+        prop_assert_eq!(merged(xa, xb).0.to_bits(), merged(xb, xa).0.to_bits());
+        prop_assert_eq!(
+            merged(merged(xa, xb), xc).0.to_bits(),
+            merged(xa, merged(xb, xc)).0.to_bits()
+        );
+        prop_assert_eq!(merged(xa, xa).0.to_bits(), xa.0.to_bits());
+    }
+
+    /// `IdSet` is set union: all four laws, including absorption of
+    /// duplicate origins (the property exact conservation checks lean on).
+    #[test]
+    fn id_set_merge_is_a_semilattice(
+        a in prop::collection::vec(0usize..64, 1..20),
+        b in prop::collection::vec(0usize..64, 1..20),
+        c in prop::collection::vec(0usize..64, 1..20),
+    ) {
+        let of = |ids: &[usize]| {
+            let mut set = IdSet::singleton(NodeId(ids[0]));
+            for &id in &ids[1..] {
+                set.merge(IdSet::singleton(NodeId(id)));
+            }
+            set
+        };
+        let (a, b, c) = (of(&a), of(&b), of(&c));
+        prop_assert_eq!(merged(a.clone(), b.clone()), merged(b.clone(), a.clone()));
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), c.clone()),
+            merged(a.clone(), merged(b.clone(), c.clone()))
+        );
+        prop_assert_eq!(merged(a.clone(), a.clone()), a.clone());
+        // Duplicate delivery of b's origins changes nothing.
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), b.clone()),
+            merged(a, b)
+        );
+    }
+
+    /// Distinct sketches form a semilattice (register max), so merge is
+    /// commutative, associative, idempotent and duplicate-insensitive —
+    /// at the *representation* level, not only the estimate.
+    #[test]
+    fn distinct_sketch_merge_is_a_semilattice(
+        seed in 0u64..1 << 48,
+        a in prop::collection::vec(0u64..1 << 48, 1..32),
+        b in prop::collection::vec(0u64..1 << 48, 1..32),
+        c in prop::collection::vec(0u64..1 << 48, 1..32),
+    ) {
+        let (a, b, c) = (distinct_of(seed, &a), distinct_of(seed, &b), distinct_of(seed, &c));
+        prop_assert_eq!(merged(a.clone(), b.clone()), merged(b.clone(), a.clone()));
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), c.clone()),
+            merged(a.clone(), merged(b.clone(), c.clone()))
+        );
+        prop_assert_eq!(merged(a.clone(), a.clone()), a.clone());
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), b.clone()),
+            merged(a, b)
+        );
+    }
+
+    /// Re-inserting an item a sketch has already seen never moves the
+    /// estimate — the duplicate-insensitivity that lets gossip
+    /// retransmit without double-counting.
+    #[test]
+    fn distinct_sketch_absorbs_duplicate_items(
+        seed in 0u64..1 << 48,
+        items in prop::collection::vec(0u64..64, 1..32),
+    ) {
+        let once = distinct_of(seed, &items);
+        let mut twice = items.clone();
+        twice.extend_from_slice(&items);
+        prop_assert_eq!(once, distinct_of(seed, &twice));
+    }
+
+    /// The estimate is a pure function of the item *set*: any seeded
+    /// permutation of the merge order yields the same sketch and the
+    /// same estimate, bit for bit.
+    #[test]
+    fn distinct_estimate_is_merge_order_invariant(
+        seed in 0u64..1 << 48,
+        order_seed in 0u64..1 << 48,
+        items in prop::collection::vec(0u64..1 << 48, 2..48),
+    ) {
+        let forward = distinct_of(seed, &items);
+        let permuted = distinct_of(seed, &shuffled(&items, order_seed));
+        prop_assert_eq!(&forward, &permuted);
+        prop_assert_eq!(forward.estimate().to_bits(), permuted.estimate().to_bits());
+    }
+
+    /// Quantile sketches add bin counts exactly, so merge is commutative
+    /// and associative at the representation level (on finite in-range
+    /// readings, where the histogram state derives `PartialEq` cleanly).
+    #[test]
+    fn quantile_sketch_merge_is_commutative_and_associative(
+        a in prop::collection::vec(unit_reading(), 1..24),
+        b in prop::collection::vec(unit_reading(), 1..24),
+        c in prop::collection::vec(unit_reading(), 1..24),
+    ) {
+        let (a, b, c) = (quantile_of(&a), quantile_of(&b), quantile_of(&c));
+        prop_assert_eq!(merged(a.clone(), b.clone()), merged(b.clone(), a.clone()));
+        prop_assert_eq!(
+            merged(merged(a.clone(), b.clone()), c.clone()),
+            merged(a.clone(), merged(b.clone(), c.clone()))
+        );
+    }
+
+    /// Merge-order invariance of the reported quantiles, under hostile
+    /// readings too: NaN and out-of-range values clamp into edge bins
+    /// the same way regardless of arrival order, and the count, extrema
+    /// and quantiles come out bit-identical.
+    #[test]
+    fn quantile_estimates_are_merge_order_invariant(
+        order_seed in 0u64..1 << 48,
+        readings in prop::collection::vec(hostile_reading(), 2..48),
+    ) {
+        let forward = quantile_of(&readings);
+        let permuted = quantile_of(&shuffled(&readings, order_seed));
+        prop_assert_eq!(forward.count(), permuted.count());
+        prop_assert_eq!(forward.min().to_bits(), permuted.min().to_bits());
+        prop_assert_eq!(forward.max().to_bits(), permuted.max().to_bits());
+        for q in [0.0, 0.25, 0.5, 0.95, 1.0] {
+            prop_assert_eq!(forward.quantile(q).to_bits(), permuted.quantile(q).to_bits());
+        }
+    }
+}
