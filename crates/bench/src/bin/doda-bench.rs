@@ -22,7 +22,15 @@
 //! doda-bench --service-guard         # 1000 sessions over the loopback wire
 //! doda-bench --scale-guard           # O(n) memory + throughput at n = 10^6
 //! doda-bench --algebra-guard         # sketch aggregates: less memory, bounded error
+//! doda-bench --byzantine-guard       # lying nodes: detected / tolerated verdicts
+//! doda-bench --guard-summary DIR     # one-line table over BENCH_guard_*.json
 //! ```
+//!
+//! Every guard prints its detail lines, then a one-line summary, and —
+//! when `--out-dir` is given — drops a `BENCH_guard_<name>.json` record
+//! (`guard`, `passed`, `summary`) next to the grid artifacts, so CI can
+//! upload one artifact covering every gate and render a summary table
+//! with `--guard-summary`.
 
 // The one unsafe block of the workspace: the tracking global allocator
 // below wraps `System` to feed the `doda_bench::memory` counters behind
@@ -38,6 +46,7 @@ use doda_bench::compare::compare_reports;
 use doda_bench::json::Json;
 use doda_bench::perf::{run_grid, validate_report, PerfGrid};
 use doda_core::algebra::AggregateSummary;
+use doda_core::byzantine::{ByzantineProfile, Verdict};
 use doda_core::fault::FaultProfile;
 use doda_core::sequence::StepEvent;
 use doda_core::Interaction;
@@ -104,6 +113,8 @@ struct Args {
     service_guard: bool,
     scale_guard: bool,
     algebra_guard: bool,
+    byzantine_guard: bool,
+    guard_summary: Option<PathBuf>,
 }
 
 /// The default throughput tolerance of `--compare`, generous enough for
@@ -125,6 +136,8 @@ fn parse_args() -> Result<Args, String> {
         service_guard: false,
         scale_guard: false,
         algebra_guard: false,
+        byzantine_guard: false,
+        guard_summary: None,
     };
     let mut grid_requested = false;
     let mut argv = std::env::args().skip(1);
@@ -168,12 +181,18 @@ fn parse_args() -> Result<Args, String> {
             "--service-guard" => args.service_guard = true,
             "--scale-guard" => args.scale_guard = true,
             "--algebra-guard" => args.algebra_guard = true,
+            "--byzantine-guard" => args.byzantine_guard = true,
+            "--guard-summary" => {
+                let dir = argv.next().ok_or("--guard-summary needs a directory")?;
+                args.guard_summary = Some(PathBuf::from(dir));
+            }
             "--help" | "-h" => {
                 println!(
                     "doda-bench [--smoke | --baseline] [--out-dir DIR] \
                      | --validate FILE... | --compare RUN BASELINE [--tolerance PCT] \
-                     | --compare-runners | --lane-guard | --stream-guard | --fault-guard \
-                     | --round-guard | --service-guard | --scale-guard | --algebra-guard"
+                     | --compare-runners | [--out-dir DIR] --lane-guard | --stream-guard \
+                     | --fault-guard | --round-guard | --service-guard | --scale-guard \
+                     | --algebra-guard | --byzantine-guard | --guard-summary DIR"
                 );
                 std::process::exit(0);
             }
@@ -192,12 +211,14 @@ fn parse_args() -> Result<Args, String> {
         + usize::from(args.round_guard)
         + usize::from(args.service_guard)
         + usize::from(args.scale_guard)
-        + usize::from(args.algebra_guard);
+        + usize::from(args.algebra_guard)
+        + usize::from(args.byzantine_guard)
+        + usize::from(args.guard_summary.is_some());
     if modes > 1 {
         return Err(
             "--smoke/--baseline, --validate, --compare, --compare-runners, --lane-guard, \
-             --stream-guard, --fault-guard, --round-guard, --service-guard, --scale-guard \
-             and --algebra-guard are mutually exclusive"
+             --stream-guard, --fault-guard, --round-guard, --service-guard, --scale-guard, \
+             --algebra-guard, --byzantine-guard and --guard-summary are mutually exclusive"
                 .to_string(),
         );
     }
@@ -387,7 +408,7 @@ fn compare_runners() -> Result<(), String> {
 /// n = 512 uniform Gathering cell, the lockstep lane path must beat the
 /// scalar reference by at least [`LANE_GUARD_MIN_SPEEDUP`]x — while
 /// producing byte-identical per-trial results (cross-checked every rep).
-fn lane_guard() -> Result<(), String> {
+fn lane_guard() -> Result<String, String> {
     const REPS: usize = 9;
     const N: usize = 512;
     const TRIALS: usize = 64;
@@ -407,7 +428,10 @@ fn lane_guard() -> Result<(), String> {
             "lane tier speedup {speedup:.2}x is below the {LANE_GUARD_MIN_SPEEDUP}x floor"
         ));
     }
-    Ok(())
+    Ok(format!(
+        "median lane speedup {speedup:.2}x over scalar (floor {LANE_GUARD_MIN_SPEEDUP}x), \
+         byte-identical results every rep"
+    ))
 }
 
 /// Guards the streaming path's `O(n)`-memory claim with two long-horizon
@@ -421,7 +445,7 @@ fn lane_guard() -> Result<(), String> {
 /// 2. `Gathering` vs the uniform scenario at the same horizon: terminates
 ///    after ~n² interactions without the horizon-sized buffer fill the
 ///    materialised path would have paid up front.
-fn stream_guard() -> Result<(), String> {
+fn stream_guard() -> Result<String, String> {
     const HORIZON: usize = 10_000_000;
     const N: usize = 128;
 
@@ -468,7 +492,12 @@ fn stream_guard() -> Result<(), String> {
          after {} interactions in {gathered_secs:.2} s — no horizon-sized buffer allocated",
         gathered.interactions_processed,
     );
-    Ok(())
+    Ok(format!(
+        "two 10^7-horizon streamed runs at n = {N}, O(n) memory: starved run {:.0} i/s, \
+         Gathering terminated after {} interactions",
+        starved.interactions_processed as f64 / starved_secs.max(1e-9),
+        gathered.interactions_processed,
+    ))
 }
 
 /// Guards the fault layer's streaming and survivor-completion claims with
@@ -481,7 +510,7 @@ fn stream_guard() -> Result<(), String> {
 /// 2. `Gathering` vs `uniform+crash` at the same `n`: every trial must
 ///    terminate, with a nonzero number of survivor-only completions
 ///    (crashes genuinely cost data) and data conservation intact.
-fn fault_guard() -> Result<(), String> {
+fn fault_guard() -> Result<String, String> {
     const HORIZON: usize = 1_000_000;
     const N: usize = 128;
 
@@ -549,7 +578,12 @@ fn fault_guard() -> Result<(), String> {
          {crash_secs:.2} s",
         trials.len(),
     );
-    Ok(())
+    Ok(format!(
+        "faulted 10^6-step horizon streamed with {} losses, O(n) memory; {survivors} \
+         survivor-only completions and {crashes} crashes over {} crash trials, data conserved",
+        starved.faults.lost_interactions,
+        trials.len(),
+    ))
 }
 
 /// Guards the round path's `O(n)`-memory and batched-application claims
@@ -563,7 +597,7 @@ fn fault_guard() -> Result<(), String> {
 /// 2. `Gathering` vs random matchings at the same `n`: every trial must
 ///    terminate (a near-perfect random matching reaches the sink fast)
 ///    with data conserved.
-fn round_guard() -> Result<(), String> {
+fn round_guard() -> Result<String, String> {
     const HORIZON: usize = 1_000_000;
     const N: usize = 128;
 
@@ -619,7 +653,12 @@ fn round_guard() -> Result<(), String> {
          and conserved data in {gather_secs:.2} s",
         trials.len(),
     );
-    Ok(())
+    Ok(format!(
+        "~{} rounds batched through the native round path without termination, O(n) \
+         memory; {} random-matching trials terminated with data conserved",
+        starved.interactions_processed / ((N as u64 - 1) / 2),
+        trials.len(),
+    ))
 }
 
 /// The throughput floor `--service-guard` enforces on the multi-tenant
@@ -642,7 +681,7 @@ const SERVICE_GUARD_MIN_IPS: f64 = 100_000.0;
 ///    empty: `O(live sessions + n)`, not `O(all sessions ever)`), and a
 ///    deliberately overfed external session's bounded inbox must shed
 ///    instead of grow: its high-water mark never exceeds its capacity.
-fn service_guard() -> Result<(), String> {
+fn service_guard() -> Result<String, String> {
     const SESSIONS: u64 = 1_000;
     const N: usize = 64;
     const SPOT_CHECK_EVERY: u64 = 83;
@@ -769,7 +808,10 @@ fn service_guard() -> Result<(), String> {
         "service-guard: overfed inbox stayed bounded (high-water {high_water}/{CAPACITY}, \
          {shed} events shed)"
     );
-    Ok(())
+    Ok(format!(
+        "{SESSIONS} sessions at {throughput:.0} i/s (floor {SERVICE_GUARD_MIN_IPS:.0}), \
+         {spot_checked} spot-checked byte-identical, overfed inbox stayed bounded"
+    ))
 }
 
 /// The memory-scaling ceiling `--scale-guard` enforces: growing the node
@@ -827,7 +869,7 @@ fn scale_run(n: usize, budget: usize) -> Result<(u64, u64, f64), String> {
 ///    actually finish with every origin at the sink: `O(n^{3/2})`
 ///    interactions make completion feasible where flat aggregation
 ///    starves at any practical budget.
-fn scale_guard() -> Result<(), String> {
+fn scale_guard() -> Result<String, String> {
     const REFERENCE_N: usize = 100_000;
     const TARGET_N: usize = 1_000_000;
     const BUDGET: usize = 2_000_000;
@@ -895,7 +937,10 @@ fn scale_guard() -> Result<(), String> {
         trial.interactions_processed,
         hier_peak as f64 / (1 << 20) as f64,
     );
-    Ok(())
+    Ok(format!(
+        "10x nodes grew peak memory {ratio:.1}x (ceiling {SCALE_GUARD_MAX_MEM_RATIO}x) at \
+         {throughput:.0} i/s; hierarchical n = {HIER_N} fully aggregated"
+    ))
 }
 
 /// The relative-error ceiling `--algebra-guard` allows the distinct
@@ -934,7 +979,7 @@ fn algebra_run(n: usize, budget: usize, kind: AggregateKind) -> (u64, doda_sim::
 /// 3. **Trajectory invariance** — both runs process identical
 ///    interaction counts: the aggregate changes what the sink knows,
 ///    never how the run unfolds.
-fn algebra_guard() -> Result<(), String> {
+fn algebra_guard() -> Result<String, String> {
     const N: usize = 100_000;
     const BUDGET: usize = 80_000_000;
 
@@ -990,6 +1035,248 @@ fn algebra_guard() -> Result<(), String> {
             ALGEBRA_GUARD_MAX_DISTINCT_ERR * 100.0,
         ));
     }
+    Ok(format!(
+        "distinct sketch peaked {:.1} MiB below the id-set reference with {:.2}% estimate \
+         error (ceiling {:.0}%), identical trajectories",
+        (exact_peak - sketch_peak) as f64 / (1 << 20) as f64,
+        error * 100.0,
+        ALGEBRA_GUARD_MAX_DISTINCT_ERR * 100.0,
+    ))
+}
+
+/// The fraction of lying nodes `--byzantine-guard` plants: 10% forgers,
+/// the canonical working point of the detect/tolerate matrix.
+const BYZANTINE_GUARD_FRACTION: f64 = 0.1;
+
+/// The relative-error ceiling on the distinct estimate under forging.
+/// Forged origins are drawn inside the population's id space, so the
+/// sketch's estimate must stay near the true n; the ceiling matches the
+/// honest sketch's [`ALGEBRA_GUARD_MAX_DISTINCT_ERR`].
+const BYZANTINE_GUARD_MAX_DISTINCT_ERR: f64 = 0.20;
+
+/// The throughput floor on the audited path, in engine interactions per
+/// wall-clock second. Auditing pays a per-transfer receipt on top of the
+/// engine; the floor is conservative for shared CI runners while still
+/// failing an accidentally quadratic tally loudly.
+const BYZANTINE_GUARD_MIN_IPS: f64 = 50_000.0;
+
+/// The CI gate on the Byzantine data plane's verdicts: with 10% forgers
+/// planted over uniform Gathering,
+///
+/// 1. **Detection** — under the exact `Count` aggregate every trial must
+///    classify as `Detected`, with the evidence naming the forge
+///    strategy: exact conservation exposes every forged transfer.
+/// 2. **Tolerance** — under the duplicate-insensitive `Distinct` sketch
+///    every trial must classify as `Tolerated`, and the estimate must
+///    still land within [`BYZANTINE_GUARD_MAX_DISTINCT_ERR`] of the true
+///    population (forged origins stay inside the id space).
+/// 3. **Throughput** — the audited path must clear
+///    [`BYZANTINE_GUARD_MIN_IPS`] across both sweeps.
+fn byzantine_guard() -> Result<String, String> {
+    const N: usize = 256;
+    const TRIALS: usize = 16;
+
+    let sweep = |kind| {
+        Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+            .byzantine(ByzantineProfile::forge(BYZANTINE_GUARD_FRACTION))
+            .n(N)
+            .trials(TRIALS)
+            .seed(0xD0DA)
+            .parallel(false)
+            .aggregate(kind)
+            .run()
+    };
+
+    let t0 = Instant::now();
+    let counted = sweep(AggregateKind::Count);
+    let sketched = sweep(AggregateKind::Distinct);
+    let secs = t0.elapsed().as_secs_f64();
+
+    let mut detected = 0usize;
+    for trial in &counted {
+        match trial.verdict {
+            Some(Verdict::Detected { evidence }) => {
+                if evidence.strategy.label() != "forge" {
+                    return Err(format!(
+                        "a Count trial detected the wrong strategy: {}",
+                        evidence.strategy.label()
+                    ));
+                }
+                detected += 1;
+            }
+            other => {
+                return Err(format!(
+                    "every Count trial must detect the forgers, got verdict {other:?}"
+                ))
+            }
+        }
+    }
+    println!(
+        "byzantine-guard: Gathering vs uniform+forge({BYZANTINE_GUARD_FRACTION}), n = {N}: \
+         {detected}/{TRIALS} trials Detected under Count, every evidence a forgery"
+    );
+
+    let mut tolerated = 0usize;
+    let mut worst_error = 0.0f64;
+    for trial in &sketched {
+        match trial.verdict {
+            Some(Verdict::Tolerated) => tolerated += 1,
+            other => {
+                return Err(format!(
+                    "every Distinct trial must tolerate the forgers, got verdict {other:?}"
+                ))
+            }
+        }
+        let estimate = match trial.aggregate {
+            Some(AggregateSummary::Distinct { estimate }) => estimate,
+            other => return Err(format!("expected a distinct estimate, got {other:?}")),
+        };
+        worst_error = worst_error.max((estimate - N as f64).abs() / N as f64);
+    }
+    println!(
+        "byzantine-guard: {tolerated}/{TRIALS} trials Tolerated under Distinct, worst \
+         estimate error {:.2}% (ceiling {:.0}%)",
+        worst_error * 100.0,
+        BYZANTINE_GUARD_MAX_DISTINCT_ERR * 100.0,
+    );
+    if worst_error > BYZANTINE_GUARD_MAX_DISTINCT_ERR {
+        return Err(format!(
+            "a forged distinct estimate drifted {:.2}% off the true {N} \
+             (ceiling {:.0}%)",
+            worst_error * 100.0,
+            BYZANTINE_GUARD_MAX_DISTINCT_ERR * 100.0,
+        ));
+    }
+
+    let interactions: u64 = counted
+        .iter()
+        .chain(&sketched)
+        .map(|r| r.interactions_processed)
+        .sum();
+    let throughput = interactions as f64 / secs.max(1e-9);
+    println!(
+        "byzantine-guard: audited {interactions} interactions in {secs:.2} s \
+         ({throughput:.0} i/s, floor {BYZANTINE_GUARD_MIN_IPS:.0})"
+    );
+    if throughput < BYZANTINE_GUARD_MIN_IPS {
+        return Err(format!(
+            "audited throughput {throughput:.0} i/s is below the \
+             {BYZANTINE_GUARD_MIN_IPS:.0} i/s floor"
+        ));
+    }
+    Ok(format!(
+        "10% forgers over {TRIALS} trials: {detected}/{TRIALS} Detected under Count, \
+         {tolerated}/{TRIALS} Tolerated under Distinct (worst error {:.2}%), \
+         {throughput:.0} i/s audited",
+        worst_error * 100.0,
+    ))
+}
+
+/// Writes a guard's `BENCH_guard_<name>.json` record into `out_dir`, the
+/// machine-readable row behind the `--guard-summary` table and the CI
+/// guard artifact.
+fn write_guard_artifact(
+    out_dir: &std::path::Path,
+    name: &str,
+    passed: bool,
+    summary: &str,
+) -> Result<(), String> {
+    std::fs::create_dir_all(out_dir).map_err(|e| format!("{}: {e}", out_dir.display()))?;
+    let doc = Json::Object(vec![
+        ("guard".to_string(), Json::str(name)),
+        ("passed".to_string(), Json::Bool(passed)),
+        ("summary".to_string(), Json::str(summary)),
+    ]);
+    let path = out_dir.join(format!("BENCH_guard_{name}.json"));
+    std::fs::write(&path, doda_bench::json::pretty(&doc))
+        .map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// A guard entry point: `Ok` carries the one-line pass summary, `Err`
+/// the failure reason.
+type GuardFn = fn() -> Result<String, String>;
+
+/// Runs one guard to completion: detail lines stream as the guard runs,
+/// the one-line summary (pass or fail) prints last, and the
+/// `BENCH_guard_<name>.json` record lands in `out_dir`.
+fn run_guard(name: &str, out_dir: &std::path::Path, guard: GuardFn) -> ExitCode {
+    let (passed, summary) = match guard() {
+        Ok(summary) => (true, summary),
+        Err(e) => (false, e),
+    };
+    if passed {
+        println!("{name}-guard summary: {summary}");
+    } else {
+        eprintln!("doda-bench: {name} guard failed: {summary}");
+    }
+    if let Err(e) = write_guard_artifact(out_dir, name, passed, &summary) {
+        eprintln!("doda-bench: cannot record the {name} guard: {e}");
+        return ExitCode::FAILURE;
+    }
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Renders the one-line-per-guard table over every `BENCH_guard_*.json`
+/// in `dir` — the CI step that condenses a perf-smoke run into one
+/// readable block. Fails if the directory holds no guard records or any
+/// record reports a failure.
+fn guard_summary_table(dir: &std::path::Path) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut rows: Vec<(String, bool, String)> = Vec::new();
+    for entry in entries {
+        let path = entry.map_err(|e| format!("{}: {e}", dir.display()))?.path();
+        let Some(file) = path.file_name().and_then(|f| f.to_str()) else {
+            continue;
+        };
+        if !file.starts_with("BENCH_guard_") || !file.ends_with(".json") {
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+        let field = |key: &str| {
+            doc.get(key)
+                .ok_or_else(|| format!("{}: missing field: {key}", path.display()))
+        };
+        let name = field("guard")?
+            .as_str()
+            .ok_or_else(|| format!("{}: guard must be a string", path.display()))?
+            .to_string();
+        let passed = match field("passed")? {
+            Json::Bool(b) => *b,
+            _ => return Err(format!("{}: passed must be a bool", path.display())),
+        };
+        let summary = field("summary")?
+            .as_str()
+            .ok_or_else(|| format!("{}: summary must be a string", path.display()))?
+            .to_string();
+        rows.push((name, passed, summary));
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "{}: no BENCH_guard_*.json records found",
+            dir.display()
+        ));
+    }
+    rows.sort();
+    let width = rows.iter().map(|(name, ..)| name.len()).max().unwrap_or(0);
+    let mut failed = 0usize;
+    for (name, passed, summary) in &rows {
+        println!(
+            "  {:<width$}  {}  {summary}",
+            name,
+            if *passed { "PASS" } else { "FAIL" },
+        );
+        failed += usize::from(!passed);
+    }
+    if failed > 0 {
+        return Err(format!("{failed} guard(s) report failure"));
+    }
+    println!("all {} guards passed", rows.len());
     Ok(())
 }
 
@@ -1034,74 +1321,30 @@ fn main() -> ExitCode {
         };
     }
 
-    if args.lane_guard {
-        return match lane_guard() {
+    if let Some(dir) = &args.guard_summary {
+        return match guard_summary_table(dir) {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
-                eprintln!("doda-bench: lane guard failed: {e}");
+                eprintln!("doda-bench: guard summary failed: {e}");
                 ExitCode::FAILURE
             }
         };
     }
 
-    if args.stream_guard {
-        return match stream_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: stream guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    if args.fault_guard {
-        return match fault_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: fault guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    if args.round_guard {
-        return match round_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: round guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    if args.service_guard {
-        return match service_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: service guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    if args.scale_guard {
-        return match scale_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: scale guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
-    }
-
-    if args.algebra_guard {
-        return match algebra_guard() {
-            Ok(()) => ExitCode::SUCCESS,
-            Err(e) => {
-                eprintln!("doda-bench: algebra guard failed: {e}");
-                ExitCode::FAILURE
-            }
-        };
+    let guards: [(&str, bool, GuardFn); 8] = [
+        ("lane", args.lane_guard, lane_guard),
+        ("stream", args.stream_guard, stream_guard),
+        ("fault", args.fault_guard, fault_guard),
+        ("round", args.round_guard, round_guard),
+        ("service", args.service_guard, service_guard),
+        ("scale", args.scale_guard, scale_guard),
+        ("algebra", args.algebra_guard, algebra_guard),
+        ("byzantine", args.byzantine_guard, byzantine_guard),
+    ];
+    for (name, requested, guard) in guards {
+        if requested {
+            return run_guard(name, &args.out_dir, guard);
+        }
     }
 
     println!(

@@ -44,8 +44,13 @@ use crate::json::{pretty, Json};
 /// allocator is installed), the envelope declares the full node-count
 /// grid under `"ns"` (validation rejects cells at undeclared `n`), and
 /// `"mode"` admits `"hierarchical"` (seeded aggregator election,
-/// per-cluster aggregation, then an aggregator-only final phase).
-pub const SCHEMA_VERSION: u64 = 6;
+/// per-cluster aggregation, then an aggregator-only final phase);
+/// 7 = byzantine grids: every cell carries the `"byzantine_profile"`
+/// column (the scenario's Byzantine plan label, `"none"` when honest) —
+/// byzantine cells run the audited streamed path, so the lane, rounds
+/// and hierarchical tiers are byzantine-free by contract (validation
+/// rejects cells claiming otherwise).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// A pinned perf grid: the cells plus the execution parameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -227,6 +232,10 @@ pub struct CellResult {
     /// The fault plan label of the cell's scenario (`"none"` when
     /// fault-free).
     pub fault_profile: String,
+    /// The Byzantine plan label of the cell's scenario (`"none"` when
+    /// every node is honest). Byzantine cells run the audited streamed
+    /// path and never the lane, rounds or hierarchical tiers.
+    pub byzantine_profile: String,
     /// The execution tier the sweep resolved for the cell: `"lanes"`
     /// (lockstep bit-lane batches), `"rounds"` (native batched rounds),
     /// `"streamed"` (scalar pull loop, `O(n)` memory), `"materialized"`
@@ -305,6 +314,10 @@ impl PerfReport {
                     ("algorithm".to_string(), Json::str(&cell.algorithm)),
                     ("workload".to_string(), Json::str(&cell.workload)),
                     ("fault_profile".to_string(), Json::str(&cell.fault_profile)),
+                    (
+                        "byzantine_profile".to_string(),
+                        Json::str(&cell.byzantine_profile),
+                    ),
                     ("mode".to_string(), Json::str(cell.mode)),
                     ("model".to_string(), Json::str(cell.model)),
                     ("n".to_string(), Json::Uint(cell.n as u64)),
@@ -473,6 +486,7 @@ fn run_cell(grid: &PerfGrid, shape: CellShape, cell_index: u64) -> CellResult {
         algorithm: spec.label().to_string(),
         workload: scenario.base.name().to_string(),
         fault_profile: scenario.fault_label(),
+        byzantine_profile: scenario.byzantine_label(),
         mode,
         model: if scenario.is_round() {
             "rounds"
@@ -512,14 +526,20 @@ pub fn git_rev() -> String {
 /// of the JSON.
 pub(crate) fn cell_identity(i: usize, cell: &Json) -> String {
     let mut parts = Vec::new();
-    for field in ["algorithm", "workload", "fault_profile", "n"] {
+    for field in [
+        "algorithm",
+        "workload",
+        "fault_profile",
+        "byzantine_profile",
+        "n",
+    ] {
         if let Some(value) = cell.get(field) {
             let rendered = match value {
                 Json::Str(s) => s.clone(),
                 other => other.to_string(),
             };
-            // Skip the noise column when it carries no information.
-            if field == "fault_profile" && rendered == "none" {
+            // Skip the noise columns when they carry no information.
+            if field.ends_with("_profile") && rendered == "none" {
                 continue;
             }
             parts.push(format!("{field}={rendered}"));
@@ -581,7 +601,14 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     }
     for (i, cell) in results.iter().enumerate() {
         let who = || cell_identity(i, cell);
-        for field in ["algorithm", "workload", "fault_profile", "mode", "model"] {
+        for field in [
+            "algorithm",
+            "workload",
+            "fault_profile",
+            "byzantine_profile",
+            "mode",
+            "model",
+        ] {
             cell.get(field)
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("{}: missing string field: {field}", who()))?;
@@ -613,6 +640,10 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .get("fault_profile")
             .and_then(Json::as_str)
             .expect("checked");
+        let byzantine_label = cell
+            .get("byzantine_profile")
+            .and_then(Json::as_str)
+            .expect("checked");
         // The lane tier is fault-free and pairwise by contract; the round
         // tier only exists for round scenarios. A cell claiming otherwise
         // was not produced by the sweep's tier resolution.
@@ -634,6 +665,15 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
         if mode == "hierarchical" && (fault_label != "none" || model != "pairwise") {
             return Err(format!(
                 "{}: a hierarchical cell must be fault-free and pairwise",
+                who()
+            ));
+        }
+        // Byzantine plans run on the audited scalar paths only: a cell
+        // claiming a fast tier *and* a Byzantine plan was not produced by
+        // the sweep's tier resolution.
+        if byzantine_label != "none" && ["lanes", "rounds", "hierarchical"].contains(&mode) {
+            return Err(format!(
+                "{}: a byzantine cell cannot run on the {mode} tier (honest by contract)",
                 who()
             ));
         }
@@ -841,9 +881,9 @@ mod tests {
         validate_report(&doc).unwrap();
 
         for (breaker, expected) in [
-            (r#"{"schema_version": 6}"#, "missing string field: scenario"),
+            (r#"{"schema_version": 7}"#, "missing string field: scenario"),
             (r#"{"schema_version": 9}"#, "unsupported schema_version"),
-            (r#"{"schema_version": 5}"#, "unsupported schema_version"),
+            (r#"{"schema_version": 6}"#, "unsupported schema_version"),
             (r#"{}"#, "missing numeric field: schema_version"),
         ] {
             let err = validate_report(&Json::parse(breaker).unwrap()).unwrap_err();
@@ -916,6 +956,17 @@ mod tests {
         let bad_model = good.replace("\"pairwise\"", "\"telepathic\"");
         let err = validate_report(&Json::parse(&bad_model).unwrap()).unwrap_err();
         assert!(err.contains("must be 'pairwise' or 'rounds'"), "{err}");
+        // A Byzantine cell claiming an honest-by-contract tier is rejected.
+        let byzantine_lane = good.replace(
+            "\"byzantine_profile\": \"none\"",
+            "\"byzantine_profile\": \"forge(0.1)\"",
+        );
+        assert_ne!(byzantine_lane, good, "fixture must contain the field");
+        let err = validate_report(&Json::parse(&byzantine_lane).unwrap()).unwrap_err();
+        assert!(
+            err.contains("byzantine cell cannot run on the lanes tier"),
+            "{err}"
+        );
     }
 
     #[test]

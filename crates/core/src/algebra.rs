@@ -62,6 +62,19 @@ pub trait Aggregate: Clone + std::fmt::Debug {
     /// are absorbed instead of double-counted.
     const DUPLICATE_INSENSITIVE: bool = false;
 
+    /// `true` when the aggregate is **exactly conserved**: the sink's
+    /// final value is a lossless function of exactly which original data
+    /// reached it, so reconciling it against a transfer ledger exposes
+    /// any forged, duplicated or dropped contribution. This is what lets
+    /// the Byzantine audit ([`crate::byzantine::Tally`]) *detect*
+    /// corruption instead of merely tolerating or missing it. True for
+    /// [`crate::data::Count`], [`crate::data::SumData`] and
+    /// [`crate::data::IdSet`]; deliberately `false` for
+    /// [`QuantileSketch`] — its histogram counts add like a sum, but the
+    /// binning already loses the per-contribution resolution a ledger
+    /// reconciliation needs.
+    const EXACT_CONSERVATION: bool = false;
+
     /// Merges another aggregated value into this one.
     fn merge(&mut self, other: Self);
 }

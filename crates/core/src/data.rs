@@ -44,6 +44,8 @@ impl Count {
 }
 
 impl Aggregate for Count {
+    const EXACT_CONSERVATION: bool = true;
+
     fn merge(&mut self, other: Self) {
         self.0 += other.0;
     }
@@ -54,6 +56,8 @@ impl Aggregate for Count {
 pub struct SumData(pub f64);
 
 impl Aggregate for SumData {
+    const EXACT_CONSERVATION: bool = true;
+
     fn merge(&mut self, other: Self) {
         self.0 += other.0;
     }
@@ -127,6 +131,7 @@ impl IdSet {
 impl Aggregate for IdSet {
     const IDEMPOTENT: bool = true;
     const DUPLICATE_INSENSITIVE: bool = true;
+    const EXACT_CONSERVATION: bool = true;
 
     fn merge(&mut self, other: Self) {
         self.0.extend(other.0);

@@ -22,6 +22,7 @@
 use doda_graph::NodeId;
 
 use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
+use crate::byzantine::{ByzantineInjector, ByzantineStrategy, Receipt, ReceiptSink};
 use crate::data::Aggregate;
 use crate::error::{EngineError, FaultError};
 use crate::fault::CrashPolicy;
@@ -401,6 +402,122 @@ impl<A: Aggregate> Engine<A> {
             )?
             .can_continue()
         {}
+        Ok(self.finish_run(&run))
+    }
+
+    /// Runs `algorithm` like [`Engine::run`], but through the **audited
+    /// data plane**: nodes the `injector` marks as liars corrupt their
+    /// one transmission per their [`ByzantineStrategy`], and every
+    /// applied transmission — honest or not — produces a
+    /// [`Receipt`] into `receipts` (a [`crate::byzantine::Tally`] to
+    /// classify the run, a `Vec<Receipt>` for the full transfer log).
+    ///
+    /// The schedule is untouched — the source is pulled exactly as the
+    /// honest path pulls it, so fault plans and adaptive adversaries
+    /// compose unchanged — and an injector with zero liars reproduces
+    /// [`Engine::run`] byte for byte (pinned by
+    /// `tests/byzantine_conformance.rs`). The per-transfer unit ledger
+    /// (how many original data each sender carried and delivered) is
+    /// kept internally and surfaces only through the receipts.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Engine::run`]: corruption changes payloads, never
+    /// the model rules, so the error surface is identical.
+    ///
+    /// # Panics
+    ///
+    /// As [`Engine::run`]; additionally the injector must have been
+    /// built for the source's node count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_audited<F, S, D, T, R>(
+        &mut self,
+        algorithm: &mut D,
+        source: &mut S,
+        sink: NodeId,
+        mut initial_data: F,
+        config: EngineConfig,
+        transmissions: &mut T,
+        injector: &mut ByzantineInjector,
+        receipts: &mut R,
+    ) -> Result<RunStats, EngineError>
+    where
+        F: FnMut(NodeId) -> A,
+        S: InteractionSource + ?Sized,
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+        R: ReceiptSink + ?Sized,
+    {
+        let n = source.node_count();
+        injector.reset();
+        // The unit ledger: original data units each node currently
+        // carries. Every node starts with its own single datum; honest
+        // transfers move units, corrupting ones mint, double, or void
+        // them — which is exactly what the receipts expose.
+        let mut units = vec![1u64; n];
+        let mut run = self.begin_run(n, sink, &mut initial_data, config);
+        loop {
+            if run.termination_time.is_some() || run.processed >= run.max_interactions {
+                break;
+            }
+            let t = run.processed;
+            let view = AdversaryView {
+                owns_data: &self.ownership,
+                sink,
+            };
+            let Some(event) = source.next_event(t, &view) else {
+                break;
+            };
+            run.processed += 1;
+
+            let interaction = match event {
+                StepEvent::Interaction(interaction) => interaction,
+                StepEvent::Lost(_) => {
+                    run.faults.lost_interactions += 1;
+                    continue;
+                }
+                StepEvent::Crash { node, policy } => {
+                    run.faults.crashes += 1;
+                    self.remove_node(node, sink, Some(policy), t, &mut run.faults)?;
+                    units[node.index()] = 0;
+                    if self.owners == 1 {
+                        run.termination_time = Some(t);
+                    }
+                    continue;
+                }
+                StepEvent::Departure(node) => {
+                    run.faults.departures += 1;
+                    self.remove_node(node, sink, None, t, &mut run.faults)?;
+                    units[node.index()] = 0;
+                    if self.owners == 1 {
+                        run.termination_time = Some(t);
+                    }
+                    continue;
+                }
+                StepEvent::Arrival(node) => {
+                    run.faults.arrivals += 1;
+                    self.admit_node(node, sink, &mut initial_data, t)?;
+                    units[node.index()] = 1;
+                    continue;
+                }
+            };
+
+            if let Some(done) = self.apply_interaction_audited(
+                algorithm,
+                t,
+                interaction,
+                sink,
+                transmissions,
+                &mut run.applied,
+                &mut run.ignored,
+                injector,
+                &mut initial_data,
+                &mut units,
+                receipts,
+            )? {
+                run.termination_time = Some(done);
+            }
+        }
         Ok(self.finish_run(&run))
     }
 
@@ -810,6 +927,139 @@ impl<A: Aggregate> Engine<A> {
                     // The sink can never transmit and never dies, so it
                     // always owns data: a single remaining owner must be
                     // the sink.
+                    if self.owners == 1 {
+                        return Ok(Some(t));
+                    }
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// The audited variant of [`Engine::apply_interaction`]: identical
+    /// decision handling and model rules, but the transfer itself routes
+    /// through the sender's [`ByzantineStrategy`] (if it is a liar),
+    /// maintains the unit ledger, and emits one [`Receipt`] per applied
+    /// transmission.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_interaction_audited<D, T, R, F>(
+        &mut self,
+        algorithm: &mut D,
+        t: Time,
+        interaction: Interaction,
+        sink: NodeId,
+        transmissions: &mut T,
+        applied: &mut u64,
+        ignored: &mut u64,
+        injector: &mut ByzantineInjector,
+        initial_data: &mut F,
+        units: &mut [u64],
+        receipts: &mut R,
+    ) -> Result<Option<Time>, EngineError>
+    where
+        D: DodaAlgorithm + ?Sized,
+        T: TransmissionSink + ?Sized,
+        R: ReceiptSink + ?Sized,
+        F: FnMut(NodeId) -> A,
+    {
+        for endpoint in [interaction.min(), interaction.max()] {
+            if !self.live.get(endpoint.index()).copied().unwrap_or(false) {
+                return Err(EngineError::InvalidFault {
+                    time: t,
+                    cause: FaultError::DeadParticipant {
+                        interaction,
+                        node: endpoint,
+                    },
+                });
+            }
+        }
+
+        let ctx = InteractionContext {
+            time: t,
+            interaction,
+            min_owns_data: self.owns(interaction.min()),
+            max_owns_data: self.owns(interaction.max()),
+            sink,
+        };
+        match algorithm.decide(&ctx) {
+            Decision::Idle => {}
+            Decision::Transmit { sender, receiver } => {
+                if !interaction.involves(sender)
+                    || !interaction.involves(receiver)
+                    || sender == receiver
+                {
+                    return Err(EngineError::DecisionOutsideInteraction {
+                        time: t,
+                        interaction,
+                        sender,
+                        receiver,
+                    });
+                }
+                if !ctx.both_own_data() || sender == sink {
+                    // The paper's "output is ignored" rule, exactly as
+                    // on the honest path.
+                    *ignored += 1;
+                } else {
+                    let carried = units[sender.index()];
+                    let corruption = if injector.is_liar(sender) {
+                        Some(injector.strategy())
+                    } else {
+                        None
+                    };
+                    let invalid = |cause| EngineError::InvalidTransmission { time: t, cause };
+                    let delivered = match corruption {
+                        None => {
+                            self.state.transmit(sender, receiver).map_err(invalid)?;
+                            units[receiver.index()] += carried;
+                            carried
+                        }
+                        Some(ByzantineStrategy::Forge) => {
+                            let origin = injector.forged_origin(self.state.node_count());
+                            self.state
+                                .transmit_forged(sender, receiver, initial_data(origin))
+                                .map_err(invalid)?;
+                            units[receiver.index()] += carried + 1;
+                            carried + 1
+                        }
+                        Some(ByzantineStrategy::Duplicate) => {
+                            self.state
+                                .transmit_duplicated(sender, receiver)
+                                .map_err(invalid)?;
+                            units[receiver.index()] += 2 * carried;
+                            2 * carried
+                        }
+                        Some(ByzantineStrategy::DropCarried) => {
+                            self.state
+                                .transmit_voided(sender, receiver)
+                                .map_err(invalid)?;
+                            0
+                        }
+                        Some(ByzantineStrategy::Equivocate) => {
+                            self.state
+                                .transmit_equivocated(sender, receiver, initial_data(sender))
+                                .map_err(invalid)?;
+                            units[receiver.index()] += 1;
+                            1
+                        }
+                    };
+                    units[sender.index()] = 0;
+                    self.ownership[sender.index()] = false;
+                    self.owners -= 1;
+                    *applied += 1;
+                    transmissions.record(Transmission {
+                        time: t,
+                        sender,
+                        receiver,
+                    });
+                    receipts.record(Receipt {
+                        time: t,
+                        sender,
+                        receiver,
+                        carried_units: carried,
+                        delivered_units: delivered,
+                        corruption,
+                    });
+                    algorithm.on_transmission(t, sender, receiver);
                     if self.owners == 1 {
                         return Ok(Some(t));
                     }
@@ -1828,5 +2078,126 @@ mod tests {
         assert_eq!(log.len(), 3);
         assert!(log.windows(2).all(|w| w[0].time <= w[1].time));
         assert!(log.iter().all(|t| t.receiver == NodeId(0)));
+    }
+
+    #[test]
+    fn audited_run_with_zero_liars_matches_the_honest_path() {
+        use crate::byzantine::{ByzantineInjector, ByzantineProfile, Tally, Verdict};
+        use crate::data::IdSet;
+
+        let seq = star_sequence(7, 2);
+        let config = EngineConfig::sweep(10_000);
+        let mut honest: Engine<IdSet> = Engine::new();
+        let expected = honest
+            .run(
+                &mut Waiting::new(),
+                &mut seq.stream(false),
+                NodeId(0),
+                IdSet::singleton,
+                config,
+                &mut DiscardTransmissions,
+            )
+            .unwrap();
+
+        let mut audited: Engine<IdSet> = Engine::new();
+        let mut injector =
+            ByzantineInjector::new(ByzantineProfile::forge(0.0), 7, NodeId(0), 3).unwrap();
+        let mut tally = Tally::new();
+        let stats = audited
+            .run_audited(
+                &mut Waiting::new(),
+                &mut seq.stream(false),
+                NodeId(0),
+                IdSet::singleton,
+                config,
+                &mut DiscardTransmissions,
+                &mut injector,
+                &mut tally,
+            )
+            .unwrap();
+        assert_eq!(stats, expected);
+        assert_eq!(
+            audited.state().ownership_bitmap(),
+            honest.state().ownership_bitmap()
+        );
+        assert_eq!(
+            audited.state().data_of(NodeId(0)),
+            honest.state().data_of(NodeId(0))
+        );
+        assert_eq!(tally.transfers(), stats.transmissions);
+        assert!(tally.is_clean());
+        assert_eq!(tally.verdict::<IdSet>(), Verdict::Clean);
+        assert_eq!(tally.carried_units(), tally.delivered_units());
+    }
+
+    #[test]
+    fn forging_liars_are_detected_under_count() {
+        use crate::byzantine::{ByzantineInjector, ByzantineProfile, Tally, Verdict};
+        use crate::data::Count;
+
+        let seq = star_sequence(10, 1);
+        let mut engine: Engine<Count> = Engine::new();
+        let mut injector =
+            ByzantineInjector::new(ByzantineProfile::forge(0.3), 10, NodeId(0), 5).unwrap();
+        let mut tally = Tally::new();
+        let stats = engine
+            .run_audited(
+                &mut Waiting::new(),
+                &mut seq.stream(true),
+                NodeId(0),
+                |_| Count::unit(),
+                EngineConfig::sweep(10_000),
+                &mut DiscardTransmissions,
+                &mut injector,
+                &mut tally,
+            )
+            .unwrap();
+        assert!(stats.terminated());
+        assert_eq!(injector.liar_count(), 3);
+        assert_eq!(tally.corrupted(), 3, "every liar transmits exactly once");
+        // Each forger mints one phantom unit: the exact count overshoots
+        // by exactly the number of liars, and the ledger shows it.
+        assert_eq!(engine.state().data_of(NodeId(0)).unwrap(), &Count(13));
+        assert_eq!(tally.delivered_units(), tally.carried_units() + 3);
+        assert!(matches!(tally.verdict::<Count>(), Verdict::Detected { .. }));
+    }
+
+    #[test]
+    fn dropping_liars_void_their_carried_data() {
+        use crate::byzantine::{ByzantineInjector, ByzantineProfile, Receipt, Tally};
+        use crate::data::Count;
+
+        let seq = star_sequence(8, 1);
+        let mut engine: Engine<Count> = Engine::new();
+        let mut injector =
+            ByzantineInjector::new(ByzantineProfile::drop_carried(0.25), 8, NodeId(0), 11).unwrap();
+        let mut log: Vec<Receipt> = Vec::new();
+        let stats = engine
+            .run_audited(
+                &mut Waiting::new(),
+                &mut seq.stream(true),
+                NodeId(0),
+                |_| Count::unit(),
+                EngineConfig::sweep(10_000),
+                &mut DiscardTransmissions,
+                &mut injector,
+                &mut log,
+            )
+            .unwrap();
+        assert!(stats.terminated());
+        assert_eq!(injector.liar_count(), 2);
+        let dropped: Vec<&Receipt> = log.iter().filter(|r| !r.is_honest()).collect();
+        assert_eq!(dropped.len(), 2);
+        assert!(dropped.iter().all(|r| r.delivered_units == 0));
+        // The voided bin accounts for exactly what the sink is missing.
+        assert_eq!(engine.state().data_of(NodeId(0)).unwrap(), &Count(6));
+        assert_eq!(engine.state().voided_data().unwrap(), &Count(2));
+        // A tally over the same receipts classifies identically.
+        let mut tally = Tally::new();
+        for receipt in &log {
+            crate::byzantine::ReceiptSink::record(&mut tally, *receipt);
+        }
+        assert_eq!(tally.transfers(), 7);
+        assert_eq!(tally.delivered_units() + 2, tally.carried_units());
     }
 }

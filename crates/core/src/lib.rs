@@ -211,6 +211,7 @@
 pub mod algebra;
 pub mod algorithm;
 pub mod algorithms;
+pub mod byzantine;
 pub mod convergecast;
 pub mod cost;
 pub mod data;
@@ -228,6 +229,10 @@ pub mod state;
 
 pub use algebra::{Aggregate, AggregateSummary, DistinctSketch, QuantileSketch};
 pub use algorithm::{Decision, DodaAlgorithm, InteractionContext};
+pub use byzantine::{
+    ByzantineConfigError, ByzantineInjector, ByzantineProfile, ByzantineStrategy, Evidence,
+    Receipt, ReceiptSink, Tally, Verdict,
+};
 pub use engine::{
     DiscardTransmissions, Engine, EngineCheckpoint, EngineConfig, RoundRunStats, RunProgress,
     RunStats, StepOutcome, TransmissionSink,
@@ -246,6 +251,10 @@ pub mod prelude {
     pub use crate::algorithm::{Decision, DodaAlgorithm, InteractionContext};
     pub use crate::algorithms::{
         FutureBroadcast, Gathering, OfflineOptimal, SpanningTreeAggregation, Waiting, WaitingGreedy,
+    };
+    pub use crate::byzantine::{
+        ByzantineConfigError, ByzantineInjector, ByzantineProfile, ByzantineStrategy, Evidence,
+        Receipt, ReceiptSink, Tally, Verdict,
     };
     pub use crate::convergecast::{self, optimal_convergecast};
     pub use crate::cost::{self, Cost};

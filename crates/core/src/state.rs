@@ -33,6 +33,12 @@ pub struct NetworkState<A> {
     lost: Option<A>,
     /// Aggregate of every datum salvaged from a recoverable crash.
     recovered: Option<A>,
+    /// Aggregate of every datum a Byzantine sender withheld from the
+    /// protocol ([`NetworkState::transmit_voided`] /
+    /// [`NetworkState::transmit_equivocated`]). Deliberately **not**
+    /// part of the conservation identity: a corrupting transfer is
+    /// supposed to break `data_conserved` visibly.
+    voided: Option<A>,
 }
 
 impl<A: Aggregate> NetworkState<A> {
@@ -62,6 +68,7 @@ impl<A: Aggregate> NetworkState<A> {
             sink: NodeId(0),
             lost: None,
             recovered: None,
+            voided: None,
         }
     }
 
@@ -86,6 +93,7 @@ impl<A: Aggregate> NetworkState<A> {
         self.sink = sink;
         self.lost = None;
         self.recovered = None;
+        self.voided = None;
     }
 
     /// Number of nodes.
@@ -151,6 +159,101 @@ impl<A: Aggregate> NetworkState<A> {
     /// would transmit, either node is out of range, either node does not
     /// own data, or the sender already transmitted.
     pub fn transmit(&mut self, sender: NodeId, receiver: NodeId) -> Result<(), TransmissionError> {
+        self.check_transfer(sender, receiver)?;
+        let sent = self.take_sent(sender);
+        self.deliver(receiver, sent);
+        Ok(())
+    }
+
+    /// A [`transmit`](NetworkState::transmit) where the (Byzantine)
+    /// sender first merges `forged` — a datum that was never introduced
+    /// into the population — into its carried aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`transmit`](NetworkState::transmit): the corruption
+    /// changes the payload, never the model rules.
+    pub fn transmit_forged(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        forged: A,
+    ) -> Result<(), TransmissionError> {
+        self.check_transfer(sender, receiver)?;
+        let mut sent = self.take_sent(sender);
+        sent.merge(forged);
+        self.deliver(receiver, sent);
+        Ok(())
+    }
+
+    /// A [`transmit`](NetworkState::transmit) where the (Byzantine)
+    /// sender delivers its carried aggregate **twice** — the receiver
+    /// merges the same payload two times, which double-counts it for
+    /// every duplicate-sensitive aggregate.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`transmit`](NetworkState::transmit).
+    pub fn transmit_duplicated(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+    ) -> Result<(), TransmissionError> {
+        self.check_transfer(sender, receiver)?;
+        let sent = self.take_sent(sender);
+        self.deliver(receiver, sent.clone());
+        self.deliver(receiver, sent);
+        Ok(())
+    }
+
+    /// A [`transmit`](NetworkState::transmit) where the (Byzantine)
+    /// sender delivers **nothing**: it is marked as having transmitted,
+    /// but its carried aggregate moves to the [`voided`] accounting bin
+    /// instead of reaching the receiver.
+    ///
+    /// [`voided`]: NetworkState::voided_data
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`transmit`](NetworkState::transmit).
+    pub fn transmit_voided(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+    ) -> Result<(), TransmissionError> {
+        self.check_transfer(sender, receiver)?;
+        let sent = self.take_sent(sender);
+        merge_into(&mut self.voided, sent);
+        Ok(())
+    }
+
+    /// A [`transmit`](NetworkState::transmit) where the (Byzantine)
+    /// sender sheds everything it aggregated — the carried aggregate
+    /// moves to the [`voided`] bin — and delivers `fresh` (a fresh
+    /// self-datum) in its place.
+    ///
+    /// [`voided`]: NetworkState::voided_data
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`transmit`](NetworkState::transmit).
+    pub fn transmit_equivocated(
+        &mut self,
+        sender: NodeId,
+        receiver: NodeId,
+        fresh: A,
+    ) -> Result<(), TransmissionError> {
+        self.check_transfer(sender, receiver)?;
+        let sent = self.take_sent(sender);
+        merge_into(&mut self.voided, sent);
+        self.deliver(receiver, fresh);
+        Ok(())
+    }
+
+    /// The shared transfer validation: every transmit variant refuses
+    /// the same invalid transfers in the same order, leaving the state
+    /// untouched on error.
+    fn check_transfer(&self, sender: NodeId, receiver: NodeId) -> Result<(), TransmissionError> {
         if sender == receiver {
             return Err(TransmissionError::SelfTransmission { node: sender });
         }
@@ -176,17 +279,25 @@ impl<A: Aggregate> NetworkState<A> {
         if self.nodes[receiver.index()].data.is_none() {
             return Err(TransmissionError::NoData { node: receiver });
         }
-        let sent = self.nodes[sender.index()]
+        Ok(())
+    }
+
+    /// Takes the validated sender's datum and spends its transmission.
+    fn take_sent(&mut self, sender: NodeId) -> A {
+        self.nodes[sender.index()].has_transmitted = true;
+        self.nodes[sender.index()]
             .data
             .take()
-            .expect("checked above");
-        self.nodes[sender.index()].has_transmitted = true;
+            .expect("validated by check_transfer")
+    }
+
+    /// Merges a payload into the validated receiver's datum.
+    fn deliver(&mut self, receiver: NodeId, payload: A) {
         self.nodes[receiver.index()]
             .data
             .as_mut()
-            .expect("checked above")
-            .merge(sent);
-        Ok(())
+            .expect("validated by check_transfer")
+            .merge(payload);
     }
 
     /// Destroys the datum of `v` (a crash with [`CrashPolicy::DatumLost`]
@@ -247,6 +358,15 @@ impl<A: Aggregate> NetworkState<A> {
     /// The aggregate of every datum salvaged from recoverable crashes.
     pub fn recovered_data(&self) -> Option<&A> {
         self.recovered.as_ref()
+    }
+
+    /// The aggregate of every datum a Byzantine sender withheld
+    /// ([`NetworkState::transmit_voided`] /
+    /// [`NetworkState::transmit_equivocated`]), if any. Not part of the
+    /// conservation identity: withheld data is *supposed* to show up as
+    /// a conservation violation.
+    pub fn voided_data(&self) -> Option<&A> {
+        self.voided.as_ref()
     }
 
     fn take_datum(&mut self, v: NodeId) -> A {
@@ -446,5 +566,77 @@ mod tests {
         let mut st = fresh(3);
         st.transmit(NodeId(1), NodeId(0)).unwrap();
         st.fault_lose(NodeId(1));
+    }
+
+    #[test]
+    fn forged_transfer_delivers_an_extra_origin() {
+        let mut st = fresh(4);
+        st.transmit_forged(NodeId(1), NodeId(0), IdSet::singleton(NodeId(3)))
+            .unwrap();
+        assert!(st.has_transmitted(NodeId(1)));
+        assert_eq!(st.data_of(NodeId(0)).unwrap().len(), 3);
+        assert!(st.voided_data().is_none());
+    }
+
+    #[test]
+    fn duplicated_transfer_double_counts_for_sensitive_aggregates() {
+        let mut st: NetworkState<Count> = NetworkState::new(3, NodeId(0), |_| Count::unit());
+        st.transmit(NodeId(2), NodeId(1)).unwrap();
+        st.transmit_duplicated(NodeId(1), NodeId(0)).unwrap();
+        // The sink's own unit plus the carried pair delivered twice.
+        assert_eq!(st.data_of(NodeId(0)).unwrap(), &Count(5));
+        // Idempotent aggregates absorb the same replay.
+        let mut ids = fresh(3);
+        ids.transmit_duplicated(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(ids.data_of(NodeId(0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn voided_transfer_withholds_the_payload() {
+        let mut st = fresh(3);
+        st.transmit_voided(NodeId(1), NodeId(0)).unwrap();
+        assert!(st.has_transmitted(NodeId(1)));
+        assert!(!st.owns_data(NodeId(1)));
+        assert_eq!(st.data_of(NodeId(0)).unwrap().len(), 1, "nothing arrived");
+        assert_eq!(st.voided_data().unwrap(), &IdSet::singleton(NodeId(1)));
+        // Reset empties the voided bin like the other accounting bins.
+        st.reset(3, NodeId(0), IdSet::singleton);
+        assert!(st.voided_data().is_none());
+    }
+
+    #[test]
+    fn equivocated_transfer_sheds_the_carried_aggregate() {
+        let mut st = fresh(4);
+        st.transmit(NodeId(2), NodeId(1)).unwrap();
+        st.transmit_equivocated(NodeId(1), NodeId(0), IdSet::singleton(NodeId(1)))
+            .unwrap();
+        // The sink sees only the liar's fresh self-datum; the merged
+        // contribution of node 2 was shed into the voided bin.
+        assert_eq!(st.data_of(NodeId(0)).unwrap().len(), 2);
+        assert_eq!(st.voided_data().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupting_transfers_refuse_what_transmit_refuses() {
+        let mut st = fresh(3);
+        assert_eq!(
+            st.transmit_duplicated(NodeId(0), NodeId(1)).unwrap_err(),
+            TransmissionError::SinkMustNotTransmit
+        );
+        assert_eq!(
+            st.transmit_voided(NodeId(2), NodeId(2)).unwrap_err(),
+            TransmissionError::SelfTransmission { node: NodeId(2) }
+        );
+        st.transmit(NodeId(1), NodeId(0)).unwrap();
+        assert_eq!(
+            st.transmit_forged(NodeId(1), NodeId(0), IdSet::singleton(NodeId(2)))
+                .unwrap_err(),
+            TransmissionError::AlreadyTransmitted { node: NodeId(1) }
+        );
+        assert_eq!(
+            st.transmit_equivocated(NodeId(2), NodeId(1), IdSet::singleton(NodeId(2)))
+                .unwrap_err(),
+            TransmissionError::NoData { node: NodeId(1) }
+        );
     }
 }

@@ -282,6 +282,22 @@ impl Session {
             )));
         }
         scenario.validate(n)?;
+        if let Err(e) = scenario.validate_byzantine() {
+            return Err(ServiceError::InvalidScenario(format!(
+                "invalid byzantine plan for scenario '{scenario}': {e}"
+            )));
+        }
+        // A session steps the engine in slices off `scenario.source`;
+        // that path cannot reproduce the audited `run_audited` execution,
+        // so accepting a Byzantine plan here would silently return an
+        // unaudited result where the equivalent sweep returns a verdict.
+        // Byzantine scenarios run through `Sweep` instead.
+        if scenario.byzantine.is_some() {
+            return Err(ServiceError::InvalidScenario(format!(
+                "scenario '{scenario}' carries a byzantine plan; sessions cannot audit \
+                 the data plane — run it through a sweep"
+            )));
+        }
         // Sessions resolve through the sweep's tier logic: a spec the
         // sweep would materialise has no incremental form, so no session
         // can serve it. (The fast tiers — rounds, lanes — are

@@ -1,14 +1,15 @@
-//! Wire format v2: compact, versioned, length-prefixed binary frames.
+//! Wire format v3: compact, versioned, length-prefixed binary frames.
 //!
 //! Every frame is `[payload_len: u32 LE][payload]`, and every payload
 //! starts `[version: u8][kind: u8]`. Client→service payloads decode to
 //! [`WireEvent`]; service→client payloads decode to [`WireResult`]. The
 //! byte layout is **pinned by a golden file**
-//! (`tests/golden/wire_v2.hex`, checked by `tests/wire_schema.rs` the
+//! (`tests/golden/wire_v3.hex`, checked by `tests/wire_schema.rs` the
 //! way `BENCH_baseline.json`'s schema is) — changing any encoding below
 //! requires bumping [`WIRE_VERSION`] and regenerating the golden file.
-//! (v1 → v2 appended the aggregate summary to the trial result; see
-//! below.)
+//! (v1 → v2 appended the aggregate summary to the trial result; v2 → v3
+//! added the Byzantine plan to the scenario encoding and the audit
+//! verdict to the trial result; see below.)
 //!
 //! ## Payload kinds
 //!
@@ -28,17 +29,26 @@
 //! scenario parameters) are checked at encode time — a value above
 //! `u32::MAX` is a typed [`WireError::OutOfRange`], never a silent
 //! wrap — while `str16` text is advisory and truncates at a char
-//! boundary to fit its length field. A trial result is: algorithm `str16`, `n: u32`,
+//! boundary to fit its length field. A scenario is the base tag and
+//! fields, a fault-plan presence byte (`1` followed by the profile
+//! fields when present), then a Byzantine-plan presence byte (`1`
+//! followed by `fraction: f64` and a strategy tag — `0` forge, `1`
+//! duplicate, `2` drop-carried, `3` equivocate — when present). A trial
+//! result is: algorithm `str16`, `n: u32`,
 //! termination time `opt u64`, interactions `u64`, transmissions `u64`,
 //! ignored decisions `u64`, data conserved `u8`, completion `u8`, the
 //! six fault-tally counters as `u64`s, a reserved cost byte (`0`;
-//! service results never carry the paper's sequence-cost analysis), and
+//! service results never carry the paper's sequence-cost analysis),
 //! the aggregate summary: one tag byte — `0` none, `1` count (`u64`),
 //! `2` sum (`f64`), `3` min (`f64`), `4` max (`f64`), `5` distinct
 //! estimate (`f64`), `6` quantile (`count: u64`, `median: f64`,
-//! `p95: f64`) — followed by the tagged fields.
+//! `p95: f64`) — followed by the tagged fields, and the audit verdict:
+//! one tag byte — `0` unaudited, `1` clean, `2` detected followed by
+//! the evidence (`time: u64`, `liar: u32`, strategy tag `u8`), `3`
+//! tolerated, `4` corrupted.
 
 use doda_core::algebra::AggregateSummary;
+use doda_core::byzantine::{ByzantineProfile, ByzantineStrategy, Evidence, Verdict};
 use doda_core::fault::{CrashPolicy, FaultProfile};
 use doda_core::outcome::{Completion, FaultTally};
 use doda_core::sequence::StepEvent;
@@ -50,7 +60,7 @@ use crate::error::WireError;
 use crate::session::{OverflowPolicy, SessionId};
 
 /// The wire format version this module encodes and decodes.
-pub const WIRE_VERSION: u8 = 2;
+pub const WIRE_VERSION: u8 = 3;
 
 const KIND_OPEN_SCENARIO: u8 = 0x01;
 const KIND_OPEN_EXTERNAL: u8 = 0x02;
@@ -269,6 +279,15 @@ fn put_crash_policy(w: &mut Writer, policy: CrashPolicy) {
     });
 }
 
+fn put_byzantine_strategy(w: &mut Writer, strategy: ByzantineStrategy) {
+    w.u8(match strategy {
+        ByzantineStrategy::Forge => 0,
+        ByzantineStrategy::Duplicate => 1,
+        ByzantineStrategy::DropCarried => 2,
+        ByzantineStrategy::Equivocate => 3,
+    });
+}
+
 fn put_faulted_scenario(w: &mut Writer, scenario: &FaultedScenario) -> Result<(), WireError> {
     put_scenario(w, scenario.base)?;
     match scenario.faults {
@@ -281,6 +300,14 @@ fn put_faulted_scenario(w: &mut Writer, scenario: &FaultedScenario) -> Result<()
             w.f64(profile.loss);
             put_crash_policy(w, profile.crash_policy);
             w.usize32(profile.min_live, "live floor")?;
+        }
+    }
+    match scenario.byzantine {
+        None => w.u8(0),
+        Some(profile) => {
+            w.u8(1);
+            w.f64(profile.fraction);
+            put_byzantine_strategy(w, profile.strategy);
         }
     }
     Ok(())
@@ -340,6 +367,23 @@ fn put_trial_result(w: &mut Writer, result: &TrialResult) -> Result<(), WireErro
     // analysis (it needs a materialised sequence).
     w.u8(0);
     put_aggregate_summary(w, result.aggregate);
+    put_verdict(w, result.verdict)?;
+    Ok(())
+}
+
+fn put_verdict(w: &mut Writer, verdict: Option<Verdict>) -> Result<(), WireError> {
+    match verdict {
+        None => w.u8(0),
+        Some(Verdict::Clean) => w.u8(1),
+        Some(Verdict::Detected { evidence }) => {
+            w.u8(2);
+            w.u64(evidence.time);
+            w.node(evidence.liar)?;
+            put_byzantine_strategy(w, evidence.strategy);
+        }
+        Some(Verdict::Tolerated) => w.u8(3),
+        Some(Verdict::Corrupted) => w.u8(4),
+    }
     Ok(())
 }
 
@@ -640,7 +684,39 @@ fn get_faulted_scenario(r: &mut Reader<'_>) -> Result<FaultedScenario, WireError
             })
         }
     };
-    Ok(FaultedScenario { base, faults })
+    let byzantine = match r.u8()? {
+        0 => None,
+        1 => Some(ByzantineProfile {
+            fraction: r.f64()?,
+            strategy: get_byzantine_strategy(r)?,
+        }),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "byzantine plan",
+                tag,
+            })
+        }
+    };
+    Ok(FaultedScenario {
+        base,
+        faults,
+        byzantine,
+    })
+}
+
+fn get_byzantine_strategy(r: &mut Reader<'_>) -> Result<ByzantineStrategy, WireError> {
+    Ok(match r.u8()? {
+        0 => ByzantineStrategy::Forge,
+        1 => ByzantineStrategy::Duplicate,
+        2 => ByzantineStrategy::DropCarried,
+        3 => ByzantineStrategy::Equivocate,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "byzantine strategy",
+                tag,
+            })
+        }
+    })
 }
 
 fn get_step_event(r: &mut Reader<'_>) -> Result<StepEvent, WireError> {
@@ -700,6 +776,7 @@ fn get_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, WireError> {
         tag => return Err(WireError::UnknownTag { what: "cost", tag }),
     }
     let aggregate = get_aggregate_summary(r)?;
+    let verdict = get_verdict(r)?;
     Ok(TrialResult {
         algorithm,
         n,
@@ -712,6 +789,29 @@ fn get_trial_result(r: &mut Reader<'_>) -> Result<TrialResult, WireError> {
         faults,
         cost: None,
         aggregate,
+        verdict,
+    })
+}
+
+fn get_verdict(r: &mut Reader<'_>) -> Result<Option<Verdict>, WireError> {
+    Ok(match r.u8()? {
+        0 => None,
+        1 => Some(Verdict::Clean),
+        2 => Some(Verdict::Detected {
+            evidence: Evidence {
+                time: r.u64()?,
+                liar: r.node()?,
+                strategy: get_byzantine_strategy(r)?,
+            },
+        }),
+        3 => Some(Verdict::Tolerated),
+        4 => Some(Verdict::Corrupted),
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "verdict",
+                tag,
+            })
+        }
     })
 }
 

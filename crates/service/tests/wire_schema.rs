@@ -1,13 +1,14 @@
-//! Pins the v2 wire format byte-for-byte against a committed golden
+//! Pins the v3 wire format byte-for-byte against a committed golden
 //! file, the way `bench_json_schema.rs` pins `BENCH_baseline.json`.
 //!
 //! A fixed corpus of frames — every kind, every enum arm — is encoded
-//! and compared (as hex lines) to `tests/golden/wire_v2.hex`. Any codec
+//! and compared (as hex lines) to `tests/golden/wire_v3.hex`. Any codec
 //! change that moves a byte fails here; intentional format changes must
 //! bump `WIRE_VERSION` and regenerate the golden file by running this
 //! test with `UPDATE_WIRE_GOLDEN=1`.
 
 use doda_core::algebra::AggregateSummary;
+use doda_core::byzantine::{ByzantineProfile, ByzantineStrategy, Evidence, Verdict};
 use doda_core::fault::{CrashPolicy, FaultProfile};
 use doda_core::outcome::{Completion, FaultTally};
 use doda_core::sequence::StepEvent;
@@ -19,10 +20,17 @@ use doda_service::{
 };
 use doda_sim::{AlgorithmSpec, FaultedScenario, Scenario, TrialResult};
 
-const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v2.hex");
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/wire_v3.hex");
 
 fn sample_result() -> TrialResult {
     sample_result_with(None)
+}
+
+fn sample_verdict(verdict: Verdict) -> TrialResult {
+    TrialResult {
+        verdict: Some(verdict),
+        ..sample_result()
+    }
 }
 
 fn sample_result_with(aggregate: Option<AggregateSummary>) -> TrialResult {
@@ -45,6 +53,7 @@ fn sample_result_with(aggregate: Option<AggregateSummary>) -> TrialResult {
         },
         cost: None,
         aggregate,
+        verdict: None,
     }
 }
 
@@ -74,6 +83,7 @@ fn corpus() -> (Vec<WireEvent>, Vec<WireResult>) {
                     crash_policy: CrashPolicy::DatumRecoverable,
                     min_live: 4,
                 }),
+                byzantine: None,
             },
             n: 32,
             seed: 7,
@@ -118,6 +128,28 @@ fn corpus() -> (Vec<WireEvent>, Vec<WireResult>) {
             n: 10,
             seed: 17,
             horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(10),
+            spec: AlgorithmSpec::Gathering,
+            scenario: Scenario::Uniform.with_byzantine(ByzantineProfile::duplicate(0.25)),
+            n: 20,
+            seed: 19,
+            horizon: None,
+            slice_budget: None,
+        },
+        WireEvent::OpenScenario {
+            session: SessionId(11),
+            spec: AlgorithmSpec::Gathering,
+            scenario: FaultedScenario {
+                base: Scenario::Vehicular,
+                faults: Some(FaultProfile::crash(0.002)),
+                byzantine: Some(ByzantineProfile::drop_carried(0.1)),
+            },
+            n: 18,
+            seed: 23,
+            horizon: Some(4_000),
             slice_budget: None,
         },
         WireEvent::OpenExternal {
@@ -198,6 +230,38 @@ fn corpus() -> (Vec<WireEvent>, Vec<WireResult>) {
                 p95: 0.875,
             })),
         },
+        WireResult::Result {
+            session: SessionId(10),
+            result: sample_verdict(Verdict::Clean),
+        },
+        WireResult::Result {
+            session: SessionId(11),
+            result: sample_verdict(Verdict::Detected {
+                evidence: Evidence {
+                    time: 321,
+                    liar: NodeId(4),
+                    strategy: ByzantineStrategy::Forge,
+                },
+            }),
+        },
+        WireResult::Result {
+            session: SessionId(12),
+            result: sample_verdict(Verdict::Detected {
+                evidence: Evidence {
+                    time: 654,
+                    liar: NodeId(9),
+                    strategy: ByzantineStrategy::Equivocate,
+                },
+            }),
+        },
+        WireResult::Result {
+            session: SessionId(13),
+            result: sample_verdict(Verdict::Tolerated),
+        },
+        WireResult::Result {
+            session: SessionId(14),
+            result: sample_verdict(Verdict::Corrupted),
+        },
         WireResult::Error {
             session: SessionId(9),
             message: "unknown session #9".to_string(),
@@ -227,7 +291,7 @@ fn corpus_hex() -> String {
 }
 
 #[test]
-fn wire_v2_bytes_match_the_golden_file() {
+fn wire_v3_bytes_match_the_golden_file() {
     let actual = corpus_hex();
     if std::env::var_os("UPDATE_WIRE_GOLDEN").is_some() {
         std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");

@@ -51,6 +51,7 @@ pub mod scenario;
 pub mod spec;
 pub mod sweep;
 pub mod table;
+pub mod test_support;
 pub mod trial;
 
 pub use datum::{
@@ -65,8 +66,8 @@ pub use scenario::{FaultedScenario, Scenario};
 pub use spec::{AlgorithmSpec, KnowledgeRequirement};
 pub use sweep::{ExecutionTier, Sweep};
 pub use trial::{
-    finish_trial, finish_trial_with, run_trial_on_sequence, FaultInjection, TrialConfig,
-    TrialResult, TrialRunner,
+    finish_trial, finish_trial_with, run_trial_on_sequence, ByzantineInjection, FaultInjection,
+    TrialConfig, TrialResult, TrialRunner,
 };
 
 /// Commonly used items for examples and benches.
@@ -81,7 +82,7 @@ pub mod prelude {
     pub use crate::sweep::{ExecutionTier, Sweep};
     pub use crate::table::{markdown_table, Table};
     pub use crate::trial::{
-        finish_trial, finish_trial_with, run_trial_on_sequence, FaultInjection, TrialConfig,
-        TrialResult, TrialRunner,
+        finish_trial, finish_trial_with, run_trial_on_sequence, ByzantineInjection, FaultInjection,
+        TrialConfig, TrialResult, TrialRunner,
     };
 }

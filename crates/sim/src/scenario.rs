@@ -21,6 +21,7 @@
 use doda_adversary::{
     CrashAwareIsolator, IsolatorAdversary, ObliviousTrap, RoundIsolator, WeightedRandomAdversary,
 };
+use doda_core::byzantine::{ByzantineConfigError, ByzantineProfile};
 use doda_core::fault::{FaultConfigError, FaultProfile, FaultedSource};
 use doda_core::round::{FlattenedRounds, RoundSource};
 use doda_core::{InteractionSequence, InteractionSource};
@@ -32,7 +33,7 @@ use doda_workloads::{
 };
 
 use crate::spec::AlgorithmSpec;
-use crate::trial::FaultInjection;
+use crate::trial::{ByzantineInjection, FaultInjection};
 
 /// One entry of the unified scenario space: a named, seeded family of
 /// interaction sources parameterised by the node count.
@@ -298,6 +299,19 @@ impl Scenario {
         FaultedScenario {
             base: self,
             faults: Some(profile),
+            byzantine: None,
+        }
+    }
+
+    /// Layers a Byzantine profile over this scenario, producing an entry
+    /// of the faulted scenario space (see [`FaultedScenario`]). The
+    /// schedule is untouched — liars corrupt the data plane only, and the
+    /// trial runner routes such entries through the audited engine path.
+    pub fn with_byzantine(self, profile: ByzantineProfile) -> FaultedScenario {
+        FaultedScenario {
+            base: self,
+            faults: None,
+            byzantine: Some(profile),
         }
     }
 }
@@ -331,11 +345,20 @@ pub struct FaultedScenario {
     pub base: Scenario,
     /// The fault plan layered on top, if any.
     pub faults: Option<FaultProfile>,
+    /// The Byzantine plan layered on the data plane, if any. Unlike the
+    /// fault plan it never perturbs the schedule: liars corrupt what they
+    /// transmit, and the runner audits every transfer
+    /// ([`crate::trial::TrialConfig::byzantine`]).
+    pub byzantine: Option<ByzantineProfile>,
 }
 
 impl From<Scenario> for FaultedScenario {
     fn from(base: Scenario) -> Self {
-        FaultedScenario { base, faults: None }
+        FaultedScenario {
+            base,
+            faults: None,
+            byzantine: None,
+        }
     }
 }
 
@@ -357,18 +380,38 @@ impl FaultedScenario {
             // under the sink-unmatched trap.
             Scenario::RandomMatching.with_faults(FaultProfile::lossy(0.2)),
             Scenario::RoundIsolator.with_faults(FaultProfile::crash(0.005)),
+            // The Byzantine axis: liars corrupt the data plane under the
+            // committed schedule. One variant per strategy, plus a
+            // fault × byzantine product entry (crashes delay the schedule
+            // while forgers pollute it) and a round-scenario crossing
+            // (audited over the flattened stream).
+            Scenario::Uniform.with_byzantine(ByzantineProfile::forge(0.1)),
+            Scenario::Uniform.with_byzantine(ByzantineProfile::duplicate(0.1)),
+            Scenario::Zipf { exponent: 1.2 }.with_byzantine(ByzantineProfile::drop_carried(0.1)),
+            Scenario::Vehicular.with_byzantine(ByzantineProfile::equivocate(0.1)),
+            Scenario::Uniform
+                .with_faults(FaultProfile::crash(0.002))
+                .with_byzantine(ByzantineProfile::forge(0.1)),
+            Scenario::RandomMatching.with_byzantine(ByzantineProfile::forge(0.1)),
         ]);
         entries
     }
 
     /// The label used in reports and `BENCH_*.json`: the base name, plus
-    /// `+<fault label>` when a fault plan is present (e.g.
-    /// `"uniform+crash(0.002)"`).
+    /// `+<fault label>` and/or `+<byzantine label>` for each plan present
+    /// (e.g. `"uniform+crash(0.002)"`, `"uniform+forge(0.1)"`,
+    /// `"uniform+crash(0.002)+forge(0.1)"`).
     pub fn name(&self) -> String {
-        match &self.faults {
-            None => self.base.name().to_string(),
-            Some(profile) => format!("{}+{}", self.base.name(), profile.label()),
+        let mut name = self.base.name().to_string();
+        if let Some(profile) = &self.faults {
+            name.push('+');
+            name.push_str(&profile.label());
         }
+        if let Some(profile) = &self.byzantine {
+            name.push('+');
+            name.push_str(&profile.label());
+        }
+        name
     }
 
     /// Looks an entry up by its [`name`](FaultedScenario::name) among the
@@ -383,6 +426,21 @@ impl FaultedScenario {
     /// `fault_profile` column of the bench schema.
     pub fn fault_label(&self) -> String {
         self.faults
+            .map_or_else(|| "none".to_string(), |p| p.label())
+    }
+
+    /// Layers a Byzantine profile over this entry, keeping any fault plan
+    /// — the builder behind the registry's fault × byzantine product
+    /// entries.
+    pub fn with_byzantine(mut self, profile: ByzantineProfile) -> FaultedScenario {
+        self.byzantine = Some(profile);
+        self
+    }
+
+    /// The label of the Byzantine plan (`"none"` when absent) — the
+    /// `byzantine_profile` column of the bench schema.
+    pub fn byzantine_label(&self) -> String {
+        self.byzantine
             .map_or_else(|| "none".to_string(), |p| p.label())
     }
 
@@ -425,6 +483,20 @@ impl FaultedScenario {
         }
     }
 
+    /// Validates the Byzantine plan (fraction within `[0, 1]`).
+    /// Byzantine-free entries always pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`ByzantineConfigError`] for an out-of-range
+    /// lying fraction.
+    pub fn validate_byzantine(&self) -> Result<(), ByzantineConfigError> {
+        match &self.byzantine {
+            None => Ok(()),
+            Some(profile) => profile.validate(),
+        }
+    }
+
     /// The per-trial fault injection: the profile plus a fault-stream
     /// seed derived from (but independent of) the trial seed, so base
     /// stream and fault stream never share randomness.
@@ -432,6 +504,19 @@ impl FaultedScenario {
         self.faults.map(|profile| FaultInjection {
             profile,
             seed: SeedSequence::new(trial_seed).seed(FAULT_STREAM_LABEL),
+        })
+    }
+
+    /// The per-trial Byzantine injection: the profile plus a seed for the
+    /// liar-selection/forgery streams, derived from (but independent of)
+    /// the trial seed — and of the fault stream's, so neither plane
+    /// perturbs the other's randomness. `Some` whenever a profile is
+    /// attached, even at fraction `0` (a zero-liar plan still runs the
+    /// audited path and earns a `Clean` verdict).
+    pub fn byzantine_injection(&self, trial_seed: u64) -> Option<ByzantineInjection> {
+        self.byzantine.map(|profile| ByzantineInjection {
+            profile,
+            seed: SeedSequence::new(trial_seed).seed(BYZANTINE_STREAM_LABEL),
         })
     }
 
@@ -460,6 +545,12 @@ impl FaultedScenario {
 /// The seed-stream label separating fault randomness from the base
 /// stream's (see [`FaultedScenario::fault_injection`]).
 const FAULT_STREAM_LABEL: u64 = 0xFA;
+
+/// The seed-stream label separating Byzantine randomness (liar selection
+/// and forgery draws) from the base and fault streams' (see
+/// [`FaultedScenario::byzantine_injection`]; `pub(crate)` so workload
+/// sweeps seed their Byzantine plans identically).
+pub(crate) const BYZANTINE_STREAM_LABEL: u64 = 0xB2;
 
 impl std::fmt::Display for FaultedScenario {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -637,6 +728,51 @@ mod tests {
         assert!(FaultedScenario::from(Scenario::Uniform)
             .fault_injection(42)
             .is_none());
+    }
+
+    #[test]
+    fn byzantine_registry_entries_are_resolvable_and_validated() {
+        let registry = FaultedScenario::registry();
+        let byz: Vec<_> = registry.iter().filter(|e| e.byzantine.is_some()).collect();
+        assert_eq!(byz.len(), 6, "one per strategy, a product and a round");
+        for entry in &byz {
+            assert!(entry.name().contains('+'), "{entry}");
+            assert_eq!(entry.byzantine_label(), entry.byzantine.unwrap().label());
+            assert!(entry.validate_byzantine().is_ok(), "{entry}");
+            assert_eq!(FaultedScenario::by_name(&entry.name()), Some(**entry));
+        }
+        // The product entry carries both axes in its name.
+        assert!(registry.iter().any(|e| e.faults.is_some()
+            && e.byzantine.is_some()
+            && e.name() == "uniform+crash(0.002)+forge(0.1)"));
+        // Plain entries expose no byzantine plan.
+        let plain = FaultedScenario::from(Scenario::Uniform);
+        assert!(plain.byzantine_injection(42).is_none());
+        assert_eq!(plain.byzantine_label(), "none");
+    }
+
+    #[test]
+    fn byzantine_injection_is_deterministic_and_independent_of_other_streams() {
+        let entry = Scenario::Uniform
+            .with_faults(FaultProfile::crash(0.002))
+            .with_byzantine(ByzantineProfile::forge(0.1));
+        let a = entry.byzantine_injection(42).unwrap();
+        assert_eq!(a, entry.byzantine_injection(42).unwrap());
+        assert_ne!(a.seed, 42, "byzantine stream must not reuse the base seed");
+        assert_ne!(
+            a.seed,
+            entry.fault_injection(42).unwrap().seed,
+            "the two planes draw from distinct streams"
+        );
+        assert_ne!(
+            entry.byzantine_injection(43).unwrap().seed,
+            a.seed,
+            "distinct trials draw distinct byzantine streams"
+        );
+        // A fraction-0 plan still yields an injection: the audited path
+        // runs with zero liars and earns its Clean verdict.
+        let transparent = Scenario::Uniform.with_byzantine(ByzantineProfile::forge(0.0));
+        assert!(transparent.byzantine_injection(42).is_some());
     }
 
     #[test]

@@ -50,6 +50,7 @@
 //! only on count-style outcomes — completion classification and the
 //! conserved origin set — pinned by `tests/hierarchical_equivalence.rs`.
 
+use doda_core::byzantine::ByzantineProfile;
 use doda_core::lane::MAX_LANES;
 use doda_core::{InteractionSequence, InteractionSource};
 use doda_stats::rng::SeedSequence;
@@ -62,7 +63,7 @@ use crate::datum::{
 use crate::runner::{shard, summarize, BatchConfig, BatchResult};
 use crate::scenario::FaultedScenario;
 use crate::spec::AlgorithmSpec;
-use crate::trial::{TrialConfig, TrialResult, TrialRunner};
+use crate::trial::{ByzantineInjection, TrialConfig, TrialResult, TrialRunner};
 
 /// The execution tier of a sweep: which engine path runs the trials.
 ///
@@ -158,6 +159,7 @@ pub struct Sweep<'a> {
     lane_width: usize,
     cluster_size: Option<usize>,
     aggregate: AggregateKind,
+    byzantine: Option<ByzantineProfile>,
 }
 
 impl<'a> Sweep<'a> {
@@ -188,6 +190,7 @@ impl<'a> Sweep<'a> {
             lane_width: MAX_LANES,
             cluster_size: None,
             aggregate: AggregateKind::IdSet,
+            byzantine: None,
         }
     }
 
@@ -282,6 +285,24 @@ impl<'a> Sweep<'a> {
         self
     }
 
+    /// Layers a Byzantine profile over the sweep: a seeded fraction of
+    /// non-sink nodes lies on the data plane during their transmissions,
+    /// every trial runs the audited engine path, and every result carries
+    /// a [`doda_core::byzantine::Verdict`]. The schedule — and any fault
+    /// plan — composes unchanged. On a scenario that already carries a
+    /// Byzantine plan (a registry `+forge(0.1)` variant) this builder
+    /// **overrides** it; a fraction-`0` profile still routes through the
+    /// audit and earns `Clean`.
+    ///
+    /// The audited path is scalar: [`ExecutionTier::Auto`] resolves
+    /// byzantine sweeps to the streamed (or materialised) tier, and
+    /// forcing [`ExecutionTier::Lanes`], [`ExecutionTier::Rounds`] or
+    /// [`ExecutionTier::Hierarchical`] panics at [`Sweep::run`].
+    pub fn byzantine(mut self, profile: ByzantineProfile) -> Self {
+        self.byzantine = Some(profile);
+        self
+    }
+
     /// Copies the batch shape (`n`, `trials`, `horizon`, `seed`,
     /// `parallel`) from a legacy [`BatchConfig`].
     pub fn config(self, config: &BatchConfig) -> Self {
@@ -304,7 +325,9 @@ impl<'a> Sweep<'a> {
     /// [`Sweep::run`] would produce.
     pub fn path_label(&self) -> &'static str {
         let path = self.demote_lanes(match &self.family {
-            Family::Scenario(scenario) => self.resolve_scenario_path(scenario),
+            Family::Scenario(scenario) => {
+                self.resolve_scenario_path(&self.effective_scenario(*scenario))
+            }
             Family::Workload(_) => self.resolve_workload_path(),
         });
         match path {
@@ -416,13 +439,35 @@ impl<'a> Sweep<'a> {
             .unwrap_or_else(|| doda_adversary::RandomizedAdversary::default_horizon(n))
     }
 
+    /// The scenario with the builder's Byzantine profile applied
+    /// ([`Sweep::byzantine`] overrides any plan the entry carries).
+    fn effective_scenario(&self, scenario: FaultedScenario) -> FaultedScenario {
+        match self.byzantine {
+            None => scenario,
+            Some(profile) => scenario.with_byzantine(profile),
+        }
+    }
+
+    /// The per-trial Byzantine injection of a **workload** sweep: the
+    /// builder's profile seeded exactly as a scenario entry would seed it
+    /// ([`FaultedScenario::byzantine_injection`]), so a workload sweep and
+    /// the equivalent scenario sweep corrupt identically per trial seed.
+    fn workload_byzantine_injection(&self, trial_seed: u64) -> Option<ByzantineInjection> {
+        self.byzantine.map(|profile| ByzantineInjection {
+            profile,
+            seed: SeedSequence::new(trial_seed).seed(crate::scenario::BYZANTINE_STREAM_LABEL),
+        })
+    }
+
     /// Resolves the tier for a scenario sweep (see the module docs).
     fn resolve_scenario_path(&self, scenario: &FaultedScenario) -> Path {
         match self.tier {
             ExecutionTier::Auto => {
                 if self.spec.requires_materialization() {
                     Path::Materialized
-                } else if scenario.faults.is_some() {
+                } else if scenario.faults.is_some() || scenario.byzantine.is_some() {
+                    // Both planes are scalar-path features: faults perturb
+                    // the stream, byzantine plans need the audited engine.
                     Path::Streamed
                 } else if scenario.is_round() {
                     Path::Rounds
@@ -451,6 +496,11 @@ impl<'a> Sweep<'a> {
                     "the lane tier is fault-free by contract; scenario \
                      '{scenario}' carries a fault plan"
                 );
+                assert!(
+                    scenario.byzantine.is_none(),
+                    "the lane tier is honest by contract; scenario \
+                     '{scenario}' carries a byzantine plan"
+                );
                 Path::Lanes
             }
             ExecutionTier::Rounds => {
@@ -463,6 +513,11 @@ impl<'a> Sweep<'a> {
                     scenario.faults.is_none(),
                     "fault plans compose over the flattened round stream (the \
                      scalar tier), not over the batched round path"
+                );
+                assert!(
+                    scenario.byzantine.is_none(),
+                    "byzantine plans compose over the flattened round stream \
+                     (the audited scalar tier), not over the batched round path"
                 );
                 assert!(
                     !self.spec.requires_materialization(),
@@ -486,6 +541,11 @@ impl<'a> Sweep<'a> {
                     "the hierarchical tier is fault-free by contract; scenario \
                      '{scenario}' carries a fault plan"
                 );
+                assert!(
+                    scenario.byzantine.is_none(),
+                    "the hierarchical tier is honest by contract; scenario \
+                     '{scenario}' carries a byzantine plan"
+                );
                 Path::Hierarchical
             }
         }
@@ -498,6 +558,8 @@ impl<'a> Sweep<'a> {
             ExecutionTier::Auto => {
                 if self.spec.requires_materialization() {
                     Path::Materialized
+                } else if self.byzantine.is_some() {
+                    Path::Streamed
                 } else if self.spec.lane_algorithm().is_some() {
                     Path::Lanes
                 } else {
@@ -518,6 +580,11 @@ impl<'a> Sweep<'a> {
                     self.spec,
                     self.spec.knowledge()
                 );
+                assert!(
+                    self.byzantine.is_none(),
+                    "the lane tier is honest by contract; the sweep carries \
+                     a byzantine plan"
+                );
                 Path::Lanes
             }
             ExecutionTier::Rounds => {
@@ -534,6 +601,7 @@ impl<'a> Sweep<'a> {
     }
 
     fn run_scenario(&self, scenario: FaultedScenario) -> Vec<TrialResult> {
+        let scenario = self.effective_scenario(scenario);
         assert!(
             scenario.supports(self.spec),
             "scenario '{scenario}' is adaptive: {} requires {} knowledge, which would \
@@ -547,6 +615,9 @@ impl<'a> Sweep<'a> {
         scenario
             .validate(n)
             .unwrap_or_else(|e| panic!("invalid fault plan for scenario '{scenario}': {e}"));
+        scenario
+            .validate_byzantine()
+            .unwrap_or_else(|e| panic!("invalid byzantine plan for scenario '{scenario}': {e}"));
         let seeds = SeedSequence::new(self.seed);
         let horizon = self.horizon_len(n);
         let spec = self.spec;
@@ -562,6 +633,7 @@ impl<'a> Sweep<'a> {
                     seq.fill_from(source.as_mut(), horizon);
                     let trial_config = TrialConfig {
                         fault: scenario.fault_injection(trial_seed),
+                        byzantine: scenario.byzantine_injection(trial_seed),
                         ..TrialConfig::default()
                     };
                     results.push(runner.run(spec, &seq, &trial_config));
@@ -576,6 +648,7 @@ impl<'a> Sweep<'a> {
                     let trial_config = TrialConfig {
                         max_interactions: Some(horizon as u64),
                         fault: scenario.fault_injection(trial_seed),
+                        byzantine: scenario.byzantine_injection(trial_seed),
                         ..TrialConfig::default()
                     };
                     let mut source = scenario.base.source(n, trial_seed);
@@ -639,34 +712,36 @@ impl<'a> Sweep<'a> {
         let spec = self.spec;
 
         match self.resolve_workload_path() {
-            Path::Materialized => {
-                let trial_config = TrialConfig::default();
-                shard(self.trials, self.parallel, |range| {
-                    let mut runner = TrialRunner::new();
-                    let mut seq = InteractionSequence::new(n);
-                    let mut results = Vec::with_capacity(range.len());
-                    for trial in range {
-                        workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
-                        results.push(runner.run(spec, &seq, &trial_config));
-                    }
-                    results
-                })
-            }
-            Path::Streamed => {
-                let trial_config = TrialConfig {
-                    max_interactions: Some(horizon as u64),
-                    ..TrialConfig::default()
-                };
-                shard(self.trials, self.parallel, |range| {
-                    let mut runner = TrialRunner::new();
-                    let mut results = Vec::with_capacity(range.len());
-                    for trial in range {
-                        let mut source = workload.source(seeds.seed(trial as u64));
-                        results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
-                    }
-                    results
-                })
-            }
+            Path::Materialized => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut seq = InteractionSequence::new(n);
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    workload.fill(&mut seq, horizon, trial_seed);
+                    let trial_config = TrialConfig {
+                        byzantine: self.workload_byzantine_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    results.push(runner.run(spec, &seq, &trial_config));
+                }
+                results
+            }),
+            Path::Streamed => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    let trial_config = TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        byzantine: self.workload_byzantine_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    let mut source = workload.source(trial_seed);
+                    results.push(runner.run_streamed(spec, source.as_mut(), &trial_config));
+                }
+                results
+            }),
             Path::Lanes => {
                 self.run_lanes_sharded(horizon, |trial_seed| workload.source(trial_seed))
             }
@@ -686,6 +761,7 @@ impl<'a> Sweep<'a> {
         scenario: FaultedScenario,
         datum: &D,
     ) -> Vec<TrialResult> {
+        let scenario = self.effective_scenario(scenario);
         assert!(
             scenario.supports(self.spec),
             "scenario '{scenario}' is adaptive: {} requires {} knowledge, which would \
@@ -697,6 +773,9 @@ impl<'a> Sweep<'a> {
         scenario
             .validate(n)
             .unwrap_or_else(|e| panic!("invalid fault plan for scenario '{scenario}': {e}"));
+        scenario
+            .validate_byzantine()
+            .unwrap_or_else(|e| panic!("invalid byzantine plan for scenario '{scenario}': {e}"));
         let seeds = SeedSequence::new(self.seed);
         let horizon = self.horizon_len(n);
         let spec = self.spec;
@@ -712,6 +791,7 @@ impl<'a> Sweep<'a> {
                     seq.fill_from(source.as_mut(), horizon);
                     let trial_config = TrialConfig {
                         fault: scenario.fault_injection(trial_seed),
+                        byzantine: scenario.byzantine_injection(trial_seed),
                         ..TrialConfig::default()
                     };
                     results.push(runner.run_with(spec, &seq, &trial_config, datum));
@@ -726,6 +806,7 @@ impl<'a> Sweep<'a> {
                     let trial_config = TrialConfig {
                         max_interactions: Some(horizon as u64),
                         fault: scenario.fault_injection(trial_seed),
+                        byzantine: scenario.byzantine_injection(trial_seed),
                         ..TrialConfig::default()
                     };
                     let mut source = scenario.base.source(n, trial_seed);
@@ -806,39 +887,41 @@ impl<'a> Sweep<'a> {
         let spec = self.spec;
 
         match self.demote_lanes(self.resolve_workload_path()) {
-            Path::Materialized => {
-                let trial_config = TrialConfig::default();
-                shard(self.trials, self.parallel, |range| {
-                    let mut runner = TrialRunner::new();
-                    let mut seq = InteractionSequence::new(n);
-                    let mut results = Vec::with_capacity(range.len());
-                    for trial in range {
-                        workload.fill(&mut seq, horizon, seeds.seed(trial as u64));
-                        results.push(runner.run_with(spec, &seq, &trial_config, datum));
-                    }
-                    results
-                })
-            }
-            Path::Streamed => {
-                let trial_config = TrialConfig {
-                    max_interactions: Some(horizon as u64),
-                    ..TrialConfig::default()
-                };
-                shard(self.trials, self.parallel, |range| {
-                    let mut runner = TrialRunner::new();
-                    let mut results = Vec::with_capacity(range.len());
-                    for trial in range {
-                        let mut source = workload.source(seeds.seed(trial as u64));
-                        results.push(runner.run_streamed_with(
-                            spec,
-                            source.as_mut(),
-                            &trial_config,
-                            datum,
-                        ));
-                    }
-                    results
-                })
-            }
+            Path::Materialized => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut seq = InteractionSequence::new(n);
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    workload.fill(&mut seq, horizon, trial_seed);
+                    let trial_config = TrialConfig {
+                        byzantine: self.workload_byzantine_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    results.push(runner.run_with(spec, &seq, &trial_config, datum));
+                }
+                results
+            }),
+            Path::Streamed => shard(self.trials, self.parallel, |range| {
+                let mut runner = TrialRunner::new();
+                let mut results = Vec::with_capacity(range.len());
+                for trial in range {
+                    let trial_seed = seeds.seed(trial as u64);
+                    let trial_config = TrialConfig {
+                        max_interactions: Some(horizon as u64),
+                        byzantine: self.workload_byzantine_injection(trial_seed),
+                        ..TrialConfig::default()
+                    };
+                    let mut source = workload.source(trial_seed);
+                    results.push(runner.run_streamed_with(
+                        spec,
+                        source.as_mut(),
+                        &trial_config,
+                        datum,
+                    ));
+                }
+                results
+            }),
             Path::Lanes => {
                 unreachable!("demote_lanes rejects the lane tier for non-default aggregates")
             }
@@ -992,6 +1075,73 @@ mod tests {
             .run_summarized();
         let legacy = crate::runner::run_batch_detailed(AlgorithmSpec::Gathering, &config);
         assert_eq!((summary, raw), legacy);
+    }
+
+    #[test]
+    fn byzantine_sweeps_run_audited_on_every_scalar_tier() {
+        use doda_core::byzantine::{ByzantineProfile, Verdict};
+
+        let base = || {
+            Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+                .n(12)
+                .trials(6)
+                .seed(7)
+                .horizon(Some(4_000))
+                .byzantine(ByzantineProfile::forge(0.25))
+        };
+        assert_eq!(base().path_label(), "streamed");
+        let auto = base().run();
+        let scalar = base().tier(ExecutionTier::Scalar).run();
+        assert_eq!(auto, scalar);
+        assert!(auto.iter().all(|r| r.verdict.is_some()));
+        // Forgers pollute the exact origin set, so the audit must not
+        // report every trial clean.
+        assert!(auto
+            .iter()
+            .any(|r| !matches!(r.verdict, Some(Verdict::Clean))));
+
+        // A registry byzantine entry routes identically to the builder.
+        let entry = Scenario::Uniform.with_byzantine(ByzantineProfile::forge(0.25));
+        let via_entry = Sweep::scenario(AlgorithmSpec::Gathering, entry)
+            .n(12)
+            .trials(6)
+            .seed(7)
+            .horizon(Some(4_000))
+            .run();
+        assert_eq!(via_entry, auto);
+    }
+
+    #[test]
+    fn workload_byzantine_sweeps_match_the_equivalent_scenario_sweep() {
+        use doda_core::byzantine::ByzantineProfile;
+
+        let workload = UniformWorkload::new(10);
+        let via_workload = Sweep::workload(AlgorithmSpec::Gathering, &workload)
+            .trials(4)
+            .seed(3)
+            .horizon(Some(3_000))
+            .byzantine(ByzantineProfile::duplicate(0.2))
+            .run();
+        let via_scenario = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+            .n(10)
+            .trials(4)
+            .seed(3)
+            .horizon(Some(3_000))
+            .byzantine(ByzantineProfile::duplicate(0.2))
+            .run();
+        assert_eq!(via_workload, via_scenario);
+    }
+
+    #[test]
+    #[should_panic(expected = "honest by contract")]
+    fn lane_tier_rejects_byzantine_plans() {
+        use doda_core::byzantine::ByzantineProfile;
+
+        let _ = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+            .n(10)
+            .byzantine(ByzantineProfile::forge(0.1))
+            .tier(ExecutionTier::Lanes)
+            .run();
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! for one-off trials.
 
 use doda_core::algebra::AggregateSummary;
+use doda_core::byzantine::{ByzantineInjector, ByzantineProfile, Tally, Verdict};
 use doda_core::cost::{cost_of_duration, Cost};
 use doda_core::data::{Aggregate, IdSet};
 use doda_core::engine::{DiscardTransmissions, Engine, EngineConfig, RunStats};
@@ -51,6 +52,22 @@ pub struct FaultInjection {
     pub seed: u64,
 }
 
+/// A fully resolved per-trial Byzantine plan: the profile plus the seed
+/// of the liar-selection/forgery streams — the data-plane analogue of
+/// [`FaultInjection`]. Built by
+/// [`crate::scenario::FaultedScenario::byzantine_injection`] from the
+/// trial seed; the runner injects it by routing the trial through
+/// [`doda_core::Engine::run_audited`] with a per-trial
+/// [`ByzantineInjector`] and [`Tally`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ByzantineInjection {
+    /// The Byzantine plan.
+    pub profile: ByzantineProfile,
+    /// Seed of the liar-selection and forgery streams (independent of
+    /// the base and fault streams').
+    pub seed: u64,
+}
+
 /// Configuration of a single trial.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrialConfig {
@@ -76,6 +93,14 @@ pub struct TrialConfig {
     /// number of fault events (see [`TrialRunner::run`]). Incompatible
     /// with [`TrialConfig::compute_cost`].
     pub fault: Option<FaultInjection>,
+    /// The Byzantine plan injected over the trial's data plane, if any:
+    /// the trial routes through the audited engine path
+    /// ([`doda_core::Engine::run_audited`]) and the result carries a
+    /// [`Verdict`]. The schedule — and any fault plan — composes
+    /// unchanged; a plan with fraction `0` runs audited with zero liars
+    /// and reproduces the unaudited trial byte for byte apart from the
+    /// `Some(Clean)` verdict.
+    pub byzantine: Option<ByzantineInjection>,
 }
 
 impl Default for TrialConfig {
@@ -86,6 +111,7 @@ impl Default for TrialConfig {
             compute_cost: false,
             max_convergecasts: 64,
             fault: None,
+            byzantine: None,
         }
     }
 }
@@ -126,6 +152,12 @@ pub struct TrialResult {
     /// default exact-origins family, so existing sweeps are structurally
     /// unchanged.
     pub aggregate: Option<AggregateSummary>,
+    /// The audit verdict, for trials run with a Byzantine plan
+    /// ([`TrialConfig::byzantine`]): how the receipt ledger reconciles
+    /// against the datum family's guarantees. `None` on every
+    /// byzantine-free path, so existing sweeps are structurally
+    /// unchanged.
+    pub verdict: Option<Verdict>,
 }
 
 impl TrialResult {
@@ -221,10 +253,14 @@ impl<A: Aggregate> TrialRunner<A> {
                 faults: FaultTally::default(),
                 cost: None,
                 aggregate: None,
+                // No interaction ever ran, so an audited trial's ledger is
+                // trivially clean (byzantine plan ⇒ Some verdict, always).
+                verdict: config.byzantine.map(|_| Verdict::Clean),
             };
         };
-        let stats = match config.fault {
-            None => self.engine.run(
+        let mut audit: Option<Tally> = None;
+        let stats = match (config.fault, config.byzantine) {
+            (None, None) => self.engine.run(
                 algorithm.as_mut(),
                 &mut seq.stream(false),
                 sink,
@@ -232,7 +268,7 @@ impl<A: Aggregate> TrialRunner<A> {
                 engine_config,
                 &mut DiscardTransmissions,
             ),
-            Some(injection) => {
+            (Some(injection), None) => {
                 // The oracles above were built from the base sequence (the
                 // committed schedule); only execution sees the faults.
                 let mut faulted =
@@ -247,12 +283,54 @@ impl<A: Aggregate> TrialRunner<A> {
                     &mut DiscardTransmissions,
                 )
             }
+            (fault, Some(byz)) => {
+                // Byzantine corruption lives on the data plane: the same
+                // schedule (faulted or not) runs through the audited engine
+                // path, which records a receipt per transfer.
+                let mut injector = ByzantineInjector::new(byz.profile, n, sink, byz.seed)
+                    .unwrap_or_else(|e| panic!("invalid byzantine plan: {e}"));
+                let mut tally = Tally::new();
+                let stats = match fault {
+                    None => self.engine.run_audited(
+                        algorithm.as_mut(),
+                        &mut seq.stream(false),
+                        sink,
+                        |v| family.initial(v),
+                        engine_config,
+                        &mut DiscardTransmissions,
+                        &mut injector,
+                        &mut tally,
+                    ),
+                    Some(injection) => {
+                        let mut faulted = FaultedSource::new(
+                            seq.stream(false),
+                            injection.profile,
+                            injection.seed,
+                        )
+                        .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                        self.engine.run_audited(
+                            algorithm.as_mut(),
+                            &mut faulted,
+                            sink,
+                            |v| family.initial(v),
+                            engine_config,
+                            &mut DiscardTransmissions,
+                            &mut injector,
+                            &mut tally,
+                        )
+                    }
+                };
+                audit = Some(tally);
+                stats
+            }
         }
         .expect("the provided algorithms never emit structurally invalid decisions");
         let cost = config
             .compute_cost
             .then(|| cost_of_duration(seq, sink, stats.termination_time, config.max_convergecasts));
-        self.finish_with(spec, family, stats, cost)
+        let mut result = self.finish_with(spec, family, stats, cost);
+        result.verdict = audit.map(|tally| tally.verdict::<A>());
+        result
     }
 
     /// Runs `spec` **streamed** with the given datum family. The generic
@@ -286,8 +364,9 @@ impl<A: Aggregate> TrialRunner<A> {
             );
         };
         let engine_config = EngineConfig::sweep(max_interactions);
-        let stats = match config.fault {
-            None => self.engine.run(
+        let mut audit: Option<Tally> = None;
+        let stats = match (config.fault, config.byzantine) {
+            (None, None) => self.engine.run(
                 algorithm.as_mut(),
                 source,
                 sink,
@@ -295,7 +374,7 @@ impl<A: Aggregate> TrialRunner<A> {
                 engine_config,
                 &mut DiscardTransmissions,
             ),
-            Some(injection) => {
+            (Some(injection), None) => {
                 let mut faulted = FaultedSource::new(source, injection.profile, injection.seed)
                     .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
                 self.engine.run(
@@ -307,9 +386,46 @@ impl<A: Aggregate> TrialRunner<A> {
                     &mut DiscardTransmissions,
                 )
             }
+            (fault, Some(byz)) => {
+                let n = source.node_count();
+                let mut injector = ByzantineInjector::new(byz.profile, n, sink, byz.seed)
+                    .unwrap_or_else(|e| panic!("invalid byzantine plan: {e}"));
+                let mut tally = Tally::new();
+                let stats = match fault {
+                    None => self.engine.run_audited(
+                        algorithm.as_mut(),
+                        source,
+                        sink,
+                        |v| family.initial(v),
+                        engine_config,
+                        &mut DiscardTransmissions,
+                        &mut injector,
+                        &mut tally,
+                    ),
+                    Some(injection) => {
+                        let mut faulted =
+                            FaultedSource::new(source, injection.profile, injection.seed)
+                                .unwrap_or_else(|e| panic!("invalid fault plan: {e}"));
+                        self.engine.run_audited(
+                            algorithm.as_mut(),
+                            &mut faulted,
+                            sink,
+                            |v| family.initial(v),
+                            engine_config,
+                            &mut DiscardTransmissions,
+                            &mut injector,
+                            &mut tally,
+                        )
+                    }
+                };
+                audit = Some(tally);
+                stats
+            }
         }
         .expect("the provided algorithms never emit structurally invalid decisions");
-        self.finish_with(spec, family, stats, None)
+        let mut result = self.finish_with(spec, family, stats, None);
+        result.verdict = audit.map(|tally| tally.verdict::<A>());
+        result
     }
 
     /// Runs `spec` over a **round** stream with the given datum family.
@@ -335,6 +451,12 @@ impl<A: Aggregate> TrialRunner<A> {
             config.fault.is_none(),
             "fault plans compose over the flattened round stream \
              (FaultedSource over FlattenedRounds, via run_streamed), not \
+             over the batched round path"
+        );
+        assert!(
+            config.byzantine.is_none(),
+            "byzantine plans compose over the flattened round stream \
+             (run_audited over FlattenedRounds, via run_streamed), not \
              over the batched round path"
         );
         let sink = config.sink;
@@ -514,6 +636,11 @@ impl TrialRunner {
             "fault plans run on the scalar path; the lane tier is \
              fault-free by contract"
         );
+        assert!(
+            config.byzantine.is_none(),
+            "byzantine plans run on the audited scalar path; the lane \
+             tier is honest by contract"
+        );
         let Some(algorithm) = spec.lane_algorithm() else {
             panic!(
                 "{spec} requires {} knowledge and has no lane kernel; \
@@ -583,6 +710,11 @@ impl<A: Aggregate> TrialRunner<A> {
             config.fault.is_none(),
             "fault plans run on the flat paths; the hierarchical tier is \
              fault-free by contract"
+        );
+        assert!(
+            config.byzantine.is_none(),
+            "byzantine plans run on the audited flat paths; the \
+             hierarchical tier is honest by contract"
         );
         assert!(
             spec.instantiate_online().is_some(),
@@ -682,6 +814,7 @@ impl<A: Aggregate> TrialRunner<A> {
             faults: FaultTally::default(),
             cost: None,
             aggregate,
+            verdict: None,
         }
     }
 
@@ -796,6 +929,7 @@ where
         faults: stats.faults,
         cost,
         aggregate,
+        verdict: None,
     }
 }
 
@@ -824,6 +958,7 @@ fn finish_lane(spec: AlgorithmSpec, stats: LaneRunStats) -> TrialResult {
         faults: FaultTally::default(),
         cost: None,
         aggregate: None,
+        verdict: None,
     }
 }
 
@@ -1050,6 +1185,119 @@ mod tests {
             }
         }
         assert!(survivor_trials > 0, "crashes must cost data in some trials");
+    }
+
+    #[test]
+    fn byzantine_streamed_trial_matches_byzantine_materialized_trial() {
+        use doda_core::byzantine::ByzantineProfile;
+
+        let horizon = 4_000usize;
+        let mut runner = TrialRunner::new();
+        let injection = ByzantineInjection {
+            profile: ByzantineProfile::forge(0.25),
+            seed: 0xB12,
+        };
+        for (n, seed) in [(8usize, 1u64), (12, 2)] {
+            let workload = UniformWorkload::new(n);
+            for spec in [AlgorithmSpec::Gathering, AlgorithmSpec::Waiting] {
+                let seq = workload.generate(horizon, seed);
+                let config = TrialConfig {
+                    max_interactions: Some(horizon as u64),
+                    byzantine: Some(injection),
+                    ..TrialConfig::default()
+                };
+                let materialized = runner.run(spec, &seq, &config);
+                let streamed = runner.run_streamed(spec, workload.source(seed).as_mut(), &config);
+                assert_eq!(
+                    streamed, materialized,
+                    "{spec} diverged under byzantine nodes at n={n}, seed={seed}"
+                );
+                assert!(streamed.verdict.is_some(), "audited trials carry a verdict");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_byzantine_trial_is_transparent() {
+        let horizon = 3_000usize;
+        let mut runner = TrialRunner::new();
+        let workload = UniformWorkload::new(10);
+        for seed in [1u64, 2, 3] {
+            let honest_config = TrialConfig {
+                max_interactions: Some(horizon as u64),
+                ..TrialConfig::default()
+            };
+            let audited_config = TrialConfig {
+                byzantine: Some(ByzantineInjection {
+                    profile: doda_core::byzantine::ByzantineProfile::forge(0.0),
+                    seed: seed ^ 0xB2,
+                }),
+                ..honest_config
+            };
+            let honest = runner.run_streamed(
+                AlgorithmSpec::Gathering,
+                workload.source(seed).as_mut(),
+                &honest_config,
+            );
+            let mut audited = runner.run_streamed(
+                AlgorithmSpec::Gathering,
+                workload.source(seed).as_mut(),
+                &audited_config,
+            );
+            assert_eq!(audited.verdict, Some(Verdict::Clean), "seed {seed}");
+            audited.verdict = None;
+            assert_eq!(
+                audited, honest,
+                "zero liars must be transparent, seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn forging_byzantine_trial_composes_with_faults() {
+        use doda_core::fault::FaultProfile;
+
+        let mut runner = TrialRunner::new();
+        let workload = UniformWorkload::new(16);
+        let config = TrialConfig {
+            max_interactions: Some(40_000),
+            fault: Some(FaultInjection {
+                profile: FaultProfile::crash(0.002),
+                seed: 0xFA,
+            }),
+            byzantine: Some(ByzantineInjection {
+                profile: doda_core::byzantine::ByzantineProfile::forge(0.25),
+                seed: 0xB2,
+            }),
+            ..TrialConfig::default()
+        };
+        let result = runner.run_streamed(
+            AlgorithmSpec::Gathering,
+            workload.source(7).as_mut(),
+            &config,
+        );
+        // Both planes ran: the schedule saw the fault stream, and the
+        // audit reconciled the liars' transfers.
+        assert!(result.verdict.is_some());
+        assert!(result.terminated());
+    }
+
+    #[test]
+    #[should_panic(expected = "the lane tier is honest by contract")]
+    fn lane_batch_rejects_byzantine_plans() {
+        let workload = UniformWorkload::new(6);
+        let mut sources = [workload.source(1)];
+        let _ = TrialRunner::new().run_lane_batch(
+            AlgorithmSpec::Gathering,
+            &mut sources,
+            &TrialConfig {
+                byzantine: Some(ByzantineInjection {
+                    profile: doda_core::byzantine::ByzantineProfile::forge(0.5),
+                    seed: 1,
+                }),
+                ..TrialConfig::default()
+            },
+        );
     }
 
     #[test]

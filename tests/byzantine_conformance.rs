@@ -1,0 +1,214 @@
+//! Conformance suite for the Byzantine data plane: pins which aggregate
+//! kinds *detect*, which *tolerate*, and which are *silently corrupted*
+//! by each lying strategy — and that the Byzantine wrapper is fully
+//! transparent when it fields no liars.
+//!
+//! The detect/tolerate matrix is a contract, not an emergent property:
+//! exactly conserved aggregates (`Count`, `Sum`, and the `IdSet`
+//! reference) expose any unit-count discrepancy, duplicate-insensitive
+//! idempotent sketches (`Min`, `Max`, `Distinct`) absorb re-delivery and
+//! forged initial data, and the quantile sketch — neither conserved nor
+//! idempotent over forgeries — is silently wrong under every strategy.
+//! A change to any row must show up here as a deliberate edit.
+
+use doda_core::byzantine::{ByzantineProfile, ByzantineStrategy, Verdict};
+use doda_sim::test_support::{byzantine_free_registry_cases, registry_cases};
+use doda_sim::{AggregateKind, AlgorithmSpec, ExecutionTier, Scenario, Sweep};
+use proptest::prelude::*;
+
+const STRATEGIES: [ByzantineStrategy; 4] = [
+    ByzantineStrategy::Forge,
+    ByzantineStrategy::Duplicate,
+    ByzantineStrategy::DropCarried,
+    ByzantineStrategy::Equivocate,
+];
+
+const KINDS: [AggregateKind; 7] = [
+    AggregateKind::IdSet,
+    AggregateKind::Count,
+    AggregateKind::Sum,
+    AggregateKind::Min,
+    AggregateKind::Max,
+    AggregateKind::Distinct,
+    AggregateKind::Quantile,
+];
+
+fn profile_for(strategy: ByzantineStrategy, fraction: f64) -> ByzantineProfile {
+    match strategy {
+        ByzantineStrategy::Forge => ByzantineProfile::forge(fraction),
+        ByzantineStrategy::Duplicate => ByzantineProfile::duplicate(fraction),
+        ByzantineStrategy::DropCarried => ByzantineProfile::drop_carried(fraction),
+        ByzantineStrategy::Equivocate => ByzantineProfile::equivocate(fraction),
+    }
+}
+
+/// The pinned matrix: the verdict label every corrupted run must carry,
+/// per aggregate kind and strategy.
+fn expected_verdict(kind: AggregateKind, strategy: ByzantineStrategy) -> &'static str {
+    use AggregateKind::*;
+    use ByzantineStrategy::*;
+    match (kind, strategy) {
+        // The exact origin set is duplicate-insensitive, so re-delivery
+        // is absorbed before exact conservation would flag it.
+        (IdSet, Duplicate) => "tolerated",
+        (IdSet, _) => "detected",
+        // Exactly conserved scalars expose every strategy.
+        (Count | Sum, _) => "detected",
+        // Idempotent range-bounded aggregates absorb re-delivery and a
+        // forged initial datum, but a dropped contribution cannot be
+        // told from one that never arrived.
+        (Min | Max | Distinct, Duplicate | Forge) => "tolerated",
+        (Min | Max | Distinct, DropCarried | Equivocate) => "corrupted",
+        // The quantile sketch is neither conserved nor idempotent over
+        // forgeries: silently wrong under every strategy.
+        (Quantile, _) => "corrupted",
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The detect/tolerate/corrupt matrix, exercised end to end: 10%
+    /// liars over uniform Gathering, every strategy against every
+    /// aggregate kind, arbitrary seeds and population sizes.
+    #[test]
+    fn the_verdict_matrix_is_pinned(seed in 0u64..(1u64 << 48), n in 32usize..64) {
+        for strategy in STRATEGIES {
+            for kind in KINDS {
+                let results = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+                    .byzantine(profile_for(strategy, 0.1))
+                    .n(n)
+                    .trials(1)
+                    .seed(seed)
+                    .horizon(Some(20_000))
+                    .parallel(false)
+                    .aggregate(kind)
+                    .run();
+                for result in &results {
+                    let verdict = result
+                        .verdict
+                        .expect("byzantine runs always carry a verdict");
+                    prop_assert_eq!(
+                        verdict.label(),
+                        expected_verdict(kind, strategy),
+                        "{:?} under {:?} (n = {}, seed = {})",
+                        kind,
+                        strategy,
+                        n,
+                        seed
+                    );
+                    if let Verdict::Detected { evidence } = verdict {
+                        prop_assert_eq!(evidence.strategy, strategy);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wrapper transparency: a 0%-Byzantine plan routes through the
+    /// audited engine yet reproduces the honest run byte for byte —
+    /// across the full scenario registry, the auto and forced-scalar
+    /// tiers, and arbitrary seeds. Only the verdict differs: audited
+    /// runs carry `Clean`, honest runs carry none.
+    #[test]
+    fn a_zero_fraction_plan_is_byte_transparent(
+        seed in 0u64..(1u64 << 48),
+        strategy_index in 0usize..4,
+    ) {
+        let profile = profile_for(STRATEGIES[strategy_index], 0.0);
+        for scenario in byzantine_free_registry_cases() {
+            let n = scenario.min_nodes().max(10);
+            for spec in [
+                AlgorithmSpec::Gathering,
+                AlgorithmSpec::Waiting,
+                AlgorithmSpec::WaitingGreedy { tau: None },
+            ] {
+                if !scenario.supports(spec) {
+                    continue;
+                }
+                for tier in [ExecutionTier::Auto, ExecutionTier::Scalar] {
+                    let sweep = || {
+                        Sweep::scenario(spec, scenario)
+                            .n(n)
+                            .trials(3)
+                            .seed(seed)
+                            .horizon(Some(2_000))
+                            .parallel(false)
+                            .tier(tier)
+                    };
+                    let honest = sweep().run();
+                    let mut audited = sweep().byzantine(profile).run();
+                    for result in &mut audited {
+                        prop_assert_eq!(
+                            result.verdict,
+                            Some(Verdict::Clean),
+                            "a zero-fraction audited run must classify Clean"
+                        );
+                        result.verdict = None;
+                    }
+                    prop_assert!(
+                        honest.iter().all(|r| r.verdict.is_none()),
+                        "honest runs never carry a verdict"
+                    );
+                    prop_assert_eq!(
+                        audited,
+                        honest,
+                        "{} on '{}' ({:?} tier) diverged under a liar-free plan",
+                        spec,
+                        scenario,
+                        tier
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Every Byzantine registry entry yields a verdict on every trial;
+/// honest entries never do. The invariant the service wire and the
+/// bench column lean on.
+#[test]
+fn registry_verdict_presence_matches_the_plan() {
+    for scenario in registry_cases() {
+        let n = scenario.min_nodes().max(10);
+        let results = Sweep::scenario(AlgorithmSpec::Gathering, scenario)
+            .n(n)
+            .trials(2)
+            .seed(0xD0DA)
+            .horizon(Some(2_000))
+            .parallel(false)
+            .run();
+        for result in &results {
+            assert_eq!(
+                result.verdict.is_some(),
+                scenario.byzantine.is_some(),
+                "verdict presence must track the byzantine plan on '{scenario}'"
+            );
+        }
+    }
+}
+
+/// Detection is not a fluke of one seed: with 10% forgers under the
+/// exactly conserved `Count`, every seed of a modest sweep is caught,
+/// and the evidence names a forging liar other than the sink.
+#[test]
+fn count_detects_every_forged_sweep() {
+    let results = Sweep::scenario(AlgorithmSpec::Gathering, Scenario::Uniform)
+        .byzantine(ByzantineProfile::forge(0.1))
+        .n(48)
+        .trials(16)
+        .seed(0xD0DA)
+        .parallel(false)
+        .aggregate(AggregateKind::Count)
+        .run();
+    assert_eq!(results.len(), 16);
+    for result in &results {
+        match result.verdict {
+            Some(Verdict::Detected { evidence }) => {
+                assert_eq!(evidence.strategy, ByzantineStrategy::Forge);
+                assert_ne!(evidence.liar.0, 0, "the sink is never a liar");
+            }
+            other => panic!("expected detection, got {other:?}"),
+        }
+    }
+}

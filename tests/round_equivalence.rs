@@ -20,7 +20,6 @@
 //! [`Sweep`].
 
 use doda::core::engine;
-use doda::core::fault::FaultProfile;
 use doda::core::round::SingletonRounds;
 use doda::graph::NodeId;
 use doda::prelude::*;
@@ -170,26 +169,25 @@ proptest! {
     }
 
     /// Round scenarios sweep serial/parallel byte-identically — fault-free
-    /// (native round path), faulted (flattened fault layer), and
-    /// materialising (oracles over the flattened stream) alike.
+    /// (native round path), faulted (flattened fault layer), Byzantine
+    /// (audited flattened stream), and materialising (oracles over the
+    /// flattened stream) alike. The cases come from the shared registry
+    /// slice, so a new round entry is covered automatically.
     #[test]
     fn round_scenario_sweeps_are_serial_parallel_identical(seed in 0u64..1_000_000) {
-        let scenarios: Vec<FaultedScenario> = vec![
-            Scenario::RandomMatching.into(),
-            Scenario::Tournament.into(),
-            Scenario::RoundIsolator.into(),
-            Scenario::RandomMatching.with_faults(FaultProfile::lossy(0.2)),
-            Scenario::RoundIsolator.with_faults(FaultProfile::crash(0.005)),
-        ];
-        for scenario in scenarios {
-            let specs: &[AlgorithmSpec] = if scenario.faults.is_none() {
+        for scenario in doda::sim::test_support::round_registry_cases() {
+            let plain = scenario.faults.is_none() && scenario.byzantine.is_none();
+            let specs: &[AlgorithmSpec] = if plain {
                 &[AlgorithmSpec::Gathering, AlgorithmSpec::WaitingGreedy { tau: None }]
             } else {
                 &[AlgorithmSpec::Gathering]
             };
             for &spec in specs {
+                if !scenario.supports(spec) {
+                    continue;
+                }
                 let cfg = BatchConfig {
-                    n: 11,
+                    n: scenario.min_nodes().max(11),
                     trials: 5,
                     horizon: Some(3_000),
                     seed,
